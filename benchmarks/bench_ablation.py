@@ -1,0 +1,149 @@
+"""ABL — ablations of the Section 6 design choices.
+
+DESIGN.md calls out two load-bearing pieces of the data structure; each
+gets an ablation showing what breaks without it:
+
+* **Fit lists** (ABL-FIT).  The lists contain *only* fit items, so the
+  enumeration never visits a dead branch.  The ablated enumerator scans
+  all *present* items and filters by weight — on an adversarial
+  database where most items are present-but-unfit (R-tuples with no
+  matching S-tuple), its full-enumeration cost grows linearly while the
+  fit-list enumeration stays flat.
+
+* **C̃ weights** (ABL-COUNT).  Without the Section 6.5 counters, the
+  only exact count is by enumeration; its cost grows with the result
+  size while ``count()`` stays at two dictionary reads.
+"""
+
+import random
+import time
+
+from repro.bench.reporting import format_table, format_time
+from repro.bench.timing import growth_exponent
+from repro.core.engine import QHierarchicalEngine
+from repro.cq.parser import parse_query
+from repro.storage.database import Database
+
+from _common import emit, reset, scaled
+
+# Both atoms are represented by the same q-tree node (y), so an item
+# [y, (x, y)] is present when R *or* S holds but fit only when both do.
+QUERY = parse_query("Q(x, y) :- R(x, y), S(x, y)")
+SIZES = scaled([500, 1000, 2000, 4000])
+
+
+def adversarial_database(n: int) -> Database:
+    """n present y-items under one x, only one of them fit."""
+    return Database.from_dict(
+        {
+            "R": [(0, i) for i in range(n)],
+            "S": [(0, 0)],
+        }
+    )
+
+
+def ablated_enumerate(structure):
+    """Enumeration WITHOUT fit lists: scan present items, filter."""
+    root = structure.qtree.root
+    (child,) = structure.qtree.children[root]
+    for root_item in structure.items_at(root):
+        if root_item.weight == 0:
+            continue
+        for child_item in structure.items_at(child):
+            if child_item.weight == 0:
+                continue
+            if child_item.key[: len(root_item.key)] != root_item.key:
+                continue
+            yield (child_item.key[0], child_item.key[1])
+
+
+def test_ablation_fit_lists(benchmark):
+    reset("ABL")
+    rows = []
+    with_lists, without_lists = [], []
+    repeats = 7
+    for n in SIZES:
+        engine = QHierarchicalEngine(QUERY, adversarial_database(n))
+        structure = engine.structures[0]
+
+        real_times, ablated_times = [], []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            real = list(structure.enumerate())
+            real_times.append(time.perf_counter() - start)
+
+            start = time.perf_counter()
+            ablated = list(ablated_enumerate(structure))
+            ablated_times.append(time.perf_counter() - start)
+        t_real = min(real_times)  # min: least-noise estimate
+        t_ablated = min(ablated_times)
+
+        assert set(real) == set(ablated) == {(0, 0)}
+        with_lists.append(t_real)
+        without_lists.append(t_ablated)
+        rows.append([n, format_time(t_real), format_time(t_ablated)])
+
+    emit(
+        "ABL",
+        format_table(
+            ["n (unfit items)", "fit lists", "ablated (scan+filter)"],
+            rows,
+            title="ABL-FIT: full enumeration cost, 1 result among n-1 "
+            "unfit items",
+        ),
+    )
+    assert growth_exponent(SIZES, with_lists) < 0.5
+    assert growth_exponent(SIZES, without_lists) > 0.6
+
+    engine = QHierarchicalEngine(QUERY, adversarial_database(SIZES[-1]))
+    benchmark(lambda: list(engine.structures[0].enumerate()))
+
+
+def test_ablation_count_weights(benchmark):
+    """ABL-COUNT: O(1) C̃ counters vs. counting by enumeration."""
+    rows = []
+    o1_counts, enum_counts = [], []
+    for n in SIZES:
+        # A dense database: result size Θ(n).
+        database = Database.from_dict(
+            {
+                "R": [(i, (i * 3) % n) for i in range(n)],
+                "S": [(i, (i * 3) % n) for i in range(n)],
+            }
+        )
+        engine = QHierarchicalEngine(QUERY, database)
+
+        fast_times, slow_times = [], []
+        for _ in range(5):
+            start = time.perf_counter()
+            fast = engine.count()
+            fast_times.append(time.perf_counter() - start)
+
+            start = time.perf_counter()
+            slow = sum(1 for _ in engine.enumerate())
+            slow_times.append(time.perf_counter() - start)
+        t_fast, t_slow = min(fast_times), min(slow_times)
+
+        assert fast == slow == n
+        o1_counts.append(t_fast)
+        enum_counts.append(t_slow)
+        rows.append([n, format_time(t_fast), format_time(t_slow)])
+
+    emit(
+        "ABL",
+        format_table(
+            ["n", "count() via weights", "count via enumeration"],
+            rows,
+            title="ABL-COUNT: O(1) counters vs counting by enumeration",
+        ),
+    )
+    assert growth_exponent(SIZES, o1_counts) < 0.5
+    assert growth_exponent(SIZES, enum_counts) > 0.6
+
+    engine = QHierarchicalEngine(
+        QUERY,
+        Database.from_dict(
+            {"R": [(i, i) for i in range(SIZES[0])], "S": [(i, i) for i in range(SIZES[0])]}
+        ),
+    )
+    benchmark(engine.count)

@@ -1,0 +1,32 @@
+"""FIG1 — regenerate Figure 1: two q-trees for the same query.
+
+Paper artefact: Figure 1 shows two valid q-trees for
+``ϕ(x1, x2, x3) = ∃x4 ∃x5 (E x1 x2 ∧ R x4 x1 x2 x1 ∧ R x5 x3 x2 x1)``,
+one rooted at ``x1``, one at ``x2``.  The benchmark times the Lemma 4.2
+construction and prints both trees.
+"""
+
+from repro.core.qtree import build_q_tree
+from repro.core.render import render_q_tree
+from repro.cq import zoo
+
+from _common import emit, reset
+
+
+def test_fig1_two_q_trees(benchmark):
+    reset("FIG1")
+    left = build_q_tree(zoo.FIGURE_1, prefer=("x1",))
+    right = build_q_tree(zoo.FIGURE_1, prefer=("x2",))
+
+    # Paper shape: both roots admissible, free variables on top.
+    assert left.root == "x1" and right.root == "x2"
+    assert left.is_valid() and right.is_valid()
+    assert set(left.children["x2"]) == {"x3", "x4"}
+    assert set(right.children["x1"]) == {"x3", "x4"}
+
+    emit("FIG1", "Figure 1 (left): q-tree rooted at x1")
+    emit("FIG1", render_q_tree(left))
+    emit("FIG1", "\nFigure 1 (right): q-tree rooted at x2")
+    emit("FIG1", render_q_tree(right))
+
+    benchmark(lambda: build_q_tree(zoo.FIGURE_1, prefer=("x1",)))

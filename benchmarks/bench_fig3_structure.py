@@ -1,0 +1,69 @@
+"""FIG3 — regenerate Figure 3: the data structure for Example 6.1.
+
+Paper artefact: Figure 3(a) draws the items and weights for D0
+(``C_start = 23``); Figure 3(b) the state after ``insert E(b, p)``
+(``C_start = 38``).  The benchmark asserts every printed weight and
+times exactly the transition the figure depicts (one insert, and the
+inverse delete to return to (a)).
+"""
+
+from repro.core.engine import QHierarchicalEngine
+from repro.core.render import render_structure
+from repro.cq import zoo
+
+from _common import emit, reset
+
+EXAMPLE_E = sorted([("a", "e"), ("a", "f"), ("b", "d"), ("b", "g"), ("b", "h")])
+EXAMPLE_S = sorted(
+    [("a", "e", "a"), ("a", "e", "b"), ("a", "f", "c"), ("b", "g", "b"), ("b", "p", "a")]
+)
+EXAMPLE_R = sorted(
+    EXAMPLE_S
+    + [("a", "e", "c"), ("b", "g", "a"), ("b", "g", "c"), ("b", "p", "b"), ("b", "p", "c")]
+)
+
+
+def build_engine() -> QHierarchicalEngine:
+    engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+    for row in EXAMPLE_E:
+        engine.insert("E", row)
+    for row in EXAMPLE_R:
+        engine.insert("R", row)
+    for row in EXAMPLE_S:
+        engine.insert("S", row)
+    return engine
+
+
+def test_fig3_structure_states(benchmark):
+    reset("FIG3")
+    engine = build_engine()
+    structure = engine.structures[0]
+
+    # Figure 3(a) weights.
+    assert structure.c_start == 23
+    assert structure.item("x", ("a",)).weight == 14
+    assert structure.item("x", ("b",)).weight == 9
+    assert structure.item("y", ("a", "e")).weight == 6
+    assert structure.item("y", ("b", "p")).weight == 0  # present, unfit
+
+    emit("FIG3", "Figure 3(a): structure for D0")
+    emit("FIG3", render_structure(structure))
+
+    engine.insert("E", ("b", "p"))
+
+    # Figure 3(b) weights.
+    assert structure.c_start == 38
+    assert structure.item("x", ("b",)).weight == 24
+    assert structure.item("y", ("b", "p")).weight == 3
+
+    emit("FIG3", "\nFigure 3(b): structure after insert E(b, p)")
+    emit("FIG3", render_structure(structure))
+
+    engine.delete("E", ("b", "p"))
+    assert structure.c_start == 23
+
+    def figure_transition():
+        engine.insert("E", ("b", "p"))
+        engine.delete("E", ("b", "p"))
+
+    benchmark(figure_transition)

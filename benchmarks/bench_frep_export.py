@@ -1,0 +1,76 @@
+"""FREP — the f-representation claim of Section 3, measured.
+
+Paper claim: "The dynamic data structure that is computed by our
+algorithm can be viewed as an f-representation of the query result"
+(Olteanu–Závodný [31]).  :mod:`repro.core.factorized` exports that
+representation; this bench measures its succinctness: on the
+two-free-leaf star the flat result has Θ(n²) symbols while the
+factorized export has Θ(n) — the compression ratio grows linearly, with
+export time linear in the *structure*, not the result.
+"""
+
+import random
+import time
+
+from repro.bench.reporting import format_table, format_time
+from repro.bench.timing import growth_exponent
+from repro.core.engine import QHierarchicalEngine
+from repro.core.factorized import compression_ratio, factorize, flat_size
+from repro.cq.zoo import star_query
+from repro.storage.database import Database
+
+from _common import emit, reset, scaled
+
+QUERY = star_query(2, free_leaves=2)
+SIZES = scaled([50, 100, 200, 400])
+
+
+def star_db(n: int) -> Database:
+    return Database.from_dict(
+        {
+            "S": [(0,)],
+            "E1": [(0, i) for i in range(n)],
+            "E2": [(0, i) for i in range(n)],
+        }
+    )
+
+
+def test_frep_compression(benchmark):
+    reset("FREP")
+    rows = []
+    ratios = []
+    for n in SIZES:
+        engine = QHierarchicalEngine(QUERY, star_db(n))
+        structure = engine.structures[0]
+
+        start = time.perf_counter()
+        expression = factorize(structure)
+        export_time = time.perf_counter() - start
+
+        assert expression.count() == n * n == structure.count()
+        ratio = compression_ratio(structure)
+        ratios.append(ratio)
+        rows.append(
+            [
+                n,
+                flat_size(structure),
+                expression.size(),
+                f"{ratio:.1f}x",
+                format_time(export_time),
+            ]
+        )
+
+    emit(
+        "FREP",
+        format_table(
+            ["n", "flat symbols", "factorized symbols", "ratio", "export"],
+            rows,
+            title="FREP: f-representation export of the star result "
+            "(n² tuples, Θ(n) representation)",
+        ),
+    )
+    # The ratio itself must grow ~linearly in n.
+    assert growth_exponent(SIZES, ratios) > 0.8
+
+    engine = QHierarchicalEngine(QUERY, star_db(SIZES[-1]))
+    benchmark(lambda: factorize(engine.structures[0]))

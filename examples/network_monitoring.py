@@ -1,0 +1,108 @@
+"""Scenario: network alerting, on both sides of the dichotomy.
+
+Run:  python examples/network_monitoring.py
+
+A security monitor watches a link stream.  Two alert rules:
+
+* RULE A (hard): "a watchlisted source talks to a watchlisted target"
+  — exactly the paper's ``ϕ'_S-E-T = ∃x∃y (Sx ∧ Exy ∧ Ty)``.  Not
+  q-hierarchical: Theorem 3.4 says *no* engine can maintain it with
+  sublinear updates (conditional on OMv).  The library refuses, names
+  the witness, and we fall back to delta IVM, whose per-update cost is
+  data-dependent.
+
+* RULE B (easy): "a watchlisted source talks to anyone" —
+  ``∃y (Sx ∧ Exy)`` per source, q-hierarchical, maintained in O(1).
+
+The point: the dichotomy is a *design tool* — `classify` tells you
+before deployment which alerts can be cheap.
+"""
+
+import random
+import time
+
+from repro import (
+    DeltaIVMEngine,
+    NotQHierarchicalError,
+    QHierarchicalEngine,
+    classify,
+    find_violation,
+    parse_query,
+)
+
+RULE_A = parse_query("AlertA() :- Watchsrc(x), Link(x, y), Watchdst(y)")
+RULE_B = parse_query("AlertB(x) :- Watchsrc(x), Link(x, y)")
+
+HOSTS = 600
+EVENTS = 4000
+
+rng = random.Random(7)
+
+
+def main():
+    print("RULE A:", RULE_A)
+    verdict = classify(RULE_A)
+    print(
+        f"  q-hierarchical: {verdict.q_hierarchical}; "
+        f"boolean maintenance tractable: {verdict.boolean_tractable}"
+    )
+    print(f"  witness: {find_violation(RULE_A).describe()}")
+    try:
+        QHierarchicalEngine(RULE_A)
+    except NotQHierarchicalError:
+        print("  -> dynamic engine refuses; falling back to delta IVM\n")
+
+    print("RULE B:", RULE_B)
+    print(f"  q-hierarchical: {classify(RULE_B).q_hierarchical}\n")
+
+    rule_a = DeltaIVMEngine(RULE_A)
+    rule_b = QHierarchicalEngine(RULE_B)
+
+    # Shared watchlists: a handful of hot hosts.
+    for host in range(0, HOSTS, 10):
+        rule_a.insert("Watchsrc", (host,))
+        rule_b.insert("Watchsrc", (host,))
+    for host in range(5, HOSTS, 10):
+        rule_a.insert("Watchdst", (host,))
+
+    alerts_a = alerts_b = 0
+    time_a = time_b = 0.0
+    live = []
+    for _ in range(EVENTS):
+        if live and rng.random() < 0.3:
+            link = live.pop(rng.randrange(len(live)))
+            op = "delete"
+        else:
+            link = (rng.randrange(HOSTS), rng.randrange(HOSTS))
+            live.append(link)
+            op = "insert"
+
+        start = time.perf_counter()
+        getattr(rule_a, op)("Link", link)
+        fired_a = rule_a.answer()
+        time_a += time.perf_counter() - start
+
+        start = time.perf_counter()
+        getattr(rule_b, op)("Link", link)
+        fired_b = rule_b.answer()
+        time_b += time.perf_counter() - start
+
+        alerts_a += fired_a
+        alerts_b += fired_b
+
+    print(f"events processed:      {EVENTS}")
+    print(f"rounds with RULE A on: {alerts_a}   with RULE B on: {alerts_b}")
+    print(
+        f"per-event cost:        RULE A (delta IVM) "
+        f"{time_a / EVENTS * 1e6:.1f}µs | RULE B (q-hierarchical) "
+        f"{time_b / EVENTS * 1e6:.1f}µs"
+    )
+    print(
+        "\nRULE B's cost is independent of the number of hosts; RULE A's\n"
+        "grows with the watchlists' degrees — and Theorem 3.4 says no\n"
+        "clever engine can fix that (conditional on the OMv conjecture)."
+    )
+
+
+if __name__ == "__main__":
+    main()

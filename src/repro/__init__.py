@@ -1,0 +1,103 @@
+"""repro — *Answering Conjunctive Queries under Updates*, reproduced.
+
+A faithful implementation of Berkholz, Keppeler and Schweikardt
+(PODS 2017, arXiv:1702.06370): the q-hierarchical dichotomy for dynamic
+conjunctive-query evaluation, with
+
+* the constant-update / constant-delay engine of Theorem 3.2
+  (:class:`QHierarchicalEngine`),
+* the q-hierarchical classifier and q-trees (Sections 3–4),
+* homomorphic cores (for the Boolean/counting dichotomies),
+* recompute and delta-IVM baselines,
+* executable OMv / OuMv / OV lower-bound reductions (Section 5),
+* the Appendix A self-join frontier (:class:`Phi2Engine`),
+* static substrates (Yannakakis, free-connex constant-delay).
+
+Quickstart::
+
+    from repro import parse_query, QHierarchicalEngine
+
+    query = parse_query("Q(post, user) :- Follows(me, user), Posted(user, post)")
+    engine = QHierarchicalEngine(query)
+    engine.insert("Follows", ("me", "ada"))
+    engine.insert("Posted", ("ada", "p1"))
+    print(engine.count())           # O(1) at any moment
+    print(list(engine.enumerate())) # constant delay per tuple
+"""
+
+# NOTE: the homomorphic-core function is exported as `homomorphic_core`
+# because the attribute name `core` is claimed by the repro.core
+# subpackage (Python binds submodules onto the parent package).
+from repro.cq import (
+    Atom,
+    ConjunctiveQuery,
+    classify,
+    core as homomorphic_core,
+    find_violation,
+    is_acyclic,
+    is_free_connex,
+    is_hierarchical,
+    is_q_hierarchical,
+    parse_query,
+)
+from repro.core import (
+    Phi2Engine,
+    QHierarchicalEngine,
+    QTree,
+    build_q_tree,
+    render_q_tree,
+    render_structure,
+)
+from repro.errors import (
+    EngineStateError,
+    NotQHierarchicalError,
+    QuerySyntaxError,
+    QueryStructureError,
+    ReductionError,
+    ReproError,
+    SchemaError,
+    UpdateError,
+)
+from repro.interface import DynamicEngine, ENGINE_REGISTRY, make_engine
+from repro.ivm import DeltaIVMEngine, RecomputeEngine
+from repro.storage import Database, Schema, UpdateCommand, delete, insert
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "classify",
+    "homomorphic_core",
+    "find_violation",
+    "is_acyclic",
+    "is_free_connex",
+    "is_hierarchical",
+    "is_q_hierarchical",
+    "parse_query",
+    "Phi2Engine",
+    "QHierarchicalEngine",
+    "QTree",
+    "build_q_tree",
+    "render_q_tree",
+    "render_structure",
+    "EngineStateError",
+    "NotQHierarchicalError",
+    "QuerySyntaxError",
+    "QueryStructureError",
+    "ReductionError",
+    "ReproError",
+    "SchemaError",
+    "UpdateError",
+    "DynamicEngine",
+    "ENGINE_REGISTRY",
+    "make_engine",
+    "DeltaIVMEngine",
+    "RecomputeEngine",
+    "Database",
+    "Schema",
+    "UpdateCommand",
+    "delete",
+    "insert",
+    "__version__",
+]

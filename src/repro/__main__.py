@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+classify "Q(x) :- E(x, y), T(y)"
+    Print where the query falls in the paper's three dichotomies, the
+    Definition 3.1 violation witness (if any) and the homomorphic core
+    (if it differs from the query).
+
+qtree "Q(x, y) :- R(x, y), S(y)"
+    Print a q-tree per connected component, or the reason none exists.
+
+demo
+    Run a 30-second self-contained demonstration: builds the Example
+    6.1 database, prints the structure and enumerates Table 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cq.analysis import classify, find_violation
+from repro.cq.homomorphism import core as homomorphic_core
+from repro.cq.parser import parse_query
+from repro.core.qtree import try_build_q_tree
+from repro.core.render import render_q_tree
+from repro.errors import ReproError
+
+
+def _verdict(value) -> str:
+    if value is True:
+        return "easy"
+    if value is False:
+        return "hard (conditional on OMv/OV)"
+    return "open (self-join enumeration)"
+
+
+def cmd_classify(text: str) -> int:
+    query = parse_query(text)
+    result = classify(query)
+    print(f"query:            {query}")
+    print(f"self-join free:   {result.self_join_free}")
+    print(f"hierarchical:     {result.hierarchical}")
+    print(f"q-hierarchical:   {result.q_hierarchical}")
+    print(f"enumeration:      {_verdict(result.enumeration_tractable)}")
+    print(f"boolean answering:{_verdict(result.boolean_tractable):>6s}")
+    print(f"counting:         {_verdict(result.counting_tractable)}")
+    violation = find_violation(query)
+    if violation is not None:
+        print(f"witness:          {violation.describe()}")
+    folded = homomorphic_core(query)
+    if frozenset(folded.atoms) != frozenset(query.atoms):
+        print(f"homomorphic core: {folded}")
+    from repro.lowerbounds.profiles import hardness_profile
+
+    print()
+    print(hardness_profile(query).render())
+    return 0
+
+
+def cmd_qtree(text: str) -> int:
+    query = parse_query(text)
+    status = 0
+    for component in query.connected_components():
+        tree = try_build_q_tree(component)
+        if tree is None:
+            violation = find_violation(component)
+            print(f"component {component.name}: no q-tree")
+            if violation is not None:
+                print(f"  reason: {violation.describe()}")
+            status = 1
+        else:
+            print(f"component {component.name}:")
+            print(render_q_tree(tree, annotate=True))
+    return status
+
+
+def _demo() -> int:
+    from repro.core.engine import QHierarchicalEngine
+    from repro.core.render import render_structure
+    from repro.cq import zoo
+
+    engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+    for relation, rows in [
+        ("E", [("a", "e"), ("a", "f"), ("b", "d"), ("b", "g"), ("b", "h")]),
+        (
+            "R",
+            [
+                ("a", "e", "a"), ("a", "e", "b"), ("a", "e", "c"),
+                ("a", "f", "c"), ("b", "g", "a"), ("b", "g", "b"),
+                ("b", "g", "c"), ("b", "p", "a"), ("b", "p", "b"),
+                ("b", "p", "c"),
+            ],
+        ),
+        (
+            "S",
+            [
+                ("a", "e", "a"), ("a", "e", "b"), ("a", "f", "c"),
+                ("b", "g", "b"), ("b", "p", "a"),
+            ],
+        ),
+    ]:
+        for row in sorted(rows):
+            engine.insert(relation, row)
+    print(f"Example 6.1: |ϕ(D0)| = {engine.count()} (paper: 23)\n")
+    print(render_structure(engine.structures[0], include_unfit=False))
+    print("\nfirst five tuples of Table 1:")
+    for row, _ in zip(engine.enumerate(), range(5)):
+        print("  ", row)
+    engine.insert("E", ("b", "p"))
+    print(f"\nafter insert E(b, p): |ϕ(D1)| = {engine.count()} (paper: 38)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Answering Conjunctive Queries under Updates (PODS'17)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    classify_parser = subparsers.add_parser(
+        "classify", help="classify a query against the dichotomies"
+    )
+    classify_parser.add_argument("query", help='e.g. "Q(x) :- E(x, y), T(y)"')
+
+    qtree_parser = subparsers.add_parser(
+        "qtree", help="print q-trees (Lemma 4.2) or the failure witness"
+    )
+    qtree_parser.add_argument("query")
+
+    subparsers.add_parser("demo", help="run the Example 6.1 walkthrough")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "classify":
+            return cmd_classify(args.query)
+        if args.command == "qtree":
+            return cmd_qtree(args.query)
+        return _demo()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

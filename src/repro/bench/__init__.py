@@ -1,0 +1,27 @@
+"""Measurement and reporting harness used by ``benchmarks/``."""
+
+from repro.bench.compare import ComparisonResult, compare_engines
+from repro.bench.harness import ScalingExperiment
+from repro.bench.reporting import banner, format_series, format_table, format_time
+from repro.bench.timing import (
+    DelayRecorder,
+    growth_exponent,
+    median,
+    percentile,
+    time_call,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "compare_engines",
+    "ScalingExperiment",
+    "banner",
+    "format_series",
+    "format_table",
+    "format_time",
+    "DelayRecorder",
+    "growth_exponent",
+    "median",
+    "percentile",
+    "time_call",
+]

@@ -1,0 +1,81 @@
+"""Scaling-experiment harness.
+
+A :class:`ScalingExperiment` runs a measurement callable across a sweep
+of database sizes ``n`` and several engines, collects per-engine series,
+fits log–log growth exponents, and renders the comparison table that
+each theorem-shaped benchmark prints.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.reporting import format_table, format_time
+from repro.bench.timing import growth_exponent
+
+__all__ = ["ScalingExperiment", "Measurement"]
+
+#: A measurement callable: (engine_name, n, rng) → seconds per operation.
+Measurement = Callable[[str, int, random.Random], float]
+
+
+@dataclass
+class ScalingExperiment:
+    """Sweep ``n`` for several engines and compare growth shapes.
+
+    Parameters
+    ----------
+    title:
+        Printed above the result table.
+    sizes:
+        The ``n`` sweep.
+    measure:
+        Callable producing seconds-per-operation for (engine, n, rng).
+    engines:
+        Engine names, in display order; the *first* is treated as the
+        paper's algorithm when :meth:`speedups` is used.
+    seed:
+        Per-cell RNG seed base for reproducibility.
+    """
+
+    title: str
+    sizes: Sequence[int]
+    measure: Measurement
+    engines: Sequence[str]
+    seed: int = 0
+    results: Dict[str, List[float]] = field(default_factory=dict)
+
+    def run(self) -> "ScalingExperiment":
+        for engine in self.engines:
+            series: List[float] = []
+            for n in self.sizes:
+                rng = random.Random((self.seed, engine, n).__hash__())
+                series.append(self.measure(engine, n, rng))
+            self.results[engine] = series
+        return self
+
+    def exponent(self, engine: str) -> float:
+        """Log–log growth exponent of one engine's series."""
+        return growth_exponent(self.sizes, self.results[engine])
+
+    def speedups(self) -> List[float]:
+        """Baseline-over-paper time ratios at each size (first engine
+        is the paper's algorithm, last is the main baseline)."""
+        fast = self.results[self.engines[0]]
+        slow = self.results[self.engines[-1]]
+        return [s / f if f > 0 else float("inf") for f, s in zip(fast, slow)]
+
+    def render(self) -> str:
+        headers = ["n"] + [
+            f"{engine} (exp={self.exponent(engine):+.2f})"
+            for engine in self.engines
+        ]
+        rows = []
+        for index, n in enumerate(self.sizes):
+            row: List[object] = [n]
+            for engine in self.engines:
+                row.append(format_time(self.results[engine][index]))
+            rows.append(row)
+        return format_table(headers, rows, title=self.title)

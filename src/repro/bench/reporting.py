@@ -1,0 +1,66 @@
+"""Plain-text tables and series for the benchmark harness.
+
+Every benchmark prints the rows/series its paper artefact reports, in a
+format that survives ``pytest -s`` capture and the EXPERIMENTS.md log.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "banner", "format_time"]
+
+
+def format_time(seconds: float) -> str:
+    """Human-scale time: ns/µs/ms/s with three significant digits."""
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.0f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """A fixed-width ASCII table."""
+    materialised: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        materialised.append([str(cell) for cell in row])
+    widths = [
+        max(len(row[col]) for row in materialised)
+        for col in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    for index, row in enumerate(materialised):
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append(separator)
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str, xs: Sequence[object], ys: Sequence[object]
+) -> str:
+    """One named series as two aligned rows (figure-style output)."""
+    x_cells = [str(x) for x in xs]
+    y_cells = [str(y) for y in ys]
+    widths = [max(len(a), len(b)) for a, b in zip(x_cells, y_cells)]
+    header = "  ".join(c.rjust(w) for c, w in zip(x_cells, widths))
+    values = "  ".join(c.rjust(w) for c, w in zip(y_cells, widths))
+    return f"{label}\n  x: {header}\n  y: {values}"
+
+
+def banner(text: str) -> str:
+    """A section banner for benchmark output."""
+    bar = "=" * max(60, len(text) + 4)
+    return f"\n{bar}\n  {text}\n{bar}"

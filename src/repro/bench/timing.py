@@ -1,0 +1,118 @@
+"""Timing instruments for the shape experiments.
+
+Two measurements matter for the paper's claims:
+
+* **per-update time** — should be flat in ``n`` for the q-hierarchical
+  engine (Theorem 3.2) and grow for the baselines;
+* **per-tuple enumeration delay** — the maximum gap between consecutive
+  outputs (and before the first / after the last), Section 2's ``t_d``.
+
+Wall-clock on CPython is noisy, so the helpers report medians over
+repeats and the benchmark assertions compare *trends* (log–log slopes)
+rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = [
+    "DelayRecorder",
+    "time_call",
+    "median",
+    "percentile",
+    "growth_exponent",
+]
+
+T = TypeVar("T")
+
+
+@dataclass
+class DelayRecorder:
+    """Record inter-output delays of an enumeration (in seconds).
+
+    Wrap a generator with :meth:`consume`; afterwards ``delays`` holds
+    one entry per emitted tuple plus one for the end-of-enumeration —
+    matching the paper's definition of delay ``t_d`` exactly (time to
+    first tuple, between tuples, and to the EOE message).
+    """
+
+    delays: List[float] = field(default_factory=list)
+    count: int = 0
+
+    def consume(self, iterator: Iterable[T], limit: Optional[int] = None) -> int:
+        """Drain ``iterator`` (up to ``limit`` items), recording delays."""
+        start = time.perf_counter()
+        produced = 0
+        for _ in iterator:
+            now = time.perf_counter()
+            self.delays.append(now - start)
+            start = now
+            produced += 1
+            if limit is not None and produced >= limit:
+                self.count += produced
+                return produced
+        # The delay until the end-of-enumeration message.
+        self.delays.append(time.perf_counter() - start)
+        self.count += produced
+        return produced
+
+    @property
+    def max_delay(self) -> float:
+        return max(self.delays) if self.delays else 0.0
+
+    @property
+    def median_delay(self) -> float:
+        return median(self.delays) if self.delays else 0.0
+
+    def percentile_delay(self, q: float) -> float:
+        return percentile(self.delays, q) if self.delays else 0.0
+
+
+def time_call(fn: Callable[[], T], repeats: int = 1) -> Tuple[float, T]:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    times: List[float] = []
+    result: T = None  # type: ignore[assignment]
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return median(times), result
+
+
+def median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile, ``q`` in [0, 100]."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, math.ceil(q / 100 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def growth_exponent(sizes: Sequence[float], times: Sequence[float]) -> float:
+    """Least-squares slope of log(time) against log(size).
+
+    ≈ 0 for constant-time behaviour, ≈ 1 for linear, ≈ 2 for quadratic.
+    The scaling benches use this to assert the paper's *shapes* without
+    pinning absolute timings.
+    """
+    if len(sizes) != len(times) or len(sizes) < 2:
+        raise ValueError("need at least two matching (size, time) points")
+    xs = [math.log(s) for s in sizes]
+    ys = [math.log(max(t, 1e-12)) for t in times]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den if den else 0.0

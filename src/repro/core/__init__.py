@@ -1,0 +1,46 @@
+"""The paper's primary contribution: dynamic q-hierarchical evaluation.
+
+* :class:`QHierarchicalEngine` — Theorem 3.2's algorithm.
+* :class:`ComponentStructure` / :class:`Item` / :class:`FitList` — the
+  Section 6 data structure.
+* :func:`build_q_tree` / :class:`QTree` — Section 4.
+* :func:`algorithm1` — the literal Algorithm 1 enumerator.
+* :class:`Phi2Engine` — Appendix A's self-join algorithm.
+* :func:`render_q_tree` / :func:`render_structure` — Figures 1–3.
+"""
+
+from repro.core.engine import QHierarchicalEngine
+from repro.core.enumeration import algorithm1
+from repro.core.factorized import (
+    FactorizedExpression,
+    compression_ratio,
+    factorize,
+    flat_size,
+)
+from repro.core.items import FitList, Item
+from repro.core.qtree import QTree, build_q_tree, try_build_q_tree
+from repro.core.render import render_q_tree, render_structure
+from repro.core.selfjoin import Phi2Engine, match_phi2
+from repro.core.structure import ComponentStructure
+from repro.core.validation import check_engine, check_structure
+
+__all__ = [
+    "QHierarchicalEngine",
+    "algorithm1",
+    "FactorizedExpression",
+    "compression_ratio",
+    "factorize",
+    "flat_size",
+    "FitList",
+    "Item",
+    "QTree",
+    "build_q_tree",
+    "try_build_q_tree",
+    "render_q_tree",
+    "render_structure",
+    "Phi2Engine",
+    "match_phi2",
+    "ComponentStructure",
+    "check_engine",
+    "check_structure",
+]

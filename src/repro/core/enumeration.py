@@ -1,0 +1,75 @@
+"""A literal, pointer-walking implementation of Algorithm 1.
+
+:meth:`ComponentStructure.enumerate` streams results with a recursive
+generator — the natural Python rendering of nested linked-list loops.
+This module implements Algorithm 1 *exactly as printed* (the ``Set``
+function and ``visit`` procedure, lines 1–28), advancing ``next``
+pointers on the fit lists.  The test suite checks both enumerators
+produce identical sequences, tuple for tuple — which is the paper's
+Lemma 6.2 made executable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.items import Item
+from repro.core.structure import ComponentStructure
+from repro.storage.database import Row
+
+__all__ = ["algorithm1"]
+
+
+def algorithm1(structure: ComponentStructure) -> Iterator[Row]:
+    """Enumerate one component by walking fit-list pointers.
+
+    Yields tuples over the component's free-variable order, in exactly
+    the document-order sequence of Algorithm 1.  Boolean components
+    yield ``()`` once when satisfied (the EOE message is the generator
+    simply ending).
+    """
+    if not structure.query.free:
+        if structure.c_start > 0:
+            yield ()
+        return
+
+    order: List[str] = structure.qtree.free_document_order()
+    parent_of = structure.qtree.parent
+    free_tuple = structure.query.free
+    k = len(order)
+
+    def set_item(items: Dict[str, Item], mu: int) -> Optional[Item]:
+        """Lines 11–15: first element of the μ-th node's list under the
+        currently selected parent item."""
+        node = order[mu]
+        parent_node = parent_of[node]
+        assert parent_node is not None  # free subtree is rooted
+        fit_list = items[parent_node].lists.get(node)
+        return fit_list.head if fit_list is not None else None
+
+    # Lines 4–8: bail out on an empty start list, else seed the items.
+    if structure.start.head is None:
+        return
+    items: Dict[str, Item] = {order[0]: structure.start.head}
+    for mu in range(1, k):
+        first = set_item(items, mu)
+        assert first is not None, "fit parent with empty child list"
+        items[order[mu]] = first
+
+    # Lines 17–28: visit() loop.
+    while True:
+        yield tuple(items[v].constant for v in free_tuple)
+
+        j: Optional[int] = None
+        for index in range(k - 1, -1, -1):
+            if items[order[index]].next is not None:
+                j = index
+                break
+        if j is None:
+            return  # line 20–21: every item is last — EOE
+
+        items[order[j]] = items[order[j]].next  # line 25
+        for mu in range(j + 1, k):  # lines 26–27
+            first = set_item(items, mu)
+            assert first is not None, "fit parent with empty child list"
+            items[order[mu]] = first

@@ -1,0 +1,149 @@
+"""Items and fit lists — the building blocks of Section 6.2.
+
+An *item* ``[v, α, a]`` is identified by a q-tree node ``v``, an
+assignment ``α : path[v) → dom`` and a constant ``a``.  Since the
+domain of ``α`` is always the root path above ``v``, we encode the pair
+``(α, a)`` as the tuple of constants along ``path[v]`` — exactly the
+index the paper uses for its RAM arrays ``Av[a1, ..., ad]``.
+
+Each item stores (paper notation in parentheses):
+
+* ``c_atom[ψ]`` (``C^i_ψ``) — the number of expansions of the item's
+  assignment to ``vars(ψ)`` satisfying ``ψ``, one counter per atom of
+  ``atoms(v)``;
+* ``weight`` (``C^i``) — the number of expansions satisfying *all* of
+  ``atoms(v)``, maintained via Lemma 6.3;
+* ``tweight`` (``C̃^i``) — the number of *free-variable projections* of
+  those expansions, maintained via Lemma 6.4 (only for free ``v``);
+* ``child_sum[u]`` (``C^i_u``) / ``tchild_sum[u]`` (``C̃^i_u``) — the
+  cached sums over the fit list ``L^i_u``;
+* the intrusive doubly-linked-list pointers of its (unique) fit list.
+
+An item is **fit** iff ``weight > 0``; the fit lists contain exactly the
+fit items, which is what gives enumeration its constant delay: no dead
+branches are ever visited.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.storage.database import Constant, Row
+
+__all__ = ["Item", "FitList"]
+
+
+class Item:
+    """One item ``[v, α, a]`` of the dynamic data structure."""
+
+    __slots__ = (
+        "node",
+        "key",
+        "c_atom",
+        "weight",
+        "tweight",
+        "child_sum",
+        "tchild_sum",
+        "lists",
+        "parent_item",
+        "in_list",
+        "prev",
+        "next",
+    )
+
+    def __init__(self, node: str, key: Row, parent_item: Optional["Item"]):
+        self.node = node
+        self.key = key
+        self.c_atom: Dict[int, int] = {}
+        self.weight = 0
+        self.tweight = 0
+        self.child_sum: Dict[str, int] = {}
+        self.tchild_sum: Dict[str, int] = {}
+        self.lists: Dict[str, "FitList"] = {}
+        self.parent_item = parent_item
+        self.in_list = False
+        self.prev: Optional[Item] = None
+        self.next: Optional[Item] = None
+
+    @property
+    def constant(self) -> Constant:
+        """The item's own constant ``a`` (last component of the key)."""
+        return self.key[-1]
+
+    def has_support(self) -> bool:
+        """Presence condition (a) of Section 6.4: some ``C^i_ψ > 0``."""
+        return any(count > 0 for count in self.c_atom.values())
+
+    def list_for(self, child: str) -> "FitList":
+        """The fit list ``L^i_u`` for child variable ``u`` (lazily made)."""
+        existing = self.lists.get(child)
+        if existing is None:
+            existing = FitList()
+            self.lists[child] = existing
+        return existing
+
+    def __repr__(self) -> str:
+        return (
+            f"Item[{self.node}, {self.key!r}, C={self.weight}, "
+            f"C~={self.tweight}, fit={self.in_list}]"
+        )
+
+
+class FitList:
+    """An intrusive doubly linked list of fit items (``L^i_u``/``L_start``).
+
+    Append and remove are O(1); iteration follows ``next`` pointers, so
+    the enumeration algorithm can resume from any item in O(1) — the
+    property Algorithm 1's delay bound rests on.  Each item belongs to
+    at most one fit list for its entire lifetime (its parent item's list
+    for its own variable, or the start list for root items), which is
+    why the pointers can live on the items themselves.
+    """
+
+    __slots__ = ("head", "tail", "length")
+
+    def __init__(self) -> None:
+        self.head: Optional[Item] = None
+        self.tail: Optional[Item] = None
+        self.length = 0
+
+    def append(self, item: Item) -> None:
+        """Add a (newly fit) item at the tail."""
+        assert not item.in_list, "item already in its fit list"
+        item.in_list = True
+        item.prev = self.tail
+        item.next = None
+        if self.tail is None:
+            self.head = item
+        else:
+            self.tail.next = item
+        self.tail = item
+        self.length += 1
+
+    def remove(self, item: Item) -> None:
+        """Unlink a (no longer fit) item."""
+        assert item.in_list, "item not in its fit list"
+        if item.prev is None:
+            self.head = item.next
+        else:
+            item.prev.next = item.next
+        if item.next is None:
+            self.tail = item.prev
+        else:
+            item.next.prev = item.prev
+        item.prev = None
+        item.next = None
+        item.in_list = False
+        self.length -= 1
+
+    def __iter__(self) -> Iterator[Item]:
+        cursor = self.head
+        while cursor is not None:
+            yield cursor
+            cursor = cursor.next
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __bool__(self) -> bool:
+        return self.head is not None

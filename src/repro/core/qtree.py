@@ -1,0 +1,265 @@
+"""q-trees: the tree shape of q-hierarchical queries (Section 4).
+
+A *q-tree* for a connected CQ ``ϕ`` (Definition 4.1) is a rooted tree
+whose vertices are ``vars(ϕ)`` such that
+
+1. for every atom ``ψ``, ``vars(ψ)`` is a path starting at the root, and
+2. if ``free(ϕ) ≠ ∅``, the free variables form a connected subset
+   containing the root.
+
+Lemma 4.2: a CQ is q-hierarchical iff every connected component has a
+q-tree, and a q-tree is computable in polynomial time.  The
+construction implemented here follows the lemma's proof: repeatedly
+pick a variable contained in *every* atom of the (sub)query — preferring
+free variables — make it the root, strip it, and recurse into the
+connected components of the rest.
+
+:func:`try_build_q_tree` returns ``None`` exactly when the component is
+not q-hierarchical, giving the library a second, independent
+implementation of the Definition 3.1 test (the property suite checks
+they agree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.cq.analysis import find_violation
+from repro.cq.query import ConjunctiveQuery
+from repro.errors import NotQHierarchicalError, QueryStructureError
+
+__all__ = ["QTree", "try_build_q_tree", "build_q_tree"]
+
+
+@dataclass
+class QTree:
+    """A q-tree for one connected q-hierarchical component.
+
+    Attributes
+    ----------
+    query:
+        The component the tree was built for.
+    root:
+        The root variable.
+    parent / children:
+        Tree structure; children lists are kept in a fixed, deterministic
+        order (construction order, which is name-sorted) — the
+        enumeration order of Algorithm 1 depends on it.
+    path:
+        ``path[v]``: the variables from the root down to ``v`` inclusive.
+    rep:
+        ``rep(v)``: indices (into ``query.atoms``) of atoms *represented*
+        by ``v``, i.e. with ``vars(ψ) = path[v]`` (Section 6.1).
+    atoms_at:
+        ``atoms(v)``: indices of atoms containing ``v``.
+    """
+
+    query: ConjunctiveQuery
+    root: str
+    parent: Dict[str, Optional[str]]
+    children: Dict[str, List[str]]
+    path: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    rep: Dict[str, List[int]] = field(default_factory=dict)
+    atoms_at: Dict[str, List[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            self._compute_paths()
+        if not self.rep or not self.atoms_at:
+            self._compute_atom_maps()
+
+    def _compute_paths(self) -> None:
+        def walk(node: str, prefix: Tuple[str, ...]) -> None:
+            here = prefix + (node,)
+            self.path[node] = here
+            for child in self.children.get(node, ()):
+                walk(child, here)
+
+        walk(self.root, ())
+
+    def _compute_atom_maps(self) -> None:
+        self.rep = {v: [] for v in self.parent}
+        self.atoms_at = {v: [] for v in self.parent}
+        for index, atom in enumerate(self.query.atoms):
+            deepest = max(atom.variables, key=lambda v: len(self.path[v]))
+            if set(self.path[deepest]) != set(atom.variables):
+                raise QueryStructureError(
+                    f"atom {atom} does not lie on a root path of the q-tree"
+                )
+            self.rep[deepest].append(index)
+            for v in atom.variables:
+                self.atoms_at[v].append(index)
+
+    # ------------------------------------------------------------------
+    # orders used by the dynamic engine
+    # ------------------------------------------------------------------
+
+    def document_order(self) -> List[str]:
+        """Pre-order depth-first left-to-right traversal (Section 6.3)."""
+        order: List[str] = []
+
+        def visit(node: str) -> None:
+            order.append(node)
+            for child in self.children.get(node, ()):
+                visit(child)
+
+        visit(self.root)
+        return order
+
+    def free_document_order(self) -> List[str]:
+        """Document order restricted to the free subtree ``T'``.
+
+        By Definition 4.1(2) the free variables are connected and
+        contain the root, so this is the document order of an induced
+        subtree.
+        """
+        free = self.query.free_set
+        return [v for v in self.document_order() if v in free]
+
+    def rep_node_of(self, atom_index: int) -> str:
+        """The node representing a given atom."""
+        for node, indices in self.rep.items():
+            if atom_index in indices:
+                return node
+        raise QueryStructureError(f"atom index {atom_index} not represented")
+
+    def depth(self, node: str) -> int:
+        return len(self.path[node]) - 1
+
+    def is_valid(self) -> bool:
+        """Re-check Definition 4.1 from scratch (used by tests)."""
+        for atom in self.query.atoms:
+            deepest = max(atom.variables, key=lambda v: len(self.path[v]))
+            if set(self.path[deepest]) != set(atom.variables):
+                return False
+        free = self.query.free_set
+        if free:
+            if self.root not in free:
+                return False
+            for v in free:
+                up = self.parent[v]
+                if up is not None and up not in free:
+                    return False
+        return True
+
+
+def _qualifying_roots(
+    var_sets: Sequence[FrozenSet[str]],
+) -> List[str]:
+    """Variables contained in every remaining variable set (Claim 4.3)."""
+    common = set(var_sets[0])
+    for vs in var_sets[1:]:
+        common &= vs
+        if not common:
+            break
+    return sorted(common)
+
+
+def _components(
+    atoms: Sequence[Tuple[int, FrozenSet[str]]]
+) -> List[List[Tuple[int, FrozenSet[str]]]]:
+    """Connected components of (atom-index, remaining-vars) pairs."""
+    groups: List[List[Tuple[int, FrozenSet[str]]]] = []
+    remaining = list(atoms)
+    while remaining:
+        seed_index, seed_vars = remaining.pop(0)
+        component = [(seed_index, seed_vars)]
+        vars_seen = set(seed_vars)
+        changed = True
+        while changed:
+            changed = False
+            for pair in list(remaining):
+                if pair[1] & vars_seen:
+                    component.append(pair)
+                    vars_seen |= pair[1]
+                    remaining.remove(pair)
+                    changed = True
+        groups.append(component)
+    return groups
+
+
+def try_build_q_tree(
+    component: ConjunctiveQuery,
+    prefer: Sequence[str] = (),
+) -> Optional[QTree]:
+    """Build a q-tree for a *connected* CQ, or ``None`` if impossible.
+
+    ``prefer`` breaks ties when several variables qualify as the root of
+    a (sub)tree: variables earlier in ``prefer`` win, then free beats
+    quantified, then lexicographic order.  Figure 1's two alternative
+    q-trees are obtained with ``prefer=("x1",)`` and ``prefer=("x2",)``.
+    """
+    if not component.is_connected:
+        raise QueryStructureError(
+            "try_build_q_tree expects a connected component; "
+            "split with connected_components() first"
+        )
+    free = component.free_set
+    rank = {v: i for i, v in enumerate(prefer)}
+
+    parent_map: Dict[str, Optional[str]] = {}
+    children_map: Dict[str, List[str]] = {}
+
+    def choose_root(candidates: List[str], local_free: FrozenSet[str]) -> str:
+        def sort_key(v: str) -> Tuple[int, int, str]:
+            return (0 if v in local_free else 1, rank.get(v, len(prefer)), v)
+
+        return min(candidates, key=sort_key)
+
+    def build(
+        atoms: List[Tuple[int, FrozenSet[str]]],
+        up: Optional[str],
+    ) -> bool:
+        variables = frozenset(v for _, vs in atoms for v in vs)
+        local_free = variables & free
+        candidates = _qualifying_roots([vs for _, vs in atoms])
+        if not candidates:
+            return False
+        if local_free:
+            free_candidates = [v for v in candidates if v in free]
+            if not free_candidates:
+                return False  # condition (ii) fails below this point
+            candidates = free_candidates
+        node = choose_root(candidates, local_free)
+        parent_map[node] = up
+        children_map.setdefault(node, [])
+        if up is not None:
+            children_map[up].append(node)
+
+        stripped = [
+            (i, vs - {node}) for i, vs in atoms if vs - {node}
+        ]
+        for group in sorted(
+            _components(stripped), key=lambda g: min(min(vs) for _, vs in g)
+        ):
+            if not build(group, node):
+                return False
+        return True
+
+    seed = [(i, atom.variables) for i, atom in enumerate(component.atoms)]
+    if not build(seed, None):
+        return None
+
+    root = next(v for v, up in parent_map.items() if up is None)
+    for node in children_map:
+        children_map[node].sort()
+    tree = QTree(
+        query=component, root=root, parent=parent_map, children=children_map
+    )
+    if not tree.is_valid():
+        return None
+    return tree
+
+
+def build_q_tree(
+    component: ConjunctiveQuery, prefer: Sequence[str] = ()
+) -> QTree:
+    """Like :func:`try_build_q_tree` but raising on failure."""
+    tree = try_build_q_tree(component, prefer)
+    if tree is None:
+        raise NotQHierarchicalError(
+            f"component {component.name!r} is not q-hierarchical",
+            violation=find_violation(component),
+        )
+    return tree

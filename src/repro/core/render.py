@@ -1,0 +1,128 @@
+"""ASCII renderings of q-trees and data-structure states.
+
+These produce the textual equivalents of the paper's Figure 1 / Figure 2
+(q-trees, optionally annotated with ``rep(v)`` and ``atoms(v)``) and
+Figure 3 (the item structure with weights and fit lists), and are what
+the corresponding benchmark targets print.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.items import Item
+from repro.core.qtree import QTree
+from repro.core.structure import ComponentStructure
+from repro.storage.database import Row
+
+__all__ = ["render_q_tree", "render_structure"]
+
+
+def render_q_tree(qtree: QTree, annotate: bool = False) -> str:
+    """Draw a q-tree top-down with box-drawing branches.
+
+    With ``annotate=True`` each node also lists ``rep(v)`` and
+    ``atoms(v)`` as in Figure 2.
+    """
+    query = qtree.query
+    lines: List[str] = []
+
+    def describe(node: str) -> str:
+        if not annotate:
+            return node
+        rep = ", ".join(str(query.atoms[i]) for i in qtree.rep[node]) or "∅"
+        atoms = ", ".join(str(query.atoms[i]) for i in qtree.atoms_at[node])
+        marker = "*" if node in query.free_set else ""
+        return f"{node}{marker}   rep: {{{rep}}}   atoms: {{{atoms}}}"
+
+    def walk(node: str, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(describe(node))
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            lines.append(prefix + connector + describe(node))
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        children = qtree.children.get(node, [])
+        for index, child in enumerate(children):
+            walk(child, child_prefix, index == len(children) - 1, False)
+
+    walk(qtree.root, "", True, True)
+    if annotate and query.free_set:
+        lines.append("(* marks free variables)")
+    return "\n".join(lines)
+
+
+def _children_of(
+    structure: ComponentStructure,
+) -> Dict[Optional[Tuple[str, Row]], List[Item]]:
+    """Group every present item under its parent item (None = roots)."""
+    grouping: Dict[Optional[Tuple[str, Row]], List[Item]] = {}
+    for node in structure.qtree.document_order():
+        for item in structure.items_at(node):
+            parent = item.parent_item
+            key = (parent.node, parent.key) if parent is not None else None
+            grouping.setdefault(key, []).append(item)
+    return grouping
+
+
+def render_structure(
+    structure: ComponentStructure, include_unfit: bool = True
+) -> str:
+    """Figure 3-style dump: items with weights, grouped hierarchically.
+
+    Fit items are plain; unfit (present but weight-0) items are marked
+    ``(unfit)`` — the paper draws these as disconnected boxes.
+    """
+    lines: List[str] = [
+        f"C_start = {structure.c_start}"
+        + (
+            f"   C~_start = {structure.t_start}"
+            if structure.query.free
+            else ""
+        )
+    ]
+    grouping = _children_of(structure)
+
+    def item_label(item: Item) -> str:
+        fit = "" if item.in_list else " (unfit)"
+        tweight = (
+            f" C~={item.tweight}"
+            if item.node in structure.query.free_set
+            else ""
+        )
+        return f"[{item.node}={item.constant!r}] C={item.weight}{tweight}{fit}"
+
+    def walk(item: Item, indent: str) -> None:
+        if not include_unfit and not item.in_list:
+            return
+        lines.append(indent + item_label(item))
+        for child_var in structure.qtree.children.get(item.node, []):
+            members = [
+                child
+                for child in grouping.get((item.node, item.key), [])
+                if child.node == child_var
+            ]
+            if not members:
+                continue
+            shown = [m for m in members if include_unfit or m.in_list]
+            if not shown:
+                continue
+            lines.append(indent + f"  {child_var}-list:")
+            for child in shown:
+                walk(child, indent + "    ")
+
+    # Start list order first (fit roots), then unfit roots.
+    fit_roots = list(structure.start)
+    unfit_roots = [
+        item
+        for item in grouping.get(None, [])
+        if not item.in_list
+    ]
+    lines.append("start-list:")
+    for item in fit_roots:
+        walk(item, "  ")
+    if include_unfit:
+        for item in unfit_roots:
+            walk(item, "  ")
+    return "\n".join(lines)

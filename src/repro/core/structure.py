@@ -1,0 +1,345 @@
+"""The per-component dynamic data structure (Sections 6.2, 6.4, 6.5).
+
+One :class:`ComponentStructure` maintains one connected q-hierarchical
+component under single-tuple updates with O(poly(ϕ)) work per update:
+
+* the items ``[v, α, a]`` reachable from the current database, stored
+  per q-tree node in a hash map keyed by the constants along the node's
+  root path (the paper's arrays ``Av``, realised as dicts per its own
+  footnote 2);
+* per-item counters ``C^i_ψ``, weights ``C^i`` (Lemma 6.3) and, when
+  the component has free variables, ``C̃^i`` (Lemma 6.4), with cached
+  per-child-list sums ``C^i_u`` / ``C̃^i_u``;
+* the fit lists ``L^i_u`` and the start list ``L_start``, plus the
+  running totals ``C_start`` / ``C̃_start``.
+
+The update procedure is the five-step loop of Section 6.4 (plus steps
+2a/4a of Section 6.5), executed once per atom over the updated relation
+whose repeated-variable pattern matches the tuple, walking the atom's
+root path bottom-up.
+
+The structure answers:
+
+* ``answer()``  — ``C_start > 0``                    in O(1),
+* ``count()``   — ``C̃_start`` (``C_start`` if quantifier-free)  in O(1),
+* ``enumerate()`` — Algorithm 1 with O(k) delay per tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.items import FitList, Item
+from repro.core.qtree import QTree, build_q_tree
+from repro.cq.query import ConjunctiveQuery
+from repro.errors import EngineStateError, QueryStructureError
+from repro.storage.database import Constant, Row
+
+__all__ = ["ComponentStructure"]
+
+
+class ComponentStructure:
+    """Dynamic evaluation structure for one connected component."""
+
+    def __init__(
+        self,
+        component: ConjunctiveQuery,
+        qtree: Optional[QTree] = None,
+    ):
+        if not component.is_connected:
+            raise QueryStructureError(
+                "ComponentStructure expects a connected component"
+            )
+        self.query = component
+        self.qtree = qtree if qtree is not None else build_q_tree(component)
+        self.free = component.free_set
+        self._has_free = bool(component.free)
+
+        tree = self.qtree
+        self._children: Dict[str, List[str]] = tree.children
+        self._free_children: Dict[str, List[str]] = {
+            v: [u for u in tree.children.get(v, ()) if u in self.free]
+            for v in tree.parent
+        }
+        self._rep: Dict[str, List[int]] = tree.rep
+        # Per atom: the root path of the node representing it, i.e. the
+        # variable order in which update values are laid out.
+        self._atom_paths: List[Tuple[str, ...]] = [
+            tree.path[tree.rep_node_of(index)]
+            for index in range(len(component.atoms))
+        ]
+        self._items: Dict[str, Dict[Row, Item]] = {v: {} for v in tree.parent}
+
+        self.start = FitList()
+        self.c_start = 0
+        self.t_start = 0
+        #: bumped on every effective update; live enumerations check it
+        #: so that concurrent modification fails loudly instead of
+        #: silently yielding garbage (the paper's model restarts the
+        #: enumeration phase after each update anyway).
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # updates (Section 6.4 / 6.5)
+    # ------------------------------------------------------------------
+
+    def apply(self, is_insert: bool, relation: str, row: Row) -> None:
+        """Process one *effective* update command.
+
+        The caller (the engine) is responsible for set-semantics no-op
+        filtering: this method assumes an insert adds a genuinely new
+        tuple and a delete removes a genuinely present one.
+        """
+        for atom_index, atom in enumerate(self.query.atoms):
+            if atom.relation != relation:
+                continue
+            binding = self._unify(atom.args, row)
+            if binding is None:
+                continue  # repeated-variable pattern does not match
+            path = self._atom_paths[atom_index]
+            values = tuple(binding[v] for v in path)
+            self._apply_atom(is_insert, atom_index, path, values)
+
+    @staticmethod
+    def _unify(args: Tuple[str, ...], row: Row) -> Optional[Dict[str, Constant]]:
+        """Match a tuple against an atom's argument pattern.
+
+        Returns the variable binding, or ``None`` when a repeated
+        variable would need two different values (the paper's side
+        condition ``z_s = z_t ⇒ b_s = b_t``).
+        """
+        binding: Dict[str, Constant] = {}
+        for var, value in zip(args, row):
+            existing = binding.get(var)
+            if existing is None:
+                binding[var] = value
+            elif existing != value:
+                return None
+        return binding
+
+    def _apply_atom(
+        self,
+        is_insert: bool,
+        atom_index: int,
+        path: Tuple[str, ...],
+        values: Row,
+    ) -> None:
+        self.version += 1
+        depth = len(path)
+
+        # Locate the item chain i_1, ..., i_d along the path, creating
+        # missing items top-down on insert (an item's parent pointer
+        # must reference an existing item).
+        chain: List[Item] = []
+        parent: Optional[Item] = None
+        for j in range(depth):
+            store = self._items[path[j]]
+            key = values[: j + 1]
+            item = store.get(key)
+            if item is None:
+                if not is_insert:
+                    raise EngineStateError(
+                        f"delete touches missing item [{path[j]}, {key!r}]; "
+                        "was the command filtered for set semantics?"
+                    )
+                item = Item(path[j], key, parent)
+                store[key] = item
+            chain.append(item)
+            parent = item
+
+        delta = 1 if is_insert else -1
+
+        # Bottom-up pass: steps 1-5 of Section 6.4 (2a/4a of 6.5).
+        for j in range(depth - 1, -1, -1):
+            item = chain[j]
+            node = path[j]
+
+            # Step 1: adjust C^i_ψ for the updated atom.
+            item.c_atom[atom_index] = item.c_atom.get(atom_index, 0) + delta
+            if item.c_atom[atom_index] == 0:
+                del item.c_atom[atom_index]
+
+            # Step 2: recompute C^i via Lemma 6.3.
+            old_weight = item.weight
+            new_weight = self._lemma_6_3(item)
+            item.weight = new_weight
+
+            # Step 2a: recompute C̃^i via Lemma 6.4 (free nodes only).
+            node_free = node in self.free
+            if node_free:
+                old_tweight = item.tweight
+                new_tweight = self._lemma_6_4(item)
+                item.tweight = new_tweight
+
+            # Step 3: maintain the fit list membership.
+            if j == 0:
+                target = self.start
+            else:
+                target = chain[j - 1].list_for(node)
+            if new_weight > 0 and not item.in_list:
+                target.append(item)
+            elif new_weight == 0 and item.in_list:
+                target.remove(item)
+
+            # Step 4 / 4a: propagate the weight deltas one level up.
+            if j == 0:
+                self.c_start += new_weight - old_weight
+                if node_free:
+                    self.t_start += new_tweight - old_tweight
+            else:
+                parent_item = chain[j - 1]
+                parent_item.child_sum[node] = (
+                    parent_item.child_sum.get(node, 0) + new_weight - old_weight
+                )
+                if node_free:
+                    parent_item.tchild_sum[node] = (
+                        parent_item.tchild_sum.get(node, 0)
+                        + new_tweight
+                        - old_tweight
+                    )
+
+            # Step 5: drop items that lost their last supporting tuple.
+            if not is_insert and not item.has_support():
+                del self._items[node][item.key]
+
+    def _lemma_6_3(self, item: Item) -> int:
+        """``C^i = Π_{ψ∈rep(v)} C^i_ψ · Π_{u∈N(v)} C^i_u`` (Lemma 6.3).
+
+        Counters of represented atoms are 0/1-valued (their expansion is
+        the item's own assignment), so they act as guards.
+        """
+        node = item.node
+        for atom_index in self._rep[node]:
+            if item.c_atom.get(atom_index, 0) <= 0:
+                return 0
+        weight = 1
+        for child in self._children[node]:
+            child_total = item.child_sum.get(child, 0)
+            if child_total == 0:
+                return 0
+            weight *= child_total
+        return weight
+
+    def _lemma_6_4(self, item: Item) -> int:
+        """``C̃^i = 0`` if ``C^i = 0`` else ``Π_{u∈N(v)∩free} C̃^i_u``."""
+        if item.weight == 0:
+            return 0
+        tweight = 1
+        for child in self._free_children[item.node]:
+            tweight *= item.tchild_sum.get(child, 0)
+        return tweight
+
+    # ------------------------------------------------------------------
+    # queries (Sections 6.2, 6.3, 6.5)
+    # ------------------------------------------------------------------
+
+    def answer(self) -> bool:
+        """``ϕ(D) ≠ ∅`` in O(1): ``C_start > 0``."""
+        return self.c_start > 0
+
+    def count(self) -> int:
+        """``|ϕ(D)|`` in O(1).
+
+        With free variables this is ``C̃_start``; Boolean components
+        count 1/0 so that the engine's cross-component product works.
+        """
+        if self._has_free:
+            return self.t_start
+        return 1 if self.c_start > 0 else 0
+
+    def enumerate(self) -> Iterator[Row]:
+        """Algorithm 1: stream the component result with O(k) delay.
+
+        Tuples are emitted over the component's free-variable order; a
+        Boolean component yields ``()`` once when satisfied.  The
+        structure must not be updated while a generator is live.
+        """
+        if not self._has_free:
+            if self.c_start > 0:
+                yield ()
+            return
+
+        order = self.qtree.free_document_order()
+        parent_of = self.qtree.parent
+        free_tuple = self.query.free
+        current: Dict[str, Item] = {}
+        version = self.version
+
+        def descend(depth: int) -> Iterator[Row]:
+            if self.version != version:
+                raise EngineStateError(
+                    "structure was updated during enumeration; restart "
+                    "enumerate() to observe the new result"
+                )
+            if depth == len(order):
+                yield tuple(current[v].constant for v in free_tuple)
+                return
+            node = order[depth]
+            up = parent_of[node]
+            fit_list = (
+                self.start if up is None else current[up].lists.get(node)
+            )
+            if fit_list is None:
+                return
+            for item in fit_list:
+                current[node] = item
+                yield from descend(depth + 1)
+
+        yield from descend(0)
+
+    def contains(self, row: Row) -> bool:
+        """Membership test ``ā ∈ ϕ(D)`` in O(k) dictionary probes.
+
+        ``row`` is over the component's free-variable order.  By Lemma
+        6.2 the enumerated result is exactly the set of tuples whose
+        free-node items are all *fit*, so membership reduces to looking
+        up each free node's item along its root path and checking its
+        fit flag.  This is the O(1)-per-test primitive that makes
+        constant-delay *union* enumeration possible
+        (:mod:`repro.extensions.ucq`).
+        """
+        if not self._has_free:
+            return row == () and self.c_start > 0
+        if len(row) != len(self.query.free):
+            return False
+        value_of = dict(zip(self.query.free, row))
+        for node in self.qtree.free_document_order():
+            key = tuple(value_of[v] for v in self.qtree.path[node])
+            item = self._items[node].get(key)
+            if item is None or not item.in_list:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection (Figure 3, tests)
+    # ------------------------------------------------------------------
+
+    def item(self, node: str, key: Row) -> Optional[Item]:
+        """Direct item lookup (the paper's array access ``Av[ā]``)."""
+        return self._items[node].get(tuple(key))
+
+    def items_at(self, node: str) -> List[Item]:
+        """All present items for a q-tree node (copy, stable order)."""
+        return list(self._items[node].values())
+
+    def item_count(self) -> int:
+        """Total number of items currently present."""
+        return sum(len(store) for store in self._items.values())
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-data dump used by the Figure 3 bench and the tests."""
+        items = {}
+        for node, store in self._items.items():
+            for key, item in store.items():
+                items[(node, key)] = {
+                    "weight": item.weight,
+                    "tweight": item.tweight,
+                    "fit": item.in_list,
+                    "c_atom": dict(item.c_atom),
+                }
+        return {
+            "c_start": self.c_start,
+            "t_start": self.t_start,
+            "start_list": [item.key for item in self.start],
+            "items": items,
+        }

@@ -1,0 +1,58 @@
+"""Conjunctive-query substrate: representation, parsing, analysis.
+
+Public surface re-exported here for convenience::
+
+    from repro.cq import parse_query, is_q_hierarchical, core
+"""
+
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.cq.parser import parse_atom, parse_query
+from repro.cq.analysis import (
+    QHierarchicalViolation,
+    QueryClassification,
+    atoms_map,
+    classify,
+    find_violation,
+    is_hierarchical,
+    is_q_hierarchical,
+)
+from repro.cq.homomorphism import (
+    all_homomorphisms,
+    core,
+    find_homomorphism,
+    free_permutations,
+    has_homomorphism,
+    is_core,
+    is_equivalent,
+)
+from repro.cq.acyclicity import (
+    JoinTree,
+    is_acyclic,
+    is_free_connex,
+    join_tree,
+)
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "parse_atom",
+    "parse_query",
+    "QHierarchicalViolation",
+    "QueryClassification",
+    "atoms_map",
+    "classify",
+    "find_violation",
+    "is_hierarchical",
+    "is_q_hierarchical",
+    "all_homomorphisms",
+    "core",
+    "find_homomorphism",
+    "free_permutations",
+    "has_homomorphism",
+    "is_core",
+    "is_equivalent",
+    "JoinTree",
+    "is_acyclic",
+    "is_free_connex",
+    "join_tree",
+]

@@ -1,0 +1,199 @@
+"""Hypergraph acyclicity, join trees, and the free-connex property.
+
+The paper situates q-hierarchical queries strictly inside the
+*free-connex acyclic* queries of Bagan, Durand and Grandjean (Section
+1.2): free-connex acyclic CQs admit static constant-delay enumeration
+after linear preprocessing, but not all of them survive updates.  This
+module supplies the classical machinery:
+
+* **GYO ear reduction** deciding α-acyclicity and producing a join tree,
+* the **free-connex** test — the query is acyclic *and* stays acyclic
+  after adding ``free(ϕ)`` as an extra hyperedge,
+* :class:`JoinTree`, consumed by the Yannakakis evaluator in
+  :mod:`repro.eval_static.yannakakis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.cq.query import ConjunctiveQuery
+
+__all__ = [
+    "JoinTree",
+    "gyo_reduce",
+    "is_acyclic",
+    "join_tree",
+    "is_free_connex",
+]
+
+
+@dataclass
+class JoinTree:
+    """A join tree over atom indices of a conjunctive query.
+
+    ``parent[i]`` is the parent atom index of atom ``i`` (roots map to
+    ``None``).  A join *forest* is possible for disconnected queries;
+    ``roots`` lists one root per tree.  The defining property — for any
+    variable, the atoms containing it form a connected subtree — is
+    checked by :meth:`is_valid` and exercised in the test suite.
+    """
+
+    query: ConjunctiveQuery
+    parent: Dict[int, Optional[int]]
+    roots: List[int] = field(default_factory=list)
+
+    def children(self, index: int) -> List[int]:
+        return [i for i, p in self.parent.items() if p == index]
+
+    def post_order(self) -> List[int]:
+        """Atom indices, children before parents (Yannakakis order)."""
+        order: List[int] = []
+
+        def visit(node: int) -> None:
+            for child in self.children(node):
+                visit(child)
+            order.append(node)
+
+        for root in self.roots:
+            visit(root)
+        return order
+
+    def is_valid(self) -> bool:
+        """Check the running-intersection (connected subtree) property."""
+        atoms = self.query.atoms
+        for var in self.query.variables:
+            holding = [i for i, a in enumerate(atoms) if var in a.variables]
+            if len(holding) <= 1:
+                continue
+            # Walk each holder towards the root; the variable must stay
+            # present until the paths meet.
+            holder_set = set(holding)
+            for i in holding:
+                node = i
+                while True:
+                    up = self.parent.get(node)
+                    if up is None:
+                        break
+                    if var in atoms[up].variables:
+                        node = up
+                        continue
+                    break
+                holder_set.discard(i)
+                holder_set.add(node)
+            if len(holder_set) != 1:
+                return False
+        return True
+
+
+def gyo_reduce(
+    edges: Sequence[FrozenSet[str]],
+) -> Tuple[List[int], Dict[int, Optional[int]]]:
+    """Run the GYO ear-composition reduction on a hypergraph.
+
+    ``edges`` are hyperedges indexed by position.  Returns
+    ``(survivors, parent)`` where ``survivors`` are the indices still
+    active at fixpoint and ``parent`` records, for every absorbed edge,
+    the edge that contained it after isolated-vertex removal.  The
+    hypergraph is α-acyclic iff at most one edge per connected component
+    survives; for the callers below we simply test ``len(survivors)``
+    against the number of components.
+    """
+    active = {i: set(e) for i, e in enumerate(edges)}
+    parent: Dict[int, Optional[int]] = {}
+
+    changed = True
+    while changed:
+        changed = False
+
+        # Rule 1: drop vertices occurring in exactly one active edge.
+        occurrences: Dict[str, List[int]] = {}
+        for i, edge in active.items():
+            for v in edge:
+                occurrences.setdefault(v, []).append(i)
+        for v, holders in occurrences.items():
+            if len(holders) == 1 and v in active[holders[0]]:
+                active[holders[0]].discard(v)
+                changed = True
+
+        # Rule 2: absorb an edge contained in another active edge.
+        indices = sorted(active)
+        absorbed: Optional[Tuple[int, int]] = None
+        for i in indices:
+            for j in indices:
+                if i == j:
+                    continue
+                if active[i] <= active[j]:
+                    absorbed = (i, j)
+                    break
+            if absorbed:
+                break
+        if absorbed:
+            i, j = absorbed
+            parent[i] = j
+            del active[i]
+            changed = True
+
+    survivors = sorted(active)
+    for s in survivors:
+        parent[s] = None
+    return survivors, parent
+
+
+def _component_count(edges: Sequence[FrozenSet[str]]) -> int:
+    """Number of connected components of the hypergraph (shared-variable
+    connectivity), counting variable-disjoint edges separately."""
+    if not edges:
+        return 0
+    parents = list(range(len(edges)))
+
+    def find(i: int) -> int:
+        while parents[i] != i:
+            parents[i] = parents[parents[i]]
+            i = parents[i]
+        return i
+
+    for i in range(len(edges)):
+        for j in range(i + 1, len(edges)):
+            if edges[i] & edges[j]:
+                ri, rj = find(i), find(j)
+                if ri != rj:
+                    parents[ri] = rj
+    return len({find(i) for i in range(len(edges))})
+
+
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """α-acyclicity of the query hypergraph via GYO."""
+    edges = [atom.variables for atom in query.atoms]
+    survivors, _ = gyo_reduce(edges)
+    return len(survivors) <= _component_count(edges)
+
+
+def join_tree(query: ConjunctiveQuery) -> Optional[JoinTree]:
+    """Build a join tree (forest) for an acyclic query, else ``None``."""
+    edges = [atom.variables for atom in query.atoms]
+    survivors, parent = gyo_reduce(edges)
+    if len(survivors) > _component_count(edges):
+        return None
+    tree = JoinTree(query=query, parent=parent, roots=survivors)
+    return tree
+
+
+def is_free_connex(query: ConjunctiveQuery) -> bool:
+    """Free-connex acyclicity (Bagan–Durand–Grandjean).
+
+    The query must be acyclic, and the hypergraph extended with
+    ``free(ϕ)`` as an additional hyperedge must be acyclic as well.  For
+    Boolean queries this degenerates to plain acyclicity, and for
+    quantifier-free queries likewise (the added full edge absorbs
+    everything).
+    """
+    if not is_acyclic(query):
+        return False
+    if not query.free:
+        return True
+    edges = [atom.variables for atom in query.atoms]
+    extended = edges + [frozenset(query.free)]
+    survivors, _ = gyo_reduce(extended)
+    return len(survivors) <= _component_count(extended)

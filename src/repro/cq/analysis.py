@@ -1,0 +1,210 @@
+"""Structural analysis of conjunctive queries (Section 3 of the paper).
+
+The central notions:
+
+* ``atoms(x)`` — the set of atoms containing variable ``x``.
+* **hierarchical** (Dalvi–Suciu / Koutris–Suciu): for all variables
+  ``x, y``, ``atoms(x) ⊆ atoms(y)`` or ``atoms(x) ⊇ atoms(y)`` or
+  ``atoms(x) ∩ atoms(y) = ∅`` — condition (i) of Definition 3.1.
+* **q-hierarchical** (Definition 3.1): hierarchical *and* whenever
+  ``atoms(x) ⊊ atoms(y)`` with ``x`` free, ``y`` is free too —
+  condition (ii).
+
+Besides the Boolean tests this module extracts *violation witnesses*:
+the pair of variables and the atoms ``ψx, ψx,y, ψy`` that the
+lower-bound constructions of Section 5.4 are built from.  A witness of
+kind ``"condition_i"`` carries all three atoms; a witness of kind
+``"condition_ii"`` carries ``ψx,y`` and ``ψy`` (there is no ``ψx``: the
+violated condition is about the free/quantified status of ``y``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.cq.query import Atom, ConjunctiveQuery
+
+__all__ = [
+    "atoms_map",
+    "is_hierarchical",
+    "is_q_hierarchical",
+    "QHierarchicalViolation",
+    "find_violation",
+    "classify",
+    "QueryClassification",
+]
+
+
+def atoms_map(query: ConjunctiveQuery) -> Dict[str, FrozenSet[int]]:
+    """Map each variable to the *indices* of the atoms containing it.
+
+    Indices (rather than atoms) keep duplicated structure distinct and
+    make subset tests cheap frozenset operations.
+    """
+    mapping: Dict[str, set] = {v: set() for v in query.variables}
+    for index, atom in enumerate(query.atoms):
+        for v in atom.variables:
+            mapping[v].add(index)
+    return {v: frozenset(indices) for v, indices in mapping.items()}
+
+
+@dataclass(frozen=True)
+class QHierarchicalViolation:
+    """Witness that a query is not q-hierarchical.
+
+    Attributes
+    ----------
+    kind:
+        ``"condition_i"`` — ``atoms(x)`` and ``atoms(y)`` overlap without
+        containment; ``psi_x`` contains ``x`` but not ``y``, ``psi_xy``
+        contains both, ``psi_y`` contains ``y`` but not ``x``.  This is
+        the shape of ``ϕ_S-E-T``.
+        ``"condition_ii"`` — ``atoms(x) ⊊ atoms(y)``, ``x`` free, ``y``
+        quantified; ``psi_xy`` contains both, ``psi_y`` only ``y``.
+        This is the shape of ``ϕ_E-T``.
+    x, y:
+        The violating variable pair.  For ``condition_ii``, ``x`` is the
+        free variable and ``y`` the quantified one.
+    """
+
+    kind: str
+    x: str
+    y: str
+    psi_x: Optional[Atom]
+    psi_xy: Atom
+    psi_y: Atom
+
+    def describe(self) -> str:
+        if self.kind == "condition_i":
+            return (
+                f"variables {self.x!r}, {self.y!r} violate condition (i): "
+                f"{self.psi_x} contains only {self.x!r}, {self.psi_xy} both, "
+                f"{self.psi_y} only {self.y!r}"
+            )
+        return (
+            f"free variable {self.x!r} and quantified variable {self.y!r} "
+            f"violate condition (ii): atoms({self.x}) ⊊ atoms({self.y}) "
+            f"witnessed by {self.psi_xy} and {self.psi_y}"
+        )
+
+
+def _condition_i_violation(
+    query: ConjunctiveQuery,
+) -> Optional[QHierarchicalViolation]:
+    mapping = atoms_map(query)
+    variables = sorted(query.variables)
+    for i, x in enumerate(variables):
+        ax = mapping[x]
+        for y in variables[i + 1 :]:
+            ay = mapping[y]
+            if ax <= ay or ay <= ax or not (ax & ay):
+                continue
+            psi_x = query.atoms[min(ax - ay)]
+            psi_xy = query.atoms[min(ax & ay)]
+            psi_y = query.atoms[min(ay - ax)]
+            return QHierarchicalViolation("condition_i", x, y, psi_x, psi_xy, psi_y)
+    return None
+
+
+def _condition_ii_violation(
+    query: ConjunctiveQuery,
+) -> Optional[QHierarchicalViolation]:
+    mapping = atoms_map(query)
+    free = query.free_set
+    for x in sorted(free):
+        ax = mapping[x]
+        for y in sorted(query.variables - free):
+            ay = mapping[y]
+            if ax < ay:
+                # atoms(x) ⊊ atoms(y) with x free and y quantified.
+                psi_xy = query.atoms[min(ax)]
+                psi_y = query.atoms[min(ay - ax)]
+                return QHierarchicalViolation(
+                    "condition_ii", x, y, None, psi_xy, psi_y
+                )
+    return None
+
+
+def find_violation(query: ConjunctiveQuery) -> Optional[QHierarchicalViolation]:
+    """Return a witness that the query is not q-hierarchical, or None.
+
+    Condition (i) violations are preferred over condition (ii)
+    violations, matching the case split of the lower-bound proofs
+    (Section 5.4 handles hierarchical-but-not-q-hierarchical queries
+    separately).
+    """
+    violation = _condition_i_violation(query)
+    if violation is not None:
+        return violation
+    return _condition_ii_violation(query)
+
+
+def is_hierarchical(query: ConjunctiveQuery) -> bool:
+    """Condition (i) of Definition 3.1 over *all* variables.
+
+    On Boolean CQs this is Dalvi–Suciu's notion; on join queries it is
+    Koutris–Suciu's.
+    """
+    return _condition_i_violation(query) is None
+
+
+def is_q_hierarchical(query: ConjunctiveQuery) -> bool:
+    """Definition 3.1: conditions (i) and (ii)."""
+    return find_violation(query) is None
+
+
+@dataclass(frozen=True)
+class QueryClassification:
+    """Summary of where a query falls in the paper's dichotomies.
+
+    ``core_q_hierarchical`` drives Theorems 1.2/1.3 (Boolean answering
+    and counting); ``q_hierarchical`` drives Theorem 1.1 (enumeration of
+    self-join-free queries).  ``boolean_core_q_hierarchical`` classifies
+    the Boolean version ``∃x̄ ϕ`` used for emptiness answering.
+    """
+
+    query: ConjunctiveQuery
+    hierarchical: bool
+    q_hierarchical: bool
+    self_join_free: bool
+    core_q_hierarchical: bool
+    boolean_core_q_hierarchical: bool
+    violation: Optional[QHierarchicalViolation]
+
+    @property
+    def enumeration_tractable(self) -> Optional[bool]:
+        """Theorem 1.1 verdict; ``None`` when the dichotomy is open
+        (non-q-hierarchical queries *with* self-joins, Section 7)."""
+        if self.q_hierarchical:
+            return True
+        if self.self_join_free:
+            return False
+        return None
+
+    @property
+    def counting_tractable(self) -> bool:
+        """Theorem 1.3 verdict (complete dichotomy)."""
+        return self.core_q_hierarchical
+
+    @property
+    def boolean_tractable(self) -> bool:
+        """Theorem 1.2 verdict for the Boolean version (complete)."""
+        return self.boolean_core_q_hierarchical
+
+
+def classify(query: ConjunctiveQuery) -> QueryClassification:
+    """Classify a query against all three dichotomies of the paper."""
+    from repro.cq.homomorphism import core as compute_core
+
+    query_core = compute_core(query)
+    boolean_core = compute_core(query.boolean_version())
+    return QueryClassification(
+        query=query,
+        hierarchical=is_hierarchical(query),
+        q_hierarchical=is_q_hierarchical(query),
+        self_join_free=query.is_self_join_free,
+        core_q_hierarchical=is_q_hierarchical(query_core),
+        boolean_core_q_hierarchical=is_q_hierarchical(boolean_core),
+        violation=find_violation(query),
+    )

@@ -1,0 +1,206 @@
+"""Random conjunctive-query generators for tests and benchmarks.
+
+Two families:
+
+* :func:`random_q_hierarchical_query` draws a random *q-tree* first and
+  reads atoms off its root paths, so the result is q-hierarchical **by
+  construction** (Lemma 4.2, "if" direction).  This gives the positive
+  side of the dichotomy an unbounded supply of inputs.
+* :func:`random_cq` draws unconstrained random atoms — most of these are
+  not q-hierarchical, exercising the classifier and the baselines.
+
+All generators take an explicit :class:`random.Random` so callers (and
+hypothesis) control determinism.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cq.query import Atom, ConjunctiveQuery
+
+__all__ = [
+    "random_q_tree_shape",
+    "random_q_hierarchical_query",
+    "random_multi_component_query",
+    "random_cq",
+]
+
+
+def random_q_tree_shape(
+    rng: random.Random,
+    max_depth: int = 3,
+    max_children: int = 3,
+    var_prefix: str = "x",
+) -> Dict[str, Optional[str]]:
+    """Draw a random rooted tree, returned as a child → parent map.
+
+    The root maps to ``None``.  Variables are named ``x0, x1, ...`` in
+    BFS creation order, so the root is always ``x0`` (with the given
+    prefix).
+    """
+    counter = 0
+
+    def fresh() -> str:
+        nonlocal counter
+        name = f"{var_prefix}{counter}"
+        counter += 1
+        return name
+
+    root = fresh()
+    parent: Dict[str, Optional[str]] = {root: None}
+    frontier = [(root, 0)]
+    while frontier:
+        node, depth = frontier.pop(0)
+        if depth >= max_depth:
+            continue
+        for _ in range(rng.randint(0, max_children)):
+            child = fresh()
+            parent[child] = node
+            frontier.append((child, depth + 1))
+    return parent
+
+
+def _root_path(parent: Dict[str, Optional[str]], node: str) -> List[str]:
+    """``path[node]`` from the root down to ``node`` inclusive."""
+    path = []
+    cursor: Optional[str] = node
+    while cursor is not None:
+        path.append(cursor)
+        cursor = parent[cursor]
+    path.reverse()
+    return path
+
+
+def random_q_hierarchical_query(
+    rng: random.Random,
+    max_depth: int = 3,
+    max_children: int = 3,
+    extra_atom_probability: float = 0.3,
+    repeat_var_probability: float = 0.1,
+    free_probability: float = 0.6,
+    relation_prefix: str = "R",
+    var_prefix: str = "x",
+    allow_boolean: bool = True,
+) -> ConjunctiveQuery:
+    """Generate a connected q-hierarchical CQ from a random q-tree.
+
+    Construction guarantees (Definition 4.1):
+
+    * every leaf contributes an atom whose variable set is its root
+      path, so every tree node occurs in some atom;
+    * internal nodes contribute extra atoms with probability
+      ``extra_atom_probability`` (this creates proper ``rep(v)`` sets);
+    * atom argument lists shuffle the path and may repeat a variable
+      with probability ``repeat_var_probability`` (keeping ``vars(ψ)``
+      a root path);
+    * the free variables are an ancestor-closed connected subset
+      containing the root, grown by coin flips with probability
+      ``free_probability`` per node; with ``allow_boolean`` the whole
+      free set may come out empty.
+
+    The result is self-join free: every atom gets a fresh relation
+    symbol.
+    """
+    parent = random_q_tree_shape(rng, max_depth, max_children, var_prefix)
+    nodes = list(parent)
+    children: Dict[str, List[str]] = {v: [] for v in nodes}
+    for child, up in parent.items():
+        if up is not None:
+            children[up].append(child)
+    leaves = [v for v in nodes if not children[v]]
+
+    atom_nodes = list(leaves)
+    for node in nodes:
+        if children[node] and rng.random() < extra_atom_probability:
+            atom_nodes.append(node)
+
+    atoms: List[Atom] = []
+    for index, node in enumerate(atom_nodes):
+        path = _root_path(parent, node)
+        args = list(path)
+        rng.shuffle(args)
+        while rng.random() < repeat_var_probability:
+            args.insert(rng.randrange(len(args) + 1), rng.choice(path))
+        atoms.append(Atom(f"{relation_prefix}{index}", args))
+
+    root = next(v for v, up in parent.items() if up is None)
+    free: List[str] = []
+    if not allow_boolean or rng.random() < free_probability:
+        frontier = [root]
+        while frontier:
+            node = frontier.pop(0)
+            free.append(node)
+            for child in children[node]:
+                if rng.random() < free_probability:
+                    frontier.append(child)
+    rng.shuffle(free)
+    return ConjunctiveQuery(atoms, free, name="rand_qh")
+
+
+def random_multi_component_query(
+    rng: random.Random,
+    components: int = 2,
+    max_depth: int = 2,
+    max_children: int = 2,
+    free_probability: float = 0.6,
+) -> ConjunctiveQuery:
+    """A q-hierarchical query with several connected components.
+
+    Each component is generated independently with disjoint variable and
+    relation namespaces, then the free tuples are interleaved randomly —
+    exercising the engine's cross-component product assembly (Section
+    6's preamble).
+    """
+    atoms: List[Atom] = []
+    free: List[str] = []
+    for index in range(components):
+        part = random_q_hierarchical_query(
+            rng,
+            max_depth=max_depth,
+            max_children=max_children,
+            free_probability=free_probability,
+            relation_prefix=f"C{index}R",
+            var_prefix=f"c{index}v",
+        )
+        atoms.extend(part.atoms)
+        free.extend(part.free)
+    rng.shuffle(free)
+    return ConjunctiveQuery(atoms, free, name="rand_multi")
+
+
+def random_cq(
+    rng: random.Random,
+    max_vars: int = 5,
+    max_atoms: int = 4,
+    max_arity: int = 3,
+    self_join_probability: float = 0.3,
+    free_probability: float = 0.5,
+) -> ConjunctiveQuery:
+    """Generate an unconstrained random CQ (rarely q-hierarchical).
+
+    Relations are reused with probability ``self_join_probability``
+    (respecting arity), variables are drawn with replacement, and each
+    variable is made free with probability ``free_probability``.
+    """
+    variable_pool = [f"v{i}" for i in range(rng.randint(1, max_vars))]
+    atom_count = rng.randint(1, max_atoms)
+    atoms: List[Atom] = []
+    arities: Dict[str, int] = {}
+    for index in range(atom_count):
+        reusable = list(arities)
+        if reusable and rng.random() < self_join_probability:
+            relation = rng.choice(reusable)
+            arity = arities[relation]
+        else:
+            relation = f"P{index}"
+            arity = rng.randint(1, max_arity)
+            arities[relation] = arity
+        args = [rng.choice(variable_pool) for _ in range(arity)]
+        atoms.append(Atom(relation, args))
+
+    used = sorted({v for atom in atoms for v in atom.args})
+    free = [v for v in used if rng.random() < free_probability]
+    rng.shuffle(free)
+    return ConjunctiveQuery(atoms, free, name="rand_cq")

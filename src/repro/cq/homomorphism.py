@@ -1,0 +1,216 @@
+"""Homomorphisms between conjunctive queries, and homomorphic cores.
+
+A homomorphism from ``ϕ(x1, ..., xk)`` to ``ϕ'(y1, ..., yk)`` is a map
+``h : vars(ϕ) → vars(ϕ')`` with ``h(xi) = yi`` for all ``i`` such that
+the ``h``-image of every atom of ``ϕ`` is an atom of ``ϕ'`` (Section 3).
+
+The *homomorphic core* of ``ϕ`` is a minimal subquery ``ϕ'`` such that
+``ϕ → ϕ'`` but no homomorphism from ``ϕ'`` into a proper subquery of
+``ϕ'`` exists.  By the Chandra–Merlin homomorphism theorem the core is
+unique up to isomorphism and satisfies ``core(ϕ)(D) = ϕ(D)`` for every
+database.  Theorems 1.2 and 1.3 classify queries by whether their core
+is q-hierarchical, which is why this module exists.
+
+The search is plain backtracking over atoms with a most-bound-first
+ordering heuristic.  Query sizes are tiny (data complexity setting), so
+this is entirely adequate; the problem is NP-hard in ``||ϕ||`` and no
+polynomial algorithm is expected.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.errors import QueryStructureError
+
+__all__ = [
+    "find_homomorphism",
+    "has_homomorphism",
+    "all_homomorphisms",
+    "core",
+    "is_core",
+    "is_equivalent",
+    "free_permutations",
+]
+
+
+def _atom_order(source: ConjunctiveQuery, bound: Sequence[str]) -> List[Atom]:
+    """Order source atoms so that atoms sharing variables with already
+    processed ones come early (maximises propagation in backtracking)."""
+    remaining = list(source.atoms)
+    known = set(bound)
+    ordered: List[Atom] = []
+    while remaining:
+        best_index = max(
+            range(len(remaining)),
+            key=lambda i: len(remaining[i].variables & known),
+        )
+        atom = remaining.pop(best_index)
+        ordered.append(atom)
+        known |= atom.variables
+    return ordered
+
+
+def _extend(
+    ordered: List[Atom],
+    index: int,
+    assignment: Dict[str, str],
+    targets_by_relation: Dict[str, List[Atom]],
+) -> Iterator[Dict[str, str]]:
+    """Depth-first search completing ``assignment`` atom by atom."""
+    if index == len(ordered):
+        yield dict(assignment)
+        return
+    atom = ordered[index]
+    for target in targets_by_relation.get(atom.relation, ()):
+        if len(target.args) != len(atom.args):
+            continue
+        added: List[str] = []
+        ok = True
+        for var, value in zip(atom.args, target.args):
+            existing = assignment.get(var)
+            if existing is None:
+                assignment[var] = value
+                added.append(var)
+            elif existing != value:
+                ok = False
+                break
+        if ok:
+            yield from _extend(ordered, index + 1, assignment, targets_by_relation)
+        for var in added:
+            del assignment[var]
+
+
+def _initial_assignment(
+    source: ConjunctiveQuery,
+    target: ConjunctiveQuery,
+    fixed: Optional[Mapping[str, str]],
+) -> Optional[Dict[str, str]]:
+    """Seed the search with the free-variable constraints.
+
+    Returns ``None`` when the constraints are contradictory (a variable
+    would need two images), which means no homomorphism exists.
+    """
+    assignment: Dict[str, str] = {}
+    if fixed is None:
+        if source.arity != target.arity:
+            raise QueryStructureError(
+                "homomorphisms require equal arity: "
+                f"{source.arity} vs {target.arity}"
+            )
+        pairs = zip(source.free, target.free)
+    else:
+        pairs = fixed.items()
+    for var, value in pairs:
+        existing = assignment.get(var)
+        if existing is not None and existing != value:
+            return None
+        assignment[var] = value
+    return assignment
+
+
+def all_homomorphisms(
+    source: ConjunctiveQuery,
+    target: ConjunctiveQuery,
+    fixed: Optional[Mapping[str, str]] = None,
+) -> Iterator[Dict[str, str]]:
+    """Yield every homomorphism from ``source`` to ``target``.
+
+    ``fixed`` overrides the default positional free-variable constraint
+    (``source.free[i] ↦ target.free[i]``) with an arbitrary partial map.
+    """
+    assignment = _initial_assignment(source, target, fixed)
+    if assignment is None:
+        return
+    targets_by_relation: Dict[str, List[Atom]] = {}
+    for atom in target.atoms:
+        targets_by_relation.setdefault(atom.relation, []).append(atom)
+    ordered = _atom_order(source, list(assignment))
+    yield from _extend(ordered, 0, assignment, targets_by_relation)
+
+
+def find_homomorphism(
+    source: ConjunctiveQuery,
+    target: ConjunctiveQuery,
+    fixed: Optional[Mapping[str, str]] = None,
+) -> Optional[Dict[str, str]]:
+    """First homomorphism from ``source`` to ``target``, or ``None``."""
+    for hom in all_homomorphisms(source, target, fixed):
+        return hom
+    return None
+
+
+def has_homomorphism(
+    source: ConjunctiveQuery,
+    target: ConjunctiveQuery,
+    fixed: Optional[Mapping[str, str]] = None,
+) -> bool:
+    """Whether any homomorphism from ``source`` to ``target`` exists."""
+    return find_homomorphism(source, target, fixed) is not None
+
+
+def is_equivalent(left: ConjunctiveQuery, right: ConjunctiveQuery) -> bool:
+    """Homomorphic equivalence (same answers on every database)."""
+    return has_homomorphism(left, right) and has_homomorphism(right, left)
+
+
+def core(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Compute the homomorphic core of ``query``.
+
+    The result is a subquery of ``query`` (same free tuple, subset of
+    atoms up to folding) that is its own core.  Self-join-free queries
+    are returned unchanged immediately: each atom carries a distinct
+    relation symbol, so every endomorphism is surjective on atoms.
+    """
+    if query.is_self_join_free:
+        return query
+
+    current = query
+    shrunk = True
+    while shrunk:
+        shrunk = False
+        if len(current.atoms) == 1:
+            break
+        for atom in current.atoms:
+            rest = [a for a in current.atoms if a != atom]
+            rest_vars = {v for a in rest for v in a.args}
+            if not current.free_set <= rest_vars:
+                continue
+            candidate = current.subquery(rest)
+            hom = find_homomorphism(current, candidate)
+            if hom is None:
+                continue
+            image_atoms = {a.rename(hom) for a in current.atoms}
+            current = ConjunctiveQuery(
+                sorted(image_atoms, key=str), current.free, name=current.name
+            )
+            shrunk = True
+            break
+    return current
+
+
+def is_core(query: ConjunctiveQuery) -> bool:
+    """True iff the query equals its own core (up to atom sets)."""
+    return frozenset(core(query).atoms) == frozenset(query.atoms)
+
+
+def free_permutations(query: ConjunctiveQuery) -> List[Tuple[int, ...]]:
+    """The permutation set ``Π`` of Lemma 5.8.
+
+    Returns all permutations ``π`` of ``[k]`` (as tuples ``p`` with
+    ``p[i] = π(i)``, 0-based) such that ``x_i ↦ x_{π(i)}`` extends to an
+    endomorphism of the query.  The identity is always included.  The
+    lemma divides a tuple count by ``|Π|``, which is valid because the
+    extendable permutations form a group: they are closed under
+    composition, and each has finite order.
+    """
+    k = query.arity
+    free = query.free
+    result: List[Tuple[int, ...]] = []
+    for perm in itertools.permutations(range(k)):
+        fixed = {free[i]: free[perm[i]] for i in range(k)}
+        if has_homomorphism(query, query, fixed=fixed):
+            result.append(perm)
+    return result

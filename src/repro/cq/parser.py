@@ -1,0 +1,177 @@
+"""A small text format for conjunctive queries.
+
+The format is the usual Datalog-ish rule syntax::
+
+    Q(x, y) :- R(x, y), S(y, z)
+
+* The head lists the free variables in output order; ``Q()`` (or a bare
+  ``Q``) declares a Boolean query.
+* The body is a comma-separated list of atoms.  Every argument is a
+  variable; the paper's queries are constant-free (Section 2), and the
+  parser enforces this.
+* Variable and relation names are identifiers that may carry trailing
+  primes, so the paper's ``z'`` and ``y'`` parse as written.
+* An optional trailing ``.`` is accepted.
+
+Examples from the paper::
+
+    parse_query("Q(x, y) :- S(x), E(x, y), T(y)")        # ϕ_S-E-T
+    parse_query("Q() :- S(x), E(x, y), T(y)")            # ϕ'_S-E-T
+    parse_query("Q(x) :- E(x, y), T(y)")                 # ϕ_E-T
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.errors import QuerySyntaxError
+
+__all__ = ["parse_query", "parse_atom"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<IMPL>:-|<-|←)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<DOT>\.)
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_]*'*)
+""",
+    re.VERBOSE,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[pos]!r} at position {pos} in {text!r}"
+            )
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            yield _Token(kind, match.group(), pos)
+        pos = match.end()
+    yield _Token("EOF", "", pos)
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._tokens = list(_tokenize(text))
+        self._index = 0
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._advance()
+        if token.kind != kind:
+            raise QuerySyntaxError(
+                f"expected {kind} but found {token.text!r} at position "
+                f"{token.pos} in {self._text!r}"
+            )
+        return token
+
+    def _parse_name_list(self) -> List[str]:
+        """Parse ``( name, ..., name )`` with an empty list allowed."""
+        self._expect("LPAREN")
+        names: List[str] = []
+        if self._peek().kind == "RPAREN":
+            self._advance()
+            return names
+        while True:
+            names.append(self._expect("NAME").text)
+            token = self._advance()
+            if token.kind == "RPAREN":
+                return names
+            if token.kind != "COMMA":
+                raise QuerySyntaxError(
+                    f"expected ',' or ')' but found {token.text!r} at "
+                    f"position {token.pos} in {self._text!r}"
+                )
+
+    def parse_atom_only(self) -> Atom:
+        name = self._expect("NAME").text
+        args = self._parse_name_list()
+        self._expect("EOF")
+        if not args:
+            raise QuerySyntaxError(f"atom {name!r} needs at least one argument")
+        return Atom(name, args)
+
+    def parse_query(self) -> ConjunctiveQuery:
+        head_name = self._expect("NAME").text
+        free: List[str] = []
+        if self._peek().kind == "LPAREN":
+            free = self._parse_name_list()
+
+        self._expect("IMPL")
+
+        atoms: List[Atom] = []
+        while True:
+            name = self._expect("NAME").text
+            args = self._parse_name_list()
+            if not args:
+                raise QuerySyntaxError(
+                    f"atom {name!r} needs at least one argument"
+                )
+            atoms.append(Atom(name, args))
+            token = self._peek()
+            if token.kind == "COMMA":
+                self._advance()
+                continue
+            break
+
+        if self._peek().kind == "DOT":
+            self._advance()
+        self._expect("EOF")
+
+        return ConjunctiveQuery(atoms, free, name=head_name)
+
+
+def parse_query(text: str, name: Optional[str] = None) -> ConjunctiveQuery:
+    """Parse a conjunctive query from rule syntax.
+
+    ``name`` overrides the head symbol as display name when given.
+    Raises :class:`repro.errors.QuerySyntaxError` on malformed input and
+    :class:`repro.errors.QueryStructureError` on structural problems
+    (e.g. a free variable that occurs in no atom).
+    """
+    query = _Parser(text).parse_query()
+    if name is not None:
+        return ConjunctiveQuery(query.atoms, query.free, name=name)
+    return query
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom such as ``"R(x, y)"``."""
+    return _Parser(text).parse_atom_only()
+
+
+def parse_many(text: str) -> Tuple[ConjunctiveQuery, ...]:
+    """Parse several queries separated by newlines; blank lines and
+    ``#`` comment lines are skipped."""
+    queries = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        queries.append(parse_query(stripped))
+    return tuple(queries)

@@ -1,0 +1,340 @@
+"""Conjunctive query representation.
+
+This module provides the two immutable value types the whole library is
+built on:
+
+* :class:`Atom` — a relational atom ``R(u1, ..., ur)`` whose arguments
+  are variables (the paper's queries are constant-free, Section 2).
+* :class:`ConjunctiveQuery` — a conjunctive query
+  ``ϕ(x1, ..., xk) = ∃ y1 ... ∃ yl (ψ1 ∧ ... ∧ ψd)`` given by its list
+  of atoms and the ordered tuple of free variables.
+
+Variables are plain strings.  The existentially quantified variables are
+implicit: every variable that occurs in an atom but not in the free
+tuple is quantified, exactly as in the paper's normal form (1).
+
+Both types are hashable and comparable structurally, so they can be used
+as dictionary keys (the homomorphism and core machinery relies on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.errors import QueryStructureError
+
+__all__ = ["Atom", "ConjunctiveQuery"]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``R(u1, ..., ur)`` with variable arguments.
+
+    ``relation`` is the relation symbol and ``args`` the tuple of
+    variable names.  Repeated variables are allowed (e.g. ``E(x, x)``);
+    the paper's queries with self-loops depend on this.
+    """
+
+    relation: str
+    args: Tuple[str, ...]
+
+    def __init__(self, relation: str, args: Iterable[str]):
+        object.__setattr__(self, "relation", str(relation))
+        object.__setattr__(self, "args", tuple(str(a) for a in args))
+        if not self.relation:
+            raise QueryStructureError("atom needs a non-empty relation symbol")
+        if len(self.args) == 0:
+            raise QueryStructureError(
+                "atoms must have arity >= 1 (paper, Section 2: ar(R) in N>=1)"
+            )
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions (with repetitions)."""
+        return len(self.args)
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        """The *set* ``vars(ψ)`` of distinct variables in the atom."""
+        return frozenset(self.args)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Atom":
+        """Apply a variable substitution, leaving unmapped names fixed."""
+        return Atom(self.relation, tuple(mapping.get(a, a) for a in self.args))
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.args)})"
+
+
+class ConjunctiveQuery:
+    """An immutable conjunctive query ``ϕ(x1, ..., xk)``.
+
+    Parameters
+    ----------
+    atoms:
+        The conjuncts ``ψ1, ..., ψd`` (at least one, as in the paper's
+        normal form).  Duplicate atoms are collapsed; a CQ is a set of
+        conjuncts for every purpose in the paper.
+    free:
+        The ordered tuple of free (output) variables.  May be empty, in
+        which case the query is Boolean.
+    name:
+        Optional display name used by ``__str__`` (defaults to ``Q``).
+    """
+
+    __slots__ = ("_atoms", "_free", "_name", "_vars", "_hash")
+
+    def __init__(
+        self,
+        atoms: Iterable[Atom],
+        free: Sequence[str] = (),
+        name: str = "Q",
+    ):
+        atom_list: List[Atom] = []
+        seen = set()
+        for atom in atoms:
+            if not isinstance(atom, Atom):
+                raise QueryStructureError(f"expected Atom, got {type(atom)!r}")
+            if atom not in seen:
+                seen.add(atom)
+                atom_list.append(atom)
+        if not atom_list:
+            raise QueryStructureError("a conjunctive query needs at least one atom")
+
+        arities: Dict[str, int] = {}
+        for atom in atom_list:
+            prev = arities.setdefault(atom.relation, atom.arity)
+            if prev != atom.arity:
+                raise QueryStructureError(
+                    f"relation {atom.relation!r} used with arities {prev} and {atom.arity}"
+                )
+
+        free_tuple = tuple(str(v) for v in free)
+        if len(set(free_tuple)) != len(free_tuple):
+            raise QueryStructureError(f"duplicate free variables in {free_tuple!r}")
+
+        all_vars = frozenset(v for atom in atom_list for v in atom.args)
+        missing = [v for v in free_tuple if v not in all_vars]
+        if missing:
+            raise QueryStructureError(
+                f"free variables {missing!r} do not occur in any atom"
+            )
+
+        self._atoms: Tuple[Atom, ...] = tuple(atom_list)
+        self._free: Tuple[str, ...] = free_tuple
+        self._name = str(name)
+        self._vars: FrozenSet[str] = all_vars
+        self._hash = hash((frozenset(self._atoms), self._free))
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        """The conjuncts, in the order given at construction."""
+        return self._atoms
+
+    @property
+    def free(self) -> Tuple[str, ...]:
+        """The ordered tuple ``(x1, ..., xk)`` of free variables."""
+        return self._free
+
+    @property
+    def free_set(self) -> FrozenSet[str]:
+        """``free(ϕ)`` as a set."""
+        return frozenset(self._free)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        """``vars(ϕ)``: all variables occurring in some atom."""
+        return self._vars
+
+    @property
+    def quantified(self) -> FrozenSet[str]:
+        """The existentially quantified variables ``vars(ϕ) \\ free(ϕ)``."""
+        return self._vars - self.free_set
+
+    @property
+    def arity(self) -> int:
+        """``k``, the number of free variables (0 for Boolean queries)."""
+        return len(self._free)
+
+    @property
+    def relations(self) -> FrozenSet[str]:
+        """All relation symbols mentioned by the query."""
+        return frozenset(atom.relation for atom in self._atoms)
+
+    def arity_of(self, relation: str) -> int:
+        """Arity with which ``relation`` is used in this query."""
+        for atom in self._atoms:
+            if atom.relation == relation:
+                return atom.arity
+        raise QueryStructureError(f"relation {relation!r} not used by query")
+
+    # ------------------------------------------------------------------
+    # structural predicates
+    # ------------------------------------------------------------------
+
+    @property
+    def is_boolean(self) -> bool:
+        """True iff ``free(ϕ) = ∅``."""
+        return not self._free
+
+    @property
+    def is_quantifier_free(self) -> bool:
+        """True iff the query is a *join query* (every variable free)."""
+        return self.free_set == self._vars
+
+    @property
+    def is_self_join_free(self) -> bool:
+        """True iff no relation symbol occurs in two distinct atoms.
+
+        Note that a single atom with repeated variables (``E(x, x)``) is
+        still self-join free; the paper's notion counts *atoms per
+        relation symbol*, not variable repetitions.
+        """
+        return len({atom.relation for atom in self._atoms}) == len(self._atoms)
+
+    def atoms_containing(self, var: str) -> Tuple[Atom, ...]:
+        """``atoms(x)``: the atoms in which ``var`` occurs (Section 3)."""
+        return tuple(a for a in self._atoms if var in a.variables)
+
+    # ------------------------------------------------------------------
+    # derived queries
+    # ------------------------------------------------------------------
+
+    def boolean_version(self) -> "ConjunctiveQuery":
+        """``∃x1 ... ∃xk ϕ``: the query with all variables quantified."""
+        return ConjunctiveQuery(self._atoms, (), name=f"∃{self._name}")
+
+    def quantifier_free_version(self) -> "ConjunctiveQuery":
+        """The join query obtained by making *all* variables free.
+
+        Variable order: the original free tuple first, then remaining
+        variables in first-occurrence order.
+        """
+        rest = [
+            v
+            for atom in self._atoms
+            for v in atom.args
+            if v not in self.free_set
+        ]
+        ordered: List[str] = list(self._free)
+        for v in rest:
+            if v not in ordered:
+                ordered.append(v)
+        return ConjunctiveQuery(self._atoms, ordered, name=self._name)
+
+    def with_free(self, free: Sequence[str]) -> "ConjunctiveQuery":
+        """A copy of the query with a different free-variable tuple."""
+        return ConjunctiveQuery(self._atoms, free, name=self._name)
+
+    def subquery(self, atoms: Iterable[Atom]) -> "ConjunctiveQuery":
+        """The subquery induced by a subset of atoms (free tuple kept).
+
+        Raises :class:`QueryStructureError` if dropping atoms would drop
+        a free variable — such subqueries are not valid targets for
+        free-variable preserving homomorphisms (Section 3).
+        """
+        return ConjunctiveQuery(atoms, self._free, name=self._name)
+
+    def rename(self, mapping: Mapping[str, str]) -> "ConjunctiveQuery":
+        """Apply a variable substitution to atoms and free tuple.
+
+        The mapping must be injective on the free variables, otherwise
+        the renamed free tuple would contain duplicates.
+        """
+        new_atoms = [atom.rename(mapping) for atom in self._atoms]
+        new_free = tuple(mapping.get(v, v) for v in self._free)
+        return ConjunctiveQuery(new_atoms, new_free, name=self._name)
+
+    # ------------------------------------------------------------------
+    # connected components (Section 4)
+    # ------------------------------------------------------------------
+
+    def connected_components(self) -> List["ConjunctiveQuery"]:
+        """Split into connected components over shared variables.
+
+        Two atoms are connected when they share a variable.  Each
+        component keeps the free variables it contains, in the order of
+        the parent query's free tuple, so that
+        ``ϕ(D) = ϕ1(D) × ... × ϕj(D)`` can be reassembled positionally
+        (Section 6, first paragraph).
+        """
+        parent: Dict[str, str] = {v: v for v in self._vars}
+
+        def find(v: str) -> str:
+            root = v
+            while parent[root] != root:
+                root = parent[root]
+            while parent[v] != root:
+                parent[v], v = root, parent[v]
+            return root
+
+        def union(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for atom in self._atoms:
+            args = list(atom.variables)
+            for other in args[1:]:
+                union(args[0], other)
+
+        groups: Dict[str, List[Atom]] = {}
+        for atom in self._atoms:
+            root = find(next(iter(atom.variables)))
+            groups.setdefault(root, []).append(atom)
+
+        components = []
+        for index, (root, atoms) in enumerate(sorted(groups.items())):
+            comp_vars = {v for atom in atoms for v in atom.args}
+            comp_free = tuple(v for v in self._free if v in comp_vars)
+            components.append(
+                ConjunctiveQuery(atoms, comp_free, name=f"{self._name}#{index}")
+            )
+        return components
+
+    @property
+    def is_connected(self) -> bool:
+        """True iff the query has a single connected component."""
+        return len(self.connected_components()) == 1
+
+    # ------------------------------------------------------------------
+    # size and display
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """``||ϕ||``: length as a word over ``σ ∪ var ∪ {∃, ∧, (, )}``."""
+        total = 0
+        for atom in self._atoms:
+            total += 1 + 2 + len(atom.args)  # R ( args )
+        total += max(0, len(self._atoms) - 1)  # ∧ between atoms
+        total += len(self.quantified)  # one ∃ per quantified variable
+        return total
+
+    def __str__(self) -> str:
+        head = f"{self._name}({', '.join(self._free)})"
+        body = ", ".join(str(atom) for atom in self._atoms)
+        return f"{head} :- {body}"
+
+    def __repr__(self) -> str:
+        return f"ConjunctiveQuery({self!s})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return (
+            frozenset(self._atoms) == frozenset(other._atoms)
+            and self._free == other._free
+        )
+
+    def __hash__(self) -> int:
+        return self._hash

@@ -1,0 +1,185 @@
+"""The paper's named example queries, as ready-made objects.
+
+Every query that the paper discusses by name is constructed here once,
+with the exact variable names used in the text, so tests, examples and
+benchmarks can refer to them without re-parsing strings.
+
+==================  =====================================================
+name                paper reference
+==================  =====================================================
+S_E_T               ``ϕ_S-E-T(x, y) = (Sx ∧ Exy ∧ Ty)`` — eq. (2),
+                    hierarchical in Fink–Olteanu's sense but not
+                    q-hierarchical (condition (i) fails).
+S_E_T_BOOLEAN       ``ϕ'_S-E-T = ∃x∃y (Sx ∧ Exy ∧ Ty)`` — eq. (3),
+                    the OuMv-hard Boolean query of Lemma 5.3.
+E_T                 ``ϕ_E-T(x) = ∃y (Exy ∧ Ty)`` — eq. (4), hierarchical
+                    but condition (ii) fails; OMv-hard to enumerate
+                    (Lemma 5.4) and OV-hard to count (Lemma 5.5).
+E_T_QF              join query ``(Exy ∧ Ty)`` — q-hierarchical.
+E_T_BOOLEAN         ``∃x∃y (Exy ∧ Ty)`` — q-hierarchical.
+E_T_Y_QUANTIFIED    ``∃x (Exy ∧ Ty)``, free = (y) — q-hierarchical.
+HIERARCHICAL_RRE    ``∃x∃y∃z∃y'∃z' (Rxyz ∧ Rxyz' ∧ Exy ∧ Exy')`` —
+                    Section 3's example of a hierarchical Boolean CQ.
+LOOP_TRIANGLE       ``ϕ = ∃x∃y (Exx ∧ Exy ∧ Eyy)`` — Section 3; its core
+                    is ``∃x Exx`` (q-hierarchical), so Boolean answering
+                    is easy although ϕ itself is not q-hierarchical.
+LOOP_CORE           ``ϕ' = ∃x Exx`` — the core of the above.
+PHI_1               ``ϕ1(x, y) = (Exx ∧ Exy ∧ Eyy)`` — Section 7 /
+                    Appendix A; non-q-hierarchical core, OMv-hard to
+                    enumerate (Lemma A.1).
+PHI_2               ``ϕ2(x, y, z1, z2) = (Exx ∧ Exy ∧ Eyy ∧ Ez1z2)`` —
+                    Section 7 / Appendix A; *not* q-hierarchical, yet
+                    constant-delay maintainable (Lemma A.2).
+EXAMPLE_6_1         ``ϕ(x, y, z, y', z') = (Rxyz ∧ Rxyz' ∧ Exy ∧ Exy' ∧
+                    Sxyz)`` — Example 6.1, Figures 2–3, Table 1.
+FIGURE_1            ``ϕ(x1, x2, x3) = ∃x4∃x5 (Ex1x2 ∧ Rx4x1x2x1 ∧
+                    Rx5x3x2x1)`` — Figure 1's q-tree example.
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cq.query import Atom, ConjunctiveQuery
+
+__all__ = [
+    "S_E_T",
+    "S_E_T_BOOLEAN",
+    "E_T",
+    "E_T_QF",
+    "E_T_BOOLEAN",
+    "E_T_Y_QUANTIFIED",
+    "HIERARCHICAL_RRE",
+    "LOOP_TRIANGLE",
+    "LOOP_CORE",
+    "PHI_1",
+    "PHI_2",
+    "EXAMPLE_6_1",
+    "FIGURE_1",
+    "PAPER_QUERIES",
+    "star_query",
+    "path_query",
+]
+
+S_E_T = ConjunctiveQuery(
+    [Atom("S", ["x"]), Atom("E", ["x", "y"]), Atom("T", ["y"])],
+    free=("x", "y"),
+    name="phi_S-E-T",
+)
+
+S_E_T_BOOLEAN = ConjunctiveQuery(
+    S_E_T.atoms, free=(), name="phi'_S-E-T"
+)
+
+E_T = ConjunctiveQuery(
+    [Atom("E", ["x", "y"]), Atom("T", ["y"])], free=("x",), name="phi_E-T"
+)
+
+E_T_QF = ConjunctiveQuery(E_T.atoms, free=("x", "y"), name="phi_E-T_qf")
+
+E_T_BOOLEAN = ConjunctiveQuery(E_T.atoms, free=(), name="phi_E-T_bool")
+
+E_T_Y_QUANTIFIED = ConjunctiveQuery(E_T.atoms, free=("y",), name="phi_E-T_y")
+
+HIERARCHICAL_RRE = ConjunctiveQuery(
+    [
+        Atom("R", ["x", "y", "z"]),
+        Atom("R", ["x", "y", "z'"]),
+        Atom("E", ["x", "y"]),
+        Atom("E", ["x", "y'"]),
+    ],
+    free=(),
+    name="phi_hier",
+)
+
+LOOP_TRIANGLE = ConjunctiveQuery(
+    [Atom("E", ["x", "x"]), Atom("E", ["x", "y"]), Atom("E", ["y", "y"])],
+    free=(),
+    name="phi_loops",
+)
+
+LOOP_CORE = ConjunctiveQuery([Atom("E", ["x", "x"])], free=(), name="phi_loop_core")
+
+PHI_1 = ConjunctiveQuery(
+    LOOP_TRIANGLE.atoms, free=("x", "y"), name="phi_1"
+)
+
+PHI_2 = ConjunctiveQuery(
+    [
+        Atom("E", ["x", "x"]),
+        Atom("E", ["x", "y"]),
+        Atom("E", ["y", "y"]),
+        Atom("E", ["z1", "z2"]),
+    ],
+    free=("x", "y", "z1", "z2"),
+    name="phi_2",
+)
+
+EXAMPLE_6_1 = ConjunctiveQuery(
+    [
+        Atom("R", ["x", "y", "z"]),
+        Atom("R", ["x", "y", "z'"]),
+        Atom("E", ["x", "y"]),
+        Atom("E", ["x", "y'"]),
+        Atom("S", ["x", "y", "z"]),
+    ],
+    free=("x", "y", "z", "y'", "z'"),
+    name="phi_ex61",
+)
+
+FIGURE_1 = ConjunctiveQuery(
+    [
+        Atom("E", ["x1", "x2"]),
+        Atom("R", ["x4", "x1", "x2", "x1"]),
+        Atom("R", ["x5", "x3", "x2", "x1"]),
+    ],
+    free=("x1", "x2", "x3"),
+    name="phi_fig1",
+)
+
+#: All named paper queries keyed by the identifier used in this module.
+PAPER_QUERIES: Dict[str, ConjunctiveQuery] = {
+    "S_E_T": S_E_T,
+    "S_E_T_BOOLEAN": S_E_T_BOOLEAN,
+    "E_T": E_T,
+    "E_T_QF": E_T_QF,
+    "E_T_BOOLEAN": E_T_BOOLEAN,
+    "E_T_Y_QUANTIFIED": E_T_Y_QUANTIFIED,
+    "HIERARCHICAL_RRE": HIERARCHICAL_RRE,
+    "LOOP_TRIANGLE": LOOP_TRIANGLE,
+    "LOOP_CORE": LOOP_CORE,
+    "PHI_1": PHI_1,
+    "PHI_2": PHI_2,
+    "EXAMPLE_6_1": EXAMPLE_6_1,
+    "FIGURE_1": FIGURE_1,
+}
+
+
+def star_query(fanout: int, free_center: bool = True, free_leaves: int = 0) -> ConjunctiveQuery:
+    """A q-hierarchical star: ``S(x) ∧ E1(x, y1) ∧ ... ∧ Ef(x, yf)``.
+
+    The centre ``x`` is free when ``free_center`` is set, and the first
+    ``free_leaves`` leaf variables are free.  With ``free_center=True``
+    the query is q-hierarchical for every ``free_leaves``; with
+    ``free_center=False`` and ``free_leaves >= 1`` condition (ii) fails.
+    """
+    atoms = [Atom("S", ["x"])]
+    free = ["x"] if free_center else []
+    for i in range(1, fanout + 1):
+        atoms.append(Atom(f"E{i}", ["x", f"y{i}"]))
+        if i <= free_leaves:
+            free.append(f"y{i}")
+    return ConjunctiveQuery(atoms, free, name=f"star{fanout}")
+
+
+def path_query(length: int, free_count: int = 0) -> ConjunctiveQuery:
+    """A path join ``E1(x0,x1) ∧ E2(x1,x2) ∧ ...`` over distinct symbols.
+
+    Free variables are the first ``free_count`` of ``x0, x1, ...``.
+    Paths of length >= 3 are *not* hierarchical (two inner variables
+    overlap without containment), making this the canonical hard family.
+    """
+    atoms = [Atom(f"E{i}", [f"x{i}", f"x{i+1}"]) for i in range(length)]
+    free = [f"x{i}" for i in range(free_count)]
+    return ConjunctiveQuery(atoms, free, name=f"path{length}")

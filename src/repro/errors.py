@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause without swallowing genuine programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "QuerySyntaxError",
+    "QueryStructureError",
+    "SchemaError",
+    "NotQHierarchicalError",
+    "UpdateError",
+    "EngineStateError",
+    "ReductionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class QuerySyntaxError(ReproError):
+    """Raised when a textual conjunctive query cannot be parsed."""
+
+
+class QueryStructureError(ReproError):
+    """Raised when a query object violates a structural requirement.
+
+    Examples: a free variable that does not occur in any atom, duplicate
+    free variables, or an atom over a relation used with two different
+    arities.
+    """
+
+
+class SchemaError(ReproError):
+    """Raised on schema violations (unknown relation, arity mismatch)."""
+
+
+class NotQHierarchicalError(ReproError):
+    """Raised when the dynamic engine of Section 6 is given a query that
+    is not q-hierarchical.
+
+    The exception carries the violation witness (see
+    :class:`repro.cq.analysis.QHierarchicalViolation`) when available so
+    that callers can explain *why* the query is outside the tractable
+    class of Theorem 3.2.
+    """
+
+    def __init__(self, message: str, violation: object = None):
+        super().__init__(message)
+        self.violation = violation
+
+
+class UpdateError(ReproError):
+    """Raised when an update command is malformed (bad arity, unknown
+    relation for the engine's schema)."""
+
+
+class EngineStateError(ReproError):
+    """Raised when an engine routine is called in an invalid state, e.g.
+    ``enumerate`` before ``preprocess``."""
+
+
+class ReductionError(ReproError):
+    """Raised when a lower-bound reduction cannot be applied, e.g. the
+    query supplied to the OuMv reduction is q-hierarchical and therefore
+    has no violation witness to encode."""

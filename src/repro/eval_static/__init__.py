@@ -1,0 +1,42 @@
+"""Static evaluation substrate.
+
+:func:`evaluate` is the module's front door: Yannakakis for acyclic
+queries, generic backtracking otherwise.  The ground-truth functions
+(:func:`repro.eval_static.naive.evaluate` etc.) stay available for
+tests that want the slow path explicitly.
+"""
+
+from typing import Set
+
+from repro.cq.acyclicity import is_acyclic
+from repro.cq.query import ConjunctiveQuery
+from repro.eval_static.freeconnex import FreeConnexEnumerator, static_enumerate
+from repro.eval_static.naive import (
+    count_result,
+    evaluate as evaluate_naive,
+    is_satisfied,
+    valuation_counts,
+    valuations,
+)
+from repro.eval_static.yannakakis import evaluate_acyclic, full_reduce
+from repro.storage.database import Database, Row
+
+__all__ = [
+    "evaluate",
+    "evaluate_naive",
+    "evaluate_acyclic",
+    "full_reduce",
+    "count_result",
+    "is_satisfied",
+    "valuation_counts",
+    "valuations",
+    "FreeConnexEnumerator",
+    "static_enumerate",
+]
+
+
+def evaluate(query: ConjunctiveQuery, database: Database) -> Set[Row]:
+    """``ϕ(D)``, choosing Yannakakis when the query is acyclic."""
+    if is_acyclic(query):
+        return evaluate_acyclic(query, database)
+    return evaluate_naive(query, database)

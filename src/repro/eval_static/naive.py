@@ -1,0 +1,216 @@
+"""Generic (cyclic-safe) conjunctive query evaluation by backtracking.
+
+This is the ground-truth evaluator used by the tests, the recompute
+baseline for non-acyclic queries, and the building block of the delta
+IVM engine.  It enumerates *valuations* ``β : vars(ϕ) → dom`` satisfying
+every atom, using hash-index probes on the already-bound positions and a
+greedy most-bound-first atom order.
+
+Besides plain evaluation it exposes:
+
+* :func:`valuation_counts` — the number of satisfying valuations per
+  output tuple (the multiset view that classical IVM maintains);
+* :func:`evaluate_sources` — evaluation against explicit per-atom row
+  sets instead of a database, which is how the delta engine evaluates
+  "ϕ with this atom pinned to the inserted tuple and that relation
+  frozen at its pre-update state".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.storage.database import Constant, Database, Row
+from repro.storage.indexes import HashIndex
+
+__all__ = [
+    "RowSource",
+    "sources_from_database",
+    "evaluate",
+    "evaluate_sources",
+    "valuations",
+    "valuation_counts",
+    "count_result",
+    "is_satisfied",
+]
+
+
+class RowSource:
+    """A collection of rows with lazily-built hash indexes.
+
+    One source backs one atom occurrence.  Indexes are keyed by the
+    tuple of column positions probed, so repeated probes during a join
+    are O(1) expected after the first.
+
+    Any object implementing ``probe(columns, key)`` and ``__len__`` can
+    stand in for a :class:`RowSource` in the search below — the delta
+    IVM engine passes views that add or hide a single tuple.
+    """
+
+    __slots__ = ("rows", "_indexes")
+
+    def __init__(self, rows: Iterable[Row]):
+        self.rows: Tuple[Row, ...] = tuple(rows)
+        self._indexes: Dict[Tuple[int, ...], HashIndex] = {}
+
+    def index(self, columns: Sequence[int]) -> HashIndex:
+        key = tuple(columns)
+        existing = self._indexes.get(key)
+        if existing is None:
+            existing = HashIndex(key, self.rows)
+            self._indexes[key] = existing
+        return existing
+
+    def probe(self, columns: Sequence[int], key: Row) -> Iterator[Row]:
+        """Iterate rows whose projection on ``columns`` equals ``key``."""
+        return self.index(columns).probe_iter(key)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def sources_from_database(
+    query: ConjunctiveQuery, database: Database
+) -> List[Tuple[Atom, RowSource]]:
+    """One (atom, source) pair per atom, all reading the database.
+
+    Atoms over the same relation share a single :class:`RowSource` so
+    indexes are built once per relation, not once per self-join arm.
+    """
+    per_relation: Dict[str, RowSource] = {}
+    pairs: List[Tuple[Atom, RowSource]] = []
+    for atom in query.atoms:
+        source = per_relation.get(atom.relation)
+        if source is None:
+            source = RowSource(database.relation(atom.relation).rows)
+            per_relation[atom.relation] = source
+        pairs.append((atom, source))
+    return pairs
+
+
+def _match_atom(
+    atom: Atom,
+    source: RowSource,
+    binding: Dict[str, Constant],
+) -> Iterator[Dict[str, Constant]]:
+    """Yield extensions of ``binding`` matching one atom.
+
+    The bound argument positions form the index key; the remaining
+    positions are unified against each candidate row, handling repeated
+    variables within the atom.
+    """
+    bound_positions = [i for i, v in enumerate(atom.args) if v in binding]
+    key = tuple(binding[atom.args[i]] for i in bound_positions)
+    for row in source.probe(bound_positions, key):
+        extension: Dict[str, Constant] = {}
+        ok = True
+        for position, var in enumerate(atom.args):
+            value = row[position]
+            existing = binding.get(var)
+            if existing is None:
+                existing = extension.get(var)
+            if existing is None:
+                extension[var] = value
+            elif existing != value:
+                ok = False
+                break
+        if ok:
+            yield extension
+
+
+def _search(
+    pairs: List[Tuple[Atom, RowSource]],
+    binding: Dict[str, Constant],
+    remaining: List[int],
+) -> Iterator[Dict[str, Constant]]:
+    if not remaining:
+        yield dict(binding)
+        return
+
+    def priority(i: int) -> Tuple[int, int]:
+        atom, source = pairs[i]
+        bound = sum(1 for v in atom.variables if v in binding)
+        return (-bound, len(source))
+
+    best = min(remaining, key=priority)
+    rest = [i for i in remaining if i != best]
+    atom, source = pairs[best]
+    for extension in _match_atom(atom, source, binding):
+        binding.update(extension)
+        yield from _search(pairs, binding, rest)
+        for var in extension:
+            del binding[var]
+
+
+def valuations(
+    query: ConjunctiveQuery,
+    database: Database,
+    binding: Optional[Mapping[str, Constant]] = None,
+) -> Iterator[Dict[str, Constant]]:
+    """All satisfying valuations, optionally under a partial binding."""
+    pairs = sources_from_database(query, database)
+    seed: Dict[str, Constant] = dict(binding or {})
+    yield from _search(pairs, seed, list(range(len(pairs))))
+
+
+def evaluate_sources(
+    pairs: List[Tuple[Atom, RowSource]],
+    free: Sequence[str],
+    binding: Optional[Mapping[str, Constant]] = None,
+) -> Counter:
+    """Valuation counts per free projection against explicit sources."""
+    counts: Counter = Counter()
+    seed: Dict[str, Constant] = dict(binding or {})
+    for valuation in _search(pairs, seed, list(range(len(pairs)))):
+        counts[tuple(valuation[v] for v in free)] += 1
+    return counts
+
+
+def evaluate(
+    query: ConjunctiveQuery,
+    database: Database,
+    binding: Optional[Mapping[str, Constant]] = None,
+) -> Set[Row]:
+    """``ϕ(D)`` with set semantics: the set of free-variable tuples.
+
+    Boolean queries return ``{()}`` for *yes* and ``set()`` for *no*.
+    """
+    result: Set[Row] = set()
+    free = query.free
+    for valuation in valuations(query, database, binding):
+        result.add(tuple(valuation[v] for v in free))
+    return result
+
+
+def valuation_counts(
+    query: ConjunctiveQuery,
+    database: Database,
+    binding: Optional[Mapping[str, Constant]] = None,
+) -> Counter:
+    """Number of satisfying valuations per output tuple (multiset view)."""
+    pairs = sources_from_database(query, database)
+    return evaluate_sources(pairs, query.free, binding)
+
+
+def count_result(query: ConjunctiveQuery, database: Database) -> int:
+    """``|ϕ(D)|`` under set semantics."""
+    return len(evaluate(query, database))
+
+
+def is_satisfied(query: ConjunctiveQuery, database: Database) -> bool:
+    """Boolean answer: does any satisfying valuation exist?"""
+    for _ in valuations(query, database):
+        return True
+    return False

@@ -1,0 +1,129 @@
+"""Tiny relational-algebra kernel over *binding tables*.
+
+A binding table is a pair ``(varlist, rows)``: an ordered tuple of
+variable names and a set of equally-long value tuples.  The Yannakakis
+evaluator and the free-connex enumerator are written against these four
+operations (project, semijoin, hash join, atom scan), keeping their
+algorithmic structure readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.cq.query import Atom
+from repro.storage.database import Row
+
+__all__ = [
+    "BindingTable",
+    "scan_atom",
+    "project",
+    "semijoin",
+    "hash_join",
+    "cross_join",
+]
+
+
+class BindingTable:
+    """An ordered variable list plus a set of rows over it."""
+
+    __slots__ = ("varlist", "rows")
+
+    def __init__(self, varlist: Sequence[str], rows: Iterable[Row]):
+        self.varlist: Tuple[str, ...] = tuple(varlist)
+        self.rows: Set[Row] = set(rows)
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        return frozenset(self.varlist)
+
+    def positions(self, variables: Sequence[str]) -> List[int]:
+        return [self.varlist.index(v) for v in variables]
+
+    def copy(self) -> "BindingTable":
+        return BindingTable(self.varlist, self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"BindingTable({self.varlist}, {len(self.rows)} rows)"
+
+
+def scan_atom(atom: Atom, rows: Iterable[Row]) -> BindingTable:
+    """Turn relation rows into bindings over the atom's distinct vars.
+
+    Repeated variables inside the atom act as a selection: a row
+    survives only if the repeated positions carry equal values.
+    """
+    varlist: List[str] = []
+    for v in atom.args:
+        if v not in varlist:
+            varlist.append(v)
+    first_position = {v: atom.args.index(v) for v in varlist}
+    out: Set[Row] = set()
+    for row in rows:
+        consistent = True
+        for position, var in enumerate(atom.args):
+            if row[position] != row[first_position[var]]:
+                consistent = False
+                break
+        if consistent:
+            out.add(tuple(row[first_position[v]] for v in varlist))
+    return BindingTable(varlist, out)
+
+
+def project(table: BindingTable, variables: Sequence[str]) -> BindingTable:
+    """Projection (duplicate-eliminating) onto ``variables``."""
+    positions = table.positions(variables)
+    return BindingTable(
+        variables, {tuple(row[p] for p in positions) for row in table.rows}
+    )
+
+
+def semijoin(left: BindingTable, right: BindingTable) -> BindingTable:
+    """``left ⋉ right`` on their shared variables (left unchanged)."""
+    shared = [v for v in left.varlist if v in right.variables]
+    if not shared:
+        # Disjoint variables: right acts as an emptiness filter.
+        return BindingTable(left.varlist, left.rows if right.rows else ())
+    left_positions = left.positions(shared)
+    right_positions = right.positions(shared)
+    keys = {tuple(row[p] for p in right_positions) for row in right.rows}
+    kept = {
+        row for row in left.rows if tuple(row[p] for p in left_positions) in keys
+    }
+    return BindingTable(left.varlist, kept)
+
+
+def hash_join(left: BindingTable, right: BindingTable) -> BindingTable:
+    """Natural join; output varlist is left's order then right's new vars."""
+    shared = [v for v in left.varlist if v in right.variables]
+    right_extra = [v for v in right.varlist if v not in left.variables]
+    out_vars = tuple(left.varlist) + tuple(right_extra)
+
+    left_positions = left.positions(shared)
+    right_positions = right.positions(shared)
+    extra_positions = right.positions(right_extra)
+
+    buckets: Dict[Row, List[Row]] = {}
+    for row in right.rows:
+        key = tuple(row[p] for p in right_positions)
+        buckets.setdefault(key, []).append(tuple(row[p] for p in extra_positions))
+
+    out: Set[Row] = set()
+    for row in left.rows:
+        key = tuple(row[p] for p in left_positions)
+        for extra in buckets.get(key, ()):
+            out.add(row + extra)
+    return BindingTable(out_vars, out)
+
+
+def cross_join(tables: Sequence[BindingTable]) -> BindingTable:
+    """Cartesian product of variable-disjoint tables."""
+    if not tables:
+        return BindingTable((), {()})
+    result = tables[0].copy()
+    for table in tables[1:]:
+        result = hash_join(result, table)
+    return result

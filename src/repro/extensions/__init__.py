@@ -1,0 +1,21 @@
+"""Extensions beyond the paper's core results.
+
+The paper closes (Section 7) with: "Currently, we are working towards
+characterising the complexity of more expressive queries such [as]
+conjunctive queries with negation and unions of conjunctive queries."
+This package implements the *positive* side of the UCQ direction:
+unions of q-hierarchical CQs are maintainable with constant update
+time, O(1) Boolean answering and constant-delay duplicate-free
+enumeration (:class:`repro.extensions.ucq.UnionEngine`), and with O(1)
+counting whenever every inclusion–exclusion intersection is itself
+q-hierarchical.
+"""
+
+from repro.extensions.ucq import (
+    UnionEngine,
+    UnionOfCQs,
+    intersection_query,
+    parse_union,
+)
+
+__all__ = ["UnionEngine", "UnionOfCQs", "intersection_query", "parse_union"]

@@ -1,0 +1,156 @@
+"""The common interface of all dynamic query-evaluation engines.
+
+The paper's computational model (Section 2) fixes the shape of a
+dynamic algorithm: a ``preprocess`` phase building a data structure for
+the initial database, an ``update`` routine per single-tuple command,
+and — depending on the problem — ``enumerate``, ``count`` and ``answer``
+routines.  :class:`DynamicEngine` captures exactly that contract, so
+the paper's algorithm (:class:`repro.core.engine.QHierarchicalEngine`)
+and the baselines (:mod:`repro.ivm`) are interchangeable in tests,
+benchmarks and the lower-bound reductions.
+
+Engines own their database state: construction *is* the preprocessing
+phase, and subsequent updates go through :meth:`insert` /
+:meth:`delete` / :meth:`apply`.  Set semantics no-ops (inserting a
+present tuple, deleting an absent one) are filtered here once, so
+subclasses only ever see effective changes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Set, Type
+
+from repro.cq.query import ConjunctiveQuery
+from repro.errors import EngineStateError
+from repro.storage.database import Constant, Database, Row
+from repro.storage.updates import UpdateCommand
+
+__all__ = ["DynamicEngine", "ENGINE_REGISTRY", "register_engine", "make_engine"]
+
+
+class DynamicEngine(ABC):
+    """Abstract dynamic evaluation engine (preprocess/update/query)."""
+
+    #: Short identifier used in benchmark tables and the registry.
+    name: str = "abstract"
+
+    def __init__(self, query: ConjunctiveQuery, database: Optional[Database] = None):
+        self._query = query
+        self._db = Database.empty_like(query)
+        self._setup()
+        if database is not None:
+            for relation in database.relations():
+                for row in relation.rows:
+                    self.insert(relation.name, row)
+
+    # -- hooks for subclasses -------------------------------------------------
+
+    def _setup(self) -> None:
+        """Initialise per-engine structures for the empty database."""
+
+    @abstractmethod
+    def _on_insert(self, relation: str, row: Row) -> None:
+        """React to an effective insertion (tuple was absent)."""
+
+    @abstractmethod
+    def _on_delete(self, relation: str, row: Row) -> None:
+        """React to an effective deletion (tuple was present)."""
+
+    # -- update API -----------------------------------------------------------
+
+    def insert(self, relation: str, row: Sequence[Constant]) -> bool:
+        """``insert R(ā)``; returns True iff the database changed."""
+        row = tuple(row)
+        if not self._db.insert(relation, row):
+            return False
+        self._on_insert(relation, row)
+        return True
+
+    def delete(self, relation: str, row: Sequence[Constant]) -> bool:
+        """``delete R(ā)``; returns True iff the database changed."""
+        row = tuple(row)
+        if not self._db.delete(relation, row):
+            return False
+        self._on_delete(relation, row)
+        return True
+
+    def apply(self, command: UpdateCommand) -> bool:
+        """Apply a prepared :class:`UpdateCommand`."""
+        if command.is_insert:
+            return self.insert(command.relation, command.row)
+        return self.delete(command.relation, command.row)
+
+    def apply_all(self, commands: Iterable[UpdateCommand]) -> int:
+        """Apply a stream of commands; returns the number of changes."""
+        changed = 0
+        for command in commands:
+            if self.apply(command):
+                changed += 1
+        return changed
+
+    # -- query API ------------------------------------------------------------
+
+    @abstractmethod
+    def count(self) -> int:
+        """``|ϕ(D)|`` for the current database."""
+
+    @abstractmethod
+    def answer(self) -> bool:
+        """Boolean answer: ``ϕ(D) ≠ ∅``."""
+
+    @abstractmethod
+    def enumerate(self) -> Iterator[Row]:
+        """Stream ``ϕ(D)`` without repetitions.
+
+        The engine must not be updated while a live generator exists;
+        restart the enumeration after each update (the paper's model
+        restarts the enumeration phase anyway).
+        """
+
+    def result_set(self) -> Set[Row]:
+        """Materialise ``ϕ(D)`` (testing convenience, not O(1))."""
+        return set(self.enumerate())
+
+    # -- shared accessors -------------------------------------------------
+
+    @property
+    def query(self) -> ConjunctiveQuery:
+        return self._query
+
+    @property
+    def database(self) -> Database:
+        """The engine's view of the current database (do not mutate)."""
+        return self._db
+
+    @property
+    def active_domain_size(self) -> int:
+        """``n = |adom(D)|`` — the parameter of all paper bounds."""
+        return self._db.active_domain_size
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._query.name}, n={self.active_domain_size})"
+
+
+#: name → engine class, filled by :func:`register_engine` decorators.
+ENGINE_REGISTRY: Dict[str, Type[DynamicEngine]] = {}
+
+
+def register_engine(cls: Type[DynamicEngine]) -> Type[DynamicEngine]:
+    """Class decorator adding an engine to :data:`ENGINE_REGISTRY`."""
+    if cls.name in ENGINE_REGISTRY:
+        raise EngineStateError(f"duplicate engine name {cls.name!r}")
+    ENGINE_REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_engine(
+    name: str, query: ConjunctiveQuery, database: Optional[Database] = None
+) -> DynamicEngine:
+    """Instantiate a registered engine by name."""
+    try:
+        cls = ENGINE_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(ENGINE_REGISTRY))
+        raise EngineStateError(f"unknown engine {name!r}; known: {known}") from None
+    return cls(query, database)

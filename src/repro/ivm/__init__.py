@@ -1,0 +1,6 @@
+"""Dynamic baselines: recompute-from-scratch and classical delta IVM."""
+
+from repro.ivm.delta import DeltaIVMEngine
+from repro.ivm.recompute import RecomputeEngine
+
+__all__ = ["DeltaIVMEngine", "RecomputeEngine"]

@@ -1,0 +1,224 @@
+"""Classical delta-based incremental view maintenance (IVM).
+
+This is the mainstream comparison point the paper's introduction gestures
+at ([22], Gupta–Mumick–Subrahmanian): materialise the view, compute a
+*delta query* per update, and patch the materialisation.
+
+The view is kept as a multiset of **valuation counts**: for each output
+tuple ``ā``, the number of valuations ``β : vars(ϕ) → dom`` with
+``β|free = ā`` satisfying every atom.  Counts make deletions exact under
+projection (a tuple disappears when its last derivation does) — the
+standard counting-IVM technique.
+
+For an update ``±t`` on relation ``R`` the delta is the telescoping sum
+over the atoms ``ψ_1, ..., ψ_m`` that mention ``R``::
+
+    Δ(ā) = ± Σ_i  #valuations( ψ_i := {t},
+                               ψ_j := R_new  for j < i,
+                               ψ_j := R_old  for j > i,
+                               other atoms := current relations )
+
+which is exact also for self-joins (each valuation using ``t`` at least
+once is counted exactly once, at the first position where it does).
+Evaluation probes persistent hash indexes, so the per-update cost is
+proportional to the *delta join size* — Θ(n) for the paper's hard
+queries (e.g. ``ϕ_S-E-T`` when a popular edge endpoint changes), which
+is precisely the ``n^{1-ε}`` barrier of Theorems 3.3–3.5.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.cq.query import Atom
+from repro.eval_static.naive import evaluate_sources
+from repro.interface import DynamicEngine, register_engine
+from repro.storage.database import Row
+from repro.storage.indexes import HashIndex
+
+__all__ = ["DeltaIVMEngine"]
+
+
+class _IndexedRelation:
+    """A relation mirror with incrementally maintained hash indexes.
+
+    Unlike :class:`repro.eval_static.naive.RowSource` (built per
+    evaluation), these indexes persist across updates: every index ever
+    probed is patched in O(1) per update, so delta evaluation never
+    rescans the relation.
+    """
+
+    __slots__ = ("_rows", "_indexes")
+
+    def __init__(self) -> None:
+        self._rows: set = set()
+        self._indexes: Dict[Tuple[int, ...], HashIndex] = {}
+
+    def add(self, row: Row) -> None:
+        self._rows.add(row)
+        for index in self._indexes.values():
+            index.add(row)
+
+    def discard(self, row: Row) -> None:
+        self._rows.discard(row)
+        for index in self._indexes.values():
+            index.remove(row)
+
+    def probe(self, columns: Sequence[int], key: Row) -> Iterator[Row]:
+        index_key = tuple(columns)
+        index = self._indexes.get(index_key)
+        if index is None:
+            index = HashIndex(index_key, self._rows)
+            self._indexes[index_key] = index
+        return index.probe_iter(key)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+class _AdjustedView:
+    """A relation state one tuple away from the live one.
+
+    The telescoping delta needs ``R_old`` next to ``R_new``; instead of
+    copying the relation we wrap the live index and add/hide one row at
+    probe time.
+    """
+
+    __slots__ = ("_base", "_add", "_drop")
+
+    def __init__(
+        self,
+        base: _IndexedRelation,
+        add: Optional[Row] = None,
+        drop: Optional[Row] = None,
+    ):
+        self._base = base
+        self._add = add
+        self._drop = drop
+
+    def probe(self, columns: Sequence[int], key: Row) -> Iterator[Row]:
+        drop = self._drop
+        for row in self._base.probe(columns, key):
+            if row != drop:
+                yield row
+        add = self._add
+        if add is not None and tuple(add[c] for c in columns) == tuple(key):
+            yield add
+
+    def __len__(self) -> int:
+        size = len(self._base)
+        if self._add is not None:
+            size += 1
+        if self._drop is not None:
+            size -= 1
+        return max(size, 0)
+
+
+class _SingletonSource:
+    """The pinned atom's source: exactly one candidate row."""
+
+    __slots__ = ("_row",)
+
+    def __init__(self, row: Row):
+        self._row = row
+
+    def probe(self, columns: Sequence[int], key: Row) -> Iterator[Row]:
+        if tuple(self._row[c] for c in columns) == tuple(key):
+            yield self._row
+
+    def __len__(self) -> int:
+        return 1
+
+
+@register_engine
+class DeltaIVMEngine(DynamicEngine):
+    """Materialised view + counting deltas (handles self-joins)."""
+
+    name = "delta_ivm"
+
+    def _setup(self) -> None:
+        self._relations: Dict[str, _IndexedRelation] = {
+            relation: _IndexedRelation() for relation in self._query.relations
+        }
+        self._atoms_by_relation: Dict[str, List[int]] = {}
+        for index, atom in enumerate(self._query.atoms):
+            self._atoms_by_relation.setdefault(atom.relation, []).append(index)
+        self._counts: Counter = Counter()
+        self._distinct = 0  # number of keys with positive count
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def _on_insert(self, relation: str, row: Row) -> None:
+        self._relations[relation].add(row)
+        # After .add the live state is R_new and R_old = R_new − {t}.
+        self._apply_delta(relation, row, sign=+1)
+
+    def _on_delete(self, relation: str, row: Row) -> None:
+        self._relations[relation].discard(row)
+        # After .discard the live state is R_new and R_old = R_new + {t}.
+        self._apply_delta(relation, row, sign=-1)
+
+    def _apply_delta(self, relation: str, row: Row, sign: int) -> None:
+        pinned_indices = self._atoms_by_relation.get(relation, [])
+        atoms = self._query.atoms
+        live = self._relations[relation]
+        if sign > 0:
+            new_view = live
+            old_view = _AdjustedView(live, drop=row)
+        else:
+            new_view = live
+            old_view = _AdjustedView(live, add=row)
+
+        for position, pinned in enumerate(pinned_indices):
+            pairs: List[Tuple[Atom, object]] = []
+            for index, atom in enumerate(atoms):
+                if atom.relation != relation:
+                    pairs.append((atom, self._relations[atom.relation]))
+                elif index == pinned:
+                    pairs.append((atom, _SingletonSource(row)))
+                else:
+                    # Earlier R-atoms see the new state, later ones the
+                    # old state (telescoping).
+                    arm = pinned_indices.index(index)
+                    pairs.append(
+                        (atom, new_view if arm < position else old_view)
+                    )
+            delta = evaluate_sources(pairs, self._query.free)
+            for key, amount in delta.items():
+                self._bump(key, sign * amount)
+
+    def _bump(self, key: Row, amount: int) -> None:
+        if amount == 0:
+            return
+        before = self._counts[key]
+        after = before + amount
+        if after:
+            self._counts[key] = after
+        else:
+            del self._counts[key]
+        if before <= 0 < after:
+            self._distinct += 1
+        elif after <= 0 < before:
+            self._distinct -= 1
+
+    # ------------------------------------------------------------------
+    # queries — O(1) count/answer, O(|result|) enumeration
+    # ------------------------------------------------------------------
+
+    def count(self) -> int:
+        return self._distinct
+
+    def answer(self) -> bool:
+        return self._distinct > 0
+
+    def enumerate(self) -> Iterator[Row]:
+        for key, amount in self._counts.items():
+            if amount > 0:
+                yield key
+
+    def valuation_count(self, key: Row) -> int:
+        """Stored derivation count for one output tuple (testing)."""
+        return self._counts.get(tuple(key), 0)

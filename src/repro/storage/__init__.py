@@ -1,0 +1,30 @@
+"""Relational storage substrate: databases, relations, updates, indexes."""
+
+from repro.storage.database import Constant, Database, Relation, Row, Schema
+from repro.storage.indexes import HashIndex, IndexPool
+from repro.storage.updates import (
+    DELETE,
+    INSERT,
+    UpdateCommand,
+    apply_all,
+    delete,
+    diff_updates,
+    insert,
+)
+
+__all__ = [
+    "Constant",
+    "Database",
+    "Relation",
+    "Row",
+    "Schema",
+    "HashIndex",
+    "IndexPool",
+    "DELETE",
+    "INSERT",
+    "UpdateCommand",
+    "apply_all",
+    "delete",
+    "diff_updates",
+    "insert",
+]

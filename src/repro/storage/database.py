@@ -1,0 +1,290 @@
+"""In-memory relational storage with set semantics and update support.
+
+This is the database substrate of Section 2: a σ-db is a finite set of
+tuples per relation symbol over a countably infinite domain, updated by
+single-tuple ``insert``/``delete`` commands.  Constants may be any
+hashable Python values (the paper takes ``dom = N``, but nothing here
+depends on that).
+
+The active domain ``adom(D)`` is maintained incrementally with
+reference counts, so ``n = |adom(D)|`` — the parameter of all the
+paper's bounds — is available in O(1) at any time.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import SchemaError, UpdateError
+
+__all__ = ["Constant", "Row", "Relation", "Schema", "Database"]
+
+Constant = Hashable
+Row = Tuple[Constant, ...]
+
+
+class Schema:
+    """A fixed mapping from relation names to arities."""
+
+    __slots__ = ("_arities",)
+
+    def __init__(self, arities: Mapping[str, int]):
+        for name, arity in arities.items():
+            if arity < 1:
+                raise SchemaError(f"relation {name!r} needs arity >= 1, got {arity}")
+        self._arities: Dict[str, int] = dict(arities)
+
+    @classmethod
+    def from_query(cls, query: "Any") -> "Schema":
+        """Derive the schema a query needs (one entry per relation)."""
+        return cls({rel: query.arity_of(rel) for rel in query.relations})
+
+    def arity(self, relation: str) -> int:
+        try:
+            return self._arities[relation]
+        except KeyError:
+            raise SchemaError(f"unknown relation {relation!r}") from None
+
+    def relations(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._arities))
+
+    def __contains__(self, relation: str) -> bool:
+        return relation in self._arities
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._arities == other._arities
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}/{a}" for n, a in sorted(self._arities.items()))
+        return f"Schema({inner})"
+
+
+class Relation:
+    """A named finite set of equal-length tuples."""
+
+    __slots__ = ("name", "arity", "_rows")
+
+    def __init__(self, name: str, arity: int, rows: Iterable[Sequence[Constant]] = ()):
+        if arity < 1:
+            raise SchemaError(f"relation {name!r} needs arity >= 1, got {arity}")
+        self.name = name
+        self.arity = arity
+        self._rows: Set[Row] = set()
+        for row in rows:
+            self.insert(tuple(row))
+
+    def _check(self, row: Sequence[Constant]) -> Row:
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise UpdateError(
+                f"tuple {row!r} has arity {len(row)}, relation "
+                f"{self.name!r} expects {self.arity}"
+            )
+        return row
+
+    def insert(self, row: Sequence[Constant]) -> bool:
+        """Add a tuple; returns True iff the relation changed."""
+        row = self._check(row)
+        if row in self._rows:
+            return False
+        self._rows.add(row)
+        return True
+
+    def delete(self, row: Sequence[Constant]) -> bool:
+        """Remove a tuple; returns True iff the relation changed."""
+        row = self._check(row)
+        if row not in self._rows:
+            return False
+        self._rows.remove(row)
+        return True
+
+    def __contains__(self, row: Sequence[Constant]) -> bool:
+        return tuple(row) in self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rows(self) -> FrozenSet[Row]:
+        return frozenset(self._rows)
+
+    def copy(self) -> "Relation":
+        clone = Relation(self.name, self.arity)
+        clone._rows = set(self._rows)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name}/{self.arity}, {len(self)} rows)"
+
+
+class Database:
+    """A σ-db: one :class:`Relation` per symbol, plus the active domain.
+
+    The active domain is reference-counted per constant: a constant is
+    active while it occurs in at least one (relation, tuple, position)
+    slot.  Inserts and deletes therefore maintain ``|adom(D)|``, ``|D|``
+    and ``||D||`` in constant time per command.
+    """
+
+    def __init__(self, schema: Schema):
+        self._schema = schema
+        self._relations: Dict[str, Relation] = {
+            name: Relation(name, schema.arity(name)) for name in schema.relations()
+        }
+        self._adom_refcount: Dict[Constant, int] = {}
+        self._tuple_count = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dict(
+        cls,
+        relations: Mapping[str, Iterable[Sequence[Constant]]],
+        schema: Optional[Schema] = None,
+    ) -> "Database":
+        """Build a database from ``{name: iterable of tuples}``.
+
+        Without an explicit schema, arities are inferred from the first
+        tuple of each relation; empty relations require a schema.
+        """
+        if schema is None:
+            arities: Dict[str, int] = {}
+            for name, rows in relations.items():
+                rows = list(rows)
+                if not rows:
+                    raise SchemaError(
+                        f"cannot infer arity of empty relation {name!r}; "
+                        "pass an explicit Schema"
+                    )
+                arities[name] = len(rows[0])
+            schema = Schema(arities)
+        db = cls(schema)
+        for name, rows in relations.items():
+            for row in rows:
+                db.insert(name, row)
+        return db
+
+    @classmethod
+    def empty_like(cls, query: "Any") -> "Database":
+        """An empty database over the schema a query requires."""
+        return cls(Schema.from_query(query))
+
+    def copy(self) -> "Database":
+        clone = Database(self._schema)
+        for name, relation in self._relations.items():
+            clone._relations[name] = relation.copy()
+        clone._adom_refcount = dict(self._adom_refcount)
+        clone._tuple_count = self._tuple_count
+        return clone
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def relations(self) -> Tuple[Relation, ...]:
+        return tuple(self._relations[name] for name in sorted(self._relations))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def insert(self, name: str, row: Sequence[Constant]) -> bool:
+        """``insert R(a1, ..., ar)``; True iff the database changed."""
+        relation = self.relation(name)
+        row = tuple(row)
+        if not relation.insert(row):
+            return False
+        self._tuple_count += 1
+        for value in row:
+            self._adom_refcount[value] = self._adom_refcount.get(value, 0) + 1
+        return True
+
+    def delete(self, name: str, row: Sequence[Constant]) -> bool:
+        """``delete R(a1, ..., ar)``; True iff the database changed."""
+        relation = self.relation(name)
+        row = tuple(row)
+        if not relation.delete(row):
+            return False
+        self._tuple_count -= 1
+        for value in row:
+            remaining = self._adom_refcount[value] - 1
+            if remaining:
+                self._adom_refcount[value] = remaining
+            else:
+                del self._adom_refcount[value]
+        return True
+
+    # ------------------------------------------------------------------
+    # measures (Section 2, "Sizes and Cardinalities")
+    # ------------------------------------------------------------------
+
+    @property
+    def active_domain(self) -> FrozenSet[Constant]:
+        """``adom(D)`` as a frozen set (O(n) to materialise)."""
+        return frozenset(self._adom_refcount)
+
+    @property
+    def active_domain_size(self) -> int:
+        """``n = |adom(D)|`` in O(1)."""
+        return len(self._adom_refcount)
+
+    @property
+    def cardinality(self) -> int:
+        """``|D|``: total number of stored tuples."""
+        return self._tuple_count
+
+    @property
+    def size(self) -> int:
+        """``||D|| = |σ| + |adom(D)| + Σ_R ar(R) · |R^D|``."""
+        total = len(self._relations) + self.active_domain_size
+        for relation in self._relations.values():
+            total += relation.arity * len(relation)
+        return total
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        if self._schema != other._schema:
+            return False
+        return all(
+            self._relations[name].rows == other._relations[name].rows
+            for name in self._relations
+        )
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}:{len(rel)}" for name, rel in sorted(self._relations.items())
+        )
+        return f"Database({parts}; n={self.active_domain_size})"

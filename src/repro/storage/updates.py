@@ -1,0 +1,89 @@
+"""Update commands and update sequences (Section 2, "Updates").
+
+An update command is ``insert R(a1, ..., ar)`` or ``delete R(a1, ..., ar)``.
+Commands are plain immutable values so that streams of them can be
+generated once and replayed against several engines for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import UpdateError
+from repro.storage.database import Constant, Database, Row
+
+__all__ = ["INSERT", "DELETE", "UpdateCommand", "insert", "delete", "apply_all", "diff_updates"]
+
+INSERT = "insert"
+DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class UpdateCommand:
+    """A single-tuple update: ``op`` is ``"insert"`` or ``"delete"``."""
+
+    op: str
+    relation: str
+    row: Row
+
+    def __post_init__(self) -> None:
+        if self.op not in (INSERT, DELETE):
+            raise UpdateError(f"unknown update operation {self.op!r}")
+        object.__setattr__(self, "row", tuple(self.row))
+
+    @property
+    def is_insert(self) -> bool:
+        return self.op == INSERT
+
+    def inverse(self) -> "UpdateCommand":
+        """The command undoing this one (used by sliding windows)."""
+        return UpdateCommand(DELETE if self.is_insert else INSERT, self.relation, self.row)
+
+    def apply_to(self, database: Database) -> bool:
+        """Apply to a database; True iff the database changed."""
+        if self.is_insert:
+            return database.insert(self.relation, self.row)
+        return database.delete(self.relation, self.row)
+
+    def __str__(self) -> str:
+        args = ", ".join(repr(a) for a in self.row)
+        return f"{self.op} {self.relation}({args})"
+
+
+def insert(relation: str, row: Sequence[Constant]) -> UpdateCommand:
+    """Shorthand constructor for an insertion command."""
+    return UpdateCommand(INSERT, relation, tuple(row))
+
+
+def delete(relation: str, row: Sequence[Constant]) -> UpdateCommand:
+    """Shorthand constructor for a deletion command."""
+    return UpdateCommand(DELETE, relation, tuple(row))
+
+
+def apply_all(database: Database, commands: Iterable[UpdateCommand]) -> int:
+    """Apply a sequence of commands; returns how many changed the db."""
+    changed = 0
+    for command in commands:
+        if command.apply_to(database):
+            changed += 1
+    return changed
+
+
+def diff_updates(old: Database, new: Database) -> List[UpdateCommand]:
+    """The commands transforming ``old`` into ``new`` (deletes first).
+
+    Used by reductions that re-encode a vector between OMv rounds: the
+    paper observes that consecutive encodings differ in O(n) tuples, and
+    this helper realises exactly that minimal difference.
+    """
+    commands: List[UpdateCommand] = []
+    for relation in old.relations():
+        new_rows = new.relation(relation.name).rows
+        for row in relation.rows - new_rows:
+            commands.append(delete(relation.name, row))
+    for relation in new.relations():
+        old_rows = old.relation(relation.name).rows
+        for row in relation.rows - old_rows:
+            commands.append(insert(relation.name, row))
+    return commands

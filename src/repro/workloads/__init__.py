@@ -1,0 +1,35 @@
+"""Synthetic workload generators: domains, update streams, matrices."""
+
+from repro.workloads.distributions import Domain, UniformDomain, ZipfDomain
+from repro.workloads.matrices import (
+    random_bit_matrix,
+    random_bit_vector,
+    random_omv_instance,
+    random_oumv_instance,
+    random_ov_instance,
+)
+from repro.workloads.streams import (
+    insert_only_stream,
+    mixed_stream,
+    random_row,
+    set_database,
+    sliding_window_stream,
+    star_database,
+)
+
+__all__ = [
+    "Domain",
+    "UniformDomain",
+    "ZipfDomain",
+    "random_bit_matrix",
+    "random_bit_vector",
+    "random_omv_instance",
+    "random_oumv_instance",
+    "random_ov_instance",
+    "insert_only_stream",
+    "mixed_stream",
+    "random_row",
+    "set_database",
+    "sliding_window_stream",
+    "star_database",
+]

@@ -1,0 +1,58 @@
+"""Value distributions for synthetic workloads.
+
+The scaling benchmarks need databases whose *active domain size* ``n``
+is controlled — the parameter of every bound in the paper — and update
+streams whose skew can be turned up (Zipf) to stress the delta-IVM
+baseline (a popular join key makes deltas Θ(n) while the q-hierarchical
+engine stays O(1)).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import List, Sequence
+
+__all__ = ["UniformDomain", "ZipfDomain", "Domain"]
+
+
+class Domain:
+    """Base class: draws elements from ``{0, ..., size-1}``."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("domain size must be positive")
+        self.size = size
+
+    def sample(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+    def sample_many(self, rng: random.Random, count: int) -> List[int]:
+        return [self.sample(rng) for _ in range(count)]
+
+
+class UniformDomain(Domain):
+    """Uniform draws — the neutral workload."""
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randrange(self.size)
+
+
+class ZipfDomain(Domain):
+    """Zipf(s) draws via inverse-CDF lookup.
+
+    Element ``k`` has probability proportional to ``1/(k+1)^s``.  With
+    ``s ≈ 1`` a handful of hub elements dominate, which is the
+    adversarial regime for delta-based view maintenance.
+    """
+
+    def __init__(self, size: int, exponent: float = 1.0):
+        super().__init__(size)
+        self.exponent = exponent
+        weights = [1.0 / (k + 1) ** exponent for k in range(size)]
+        self._cdf = list(itertools.accumulate(weights))
+        self._total = self._cdf[-1]
+
+    def sample(self, rng: random.Random) -> int:
+        return bisect.bisect_left(self._cdf, rng.random() * self._total)

@@ -1,0 +1,77 @@
+"""Random OMv / OuMv / OV instance generators."""
+
+from __future__ import annotations
+
+import random
+from repro.lowerbounds.omv import BitMatrix, BitVector, OMvInstance, OuMvInstance
+from repro.lowerbounds.ov import OVInstance, log_dimension
+
+__all__ = [
+    "random_bit_vector",
+    "random_bit_matrix",
+    "random_omv_instance",
+    "random_oumv_instance",
+    "random_ov_instance",
+]
+
+
+def random_bit_vector(rng: random.Random, n: int, density: float = 0.5) -> BitVector:
+    """A 0/1 vector with i.i.d. Bernoulli(density) entries."""
+    return tuple(1 if rng.random() < density else 0 for _ in range(n))
+
+
+def random_bit_matrix(rng: random.Random, n: int, density: float = 0.5) -> BitMatrix:
+    """An n×n 0/1 matrix with i.i.d. entries."""
+    return tuple(random_bit_vector(rng, n, density) for _ in range(n))
+
+
+def random_omv_instance(
+    rng: random.Random,
+    n: int,
+    rounds: int = 0,
+    matrix_density: float = 0.3,
+    vector_density: float = 0.3,
+) -> OMvInstance:
+    """An OMv instance; ``rounds`` defaults to ``n`` as in the problem."""
+    rounds = rounds or n
+    return OMvInstance(
+        matrix=random_bit_matrix(rng, n, matrix_density),
+        vectors=tuple(
+            random_bit_vector(rng, n, vector_density) for _ in range(rounds)
+        ),
+    )
+
+
+def random_oumv_instance(
+    rng: random.Random,
+    n: int,
+    rounds: int = 0,
+    matrix_density: float = 0.3,
+    vector_density: float = 0.3,
+) -> OuMvInstance:
+    """An OuMv instance with ``rounds`` (default n) online pairs."""
+    rounds = rounds or n
+    return OuMvInstance(
+        matrix=random_bit_matrix(rng, n, matrix_density),
+        pairs=tuple(
+            (
+                random_bit_vector(rng, n, vector_density),
+                random_bit_vector(rng, n, vector_density),
+            )
+            for _ in range(rounds)
+        ),
+    )
+
+
+def random_ov_instance(
+    rng: random.Random,
+    n: int,
+    d: int = 0,
+    density: float = 0.5,
+) -> OVInstance:
+    """An OV instance at the paper's dimension ``d = ⌈log2 n⌉``."""
+    d = d or log_dimension(n)
+    return OVInstance(
+        u_set=tuple(random_bit_vector(rng, d, density) for _ in range(n)),
+        v_set=tuple(random_bit_vector(rng, d, density) for _ in range(n)),
+    )

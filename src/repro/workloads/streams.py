@@ -1,0 +1,147 @@
+"""Update-stream generators.
+
+A stream is a list of :class:`~repro.storage.updates.UpdateCommand`
+that can be replayed against several engines (the comparison benches
+replay the identical stream into each).  Generators are deterministic
+given the :class:`random.Random` they receive.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cq.query import ConjunctiveQuery
+from repro.storage.database import Database, Row, Schema
+from repro.storage.updates import UpdateCommand, delete, insert
+from repro.workloads.distributions import Domain, UniformDomain
+
+__all__ = [
+    "random_row",
+    "insert_only_stream",
+    "mixed_stream",
+    "sliding_window_stream",
+    "star_database",
+    "set_database",
+]
+
+
+def random_row(
+    rng: random.Random, arity: int, domain: Domain
+) -> Row:
+    """One random tuple over the integer domain."""
+    return tuple(domain.sample(rng) for _ in range(arity))
+
+
+def _relations_of(query: ConjunctiveQuery) -> List[Tuple[str, int]]:
+    seen: List[Tuple[str, int]] = []
+    for atom in query.atoms:
+        pair = (atom.relation, atom.arity)
+        if pair not in seen:
+            seen.append(pair)
+    return seen
+
+
+def insert_only_stream(
+    rng: random.Random,
+    query: ConjunctiveQuery,
+    count: int,
+    domain: Optional[Domain] = None,
+) -> List[UpdateCommand]:
+    """``count`` random insertions across the query's relations."""
+    domain = domain or UniformDomain(max(2, count // 4))
+    relations = _relations_of(query)
+    stream: List[UpdateCommand] = []
+    for _ in range(count):
+        name, arity = rng.choice(relations)
+        stream.append(insert(name, random_row(rng, arity, domain)))
+    return stream
+
+
+def mixed_stream(
+    rng: random.Random,
+    query: ConjunctiveQuery,
+    count: int,
+    delete_fraction: float = 0.3,
+    domain: Optional[Domain] = None,
+) -> List[UpdateCommand]:
+    """Interleaved inserts and deletes.
+
+    Deletes target tuples that are live at that point of the stream, so
+    every delete is effective — matching the paper's model where both
+    command types do real work.
+    """
+    domain = domain or UniformDomain(max(2, count // 4))
+    relations = _relations_of(query)
+    live: Dict[str, Set[Row]] = {name: set() for name, _ in relations}
+    stream: List[UpdateCommand] = []
+    for _ in range(count):
+        name, arity = rng.choice(relations)
+        pool = live[name]
+        if pool and rng.random() < delete_fraction:
+            row = rng.choice(sorted(pool))
+            pool.discard(row)
+            stream.append(delete(name, row))
+        else:
+            row = random_row(rng, arity, domain)
+            for _ in range(50):  # avoid no-op duplicate inserts
+                if row not in pool:
+                    break
+                row = random_row(rng, arity, domain)
+            pool.add(row)
+            stream.append(insert(name, row))
+    return stream
+
+
+def sliding_window_stream(
+    rng: random.Random,
+    query: ConjunctiveQuery,
+    count: int,
+    window: int,
+    domain: Optional[Domain] = None,
+) -> List[UpdateCommand]:
+    """Insert-then-expire: every insert is deleted ``window`` steps
+    later — the streaming-view workload motivating dynamic evaluation."""
+    domain = domain or UniformDomain(max(2, count // 4))
+    relations = _relations_of(query)
+    stream: List[UpdateCommand] = []
+    pending: List[UpdateCommand] = []
+    for step in range(count):
+        if step >= window and pending:
+            stream.append(pending.pop(0).inverse())
+        name, arity = rng.choice(relations)
+        command = insert(name, random_row(rng, arity, domain))
+        stream.append(command)
+        pending.append(command)
+    return stream
+
+
+def star_database(
+    rng: random.Random,
+    n: int,
+    fanout: int,
+    edge_factor: int = 4,
+) -> Database:
+    """A database for :func:`repro.cq.zoo.star_query`.
+
+    ``S`` holds all ``n`` centre values; each ``Ei`` holds
+    ``edge_factor·n`` random (centre, leaf) pairs.  The active domain is
+    Θ(n), and the star query's result grows multiplicatively with the
+    fan-out — the regime where counting in O(1) pays off.
+    """
+    relations: Dict[str, List[Row]] = {"S": [(c,) for c in range(n)]}
+    for i in range(1, fanout + 1):
+        rows = set()
+        for _ in range(edge_factor * n):
+            rows.add((rng.randrange(n), rng.randrange(n)))
+        relations[f"E{i}"] = sorted(rows)
+    return Database.from_dict(relations)
+
+
+def set_database(
+    engine_rows: Dict[str, Sequence[Row]],
+) -> Database:
+    """Shorthand: build a database from literal rows (tests/examples)."""
+    return Database.from_dict(
+        {name: list(rows) for name, rows in engine_rows.items()}
+    )

@@ -1,0 +1,121 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+import pytest
+
+from repro.cq.query import ConjunctiveQuery
+from repro.storage.database import Database, Row
+from repro.storage.updates import UpdateCommand, delete, insert
+
+# ---------------------------------------------------------------------------
+# Example 6.1 (Figures 2-3, Table 1)
+# ---------------------------------------------------------------------------
+
+EXAMPLE_6_1_E = [("a", "e"), ("a", "f"), ("b", "d"), ("b", "g"), ("b", "h")]
+EXAMPLE_6_1_S = [
+    ("a", "e", "a"),
+    ("a", "e", "b"),
+    ("a", "f", "c"),
+    ("b", "g", "b"),
+    ("b", "p", "a"),
+]
+EXAMPLE_6_1_R = EXAMPLE_6_1_S + [
+    ("a", "e", "c"),
+    ("b", "g", "a"),
+    ("b", "g", "c"),
+    ("b", "p", "b"),
+    ("b", "p", "c"),
+]
+
+
+def example_6_1_database() -> Database:
+    """The database ``D0`` of Example 6.1."""
+    return Database.from_dict(
+        {"E": EXAMPLE_6_1_E, "S": EXAMPLE_6_1_S, "R": EXAMPLE_6_1_R}
+    )
+
+
+@pytest.fixture
+def d0() -> Database:
+    return example_6_1_database()
+
+
+def feed_example_6_1_sorted(engine) -> None:
+    """Insert D0 in sorted per-relation order (E, R, S).
+
+    This ordering makes the fit lists come out sorted, matching the
+    layout the paper draws in Figure 3 and the enumeration order of
+    Table 1.
+    """
+    for row in sorted(EXAMPLE_6_1_E):
+        engine.insert("E", row)
+    for row in sorted(EXAMPLE_6_1_R):
+        engine.insert("R", row)
+    for row in sorted(EXAMPLE_6_1_S):
+        engine.insert("S", row)
+
+
+# ---------------------------------------------------------------------------
+# random update streams (deterministic per rng)
+# ---------------------------------------------------------------------------
+
+
+def random_stream(
+    query: ConjunctiveQuery,
+    rng: random.Random,
+    rounds: int = 100,
+    domain: int = 8,
+    delete_fraction: float = 0.35,
+) -> List[UpdateCommand]:
+    """Insert/delete stream over the query's schema; deletes always hit
+    live tuples, so every command is effective."""
+    seen: List[Tuple[str, int]] = []
+    for atom in query.atoms:
+        pair = (atom.relation, atom.arity)
+        if pair not in seen:
+            seen.append(pair)
+    live: Set[Tuple[str, Row]] = set()
+    commands: List[UpdateCommand] = []
+    for _ in range(rounds):
+        name, arity = rng.choice(seen)
+        candidates = sorted(t for t in live if t[0] == name)
+        if candidates and rng.random() < delete_fraction:
+            chosen = rng.choice(candidates)
+            live.discard(chosen)
+            commands.append(delete(name, chosen[1]))
+        else:
+            row = tuple(rng.randint(1, domain) for _ in range(arity))
+            live.add((name, row))
+            commands.append(insert(name, row))
+    return commands
+
+
+def loop_graph_stream(
+    rng: random.Random,
+    rounds: int = 120,
+    domain: int = 7,
+    loop_fraction: float = 0.4,
+    delete_fraction: float = 0.3,
+) -> List[UpdateCommand]:
+    """A stream over a single binary relation E with many self-loops —
+    the workload for the Appendix A queries."""
+    live: Set[Row] = set()
+    commands: List[UpdateCommand] = []
+    for _ in range(rounds):
+        if live and rng.random() < delete_fraction:
+            row = rng.choice(sorted(live))
+            live.discard(row)
+            commands.append(delete("E", row))
+        else:
+            if rng.random() < loop_fraction:
+                value = rng.randint(1, domain)
+                row = (value, value)
+            else:
+                row = (rng.randint(1, domain), rng.randint(1, domain))
+            live.add(row)
+            commands.append(insert("E", row))
+    return commands

@@ -1,0 +1,102 @@
+"""Tests for GYO acyclicity, join trees and free-connexness."""
+
+import random
+
+import pytest
+
+from repro.cq import zoo
+from repro.cq.acyclicity import is_acyclic, is_free_connex, join_tree
+from repro.cq.analysis import is_q_hierarchical
+from repro.cq.generators import random_cq, random_q_hierarchical_query
+from repro.cq.parser import parse_query
+
+
+class TestAcyclicity:
+    def test_paper_zoo_all_acyclic(self):
+        for name, query in zoo.PAPER_QUERIES.items():
+            assert is_acyclic(query), name
+
+    def test_triangle_cyclic(self):
+        q = parse_query("Q() :- R(x, y), S(y, z), T(z, x)")
+        assert not is_acyclic(q)
+        assert join_tree(q) is None
+
+    def test_triangle_with_cover_acyclic(self):
+        q = parse_query("Q() :- R(x, y), S(y, z), T(z, x), U(x, y, z)")
+        assert is_acyclic(q)
+
+    def test_path_acyclic(self):
+        assert is_acyclic(zoo.path_query(5))
+
+    def test_cycle4_cyclic(self):
+        q = parse_query("Q() :- A(x, y), B(y, z), C(z, w), D(w, x)")
+        assert not is_acyclic(q)
+
+    def test_single_atom(self):
+        assert is_acyclic(parse_query("Q() :- R(x, y, z)"))
+
+    def test_disconnected_acyclic(self):
+        q = parse_query("Q() :- R(x, y), S(u, v)")
+        assert is_acyclic(q)
+
+    def test_disconnected_with_cyclic_part(self):
+        q = parse_query("Q() :- R(x, y), A(u, v), B(v, w), C(w, u)")
+        assert not is_acyclic(q)
+
+
+class TestJoinTree:
+    def test_tree_valid_on_zoo(self):
+        for name, query in zoo.PAPER_QUERIES.items():
+            tree = join_tree(query)
+            assert tree is not None, name
+            assert tree.is_valid(), name
+
+    def test_post_order_covers_all_atoms(self):
+        tree = join_tree(zoo.EXAMPLE_6_1)
+        assert sorted(tree.post_order()) == list(
+            range(len(zoo.EXAMPLE_6_1.atoms))
+        )
+
+    def test_random_acyclic_trees_valid(self):
+        rng = random.Random(3)
+        checked = 0
+        for _ in range(200):
+            query = random_cq(rng)
+            tree = join_tree(query)
+            if tree is not None:
+                assert tree.is_valid(), query
+                checked += 1
+        assert checked > 50  # plenty of acyclic samples
+
+
+class TestFreeConnex:
+    def test_e_t_is_free_connex(self):
+        # The paper's point: ϕ_E-T is statically easy (free-connex)
+        # but dynamically hard.
+        assert is_free_connex(zoo.E_T)
+
+    def test_s_e_t_is_free_connex(self):
+        assert is_free_connex(zoo.S_E_T)
+
+    def test_boolean_free_connex_iff_acyclic(self):
+        q = parse_query("Q() :- R(x, y), S(y, z), T(z, x)")
+        assert not is_free_connex(q)
+        assert is_free_connex(zoo.S_E_T_BOOLEAN)
+
+    def test_matrix_style_projection_not_free_connex(self):
+        # The classical non-free-connex example: Q(x, z) over a path.
+        q = parse_query("Q(x, z) :- R(x, y), S(y, z)")
+        assert is_acyclic(q)
+        assert not is_free_connex(q)
+
+    def test_q_hierarchical_implies_free_connex(self):
+        # Section 1.2: q-hierarchical ⊊ free-connex acyclic.
+        rng = random.Random(17)
+        for _ in range(150):
+            query = random_q_hierarchical_query(rng)
+            assert is_q_hierarchical(query)
+            assert is_free_connex(query), query
+
+    def test_free_connex_not_q_hierarchical_example(self):
+        # Witness of the strictness of the inclusion.
+        assert is_free_connex(zoo.E_T) and not is_q_hierarchical(zoo.E_T)

@@ -1,0 +1,166 @@
+"""Tests for hierarchical / q-hierarchical analysis (Definition 3.1)."""
+
+import pytest
+
+from repro.cq import zoo
+from repro.cq.analysis import (
+    atoms_map,
+    classify,
+    find_violation,
+    is_hierarchical,
+    is_q_hierarchical,
+)
+from repro.cq.parser import parse_query
+
+
+class TestAtomsMap:
+    def test_indices(self):
+        mapping = atoms_map(zoo.S_E_T)
+        assert mapping["x"] == {0, 1}  # S(x), E(x,y)
+        assert mapping["y"] == {1, 2}  # E(x,y), T(y)
+
+
+class TestHierarchical:
+    def test_s_e_t_not_hierarchical(self):
+        # Condition (i) fails on the {S, E, T} pattern — eq. (2).
+        assert not is_hierarchical(zoo.S_E_T)
+        assert not is_hierarchical(zoo.S_E_T_BOOLEAN)
+
+    def test_e_t_hierarchical(self):
+        # atoms(x) ⊆ atoms(y) — eq. (4) is hierarchical.
+        assert is_hierarchical(zoo.E_T)
+
+    def test_paper_section3_example(self):
+        # ∃x∃y∃z∃y'∃z' (Rxyz ∧ Rxyz' ∧ Exy ∧ Exy') from Section 3.
+        assert is_hierarchical(zoo.HIERARCHICAL_RRE)
+
+    def test_loop_triangle_not_hierarchical(self):
+        assert not is_hierarchical(zoo.LOOP_TRIANGLE)
+
+    def test_path_hierarchy_threshold(self):
+        # Length 2 is still hierarchical (the middle variable dominates
+        # both ends); length 3 introduces overlapping incomparable sets.
+        assert is_hierarchical(zoo.path_query(2))
+        assert not is_hierarchical(zoo.path_query(3))
+
+    def test_star_hierarchical(self):
+        assert is_hierarchical(zoo.star_query(3))
+
+
+class TestQHierarchical:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("S_E_T", False),
+            ("S_E_T_BOOLEAN", False),
+            ("E_T", False),
+            ("E_T_QF", True),
+            ("E_T_BOOLEAN", True),
+            ("E_T_Y_QUANTIFIED", True),
+            ("HIERARCHICAL_RRE", True),
+            ("LOOP_TRIANGLE", False),
+            ("LOOP_CORE", True),
+            ("PHI_1", False),
+            ("PHI_2", False),
+            ("EXAMPLE_6_1", True),
+            ("FIGURE_1", True),
+        ],
+    )
+    def test_paper_zoo(self, name, expected):
+        assert is_q_hierarchical(zoo.PAPER_QUERIES[name]) is expected
+
+    def test_boolean_qh_iff_hierarchical(self):
+        # Remark after Definition 3.1.
+        for query in zoo.PAPER_QUERIES.values():
+            boolean = query.boolean_version()
+            assert is_q_hierarchical(boolean) == is_hierarchical(boolean)
+
+    def test_et_variants_from_paper_text(self):
+        # "all other versions ... are q-hierarchical" (Section 3).
+        variants = [
+            parse_query("Q(y) :- E(x, y), T(y)"),
+            parse_query("Q(x, y) :- E(x, y), T(y)"),
+            parse_query("Q() :- E(x, y), T(y)"),
+        ]
+        for variant in variants:
+            assert is_q_hierarchical(variant)
+
+    def test_star_with_quantified_center_and_free_leaf(self):
+        query = zoo.star_query(2, free_center=False, free_leaves=1)
+        assert not is_q_hierarchical(query)
+
+    def test_disconnected_query_componentwise(self):
+        query = parse_query("Q(x) :- R(x), S(u, v), T(v)")
+        # R-component fine; S-T component is ∃u∃v Suv ∧ Tv: hierarchical?
+        # atoms(u) = {S}, atoms(v) = {S, T}: u ⊂ v fine; all quantified.
+        assert is_q_hierarchical(query)
+
+
+class TestViolationWitnesses:
+    def test_condition_i_witness_shape(self):
+        violation = find_violation(zoo.S_E_T)
+        assert violation is not None
+        assert violation.kind == "condition_i"
+        x, y = violation.x, violation.y
+        assert {x, y} == {"x", "y"}
+        assert violation.psi_x.variables & {x, y} == {x}
+        assert violation.psi_xy.variables >= {x, y}
+        assert violation.psi_y.variables & {x, y} == {y}
+        assert "condition (i)" in violation.describe()
+
+    def test_condition_ii_witness_shape(self):
+        violation = find_violation(zoo.E_T)
+        assert violation is not None
+        assert violation.kind == "condition_ii"
+        assert violation.x == "x"  # free
+        assert violation.y == "y"  # quantified
+        assert violation.psi_x is None
+        assert violation.psi_xy.variables >= {"x", "y"}
+        assert violation.psi_y.variables & {"x", "y"} == {"y"}
+        assert "condition (ii)" in violation.describe()
+
+    def test_no_witness_for_q_hierarchical(self):
+        assert find_violation(zoo.EXAMPLE_6_1) is None
+
+    def test_condition_i_preferred(self):
+        # S_E_T (non-Boolean) violates (i); witness should say so even
+        # though free-variable structure also matters.
+        assert find_violation(zoo.S_E_T).kind == "condition_i"
+
+
+class TestClassify:
+    def test_loop_triangle_boolean_easy_counting_core(self):
+        verdict = classify(zoo.LOOP_TRIANGLE)
+        # Core is ∃x Exx: q-hierarchical, so Boolean answering is easy.
+        assert verdict.core_q_hierarchical
+        assert verdict.boolean_tractable
+        assert verdict.counting_tractable
+        assert not verdict.q_hierarchical
+
+    def test_phi1_all_hard(self):
+        verdict = classify(zoo.PHI_1)
+        # ϕ1 is a non-q-hierarchical core (Section 5.4 discussion).
+        assert not verdict.core_q_hierarchical
+        assert not verdict.counting_tractable
+        # Enumeration dichotomy is open for self-joins: None.
+        assert verdict.enumeration_tractable is None
+
+    def test_s_e_t_enumeration_hard(self):
+        verdict = classify(zoo.S_E_T)
+        assert verdict.self_join_free
+        assert verdict.enumeration_tractable is False
+
+    def test_example_6_1_fully_tractable(self):
+        verdict = classify(zoo.EXAMPLE_6_1)
+        assert verdict.q_hierarchical
+        assert verdict.enumeration_tractable is True
+        assert verdict.counting_tractable
+        assert verdict.boolean_tractable
+
+    def test_e_t_boolean_easy_counting_hard(self):
+        # The paper's key asymmetry: ∃x ϕE-T is q-hierarchical, so the
+        # Boolean version is easy, but counting ϕE-T itself is OV-hard.
+        verdict = classify(zoo.E_T)
+        assert verdict.boolean_tractable
+        assert not verdict.counting_tractable
+        assert verdict.enumeration_tractable is False

@@ -1,0 +1,63 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestClassifyCommand:
+    def test_q_hierarchical_query(self, capsys):
+        status = main(["classify", "Q(x, y) :- E(x, y), T(y)"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "q-hierarchical:   True" in out
+
+    def test_hard_query_shows_witness(self, capsys):
+        status = main(["classify", "Q(x) :- E(x, y), T(y)"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "q-hierarchical:   False" in out
+        assert "condition (ii)" in out
+        assert "hard" in out
+
+    def test_core_shown_when_it_folds(self, capsys):
+        main(["classify", "Q() :- E(x, x), E(x, y), E(y, y)"])
+        out = capsys.readouterr().out
+        assert "homomorphic core:" in out
+
+    def test_syntax_error_exit_code(self, capsys):
+        status = main(["classify", "Q("])
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "error:" in err
+
+
+class TestQTreeCommand:
+    def test_prints_tree(self, capsys):
+        status = main(["qtree", "Q(x, y) :- R(x, y), S(y)"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "rep:" in out
+        assert "└─" in out
+
+    def test_failure_prints_reason(self, capsys):
+        status = main(["qtree", "Q(x, y) :- S(x), E(x, y), T(y)"])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "no q-tree" in out
+        assert "condition (i)" in out
+
+    def test_multi_component(self, capsys):
+        status = main(["qtree", "Q(x, u) :- R(x), U(u)"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert out.count("component") == 2
+
+
+class TestDemoCommand:
+    def test_demo_reproduces_counts(self, capsys):
+        status = main(["demo"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "23 (paper: 23)" in out
+        assert "38 (paper: 38)" in out

@@ -1,0 +1,123 @@
+"""Tests for the storage substrate (database, relations, schema)."""
+
+import pytest
+
+from repro.cq import zoo
+from repro.errors import SchemaError, UpdateError
+from repro.storage.database import Database, Relation, Schema
+
+
+class TestSchema:
+    def test_basic(self):
+        schema = Schema({"E": 2, "T": 1})
+        assert schema.arity("E") == 2
+        assert "T" in schema
+        assert schema.relations() == ("E", "T")
+
+    def test_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            Schema({"E": 2}).arity("X")
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema({"E": 0})
+
+    def test_from_query(self):
+        schema = Schema.from_query(zoo.S_E_T)
+        assert schema.arity("S") == 1
+        assert schema.arity("E") == 2
+        assert schema.arity("T") == 1
+
+
+class TestRelation:
+    def test_insert_delete_cycle(self):
+        rel = Relation("E", 2)
+        assert rel.insert(("a", "b"))
+        assert not rel.insert(("a", "b"))  # set semantics
+        assert ("a", "b") in rel
+        assert rel.delete(("a", "b"))
+        assert not rel.delete(("a", "b"))
+        assert len(rel) == 0
+
+    def test_arity_checked(self):
+        rel = Relation("E", 2)
+        with pytest.raises(UpdateError):
+            rel.insert(("a",))
+        with pytest.raises(UpdateError):
+            rel.delete(("a", "b", "c"))
+
+    def test_copy_is_independent(self):
+        rel = Relation("E", 1, [("a",)])
+        clone = rel.copy()
+        clone.insert(("b",))
+        assert len(rel) == 1 and len(clone) == 2
+
+
+class TestDatabase:
+    def test_from_dict_infers_arity(self):
+        db = Database.from_dict({"E": [(1, 2), (2, 3)]})
+        assert db.relation("E").arity == 2
+        assert db.cardinality == 2
+
+    def test_empty_relation_needs_schema(self):
+        with pytest.raises(SchemaError):
+            Database.from_dict({"E": []})
+        db = Database.from_dict({"E": []}, schema=Schema({"E": 2}))
+        assert db.cardinality == 0
+
+    def test_active_domain_refcounting(self):
+        db = Database.from_dict({"E": [(1, 2)]})
+        assert db.active_domain == {1, 2}
+        db.insert("E", (2, 3))
+        assert db.active_domain_size == 3
+        db.delete("E", (1, 2))
+        # 2 still referenced by (2, 3); 1 gone.
+        assert db.active_domain == {2, 3}
+        db.delete("E", (2, 3))
+        assert db.active_domain_size == 0
+
+    def test_repeated_value_refcount(self):
+        db = Database.from_dict({"E": [(5, 5)]})
+        assert db.active_domain_size == 1
+        db.delete("E", (5, 5))
+        assert db.active_domain_size == 0
+
+    def test_insert_noop_keeps_counts(self):
+        db = Database.from_dict({"E": [(1, 2)]})
+        assert not db.insert("E", (1, 2))
+        assert db.active_domain_size == 2
+        assert db.cardinality == 1
+
+    def test_size_formula(self):
+        # ||D|| = |σ| + |adom| + Σ ar(R)·|R|.
+        db = Database.from_dict({"E": [(1, 2)], "T": [(1,)]})
+        assert db.size == 2 + 2 + (2 * 1 + 1 * 1)
+
+    def test_unknown_relation(self):
+        db = Database.from_dict({"E": [(1, 2)]})
+        with pytest.raises(SchemaError):
+            db.insert("X", (1,))
+
+    def test_copy_independent(self):
+        db = Database.from_dict({"E": [(1, 2)]})
+        clone = db.copy()
+        clone.insert("E", (3, 4))
+        assert db.cardinality == 1 and clone.cardinality == 2
+        assert db.active_domain_size == 2 and clone.active_domain_size == 4
+
+    def test_equality(self):
+        db1 = Database.from_dict({"E": [(1, 2)]})
+        db2 = Database.from_dict({"E": [(1, 2)]})
+        assert db1 == db2
+        db2.insert("E", (9, 9))
+        assert db1 != db2
+
+    def test_empty_like(self):
+        db = Database.empty_like(zoo.S_E_T)
+        assert db.cardinality == 0
+        assert "S" in db and "E" in db and "T" in db
+
+    def test_mixed_value_types(self):
+        db = Database.from_dict({"E": [(("a", 1), "x")]})
+        db.insert("E", (3.5, None))
+        assert db.cardinality == 2

@@ -1,0 +1,206 @@
+"""End-to-end tests of QHierarchicalEngine (Theorem 3.2)."""
+
+import random
+
+import pytest
+
+from repro.core.engine import QHierarchicalEngine
+from repro.cq import zoo
+from repro.cq.generators import random_q_hierarchical_query
+from repro.cq.parser import parse_query
+from repro.errors import NotQHierarchicalError, SchemaError
+from repro.eval_static.naive import evaluate as evaluate_naive
+from repro.storage.database import Database
+from tests.conftest import feed_example_6_1_sorted, random_stream
+
+
+class TestConstruction:
+    def test_rejects_non_q_hierarchical(self):
+        for name in ["S_E_T", "S_E_T_BOOLEAN", "E_T", "PHI_1", "PHI_2"]:
+            with pytest.raises(NotQHierarchicalError) as excinfo:
+                QHierarchicalEngine(zoo.PAPER_QUERIES[name])
+            assert excinfo.value.violation is not None
+
+    def test_accepts_paper_tractable_queries(self):
+        for name in [
+            "E_T_QF",
+            "E_T_BOOLEAN",
+            "E_T_Y_QUANTIFIED",
+            "HIERARCHICAL_RRE",
+            "LOOP_CORE",
+            "EXAMPLE_6_1",
+            "FIGURE_1",
+        ]:
+            engine = QHierarchicalEngine(zoo.PAPER_QUERIES[name])
+            assert engine.count() == 0
+
+    def test_preprocessing_from_initial_database(self, d0):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1, d0)
+        assert engine.count() == 23
+        assert engine.database == d0
+
+    def test_unknown_relation_rejected(self):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        with pytest.raises(SchemaError):
+            engine.insert("X", (1,))
+
+
+class TestQueries:
+    def test_count_answer_enumerate_consistency(self, d0):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1, d0)
+        rows = list(engine.enumerate())
+        assert len(rows) == engine.count() == 23
+        assert len(set(rows)) == 23
+        assert engine.answer()
+        assert engine.result_set() == evaluate_naive(zoo.EXAMPLE_6_1, d0)
+
+    def test_boolean_query_yields_unit(self):
+        engine = QHierarchicalEngine(zoo.E_T_BOOLEAN)
+        assert list(engine.enumerate()) == []
+        engine.insert("E", (1, 5))
+        engine.insert("T", (5,))
+        assert list(engine.enumerate()) == [()]
+        assert engine.count() == 1
+
+    def test_noop_updates_change_nothing(self, d0):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1, d0)
+        assert not engine.insert("E", ("a", "e"))  # already present
+        assert not engine.delete("E", ("zz", "zz"))  # absent
+        assert engine.count() == 23
+
+    def test_figure_3b_transition(self):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        assert engine.count() == 23
+        engine.insert("E", ("b", "p"))
+        assert engine.count() == 38
+        engine.delete("E", ("b", "p"))
+        assert engine.count() == 23
+
+    def test_active_domain_size(self):
+        engine = QHierarchicalEngine(zoo.E_T_QF)
+        engine.insert("E", (1, 2))
+        engine.insert("T", (2,))
+        assert engine.active_domain_size == 2
+
+
+class TestDisconnectedQueries:
+    def test_cross_product_count(self):
+        q = parse_query("Q(x, u) :- R(x), U(u)")
+        engine = QHierarchicalEngine(q)
+        engine.insert("R", (1,))
+        engine.insert("R", (2,))
+        engine.insert("U", (7,))
+        assert engine.count() == 2
+        assert engine.result_set() == {(1, 7), (2, 7)}
+
+    def test_boolean_component_gates_results(self):
+        q = parse_query("Q(x) :- R(x), S(u, v)")
+        engine = QHierarchicalEngine(q)
+        engine.insert("R", (1,))
+        assert engine.count() == 0
+        assert not engine.answer()
+        engine.insert("S", (5, 6))
+        assert engine.count() == 1
+        assert engine.result_set() == {(1,)}
+
+    def test_output_positions_interleaved(self):
+        # Free tuple interleaves variables of two components.
+        q = parse_query("Q(u, x, w) :- R(x), U(u, w)")
+        engine = QHierarchicalEngine(q)
+        engine.insert("R", (1,))
+        engine.insert("U", (7, 8))
+        assert engine.result_set() == {(7, 1, 8)}
+
+    def test_three_components(self):
+        q = parse_query("Q(a, b, c) :- A(a), B(b), C(c)")
+        engine = QHierarchicalEngine(q)
+        for relation, values in [("A", [1, 2]), ("B", [5]), ("C", [8, 9])]:
+            for value in values:
+                engine.insert(relation, (value,))
+        assert engine.count() == 4
+        assert len(engine.result_set()) == 4
+
+
+class TestAgainstGroundTruth:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_streams_match_naive(self, seed):
+        rng = random.Random(seed)
+        query = random_q_hierarchical_query(rng)
+        engine = QHierarchicalEngine(query)
+        for step, command in enumerate(random_stream(query, rng, rounds=80)):
+            engine.apply(command)
+            if step % 13 == 0:
+                truth = evaluate_naive(query, engine.database)
+                assert engine.result_set() == truth
+                assert engine.count() == len(truth)
+                assert engine.answer() == bool(truth)
+
+    def test_star_query_multiplicative_count(self):
+        query = zoo.star_query(2)
+        engine = QHierarchicalEngine(query)
+        engine.insert("S", (0,))
+        for leaf in range(3):
+            engine.insert("E1", (0, leaf))
+        for leaf in range(4):
+            engine.insert("E2", (0, leaf))
+        # Only the centre is free: count is 1 while x=0 has witnesses.
+        assert engine.count() == 1
+        engine.delete("S", (0,))
+        assert engine.count() == 0
+
+    def test_star_query_with_free_leaves(self):
+        query = zoo.star_query(2, free_leaves=2)
+        engine = QHierarchicalEngine(query)
+        engine.insert("S", (0,))
+        for leaf in range(3):
+            engine.insert("E1", (0, leaf))
+        for leaf in range(4):
+            engine.insert("E2", (0, leaf))
+        assert engine.count() == 12  # 3 × 4 combinations
+
+    def test_hierarchical_rre_boolean(self):
+        engine = QHierarchicalEngine(zoo.HIERARCHICAL_RRE)
+        engine.insert("R", (1, 2, 3))
+        assert not engine.answer()
+        engine.insert("E", (1, 2))
+        assert engine.answer()
+        engine.delete("R", (1, 2, 3))
+        assert not engine.answer()
+
+
+class TestSlidingWindowWorkload:
+    def test_window_stream_matches_naive_throughout(self):
+        from repro.workloads.streams import sliding_window_stream
+
+        rng = random.Random(77)
+        query = zoo.star_query(2, free_leaves=1)
+        engine = QHierarchicalEngine(query)
+        stream = sliding_window_stream(rng, query, count=150, window=30)
+        for step, command in enumerate(stream):
+            engine.apply(command)
+            if step % 25 == 0:
+                truth = evaluate_naive(query, engine.database)
+                assert engine.result_set() == truth
+                assert engine.count() == len(truth)
+        # The window keeps the live database small even after 150 steps.
+        assert engine.database.cardinality <= 31
+
+
+class TestEnumerationRestart:
+    def test_enumeration_restarts_after_update(self, d0):
+        # The paper's model: after an update, restart enumeration and
+        # get the new result with the same guarantees.
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1, d0)
+        first = list(engine.enumerate())
+        engine.insert("E", ("b", "p"))
+        second = list(engine.enumerate())
+        assert len(first) == 23 and len(second) == 38
+        assert set(first) < set(second)
+
+    def test_two_concurrent_generators_same_state(self, d0):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1, d0)
+        gen1 = engine.enumerate()
+        gen2 = engine.enumerate()
+        assert next(gen1) == next(gen2)
+        assert list(gen1) == list(gen2)

@@ -1,0 +1,127 @@
+"""Deeper end-to-end scenarios for the dynamic engine.
+
+Each test is a miniature version of a workload the paper's machinery
+must get right: heavy churn on one hub, interleaved engine lifetimes,
+quantified counting at depth, and adversarial insert orders.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.engine import QHierarchicalEngine
+from repro.core.validation import check_engine
+from repro.cq import zoo
+from repro.cq.parser import parse_query
+from repro.eval_static.naive import evaluate as evaluate_naive
+
+
+class TestHubChurn:
+    def test_hub_toggle_storm(self):
+        """10k toggles of a single hot tuple leave a consistent state."""
+        query = zoo.star_query(2)
+        engine = QHierarchicalEngine(query)
+        engine.insert("S", (0,))
+        engine.insert("E1", (0, 1))
+        engine.insert("E2", (0, 2))
+        assert engine.count() == 1
+        for _ in range(5000):
+            engine.delete("E1", (0, 1))
+            engine.insert("E1", (0, 1))
+        assert engine.count() == 1
+        assert check_engine(engine).ok
+
+    def test_many_distinct_hub_partners(self):
+        query = zoo.star_query(1, free_leaves=1)
+        engine = QHierarchicalEngine(query)
+        engine.insert("S", (0,))
+        for leaf in range(500):
+            engine.insert("E1", (0, leaf))
+        assert engine.count() == 500
+        for leaf in range(0, 500, 2):
+            engine.delete("E1", (0, leaf))
+        assert engine.count() == 250
+
+
+class TestQuantifiedDepth:
+    def test_two_level_quantified_counting(self):
+        # Q(x) :- A(x, y), B(x, y, z): both y and z quantified; C̃ must
+        # collapse entire two-level subtrees to 0/1 per x.
+        q = parse_query("Q(x) :- A(x, y), B(x, y, z)")
+        engine = QHierarchicalEngine(q)
+        engine.insert("A", (1, 10))
+        engine.insert("A", (1, 11))
+        engine.insert("B", (1, 10, 100))
+        engine.insert("B", (1, 10, 101))
+        engine.insert("B", (1, 11, 100))
+        assert engine.count() == 1  # one x despite 3 full valuations
+        engine.insert("A", (2, 10))
+        assert engine.count() == 1  # x=2 lacks a B witness
+        engine.insert("B", (2, 10, 5))
+        assert engine.count() == 2
+
+    def test_free_frontier_in_middle_of_tree(self):
+        # Free x and y, quantified z below y: C̃ stops at the frontier.
+        q = parse_query("Q(x, y) :- A(x, y), B(x, y, z)")
+        engine = QHierarchicalEngine(q)
+        engine.insert("A", (1, 2))
+        for z in range(7):
+            engine.insert("B", (1, 2, z))
+        assert engine.count() == 1
+        assert engine.result_set() == {(1, 2)}
+
+
+class TestInsertOrderIndependence:
+    def test_all_permutations_of_small_database(self):
+        """The final structure state is order-independent (weights and
+        results), whatever order D0's tuples arrive in."""
+        q = zoo.E_T_QF
+        rows = [("E", (1, 5)), ("E", (2, 5)), ("T", (5,)), ("E", (1, 6))]
+        reference = None
+        for permutation in itertools.permutations(rows):
+            engine = QHierarchicalEngine(q)
+            for relation, row in permutation:
+                engine.insert(relation, row)
+            state = (engine.count(), frozenset(engine.enumerate()))
+            if reference is None:
+                reference = state
+            else:
+                assert state == reference
+
+    def test_interleaved_delete_insert_orders(self):
+        rng = random.Random(9)
+        q = zoo.EXAMPLE_6_1
+        base = [
+            ("E", ("a", "e")), ("R", ("a", "e", "a")), ("S", ("a", "e", "a")),
+            ("E", ("a", "f")), ("R", ("a", "f", "c")), ("S", ("a", "f", "c")),
+        ]
+        for _ in range(10):
+            order = list(base)
+            rng.shuffle(order)
+            engine = QHierarchicalEngine(q)
+            for relation, row in order:
+                engine.insert(relation, row)
+            truth = evaluate_naive(q, engine.database)
+            assert engine.result_set() == truth
+
+
+class TestEngineIndependence:
+    def test_two_engines_same_query_do_not_share_state(self):
+        first = QHierarchicalEngine(zoo.E_T_QF)
+        second = QHierarchicalEngine(zoo.E_T_QF)
+        first.insert("E", (1, 2))
+        first.insert("T", (2,))
+        assert first.count() == 1
+        assert second.count() == 0
+
+    def test_engine_survives_query_reuse_across_engines(self):
+        # The same (immutable) query object backs multiple engines and
+        # multiple structures without aliasing issues.
+        engines = [QHierarchicalEngine(zoo.star_query(2)) for _ in range(3)]
+        for index, engine in enumerate(engines):
+            engine.insert("S", (index,))
+            engine.insert("E1", (index, 1))
+            engine.insert("E2", (index, 2))
+        counts = [engine.count() for engine in engines]
+        assert counts == [1, 1, 1]

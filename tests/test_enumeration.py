@@ -1,0 +1,108 @@
+"""Tests for enumeration: Algorithm 1 fidelity and Table 1 order."""
+
+import random
+
+import pytest
+
+from repro.core.engine import QHierarchicalEngine
+from repro.core.enumeration import algorithm1
+from repro.cq import zoo
+from repro.cq.generators import random_q_hierarchical_query
+from tests.conftest import feed_example_6_1_sorted, random_stream
+
+# Table 1 of the paper, columns left to right; display order there is
+# (x, y, z, z', y') while the query's output order is (x, y, z, y', z').
+_TABLE_1_DISPLAY = [
+    ("a", "e", "a", "a", "e"),
+    ("a", "e", "a", "a", "f"),
+    ("a", "e", "a", "b", "e"),
+    ("a", "e", "a", "b", "f"),
+    ("a", "e", "a", "c", "e"),
+    ("a", "e", "a", "c", "f"),
+    ("a", "e", "b", "a", "e"),
+    ("a", "e", "b", "a", "f"),
+    ("a", "e", "b", "b", "e"),
+    ("a", "e", "b", "b", "f"),
+    ("a", "e", "b", "c", "e"),
+    ("a", "e", "b", "c", "f"),
+    ("a", "f", "c", "c", "e"),
+    ("a", "f", "c", "c", "f"),
+    ("b", "g", "b", "a", "d"),
+    ("b", "g", "b", "a", "g"),
+    ("b", "g", "b", "a", "h"),
+    ("b", "g", "b", "b", "d"),
+    ("b", "g", "b", "b", "g"),
+    ("b", "g", "b", "b", "h"),
+    ("b", "g", "b", "c", "d"),
+    ("b", "g", "b", "c", "g"),
+    ("b", "g", "b", "c", "h"),
+]
+
+#: Table 1 rewritten in the query's output order (x, y, z, y', z').
+TABLE_1_ROWS = [(x, y, z, yp, zp) for (x, y, z, zp, yp) in _TABLE_1_DISPLAY]
+
+
+class TestTable1:
+    def test_exact_sequence(self):
+        """Sorted-order insertion reproduces Table 1 tuple-for-tuple."""
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        assert list(engine.enumerate()) == TABLE_1_ROWS
+
+    def test_algorithm1_identical_sequence(self):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        assert list(algorithm1(engine.structures[0])) == TABLE_1_ROWS
+
+    def test_no_duplicates(self):
+        assert len(set(TABLE_1_ROWS)) == 23
+
+
+class TestAlgorithm1Fidelity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_generator_enumeration(self, seed):
+        rng = random.Random(seed)
+        query = random_q_hierarchical_query(rng)
+        engine = QHierarchicalEngine(query)
+        for command in random_stream(query, rng, rounds=60):
+            engine.apply(command)
+        for structure in engine.structures:
+            assert list(algorithm1(structure)) == list(structure.enumerate())
+
+    def test_empty_structure(self):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        assert list(algorithm1(engine.structures[0])) == []
+
+    def test_boolean_structure(self):
+        engine = QHierarchicalEngine(zoo.E_T_BOOLEAN)
+        assert list(algorithm1(engine.structures[0])) == []
+        engine.insert("E", (1, 5))
+        engine.insert("T", (5,))
+        assert list(algorithm1(engine.structures[0])) == [()]
+
+
+class TestDocumentOrderSemantics:
+    def test_rightmost_variable_cycles_fastest(self):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        rows = list(engine.enumerate())
+        # Document order is (x, y, z, z', y'): consecutive rows with the
+        # same (x, y, z, z') must differ only in y' (position 3 of the
+        # output order).
+        for previous, current in zip(rows, rows[1:]):
+            if (
+                previous[0] == current[0]
+                and previous[1] == current[1]
+                and previous[2] == current[2]
+                and previous[4] == current[4]
+            ):
+                assert previous[3] != current[3]
+
+    def test_prefix_monotone_blocks(self):
+        """x changes at most once over the whole enumeration (start
+        list is walked once, in order)."""
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        xs = [row[0] for row in engine.enumerate()]
+        changes = sum(1 for a, b in zip(xs, xs[1:]) if a != b)
+        assert changes == 1

@@ -1,0 +1,155 @@
+"""Failure-injection and edge-case coverage across modules."""
+
+import pytest
+
+from repro.core.engine import QHierarchicalEngine
+from repro.core.structure import ComponentStructure
+from repro.cq import zoo
+from repro.cq.generators import random_multi_component_query
+from repro.cq.parser import parse_query
+from repro.errors import (
+    EngineStateError,
+    NotQHierarchicalError,
+    QuerySyntaxError,
+    QueryStructureError,
+    ReductionError,
+    ReproError,
+    SchemaError,
+    UpdateError,
+)
+from repro.eval_static.relalg import (
+    BindingTable,
+    cross_join,
+    hash_join,
+    project,
+    scan_atom,
+    semijoin,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            QuerySyntaxError,
+            QueryStructureError,
+            SchemaError,
+            NotQHierarchicalError,
+            UpdateError,
+            EngineStateError,
+            ReductionError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_not_q_hierarchical_carries_violation(self):
+        try:
+            QHierarchicalEngine(zoo.S_E_T)
+        except NotQHierarchicalError as error:
+            assert error.violation is not None
+            assert error.violation.kind == "condition_i"
+        else:
+            pytest.fail("expected NotQHierarchicalError")
+
+    def test_single_catch_clause_suffices(self):
+        caught = 0
+        for action in [
+            lambda: parse_query("("),
+            lambda: QHierarchicalEngine(zoo.E_T),
+        ]:
+            try:
+                action()
+            except ReproError:
+                caught += 1
+        assert caught == 2
+
+
+class TestStructureEdgeCases:
+    def test_delete_without_prior_insert_raises(self):
+        structure = ComponentStructure(zoo.E_T_QF)
+        with pytest.raises(EngineStateError):
+            structure.apply(False, "E", (1, 2))
+
+    def test_engine_filters_such_deletes(self):
+        engine = QHierarchicalEngine(zoo.E_T_QF)
+        # The engine's set-semantics guard makes this a harmless no-op.
+        assert not engine.delete("E", (1, 2))
+
+    def test_single_variable_query(self):
+        q = parse_query("Q(x) :- R(x)")
+        engine = QHierarchicalEngine(q)
+        engine.insert("R", (5,))
+        assert engine.result_set() == {(5,)}
+        engine.delete("R", (5,))
+        assert engine.count() == 0
+
+    def test_atom_with_all_repeated_variables(self):
+        q = parse_query("Q(x) :- R(x, x, x)")
+        engine = QHierarchicalEngine(q)
+        engine.insert("R", (1, 1, 1))
+        engine.insert("R", (1, 2, 1))  # pattern mismatch
+        assert engine.result_set() == {(1,)}
+
+    def test_deep_chain_query(self):
+        # A 4-level nested query: R4's variables are a full root path.
+        q = parse_query(
+            "Q(a, b, c, d) :- R1(a), R2(a, b), R3(a, b, c), R4(a, b, c, d)"
+        )
+        engine = QHierarchicalEngine(q)
+        engine.insert("R1", (1,))
+        engine.insert("R2", (1, 2))
+        engine.insert("R3", (1, 2, 3))
+        engine.insert("R4", (1, 2, 3, 4))
+        assert engine.result_set() == {(1, 2, 3, 4)}
+        engine.delete("R3", (1, 2, 3))
+        assert engine.count() == 0
+
+    def test_multi_component_generated_queries(self):
+        import random
+
+        from repro.eval_static.naive import evaluate as evaluate_naive
+        from tests.conftest import random_stream
+
+        rng = random.Random(21)
+        for _ in range(5):
+            query = random_multi_component_query(rng, components=3)
+            engine = QHierarchicalEngine(query)
+            for command in random_stream(query, rng, rounds=40, domain=4):
+                engine.apply(command)
+            truth = evaluate_naive(query, engine.database)
+            assert engine.result_set() == truth
+            assert engine.count() == len(truth)
+
+
+class TestRelalgEdgeCases:
+    def test_scan_atom_repeated_vars_filter(self):
+        from repro.cq.query import Atom
+
+        table = scan_atom(Atom("R", ["x", "x"]), [(1, 1), (1, 2)])
+        assert table.rows == {(1,)}
+        assert table.varlist == ("x",)
+
+    def test_semijoin_disjoint_vars_emptiness_filter(self):
+        left = BindingTable(("x",), {(1,), (2,)})
+        right_empty = BindingTable(("y",), set())
+        right_full = BindingTable(("y",), {(9,)})
+        assert semijoin(left, right_empty).rows == set()
+        assert semijoin(left, right_full).rows == left.rows
+
+    def test_hash_join_no_shared_is_cross(self):
+        left = BindingTable(("x",), {(1,), (2,)})
+        right = BindingTable(("y",), {(8,), (9,)})
+        joined = hash_join(left, right)
+        assert len(joined.rows) == 4
+        assert joined.varlist == ("x", "y")
+
+    def test_project_to_nothing(self):
+        table = BindingTable(("x",), {(1,), (2,)})
+        projected = project(table, ())
+        assert projected.rows == {()}
+
+    def test_cross_join_empty_sequence(self):
+        unit = cross_join([])
+        assert unit.rows == {()}
+        assert unit.varlist == ()

@@ -1,0 +1,210 @@
+"""Tests for the static evaluators: naive, Yannakakis, free-connex."""
+
+import random
+
+import pytest
+
+from repro.cq import zoo
+from repro.cq.acyclicity import is_acyclic, is_free_connex
+from repro.cq.generators import random_cq
+from repro.cq.parser import parse_query
+from repro.errors import QueryStructureError
+from repro.eval_static import evaluate
+from repro.eval_static.freeconnex import FreeConnexEnumerator, static_enumerate
+from repro.eval_static.naive import (
+    count_result,
+    evaluate as evaluate_naive,
+    is_satisfied,
+    valuation_counts,
+    valuations,
+)
+from repro.eval_static.yannakakis import evaluate_acyclic, full_reduce
+from repro.storage.database import Database
+from tests.conftest import example_6_1_database
+
+
+def random_database(rng: random.Random, query, size: int = 25, domain: int = 5):
+    db = Database.empty_like(query)
+    for atom in query.atoms:
+        relation = db.relation(atom.relation)
+        for _ in range(size):
+            db.insert(
+                atom.relation,
+                tuple(rng.randint(1, domain) for _ in range(relation.arity)),
+            )
+    return db
+
+
+class TestNaive:
+    def test_s_e_t_by_hand(self):
+        db = Database.from_dict(
+            {"S": [(1,), (2,)], "E": [(1, 5), (2, 6), (3, 5)], "T": [(5,)]}
+        )
+        assert evaluate_naive(zoo.S_E_T, db) == {(1, 5)}
+        assert evaluate_naive(zoo.S_E_T_BOOLEAN, db) == {()}
+
+    def test_boolean_no(self):
+        db = Database.from_dict(
+            {"S": [(9,)], "E": [(1, 5)], "T": [(5,)]}
+        )
+        assert evaluate_naive(zoo.S_E_T_BOOLEAN, db) == set()
+        assert not is_satisfied(zoo.S_E_T_BOOLEAN, db)
+
+    def test_repeated_variable_atom(self):
+        db = Database.from_dict({"E": [(1, 1), (1, 2), (2, 2)]})
+        q = parse_query("Q(x) :- E(x, x)")
+        assert evaluate_naive(q, db) == {(1,), (2,)}
+
+    def test_phi1_semantics(self):
+        db = Database.from_dict({"E": [(1, 1), (1, 2), (2, 2), (2, 3)]})
+        assert evaluate_naive(zoo.PHI_1, db) == {(1, 1), (1, 2), (2, 2)}
+
+    def test_valuation_counts(self):
+        db = Database.from_dict({"E": [(1, 5), (1, 6)], "T": [(5,), (6,)]})
+        counts = valuation_counts(zoo.E_T, db)
+        # x=1 has two witnesses y ∈ {5, 6}.
+        assert counts[(1,)] == 2
+
+    def test_partial_binding(self):
+        db = Database.from_dict({"E": [(1, 5), (2, 6)], "T": [(5,), (6,)]})
+        assert evaluate_naive(zoo.E_T, db, binding={"y": 5}) == {(1,)}
+
+    def test_count_result(self):
+        db = example_6_1_database()
+        assert count_result(zoo.EXAMPLE_6_1, db) == 23
+
+    def test_valuations_are_full(self):
+        db = Database.from_dict({"E": [(1, 5)], "T": [(5,)]})
+        vals = list(valuations(zoo.E_T, db))
+        assert vals == [{"x": 1, "y": 5}]
+
+
+class TestYannakakis:
+    def test_agrees_with_naive_on_zoo(self):
+        rng = random.Random(5)
+        for name, query in zoo.PAPER_QUERIES.items():
+            db = random_database(rng, query)
+            assert evaluate_acyclic(query, db) == evaluate_naive(query, db), name
+
+    def test_cyclic_rejected(self):
+        q = parse_query("Q() :- R(x, y), S(y, z), T(z, x)")
+        db = Database.empty_like(q)
+        with pytest.raises(QueryStructureError):
+            evaluate_acyclic(q, db)
+
+    def test_full_reduce_global_consistency(self):
+        db = Database.from_dict(
+            {"S": [(1,), (9,)], "E": [(1, 5), (9, 7), (3, 5)], "T": [(5,)]}
+        )
+        tables = full_reduce(zoo.S_E_T, db)
+        # After reduction every surviving binding joins through: S keeps
+        # only 1, E keeps only (1,5), T keeps 5.
+        assert tables[0].rows == {(1,)}
+        assert tables[1].rows == {(1, 5)}
+        assert tables[2].rows == {(5,)}
+
+    def test_disconnected_cross_product(self):
+        q = parse_query("Q(x, u) :- R(x), U(u)")
+        db = Database.from_dict({"R": [(1,), (2,)], "U": [(7,)]})
+        assert evaluate_acyclic(q, db) == {(1, 7), (2, 7)}
+
+    def test_empty_component_kills_everything(self):
+        from repro.storage.database import Schema
+
+        q = parse_query("Q(x) :- R(x), U(u)")
+        db = Database.from_dict(
+            {"R": [(1,)], "U": []},
+            schema=Schema({"R": 1, "U": 1}),
+        )
+        assert evaluate_acyclic(q, db) == set()
+
+    def test_random_agreement(self):
+        rng = random.Random(23)
+        tried = 0
+        for _ in range(120):
+            query = random_cq(rng)
+            if not is_acyclic(query):
+                continue
+            db = random_database(rng, query, size=15, domain=4)
+            assert evaluate_acyclic(query, db) == evaluate_naive(query, db)
+            tried += 1
+        assert tried > 30
+
+
+class TestFreeConnexEnumerator:
+    def test_rejects_non_free_connex(self):
+        q = parse_query("Q(x, z) :- R(x, y), S(y, z)")
+        db = Database.empty_like(q)
+        with pytest.raises(QueryStructureError):
+            FreeConnexEnumerator(q, db)
+
+    def test_no_duplicates_and_agreement(self):
+        rng = random.Random(31)
+        db = example_6_1_database()
+        enum = FreeConnexEnumerator(zoo.EXAMPLE_6_1, db)
+        rows = list(enum)
+        assert len(rows) == len(set(rows)) == 23
+        assert set(rows) == evaluate_naive(zoo.EXAMPLE_6_1, db)
+        assert enum.constant_delay
+
+    def test_e_t_projection(self):
+        db = Database.from_dict(
+            {"E": [(1, 5), (2, 6), (3, 7)], "T": [(5,), (6,)]}
+        )
+        rows = set(FreeConnexEnumerator(zoo.E_T, db))
+        assert rows == {(1,), (2,)}
+
+    def test_boolean_query(self):
+        db = Database.from_dict({"S": [(1,)], "E": [(1, 5)], "T": [(5,)]})
+        assert list(FreeConnexEnumerator(zoo.S_E_T_BOOLEAN, db)) == [()]
+
+    def test_boolean_query_empty(self):
+        db = Database.from_dict({"S": [(2,)], "E": [(1, 5)], "T": [(5,)]})
+        assert list(FreeConnexEnumerator(zoo.S_E_T_BOOLEAN, db)) == []
+
+    def test_disconnected_product(self):
+        q = parse_query("Q(x, u) :- R(x), U(u, w)")
+        db = Database.from_dict({"R": [(1,), (2,)], "U": [(7, 0), (8, 0)]})
+        rows = set(FreeConnexEnumerator(q, db))
+        assert rows == {(1, 7), (1, 8), (2, 7), (2, 8)}
+
+    def test_random_free_connex_agreement_and_plan(self):
+        rng = random.Random(47)
+        checked = 0
+        for _ in range(200):
+            query = random_cq(rng)
+            if not is_free_connex(query):
+                continue
+            db = random_database(rng, query, size=12, domain=4)
+            enum = FreeConnexEnumerator(query, db)
+            rows = list(enum)
+            assert len(rows) == len(set(rows))
+            assert set(rows) == evaluate_naive(query, db)
+            # The theory says the constant-delay plan always exists.
+            assert enum.constant_delay, query
+            checked += 1
+        assert checked > 40
+
+    def test_static_enumerate_dispatch(self):
+        db = example_6_1_database()
+        assert set(static_enumerate(zoo.EXAMPLE_6_1, db)) == evaluate_naive(
+            zoo.EXAMPLE_6_1, db
+        )
+        cyclic = parse_query("Q(x, z) :- R(x, y), S(y, z)")
+        db2 = Database.from_dict({"R": [(1, 5)], "S": [(5, 9)]})
+        assert set(static_enumerate(cyclic, db2)) == {(1, 9)}
+
+
+class TestDispatch:
+    def test_evaluate_prefers_yannakakis(self):
+        db = example_6_1_database()
+        assert evaluate(zoo.EXAMPLE_6_1, db) == evaluate_naive(
+            zoo.EXAMPLE_6_1, db
+        )
+
+    def test_evaluate_handles_cyclic(self):
+        q = parse_query("Q() :- R(x, y), S(y, z), T(z, x)")
+        db = Database.from_dict(
+            {"R": [(1, 2)], "S": [(2, 3)], "T": [(3, 1)]}
+        )
+        assert evaluate(q, db) == {()}

@@ -1,0 +1,124 @@
+"""Tests for the f-representation export (core.factorized)."""
+
+import random
+
+import pytest
+
+from repro.core.engine import QHierarchicalEngine
+from repro.core.factorized import (
+    compression_ratio,
+    factorize,
+    flat_size,
+)
+from repro.cq import zoo
+from repro.cq.generators import random_q_hierarchical_query
+from repro.cq.parser import parse_query
+from tests.conftest import feed_example_6_1_sorted, random_stream
+
+
+def rows_of(expression, free_tuple):
+    return {
+        tuple(assignment[v] for v in free_tuple)
+        for assignment in expression.assignments()
+    }
+
+
+class TestFactorizeExample61:
+    def test_count_matches_engine(self):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        structure = engine.structures[0]
+        expression = factorize(structure)
+        assert expression.count() == 23 == structure.count()
+
+    def test_assignments_match_enumeration(self):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        structure = engine.structures[0]
+        expression = factorize(structure)
+        assert rows_of(expression, zoo.EXAMPLE_6_1.free) == set(
+            structure.enumerate()
+        )
+
+    def test_factorization_is_smaller_than_flat(self):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        structure = engine.structures[0]
+        expression = factorize(structure)
+        # 23 tuples × 5 vars = 115 flat symbols; the f-representation
+        # shares prefixes and branches.
+        assert flat_size(structure) == 115
+        assert expression.size() < 115
+        assert compression_ratio(structure) > 1.0
+
+    def test_render_mentions_values(self):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        text = str(factorize(engine.structures[0]))
+        assert "⟨x='a'⟩" in text
+        assert "×" in text  # independent y / y' branches
+
+
+class TestFactorizeShapes:
+    def test_boolean_satisfied(self):
+        engine = QHierarchicalEngine(zoo.E_T_BOOLEAN)
+        engine.insert("E", (1, 5))
+        engine.insert("T", (5,))
+        expression = factorize(engine.structures[0])
+        assert expression.count() == 1
+
+    def test_boolean_unsatisfied(self):
+        engine = QHierarchicalEngine(zoo.E_T_BOOLEAN)
+        expression = factorize(engine.structures[0])
+        assert expression.count() == 0
+
+    def test_quantified_subtrees_not_exported(self):
+        # Free x only: the y-witnesses are existence checks, not nodes.
+        q = parse_query("Q(x) :- E(x, y)")
+        engine = QHierarchicalEngine(q)
+        for y in range(5):
+            engine.insert("E", (1, y))
+        expression = factorize(engine.structures[0])
+        assert expression.count() == 1
+        assert expression.size() == 1  # just ⟨x=1⟩
+
+    def test_cartesian_compression(self):
+        # Star with two free leaves: n × n results, 2n + 1 symbols.
+        query = zoo.star_query(2, free_leaves=2)
+        engine = QHierarchicalEngine(query)
+        engine.insert("S", (0,))
+        n = 12
+        for leaf in range(n):
+            engine.insert("E1", (0, leaf))
+            engine.insert("E2", (0, leaf))
+        structure = engine.structures[0]
+        expression = factorize(structure)
+        assert expression.count() == n * n
+        assert expression.size() == 1 + 2 * n
+        assert compression_ratio(structure) > n / 2
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_queries_roundtrip(self, seed):
+        rng = random.Random(seed)
+        query = random_q_hierarchical_query(rng)
+        engine = QHierarchicalEngine(query)
+        for command in random_stream(query, rng, rounds=50, domain=5):
+            engine.apply(command)
+        for structure in engine.structures:
+            expression = factorize(structure)
+            assert expression.count() == structure.count()
+            if structure.query.free:
+                assert rows_of(expression, structure.query.free) == set(
+                    structure.enumerate()
+                )
+
+    def test_snapshot_immune_to_updates(self):
+        engine = QHierarchicalEngine(zoo.E_T_QF)
+        engine.insert("E", (1, 2))
+        engine.insert("T", (2,))
+        expression = factorize(engine.structures[0])
+        before = expression.count()
+        engine.insert("E", (3, 2))
+        # The engine moved on; the exported expression did not.
+        assert expression.count() == before
+        assert engine.count() == before + 1

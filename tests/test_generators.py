@@ -1,0 +1,92 @@
+"""Tests for the random query generators."""
+
+import random
+
+from repro.cq.analysis import is_q_hierarchical
+from repro.cq.generators import (
+    random_cq,
+    random_q_hierarchical_query,
+    random_q_tree_shape,
+)
+
+
+class TestQTreeShape:
+    def test_root_is_first_variable(self):
+        rng = random.Random(0)
+        parent = random_q_tree_shape(rng)
+        assert parent["x0"] is None
+
+    def test_parents_precede_children(self):
+        rng = random.Random(1)
+        parent = random_q_tree_shape(rng, max_depth=4, max_children=3)
+        for child, up in parent.items():
+            if up is not None:
+                assert int(up[1:]) < int(child[1:])
+
+    def test_depth_bound(self):
+        rng = random.Random(2)
+        for _ in range(20):
+            parent = random_q_tree_shape(rng, max_depth=2, max_children=2)
+
+            def depth(node):
+                d = 0
+                while parent[node] is not None:
+                    node = parent[node]
+                    d += 1
+                return d
+
+            assert all(depth(v) <= 3 for v in parent)
+
+
+class TestRandomQHierarchical:
+    def test_always_q_hierarchical(self):
+        rng = random.Random(3)
+        for _ in range(300):
+            query = random_q_hierarchical_query(rng)
+            assert is_q_hierarchical(query), query
+
+    def test_self_join_free(self):
+        rng = random.Random(4)
+        for _ in range(50):
+            assert random_q_hierarchical_query(rng).is_self_join_free
+
+    def test_boolean_allowed_and_forbidden(self):
+        rng = random.Random(5)
+        booleans = sum(
+            1
+            for _ in range(100)
+            if random_q_hierarchical_query(rng, allow_boolean=True).is_boolean
+        )
+        assert booleans > 0
+        rng = random.Random(6)
+        for _ in range(50):
+            query = random_q_hierarchical_query(rng, allow_boolean=False)
+            assert not query.is_boolean
+
+    def test_connected(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            assert random_q_hierarchical_query(rng).is_connected
+
+
+class TestRandomCQ:
+    def test_structurally_valid(self):
+        rng = random.Random(8)
+        for _ in range(200):
+            query = random_cq(rng)
+            assert len(query.atoms) >= 1
+            assert query.free_set <= query.variables
+
+    def test_produces_self_joins(self):
+        rng = random.Random(9)
+        assert any(
+            not random_cq(rng, self_join_probability=0.9).is_self_join_free
+            for _ in range(50)
+        )
+
+    def test_mostly_not_q_hierarchical(self):
+        rng = random.Random(10)
+        hard = sum(
+            1 for _ in range(100) if not is_q_hierarchical(random_cq(rng))
+        )
+        assert hard > 10

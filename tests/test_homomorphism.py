@@ -1,0 +1,127 @@
+"""Tests for homomorphisms, cores and the Π permutation group."""
+
+import pytest
+
+from repro.cq import zoo
+from repro.cq.homomorphism import (
+    all_homomorphisms,
+    core,
+    find_homomorphism,
+    free_permutations,
+    has_homomorphism,
+    is_core,
+    is_equivalent,
+)
+from repro.cq.parser import parse_query
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.errors import QueryStructureError
+
+
+class TestHomomorphisms:
+    def test_identity(self):
+        q = zoo.S_E_T
+        hom = find_homomorphism(q, q)
+        assert hom is not None
+        assert hom["x"] == "x" and hom["y"] == "y"
+
+    def test_free_variables_fixed_positionally(self):
+        source = parse_query("Q(x) :- R(x, y)")
+        target = parse_query("Q(u) :- R(u, w)")
+        hom = find_homomorphism(source, target)
+        assert hom == {"x": "u", "y": "w"}
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(QueryStructureError):
+            find_homomorphism(zoo.S_E_T, zoo.S_E_T_BOOLEAN)
+
+    def test_quantified_can_fold(self):
+        source = parse_query("Q() :- E(x, y), E(y, z)")
+        target = parse_query("Q() :- E(u, u)")
+        assert has_homomorphism(source, target)
+        assert not has_homomorphism(target, source)
+
+    def test_all_homomorphisms_count(self):
+        source = parse_query("Q() :- E(x, y)")
+        target = parse_query("Q() :- E(a, b), E(b, c)")
+        homs = list(all_homomorphisms(source, target))
+        assert len(homs) == 2
+
+    def test_fixed_override(self):
+        q = parse_query("Q() :- E(x, y), E(y, x)")
+        assert has_homomorphism(q, q, fixed={"x": "y"})
+
+    def test_relation_mismatch(self):
+        assert not has_homomorphism(
+            parse_query("Q() :- R(x)"), parse_query("Q() :- S(x)")
+        )
+
+
+class TestCore:
+    def test_self_join_free_is_own_core(self):
+        assert core(zoo.S_E_T) == zoo.S_E_T
+        assert is_core(zoo.S_E_T)
+
+    def test_loop_triangle_core(self):
+        # Section 3: core of ∃x∃y (Exx ∧ Exy ∧ Eyy) is ∃x Exx.
+        folded = core(zoo.LOOP_TRIANGLE)
+        assert len(folded.atoms) == 1
+        atom = folded.atoms[0]
+        assert atom.relation == "E" and atom.args[0] == atom.args[1]
+
+    def test_phi1_is_its_own_core(self):
+        # Free variables x, y block the folding: ϕ1 is a hard core.
+        assert is_core(zoo.PHI_1)
+
+    def test_hierarchical_rre_core_folds_primes(self):
+        folded = core(zoo.HIERARCHICAL_RRE)
+        assert len(folded.atoms) == 2
+        assert {a.relation for a in folded.atoms} == {"R", "E"}
+
+    def test_core_preserves_free_tuple(self):
+        q = parse_query("Q(x) :- E(x, y), E(x, z)")
+        folded = core(q)
+        assert folded.free == ("x",)
+        assert len(folded.atoms) == 1
+
+    def test_core_is_equivalent_to_original(self):
+        for query in [zoo.LOOP_TRIANGLE, zoo.HIERARCHICAL_RRE, zoo.PHI_2]:
+            folded = core(query)
+            assert is_equivalent(query, folded)
+
+    def test_core_idempotent(self):
+        for query in zoo.PAPER_QUERIES.values():
+            folded = core(query)
+            assert core(folded) == folded
+
+    def test_path_with_fold(self):
+        # E(x,y) ∧ E(y,z) folds onto a loop only if one exists; over a
+        # pure path pattern the core keeps both atoms.
+        q = parse_query("Q() :- E(x, y), E(y, z)")
+        assert len(core(q).atoms) == 2
+
+
+class TestFreePermutations:
+    def test_identity_always_present(self):
+        for query in [zoo.S_E_T, zoo.PHI_1, zoo.EXAMPLE_6_1]:
+            perms = free_permutations(query)
+            assert tuple(range(query.arity)) in perms
+
+    def test_symmetric_query_has_swap(self):
+        q = parse_query("Q(x, y) :- E(x, y), E(y, x)")
+        perms = free_permutations(q)
+        assert (1, 0) in perms
+        assert len(perms) == 2
+
+    def test_asymmetric_query_identity_only(self):
+        q = parse_query("Q(x, y) :- S(x), E(x, y)")
+        assert free_permutations(q) == [(0, 1)]
+
+    def test_boolean_query_single_empty_permutation(self):
+        assert free_permutations(zoo.S_E_T_BOOLEAN) == [()]
+
+    def test_three_way_symmetry(self):
+        q = parse_query("Q(x, y, z) :- E(x, y), E(y, z), E(z, x)")
+        perms = free_permutations(q)
+        # Cyclic rotations extend to endomorphisms; the full group here
+        # is the 3 rotations (transpositions reverse edge direction).
+        assert len(perms) == 3

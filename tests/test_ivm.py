@@ -1,0 +1,123 @@
+"""Tests for the baselines: RecomputeEngine and DeltaIVMEngine."""
+
+import random
+
+import pytest
+
+from repro.cq import zoo
+from repro.cq.parser import parse_query
+from repro.eval_static.naive import evaluate as evaluate_naive, valuation_counts
+from repro.ivm import DeltaIVMEngine, RecomputeEngine
+from tests.conftest import loop_graph_stream, random_stream
+
+
+ENGINES = [RecomputeEngine, DeltaIVMEngine]
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+class TestAgainstGroundTruth:
+    def test_s_e_t(self, engine_cls):
+        engine = engine_cls(zoo.S_E_T)
+        engine.insert("S", (1,))
+        engine.insert("E", (1, 5))
+        engine.insert("T", (5,))
+        assert engine.result_set() == {(1, 5)}
+        engine.delete("T", (5,))
+        assert engine.result_set() == set()
+        assert engine.count() == 0
+        assert not engine.answer()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_streams(self, engine_cls, seed):
+        rng = random.Random(seed)
+        query = zoo.S_E_T if seed % 2 else zoo.E_T
+        engine = engine_cls(query)
+        for step, command in enumerate(random_stream(query, rng, rounds=70)):
+            engine.apply(command)
+            if step % 11 == 0:
+                truth = evaluate_naive(query, engine.database)
+                assert engine.result_set() == truth
+                assert engine.count() == len(truth)
+
+    def test_self_join_phi1(self, engine_cls):
+        rng = random.Random(5)
+        engine = engine_cls(zoo.PHI_1)
+        for step, command in enumerate(loop_graph_stream(rng, rounds=90)):
+            engine.apply(command)
+            if step % 9 == 0:
+                truth = evaluate_naive(zoo.PHI_1, engine.database)
+                assert engine.result_set() == truth, step
+
+    def test_self_join_loop_triangle_boolean(self, engine_cls):
+        rng = random.Random(6)
+        engine = engine_cls(zoo.LOOP_TRIANGLE)
+        for step, command in enumerate(loop_graph_stream(rng, rounds=60)):
+            engine.apply(command)
+            truth = bool(evaluate_naive(zoo.LOOP_TRIANGLE, engine.database))
+            assert engine.answer() == truth, step
+
+    def test_cyclic_query_support(self, engine_cls):
+        # Baselines handle queries the fast engine refuses — including
+        # cyclic ones.
+        q = parse_query("Q() :- R(x, y), S(y, z), T(z, x)")
+        engine = engine_cls(q)
+        engine.insert("R", (1, 2))
+        engine.insert("S", (2, 3))
+        assert not engine.answer()
+        engine.insert("T", (3, 1))
+        assert engine.answer()
+
+
+class TestDeltaIVMInternals:
+    def test_valuation_counts_match_naive(self):
+        rng = random.Random(8)
+        engine = DeltaIVMEngine(zoo.E_T)
+        for command in random_stream(zoo.E_T, rng, rounds=60):
+            engine.apply(command)
+        truth = valuation_counts(zoo.E_T, engine.database)
+        for key, amount in truth.items():
+            assert engine.valuation_count(key) == amount
+        assert engine.count() == len(truth)
+
+    def test_self_join_valuation_counts(self):
+        # E(x,x) ∧ E(x,y): one E tuple feeds two atoms.
+        q = parse_query("Q(x, y) :- E(x, x), E(x, y)")
+        engine = DeltaIVMEngine(q)
+        engine.insert("E", (1, 1))
+        assert engine.valuation_count((1, 1)) == 1
+        engine.insert("E", (1, 2))
+        assert engine.valuation_count((1, 2)) == 1
+        engine.delete("E", (1, 1))
+        assert engine.count() == 0
+
+    def test_insert_delete_roundtrip_restores_counts(self):
+        rng = random.Random(9)
+        engine = DeltaIVMEngine(zoo.S_E_T)
+        engine.insert("S", (1,))
+        engine.insert("E", (1, 5))
+        engine.insert("T", (5,))
+        baseline = engine.count()
+        engine.insert("E", (1, 6))
+        engine.delete("E", (1, 6))
+        assert engine.count() == baseline
+
+    def test_enumerate_only_positive(self):
+        engine = DeltaIVMEngine(zoo.E_T)
+        engine.insert("E", (1, 5))
+        engine.insert("T", (5,))
+        engine.delete("T", (5,))
+        assert list(engine.enumerate()) == []
+
+
+class TestRecomputeInternals:
+    def test_lazy_recompute_counts(self):
+        engine = RecomputeEngine(zoo.E_T)
+        engine.insert("E", (1, 5))
+        engine.insert("T", (5,))
+        assert engine.recompute_count == 0  # nothing queried yet
+        engine.count()
+        engine.answer()
+        assert engine.recompute_count == 1  # cached between queries
+        engine.insert("E", (2, 5))
+        engine.count()
+        assert engine.recompute_count == 2

@@ -1,0 +1,81 @@
+"""Tests for the O(1) membership primitive (engine.contains)."""
+
+import random
+
+import pytest
+
+from repro.core.engine import QHierarchicalEngine
+from repro.cq import zoo
+from repro.cq.generators import random_q_hierarchical_query
+from repro.cq.parser import parse_query
+from repro.eval_static.naive import evaluate as evaluate_naive
+from tests.conftest import example_6_1_database, random_stream
+
+
+class TestContains:
+    def test_example_6_1_members(self, d0):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1, d0)
+        result = evaluate_naive(zoo.EXAMPLE_6_1, d0)
+        for row in result:
+            assert engine.contains(row)
+
+    def test_example_6_1_non_members(self, d0):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1, d0)
+        assert not engine.contains(("a", "e", "a", "e", "zzz"))
+        assert not engine.contains(("b", "p", "a", "d", "a"))  # unfit y=p
+        assert not engine.contains(("nope",) * 5)
+
+    def test_wrong_arity(self, d0):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1, d0)
+        assert not engine.contains(("a",))
+        assert not engine.contains(())
+
+    def test_boolean_query(self):
+        engine = QHierarchicalEngine(zoo.E_T_BOOLEAN)
+        assert not engine.contains(())
+        engine.insert("E", (1, 5))
+        engine.insert("T", (5,))
+        assert engine.contains(())
+
+    def test_tracks_updates(self, d0):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1, d0)
+        target = ("b", "p", "a", "d", "a")
+        assert not engine.contains(target)
+        engine.insert("E", ("b", "p"))
+        assert engine.contains(target)
+        engine.delete("E", ("b", "p"))
+        assert not engine.contains(target)
+
+    def test_disconnected_query(self):
+        q = parse_query("Q(x, u) :- R(x), U(u)")
+        engine = QHierarchicalEngine(q)
+        engine.insert("R", (1,))
+        engine.insert("U", (7,))
+        assert engine.contains((1, 7))
+        assert not engine.contains((1, 8))
+        assert not engine.contains((2, 7))
+
+    def test_boolean_component_gates_membership(self):
+        q = parse_query("Q(x) :- R(x), S(u)")
+        engine = QHierarchicalEngine(q)
+        engine.insert("R", (1,))
+        assert not engine.contains((1,))  # S component empty
+        engine.insert("S", (5,))
+        assert engine.contains((1,))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_enumeration_exactly(self, seed):
+        rng = random.Random(seed)
+        query = random_q_hierarchical_query(rng)
+        engine = QHierarchicalEngine(query)
+        for command in random_stream(query, rng, rounds=60, domain=5):
+            engine.apply(command)
+        result = engine.result_set()
+        for row in result:
+            assert engine.contains(row)
+        # Random non-members (perturb one coordinate).
+        for row in list(result)[:10]:
+            if not row:
+                continue
+            fake = ("missing-value",) + row[1:]
+            assert engine.contains(fake) == (fake in result)

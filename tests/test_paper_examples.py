@@ -1,0 +1,106 @@
+"""End-to-end fixtures tied to the paper's printed artefacts.
+
+Everything here mirrors a concrete number, figure or table in the PDF:
+if one of these tests fails, the reproduction no longer matches the
+paper.
+"""
+
+import pytest
+
+from repro.core.engine import QHierarchicalEngine
+from repro.core.qtree import build_q_tree
+from repro.core.render import render_q_tree, render_structure
+from repro.cq import zoo
+from repro.cq.analysis import classify
+from tests.conftest import example_6_1_database, feed_example_6_1_sorted
+
+
+class TestFigure1:
+    def test_both_q_trees_exist(self):
+        left = build_q_tree(zoo.FIGURE_1, prefer=("x1",))
+        right = build_q_tree(zoo.FIGURE_1, prefer=("x2",))
+        assert left.root == "x1" and right.root == "x2"
+
+    def test_renders_contain_all_variables(self):
+        tree = build_q_tree(zoo.FIGURE_1, prefer=("x1",))
+        rendering = render_q_tree(tree)
+        for var in ["x1", "x2", "x3", "x4", "x5"]:
+            assert var in rendering
+
+    def test_free_variables_form_top_of_tree(self):
+        for prefer in [("x1",), ("x2",)]:
+            tree = build_q_tree(zoo.FIGURE_1, prefer=prefer)
+            assert tree.is_valid()
+            for free_var in ["x1", "x2", "x3"]:
+                parent = tree.parent[free_var]
+                assert parent is None or parent in {"x1", "x2", "x3"}
+
+
+class TestFigure2:
+    def test_annotated_render(self):
+        tree = build_q_tree(zoo.EXAMPLE_6_1)
+        rendering = render_q_tree(tree, annotate=True)
+        assert "rep: {∅}" in rendering  # rep(x) = ∅
+        assert "E(x, y)" in rendering
+        assert "S(x, y, z)" in rendering
+
+
+class TestFigure3:
+    def test_structure_render_carries_weights(self):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        rendering = render_structure(engine.structures[0])
+        assert "C_start = 23" in rendering
+        assert "C=14" in rendering  # item [x='a']
+        assert "C=9" in rendering  # item [x='b']
+        assert "(unfit)" in rendering  # the weight-0 item [y='p']
+
+    def test_render_after_update(self):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        engine.insert("E", ("b", "p"))
+        rendering = render_structure(engine.structures[0])
+        assert "C_start = 38" in rendering
+        assert "C=24" in rendering
+
+    def test_hide_unfit(self):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        rendering = render_structure(
+            engine.structures[0], include_unfit=False
+        )
+        assert "(unfit)" not in rendering
+
+
+class TestSection3ClassificationTable:
+    """The classification facts stated in Sections 1, 3 and 7."""
+
+    def test_dichotomy_table(self):
+        expectations = {
+            # name: (q_hierarchical, boolean_tractable, counting_tractable)
+            "S_E_T": (False, False, False),
+            "S_E_T_BOOLEAN": (False, False, False),
+            "E_T": (False, True, False),
+            "E_T_QF": (True, True, True),
+            "E_T_BOOLEAN": (True, True, True),
+            "HIERARCHICAL_RRE": (True, True, True),
+            "LOOP_TRIANGLE": (False, True, True),
+            "PHI_1": (False, True, False),
+            "EXAMPLE_6_1": (True, True, True),
+        }
+        for name, (qh, boolean, counting) in expectations.items():
+            verdict = classify(zoo.PAPER_QUERIES[name])
+            assert verdict.q_hierarchical is qh, name
+            assert verdict.boolean_tractable is boolean, name
+            assert verdict.counting_tractable is counting, name
+
+    def test_phi2_open_enumeration_but_hard_counting(self):
+        verdict = classify(zoo.PHI_2)
+        assert verdict.enumeration_tractable is None  # self-join, open
+        assert not verdict.counting_tractable  # Thm 3.5 applies
+
+    def test_database_measures_of_d0(self):
+        db = example_6_1_database()
+        assert db.cardinality == 20
+        # adom = {a, b, c, d, e, f, g, h, p}.
+        assert db.active_domain_size == 9

@@ -1,0 +1,110 @@
+"""Tests for the rule-syntax parser (repro.cq.parser)."""
+
+import pytest
+
+from repro.cq.parser import parse_atom, parse_many, parse_query
+from repro.cq.query import Atom
+from repro.cq import zoo
+from repro.errors import QuerySyntaxError, QueryStructureError
+
+
+class TestParseQuery:
+    def test_simple(self):
+        q = parse_query("Q(x, y) :- R(x, y), S(y)")
+        assert q.free == ("x", "y")
+        assert q.atoms == (Atom("R", ["x", "y"]), Atom("S", ["y"]))
+        assert q.name == "Q"
+
+    def test_boolean_with_parens(self):
+        q = parse_query("Q() :- R(x)")
+        assert q.is_boolean
+
+    def test_boolean_bare_head(self):
+        q = parse_query("Q :- R(x)")
+        assert q.is_boolean
+
+    def test_primed_variables(self):
+        q = parse_query("Q(x) :- R(x, y', z'), E(x, y')")
+        assert "y'" in q.variables and "z'" in q.variables
+
+    def test_trailing_dot(self):
+        q = parse_query("Q(x) :- R(x).")
+        assert q.free == ("x",)
+
+    def test_alternative_arrows(self):
+        assert parse_query("Q(x) <- R(x)") == parse_query("Q(x) :- R(x)")
+
+    def test_name_override(self):
+        q = parse_query("Q(x) :- R(x)", name="phi")
+        assert q.name == "phi"
+
+    def test_whitespace_insensitive(self):
+        q = parse_query("  Q ( x )   :-   R ( x , y )  ")
+        assert q.free == ("x",)
+
+    def test_paper_queries_parse_to_zoo_objects(self):
+        assert parse_query("Q(x, y) :- S(x), E(x, y), T(y)") == zoo.S_E_T
+        assert parse_query("Q() :- S(x), E(x, y), T(y)") == zoo.S_E_T_BOOLEAN
+        assert parse_query("Q(x) :- E(x, y), T(y)") == zoo.E_T
+        assert (
+            parse_query("Q(x, y) :- E(x, x), E(x, y), E(y, y)") == zoo.PHI_1
+        )
+
+    def test_example_6_1_parses(self):
+        q = parse_query(
+            "Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z)"
+        )
+        assert q == zoo.EXAMPLE_6_1
+
+
+class TestParserErrors:
+    def test_missing_body(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("Q(x) :- ")
+
+    def test_missing_arrow(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("Q(x) R(x)")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("Q(x :- R(x)")
+
+    def test_garbage_character(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("Q(x) :- R(x) & S(x)")
+
+    def test_nullary_atom_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("Q() :- R()")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("Q(x) :- R(x) extra")
+
+    def test_head_variable_not_in_body(self):
+        with pytest.raises(QueryStructureError):
+            parse_query("Q(w) :- R(x)")
+
+
+class TestParseAtom:
+    def test_parse_atom(self):
+        assert parse_atom("R(x, y)") == Atom("R", ["x", "y"])
+
+    def test_parse_atom_rejects_query(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_atom("Q(x) :- R(x)")
+
+
+class TestParseMany:
+    def test_multi_line_with_comments(self):
+        queries = parse_many(
+            """
+            # the paper's pair
+            Q1(x) :- E(x, y), T(y)
+            Q2() :- S(x)
+            """
+        )
+        assert len(queries) == 2
+        assert queries[0].name == "Q1"
+        assert queries[1].is_boolean

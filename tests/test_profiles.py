@@ -1,0 +1,49 @@
+"""Tests for the hardness-profile reports."""
+
+import pytest
+
+from repro.cq import zoo
+from repro.lowerbounds.profiles import hardness_profile
+
+
+class TestHardnessProfile:
+    def test_q_hierarchical_profile(self):
+        profile = hardness_profile(zoo.EXAMPLE_6_1)
+        text = profile.render()
+        assert "Theorem 3.2" in text
+        assert "QHierarchicalEngine" in text
+        assert "not q-hierarchical" not in text
+
+    def test_s_e_t_profile(self):
+        profile = hardness_profile(zoo.S_E_T)
+        text = profile.render()
+        assert "condition (i)" in text
+        assert "Theorem 3.3" in text
+        assert "Theorem 3.4" in text  # Boolean core also hard
+        assert "Theorem 3.5" in text  # counting hard
+        assert "free-connex acyclic" in text  # statically easy!
+
+    def test_e_t_profile_mixed_verdicts(self):
+        profile = hardness_profile(zoo.E_T)
+        text = profile.render()
+        assert "condition (ii)" in text
+        assert "emptiness is maintainable in O(1)" in text  # Boolean easy
+        assert "OVCountingReduction" in text  # counting hard via OV
+
+    def test_phi1_profile_self_join_open(self):
+        profile = hardness_profile(zoo.PHI_1)
+        text = profile.render()
+        assert "dichotomy is open" in text
+        assert "Lemma A.1" in text and "Lemma A.2" in text
+        assert "OuMvCountingReduction" in text  # counting case (i)
+
+    def test_loop_triangle_boolean_rescued_by_core(self):
+        profile = hardness_profile(zoo.LOOP_TRIANGLE)
+        text = profile.render()
+        assert "emptiness is maintainable in O(1)" in text
+        assert "counting: the query's core is q-hierarchical" in text
+
+    def test_classification_attached(self):
+        profile = hardness_profile(zoo.E_T_QF)
+        assert profile.classification.q_hierarchical
+        assert profile.free_connex

@@ -1,0 +1,308 @@
+"""Hypothesis property tests over the paper's key invariants.
+
+These are the "executable theorems" of the reproduction: each property
+is a statement the paper proves, checked here on randomly generated
+queries, databases and update streams.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import QHierarchicalEngine
+from repro.core.enumeration import algorithm1
+from repro.core.qtree import try_build_q_tree
+from repro.core.selfjoin import Phi2Engine
+from repro.cq import zoo
+from repro.cq.acyclicity import is_free_connex
+from repro.cq.analysis import is_hierarchical, is_q_hierarchical
+from repro.cq.generators import random_cq, random_q_hierarchical_query
+from repro.cq.homomorphism import core, is_equivalent
+from repro.eval_static.naive import evaluate as evaluate_naive
+from repro.ivm import DeltaIVMEngine
+from repro.lowerbounds.counting_lemma import solve_vandermonde
+from repro.storage.database import Database
+from tests.conftest import loop_graph_stream, random_stream
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_engine_equivalence_under_updates(seed):
+    """Theorem 3.2 correctness: the dynamic engine agrees with naive
+    re-evaluation and delta IVM after any update sequence."""
+    rng = random.Random(seed)
+    query = random_q_hierarchical_query(rng)
+    fast = QHierarchicalEngine(query)
+    ivm = DeltaIVMEngine(query)
+    stream = random_stream(query, rng, rounds=50, domain=6)
+    for command in stream:
+        fast.apply(command)
+        ivm.apply(command)
+    truth = evaluate_naive(query, fast.database)
+    assert fast.result_set() == truth
+    assert ivm.result_set() == truth
+    assert fast.count() == ivm.count() == len(truth)
+    assert fast.answer() == bool(truth)
+
+
+@settings(max_examples=120, deadline=None)
+@given(seed=seeds)
+def test_lemma_4_2_qtree_iff_q_hierarchical(seed):
+    """Lemma 4.2: a q-tree exists iff Definition 3.1 holds."""
+    rng = random.Random(seed)
+    query = random_cq(rng)
+    built = all(
+        try_build_q_tree(component) is not None
+        for component in query.connected_components()
+    )
+    assert built == is_q_hierarchical(query)
+
+
+@settings(max_examples=120, deadline=None)
+@given(seed=seeds)
+def test_q_hierarchical_implies_hierarchical_and_free_connex(seed):
+    """Section 1.2 inclusions: q-hierarchical ⊆ hierarchical and
+    q-hierarchical ⊆ free-connex acyclic."""
+    rng = random.Random(seed)
+    query = random_q_hierarchical_query(rng)
+    assert is_q_hierarchical(query)
+    assert is_hierarchical(query)
+    assert is_free_connex(query)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds)
+def test_core_preserves_semantics(seed):
+    """Chandra–Merlin: core(ϕ)(D) = ϕ(D) on every database."""
+    rng = random.Random(seed)
+    query = random_cq(rng, max_vars=4, max_atoms=3)
+    folded = core(query)
+    assert is_equivalent(query, folded)
+    db = Database.empty_like(query)
+    for atom in query.atoms:
+        for _ in range(8):
+            db.insert(
+                atom.relation,
+                tuple(rng.randint(1, 4) for _ in range(atom.arity)),
+            )
+    assert evaluate_naive(query, db) == evaluate_naive(folded, db)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_enumeration_no_duplicates_and_count_consistent(seed):
+    """Algorithm 1 yields each result exactly once, and the O(1) count
+    equals the enumeration length (Lemma 6.2 + Section 6.5)."""
+    rng = random.Random(seed)
+    query = random_q_hierarchical_query(rng)
+    engine = QHierarchicalEngine(query)
+    for command in random_stream(query, rng, rounds=60, domain=5):
+        engine.apply(command)
+    rows = list(engine.enumerate())
+    assert len(rows) == len(set(rows))
+    assert len(rows) == engine.count()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_pointer_algorithm_matches_generator(seed):
+    """The literal Algorithm 1 and the recursive generator enumerate
+    identical sequences."""
+    rng = random.Random(seed)
+    query = random_q_hierarchical_query(rng)
+    engine = QHierarchicalEngine(query)
+    for command in random_stream(query, rng, rounds=40, domain=5):
+        engine.apply(command)
+    for structure in engine.structures:
+        assert list(algorithm1(structure)) == list(structure.enumerate())
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_full_deletion_resets_structure(seed):
+    """Deleting every tuple (in random order) empties the item store —
+    no leaked items, weights or list entries."""
+    rng = random.Random(seed)
+    query = random_q_hierarchical_query(rng)
+    engine = QHierarchicalEngine(query)
+    for command in random_stream(query, rng, rounds=50, domain=5):
+        engine.apply(command)
+    rows = [
+        (relation.name, row)
+        for relation in engine.database.relations()
+        for row in relation.rows
+    ]
+    rng.shuffle(rows)
+    for name, row in rows:
+        engine.delete(name, row)
+    assert engine.count() == 0
+    assert not engine.answer()
+    assert engine.item_count() == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_phi2_engine_matches_naive(seed):
+    """Lemma A.2 engine equals brute-force ϕ2 evaluation on random
+    loop-heavy graphs under mixed updates."""
+    rng = random.Random(seed)
+    engine = Phi2Engine(zoo.PHI_2)
+    for command in loop_graph_stream(rng, rounds=60, domain=6):
+        engine.apply(command)
+    truth = evaluate_naive(zoo.PHI_2, engine.database)
+    rows = list(engine.enumerate())
+    assert len(rows) == len(set(rows))
+    assert set(rows) == truth
+    assert engine.count() == len(truth)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    coefficients=st.lists(
+        st.integers(min_value=0, max_value=10**6), min_size=1, max_size=6
+    )
+)
+def test_vandermonde_roundtrip(coefficients):
+    """The exact solver inverts polynomial evaluation at ℓ = 1..k+1."""
+    values = [
+        sum(c * ell**j for j, c in enumerate(coefficients))
+        for ell in range(1, len(coefficients) + 1)
+    ]
+    solved = solve_vandermonde(values)
+    assert [int(x) for x in solved] == coefficients
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds)
+def test_boolean_answer_equals_emptiness(seed):
+    """answer() is exactly non-emptiness of the enumerated result."""
+    rng = random.Random(seed)
+    query = random_q_hierarchical_query(rng).boolean_version()
+    engine = QHierarchicalEngine(query)
+    for command in random_stream(query, rng, rounds=40, domain=4):
+        engine.apply(command)
+    assert engine.answer() == bool(list(engine.enumerate()))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds)
+def test_structure_invariants_after_streams(seed):
+    """The full Section 6 invariant audit (weights, counters, lists,
+    sums, presence) holds after arbitrary update sequences."""
+    from repro.core.validation import check_engine
+
+    rng = random.Random(seed)
+    query = random_q_hierarchical_query(rng, max_depth=2, max_children=2)
+    engine = QHierarchicalEngine(query)
+    for command in random_stream(query, rng, rounds=35, domain=4):
+        engine.apply(command)
+    report = check_engine(engine)
+    assert report.ok, str(report)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds)
+def test_membership_equals_enumerated_set(seed):
+    """contains() agrees with the enumerated result, member or not."""
+    rng = random.Random(seed)
+    query = random_q_hierarchical_query(rng)
+    engine = QHierarchicalEngine(query)
+    for command in random_stream(query, rng, rounds=40, domain=4):
+        engine.apply(command)
+    result = engine.result_set()
+    for row in result:
+        assert engine.contains(row)
+    domain_values = list(range(1, 5))
+    for _ in range(10):
+        fake = tuple(
+            rng.choice(domain_values) for _ in range(len(query.free))
+        )
+        assert engine.contains(fake) == (fake in result)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds)
+def test_factorized_export_roundtrip(seed):
+    """The f-representation export represents exactly the result."""
+    from repro.core.factorized import factorize
+
+    rng = random.Random(seed)
+    query = random_q_hierarchical_query(rng)
+    engine = QHierarchicalEngine(query)
+    for command in random_stream(query, rng, rounds=40, domain=4):
+        engine.apply(command)
+    for structure in engine.structures:
+        expression = factorize(structure)
+        assert expression.count() == structure.count()
+        if structure.query.free:
+            rows = {
+                tuple(a[v] for v in structure.query.free)
+                for a in expression.assignments()
+            }
+            assert rows == set(structure.enumerate())
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=seeds)
+def test_query_text_roundtrip(seed):
+    """``parse_query(str(q)) == q`` for generated queries."""
+    from repro.cq.parser import parse_query
+
+    rng = random.Random(seed)
+    query = (
+        random_q_hierarchical_query(rng)
+        if seed % 2
+        else random_cq(rng)
+    )
+    assert parse_query(str(query)) == query
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds)
+def test_union_engine_matches_naive_union(seed):
+    """UCQ extension: the union engine equals the set union of its
+    disjuncts' ground-truth evaluations after random streams."""
+    from repro.extensions.ucq import UnionEngine, UnionOfCQs
+    from repro.storage.database import Database, Schema
+
+    rng = random.Random(seed)
+    # Draw disjuncts of equal arity with disjoint relation namespaces.
+    first = random_q_hierarchical_query(
+        rng, max_depth=2, max_children=2, relation_prefix="A", var_prefix="a"
+    )
+    second = None
+    for _ in range(40):
+        candidate = random_q_hierarchical_query(
+            rng, max_depth=2, max_children=2, relation_prefix="B", var_prefix="b"
+        )
+        if candidate.arity == first.arity:
+            second = candidate
+            break
+    if second is None:
+        return  # extremely unlikely; skip silently
+    union = UnionOfCQs([first, second])
+    engine = UnionEngine(union)
+
+    arities = {}
+    for query in union.disjuncts:
+        for relation in query.relations:
+            arities[relation] = query.arity_of(relation)
+    db = Database(Schema(arities))
+
+    pseudo_atoms = [a for q in union.disjuncts for a in q.atoms]
+    from repro.cq.query import ConjunctiveQuery
+
+    pseudo = ConjunctiveQuery(pseudo_atoms, (), name="pseudo")
+    for command in random_stream(pseudo, rng, rounds=50, domain=4):
+        engine.apply(command)
+        command.apply_to(db)
+
+    truth = set()
+    for query in union.disjuncts:
+        truth |= evaluate_naive(query, db)
+    rows = list(engine.enumerate())
+    assert len(rows) == len(set(rows))
+    assert set(rows) == truth
+    assert engine.count() == len(truth)

@@ -1,0 +1,125 @@
+"""Tests for q-tree construction (Section 4, Lemma 4.2)."""
+
+import random
+
+import pytest
+
+from repro.cq import zoo
+from repro.cq.analysis import is_q_hierarchical
+from repro.cq.generators import random_cq, random_q_hierarchical_query
+from repro.cq.parser import parse_query
+from repro.core.qtree import build_q_tree, try_build_q_tree
+from repro.errors import NotQHierarchicalError, QueryStructureError
+
+
+class TestBuildOnPaperQueries:
+    def test_example_6_1_matches_figure_2(self):
+        tree = build_q_tree(zoo.EXAMPLE_6_1)
+        assert tree.root == "x"
+        assert tree.children["x"] == ["y", "y'"]
+        assert tree.children["y"] == ["z", "z'"]
+        assert tree.children["y'"] == []
+        # rep sets exactly as printed in Figure 2.
+        atoms = zoo.EXAMPLE_6_1.atoms
+        label = lambda idx: str(atoms[idx])
+        assert tree.rep["x"] == []
+        assert [label(i) for i in tree.rep["y"]] == ["E(x, y)"]
+        assert sorted(label(i) for i in tree.rep["z"]) == [
+            "R(x, y, z)",
+            "S(x, y, z)",
+        ]
+        assert [label(i) for i in tree.rep["z'"]] == ["R(x, y, z')"]
+        assert [label(i) for i in tree.rep["y'"]] == ["E(x, y')"]
+
+    def test_figure_1_two_trees(self):
+        left = build_q_tree(zoo.FIGURE_1, prefer=("x1",))
+        right = build_q_tree(zoo.FIGURE_1, prefer=("x2",))
+        assert left.root == "x1" and right.root == "x2"
+        # Figure 1 left: x1 → x2 → {x3 → x5, x4}.
+        assert left.children["x1"] == ["x2"]
+        assert set(left.children["x2"]) == {"x3", "x4"}
+        assert left.children["x3"] == ["x5"]
+        # Figure 1 right mirrors the first two levels.
+        assert right.children["x2"] == ["x1"]
+        assert set(right.children["x1"]) == {"x3", "x4"}
+        for tree in (left, right):
+            assert tree.is_valid()
+
+    def test_non_q_hierarchical_queries_fail(self):
+        for name in ["S_E_T", "E_T", "PHI_1", "LOOP_TRIANGLE"]:
+            query = zoo.PAPER_QUERIES[name]
+            for component in query.connected_components():
+                assert try_build_q_tree(component) is None, name
+
+    def test_build_q_tree_raises_with_witness(self):
+        with pytest.raises(NotQHierarchicalError) as excinfo:
+            build_q_tree(zoo.E_T)
+        assert excinfo.value.violation is not None
+        assert excinfo.value.violation.kind == "condition_ii"
+
+    def test_requires_connected_component(self):
+        q = parse_query("Q() :- R(x), S(y)")
+        with pytest.raises(QueryStructureError):
+            try_build_q_tree(q)
+
+
+class TestQTreeProperties:
+    def test_document_order_is_preorder(self):
+        tree = build_q_tree(zoo.EXAMPLE_6_1)
+        assert tree.document_order() == ["x", "y", "z", "z'", "y'"]
+
+    def test_free_document_order_quantifier_free(self):
+        tree = build_q_tree(zoo.EXAMPLE_6_1)
+        assert tree.free_document_order() == tree.document_order()
+
+    def test_free_document_order_with_quantified(self):
+        tree = build_q_tree(zoo.FIGURE_1, prefer=("x1",))
+        # x4 and x5 are quantified.
+        assert set(tree.free_document_order()) == {"x1", "x2", "x3"}
+
+    def test_paths(self):
+        tree = build_q_tree(zoo.EXAMPLE_6_1)
+        assert tree.path["z"] == ("x", "y", "z")
+        assert tree.path["y'"] == ("x", "y'")
+        assert tree.depth("z") == 2 and tree.depth("x") == 0
+
+    def test_rep_node_of(self):
+        tree = build_q_tree(zoo.EXAMPLE_6_1)
+        atoms = zoo.EXAMPLE_6_1.atoms
+        e_xy = next(i for i, a in enumerate(atoms) if str(a) == "E(x, y)")
+        assert tree.rep_node_of(e_xy) == "y"
+
+    def test_free_root_preference(self):
+        # free variable must become the root when free(ϕ) ≠ ∅.
+        q = parse_query("Q(y) :- E(x, y), F(y)")
+        tree = build_q_tree(q)
+        assert tree.root == "y"
+
+    def test_boolean_component_builds(self):
+        tree = build_q_tree(zoo.E_T_BOOLEAN)
+        assert tree.is_valid()
+        assert set(tree.parent) == {"x", "y"}
+
+
+class TestLemma42Equivalence:
+    """try_build_q_tree succeeds iff Definition 3.1 holds (Lemma 4.2)."""
+
+    def test_on_random_queries(self):
+        rng = random.Random(99)
+        for _ in range(400):
+            query = random_cq(rng)
+            expected = is_q_hierarchical(query)
+            got = all(
+                try_build_q_tree(component) is not None
+                for component in query.connected_components()
+            )
+            assert got == expected, query
+
+    def test_on_random_q_hierarchical(self):
+        rng = random.Random(100)
+        for _ in range(150):
+            query = random_q_hierarchical_query(rng)
+            for component in query.connected_components():
+                tree = try_build_q_tree(component)
+                assert tree is not None, query
+                assert tree.is_valid(), query

@@ -1,0 +1,214 @@
+"""Unit tests for the core query representation (repro.cq.query)."""
+
+import pytest
+
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.errors import QueryStructureError
+
+
+class TestAtom:
+    def test_basic_construction(self):
+        atom = Atom("R", ["x", "y"])
+        assert atom.relation == "R"
+        assert atom.args == ("x", "y")
+        assert atom.arity == 2
+
+    def test_variables_deduplicate(self):
+        atom = Atom("R", ["x", "y", "x"])
+        assert atom.variables == {"x", "y"}
+        assert atom.arity == 3
+
+    def test_rejects_nullary(self):
+        with pytest.raises(QueryStructureError):
+            Atom("R", [])
+
+    def test_rejects_empty_relation_name(self):
+        with pytest.raises(QueryStructureError):
+            Atom("", ["x"])
+
+    def test_rename_partial(self):
+        atom = Atom("R", ["x", "y"])
+        assert atom.rename({"x": "z"}) == Atom("R", ["z", "y"])
+
+    def test_rename_can_merge_variables(self):
+        atom = Atom("R", ["x", "y"])
+        assert atom.rename({"x": "y"}) == Atom("R", ["y", "y"])
+
+    def test_equality_and_hash(self):
+        assert Atom("R", ["x", "y"]) == Atom("R", ("x", "y"))
+        assert hash(Atom("R", ["x"])) == hash(Atom("R", ["x"]))
+        assert Atom("R", ["x", "y"]) != Atom("R", ["y", "x"])
+
+    def test_str(self):
+        assert str(Atom("E", ["x", "y"])) == "E(x, y)"
+
+
+class TestConjunctiveQuery:
+    def test_basic(self):
+        q = ConjunctiveQuery([Atom("R", ["x", "y"])], ("x",))
+        assert q.free == ("x",)
+        assert q.variables == {"x", "y"}
+        assert q.quantified == {"y"}
+        assert q.arity == 1
+
+    def test_needs_an_atom(self):
+        with pytest.raises(QueryStructureError):
+            ConjunctiveQuery([], ())
+
+    def test_duplicate_atoms_collapse(self):
+        q = ConjunctiveQuery(
+            [Atom("R", ["x"]), Atom("R", ["x"])], ("x",)
+        )
+        assert len(q.atoms) == 1
+
+    def test_free_variable_must_occur(self):
+        with pytest.raises(QueryStructureError):
+            ConjunctiveQuery([Atom("R", ["x"])], ("y",))
+
+    def test_duplicate_free_variables_rejected(self):
+        with pytest.raises(QueryStructureError):
+            ConjunctiveQuery([Atom("R", ["x"])], ("x", "x"))
+
+    def test_inconsistent_arity_rejected(self):
+        with pytest.raises(QueryStructureError):
+            ConjunctiveQuery(
+                [Atom("R", ["x"]), Atom("R", ["x", "y"])], ()
+            )
+
+    def test_boolean_flags(self):
+        boolean = ConjunctiveQuery([Atom("R", ["x"])], ())
+        assert boolean.is_boolean
+        assert not boolean.is_quantifier_free
+
+    def test_quantifier_free_flag(self):
+        join = ConjunctiveQuery([Atom("R", ["x", "y"])], ("x", "y"))
+        assert join.is_quantifier_free
+        assert not join.is_boolean
+
+    def test_self_join_free(self):
+        sjf = ConjunctiveQuery(
+            [Atom("R", ["x"]), Atom("S", ["x"])], ()
+        )
+        assert sjf.is_self_join_free
+        sj = ConjunctiveQuery(
+            [Atom("R", ["x", "y"]), Atom("R", ["y", "x"])], ()
+        )
+        assert not sj.is_self_join_free
+
+    def test_repeated_vars_single_atom_is_self_join_free(self):
+        q = ConjunctiveQuery([Atom("E", ["x", "x"])], ())
+        assert q.is_self_join_free
+
+    def test_atoms_containing(self):
+        a1, a2 = Atom("R", ["x", "y"]), Atom("S", ["y"])
+        q = ConjunctiveQuery([a1, a2], ())
+        assert q.atoms_containing("x") == (a1,)
+        assert q.atoms_containing("y") == (a1, a2)
+
+    def test_boolean_version(self):
+        q = ConjunctiveQuery([Atom("R", ["x", "y"])], ("x",))
+        assert q.boolean_version().free == ()
+        assert q.boolean_version().atoms == q.atoms
+
+    def test_quantifier_free_version_order(self):
+        q = ConjunctiveQuery(
+            [Atom("R", ["a", "b"]), Atom("S", ["b", "c"])], ("b",)
+        )
+        qf = q.quantifier_free_version()
+        assert qf.free[0] == "b"
+        assert set(qf.free) == {"a", "b", "c"}
+
+    def test_with_free(self):
+        q = ConjunctiveQuery([Atom("R", ["x", "y"])], ())
+        assert q.with_free(("y", "x")).free == ("y", "x")
+
+    def test_subquery_keeps_free(self):
+        a1, a2 = Atom("R", ["x", "y"]), Atom("S", ["x"])
+        q = ConjunctiveQuery([a1, a2], ("x",))
+        sub = q.subquery([a2])
+        assert sub.free == ("x",)
+
+    def test_subquery_dropping_free_var_rejected(self):
+        a1, a2 = Atom("R", ["x", "y"]), Atom("S", ["x"])
+        q = ConjunctiveQuery([a1, a2], ("y",))
+        with pytest.raises(QueryStructureError):
+            q.subquery([a2])
+
+    def test_rename(self):
+        q = ConjunctiveQuery([Atom("R", ["x", "y"])], ("x",))
+        renamed = q.rename({"x": "u", "y": "w"})
+        assert renamed.free == ("u",)
+        assert renamed.atoms == (Atom("R", ["u", "w"]),)
+
+    def test_equality_ignores_atom_order(self):
+        a1, a2 = Atom("R", ["x"]), Atom("S", ["x"])
+        assert ConjunctiveQuery([a1, a2], ("x",)) == ConjunctiveQuery(
+            [a2, a1], ("x",)
+        )
+
+    def test_equality_respects_free_order(self):
+        a = Atom("R", ["x", "y"])
+        assert ConjunctiveQuery([a], ("x", "y")) != ConjunctiveQuery(
+            [a], ("y", "x")
+        )
+
+    def test_size_counts_quantifiers(self):
+        q = ConjunctiveQuery([Atom("R", ["x", "y"])], ("x",))
+        boolean = q.boolean_version()
+        assert boolean.size == q.size + 1
+
+    def test_relations_and_arity_of(self):
+        q = ConjunctiveQuery(
+            [Atom("R", ["x", "y"]), Atom("S", ["y"])], ()
+        )
+        assert q.relations == {"R", "S"}
+        assert q.arity_of("R") == 2
+        assert q.arity_of("S") == 1
+        with pytest.raises(QueryStructureError):
+            q.arity_of("T")
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        q = ConjunctiveQuery(
+            [Atom("R", ["x", "y"]), Atom("S", ["y", "z"])], ("x",)
+        )
+        assert q.is_connected
+        assert len(q.connected_components()) == 1
+
+    def test_two_components(self):
+        q = ConjunctiveQuery(
+            [Atom("R", ["x"]), Atom("S", ["y"])], ("x", "y")
+        )
+        components = q.connected_components()
+        assert len(components) == 2
+        assert not q.is_connected
+
+    def test_component_free_order_follows_parent(self):
+        q = ConjunctiveQuery(
+            [Atom("R", ["x", "u"]), Atom("S", ["y"])], ("y", "x", "u")
+        )
+        components = q.connected_components()
+        frees = sorted(c.free for c in components)
+        # The R-component inherits (x, u) in parent order; S gets (y,).
+        assert frees == [("x", "u"), ("y",)]
+
+    def test_components_partition_atoms(self):
+        q = ConjunctiveQuery(
+            [
+                Atom("R", ["x", "y"]),
+                Atom("S", ["z"]),
+                Atom("T", ["y", "w"]),
+            ],
+            (),
+        )
+        components = q.connected_components()
+        assert len(components) == 2
+        total_atoms = sum(len(c.atoms) for c in components)
+        assert total_atoms == 3
+
+    def test_repeated_variable_atom_is_connected(self):
+        q = ConjunctiveQuery(
+            [Atom("E", ["x", "x"]), Atom("F", ["x", "y"])], ()
+        )
+        assert q.is_connected

@@ -1,0 +1,213 @@
+"""Tests for the executable lower-bound reductions (Section 5.4, App. A)."""
+
+import random
+
+import pytest
+
+from repro.cq import zoo
+from repro.cq.parser import parse_query
+from repro.errors import ReductionError
+from repro.ivm import DeltaIVMEngine, RecomputeEngine
+from repro.lowerbounds.omv import solve_omv_naive, solve_oumv_naive
+from repro.lowerbounds.ov import solve_ov_naive
+from repro.lowerbounds.reductions import (
+    OMvEnumerationReduction,
+    OuMvBooleanReduction,
+    OuMvCountingReduction,
+    OuMvPhi1Reduction,
+    OVCountingReduction,
+    SectionFiveFourEncoding,
+)
+from repro.workloads.matrices import (
+    random_omv_instance,
+    random_oumv_instance,
+    random_ov_instance,
+)
+
+
+class TestEncoding:
+    def test_iota_images(self):
+        encoding = SectionFiveFourEncoding(zoo.S_E_T_BOOLEAN, "x", "y")
+        atom = zoo.S_E_T_BOOLEAN.atoms[1]  # E(x, y)
+        assert encoding.row(atom, 3, 7) == (("a", 3), ("b", 7))
+
+    def test_atom_rows_collapse_unused_indices(self):
+        encoding = SectionFiveFourEncoding(zoo.S_E_T_BOOLEAN, "x", "y")
+        s_atom = zoo.S_E_T_BOOLEAN.atoms[0]  # S(x)
+        rows = encoding.atom_rows(s_atom, range(1, 4), range(1, 100))
+        assert rows == {(("a", 1),), (("a", 2),), (("a", 3),)}
+
+    def test_constant_tagging_disjoint(self):
+        encoding = SectionFiveFourEncoding(zoo.S_E_T_BOOLEAN, "x", "y")
+        assert encoding.constant("x", 1, 1) != encoding.constant("y", 1, 1)
+        assert encoding.constant("z", 0, 0) == ("c", "z")
+
+
+class TestOuMvBooleanReduction:
+    @pytest.mark.parametrize("engine_cls", [DeltaIVMEngine, RecomputeEngine])
+    def test_matches_direct_solver(self, engine_cls):
+        rng = random.Random(1)
+        instance = random_oumv_instance(rng, n=6)
+        reduction = OuMvBooleanReduction(zoo.S_E_T_BOOLEAN, engine_cls)
+        assert reduction.solve(instance) == solve_oumv_naive(instance)
+
+    def test_updates_per_round_linear(self):
+        rng = random.Random(2)
+        n = 8
+        instance = random_oumv_instance(rng, n=n, rounds=4)
+        reduction = OuMvBooleanReduction(zoo.S_E_T_BOOLEAN, DeltaIVMEngine)
+        reduction.solve(instance)
+        static = reduction.updates_issued
+        # Static encoding is ≤ n² + O(n); each round adds ≤ 2n diffs.
+        assert static <= n * n + 2 + 4 * 2 * n
+
+    def test_rejects_non_boolean(self):
+        with pytest.raises(ReductionError):
+            OuMvBooleanReduction(zoo.S_E_T, DeltaIVMEngine)
+
+    def test_rejects_easy_core(self):
+        # Section 3: core of the loop query is ∃x Exx — q-hierarchical.
+        with pytest.raises(ReductionError):
+            OuMvBooleanReduction(zoo.LOOP_TRIANGLE, DeltaIVMEngine)
+
+    def test_runs_on_core_of_padded_query(self):
+        # A Boolean query with a redundant padded atom folding away but
+        # a genuinely hard S-E-T core.
+        q = parse_query("Q() :- S(x), E(x, y), T(y), E(x, y')")
+        rng = random.Random(3)
+        instance = random_oumv_instance(rng, n=5)
+        reduction = OuMvBooleanReduction(q, DeltaIVMEngine)
+        assert reduction.solve(instance) == solve_oumv_naive(instance)
+
+    def test_all_zero_vectors(self):
+        n = 4
+        instance_pairs = tuple(
+            ((0,) * n, (0,) * n) for _ in range(3)
+        )
+        from repro.lowerbounds.omv import OuMvInstance
+        from repro.workloads.matrices import random_bit_matrix
+
+        instance = OuMvInstance(
+            matrix=random_bit_matrix(random.Random(4), n, 0.8),
+            pairs=instance_pairs,
+        )
+        reduction = OuMvBooleanReduction(zoo.S_E_T_BOOLEAN, DeltaIVMEngine)
+        assert reduction.solve(instance) == (0, 0, 0)
+
+
+class TestOMvEnumerationReduction:
+    @pytest.mark.parametrize("engine_cls", [DeltaIVMEngine, RecomputeEngine])
+    def test_matches_direct_solver(self, engine_cls):
+        rng = random.Random(5)
+        instance = random_omv_instance(rng, n=6)
+        reduction = OMvEnumerationReduction(zoo.E_T, engine_cls)
+        assert reduction.solve(instance) == solve_omv_naive(instance)
+
+    def test_rejects_condition_i_queries(self):
+        with pytest.raises(ReductionError):
+            OMvEnumerationReduction(zoo.S_E_T, DeltaIVMEngine)
+
+    def test_rejects_q_hierarchical(self):
+        with pytest.raises(ReductionError):
+            OMvEnumerationReduction(zoo.E_T_QF, DeltaIVMEngine)
+
+    def test_rejects_self_joins(self):
+        with pytest.raises(ReductionError):
+            OMvEnumerationReduction(zoo.PHI_1, DeltaIVMEngine)
+
+    def test_bigger_condition_ii_query(self):
+        # A wider query violating (ii): free x and z, quantified y.
+        q = parse_query("Q(x, z) :- E(x, y), T(y), W(z)")
+        rng = random.Random(6)
+        instance = random_omv_instance(rng, n=5)
+        reduction = OMvEnumerationReduction(q, DeltaIVMEngine)
+        assert reduction.solve(instance) == solve_omv_naive(instance)
+
+
+class TestOVCountingReduction:
+    @pytest.mark.parametrize("engine_cls", [DeltaIVMEngine, RecomputeEngine])
+    def test_matches_direct_solver(self, engine_cls):
+        rng = random.Random(7)
+        for trial in range(4):
+            instance = random_ov_instance(rng, n=5, density=0.6)
+            reduction = OVCountingReduction(zoo.E_T, engine_cls)
+            assert reduction.solve(instance) == solve_ov_naive(instance), trial
+
+    def test_guaranteed_orthogonal_pair(self):
+        from repro.lowerbounds.ov import OVInstance
+
+        instance = OVInstance(
+            u_set=((1, 0, 0), (0, 1, 1)),
+            v_set=((0, 1, 0), (1, 1, 1)),
+        )
+        reduction = OVCountingReduction(zoo.E_T, DeltaIVMEngine)
+        assert reduction.solve(instance) is True
+
+    def test_no_orthogonal_pair(self):
+        from repro.lowerbounds.ov import OVInstance
+
+        instance = OVInstance(
+            u_set=((1, 1, 0), (0, 1, 1)),
+            v_set=((0, 1, 0), (1, 1, 1)),
+        )
+        reduction = OVCountingReduction(zoo.E_T, DeltaIVMEngine)
+        assert reduction.solve(instance) is False
+
+    def test_rejects_boolean(self):
+        with pytest.raises(ReductionError):
+            OVCountingReduction(zoo.S_E_T_BOOLEAN, DeltaIVMEngine)
+
+
+class TestOuMvCountingReduction:
+    """Theorem 3.5, first case: counting when condition (i) fails."""
+
+    def test_phi1_matches_direct_solver(self):
+        # ϕ1 is the paper's own example of a non-q-hierarchical core
+        # whose *Boolean* version is easy — counting is the only way
+        # to extract OuMv hardness, via Lemma 5.8.
+        rng = random.Random(11)
+        instance = random_oumv_instance(rng, n=5)
+        reduction = OuMvCountingReduction(zoo.PHI_1, DeltaIVMEngine)
+        assert reduction.solve(instance) == solve_oumv_naive(instance)
+
+    def test_s_e_t_matches_direct_solver(self):
+        rng = random.Random(12)
+        instance = random_oumv_instance(rng, n=5)
+        reduction = OuMvCountingReduction(zoo.S_E_T, DeltaIVMEngine)
+        assert reduction.solve(instance) == solve_oumv_naive(instance)
+
+    def test_rejects_boolean(self):
+        with pytest.raises(ReductionError):
+            OuMvCountingReduction(zoo.S_E_T_BOOLEAN, DeltaIVMEngine)
+
+    def test_rejects_non_core(self):
+        # (Exx ∧ Exy ∧ Eyy ∧ Ez1z2) with all free is its own core, but
+        # the same atoms with only x free fold: the reduction demands
+        # the caller pass the core explicitly.
+        q = parse_query("Q(x) :- E(x, x), E(x, y), E(y, y)")
+        with pytest.raises(ReductionError):
+            OuMvCountingReduction(q, DeltaIVMEngine)
+
+    def test_rejects_condition_ii_queries(self):
+        with pytest.raises(ReductionError):
+            OuMvCountingReduction(zoo.E_T, DeltaIVMEngine)
+
+    def test_rejects_q_hierarchical(self):
+        with pytest.raises(ReductionError):
+            OuMvCountingReduction(zoo.E_T_QF, DeltaIVMEngine)
+
+
+class TestOuMvPhi1Reduction:
+    @pytest.mark.parametrize("engine_cls", [DeltaIVMEngine, RecomputeEngine])
+    def test_matches_direct_solver(self, engine_cls):
+        rng = random.Random(8)
+        instance = random_oumv_instance(rng, n=5)
+        reduction = OuMvPhi1Reduction(engine_cls)
+        assert reduction.solve(instance) == solve_oumv_naive(instance)
+
+    def test_inspects_bounded_prefix(self):
+        # Correctness despite only reading 2n+1 output tuples per round.
+        rng = random.Random(9)
+        instance = random_oumv_instance(rng, n=7, vector_density=0.9)
+        reduction = OuMvPhi1Reduction(DeltaIVMEngine)
+        assert reduction.solve(instance) == solve_oumv_naive(instance)

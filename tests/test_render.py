@@ -1,0 +1,78 @@
+"""Tests for the ASCII renderers (q-trees and structure dumps)."""
+
+import random
+
+from repro.core.engine import QHierarchicalEngine
+from repro.core.qtree import build_q_tree
+from repro.core.render import render_q_tree, render_structure
+from repro.cq import zoo
+from repro.cq.generators import random_q_hierarchical_query
+from repro.cq.parser import parse_query
+from tests.conftest import feed_example_6_1_sorted, random_stream
+
+
+class TestRenderQTree:
+    def test_plain_contains_branches(self):
+        tree = build_q_tree(zoo.EXAMPLE_6_1)
+        out = render_q_tree(tree)
+        assert "├─" in out and "└─" in out
+        assert out.splitlines()[0] == "x"
+
+    def test_annotated_marks_free(self):
+        tree = build_q_tree(zoo.FIGURE_1, prefer=("x1",))
+        out = render_q_tree(tree, annotate=True)
+        assert "x1*" in out  # free
+        assert "x4   rep:" in out or "x4 " in out  # quantified, no star
+        assert "(* marks free variables)" in out
+
+    def test_single_node_tree(self):
+        tree = build_q_tree(parse_query("Q(x) :- R(x)"))
+        out = render_q_tree(tree, annotate=True)
+        assert "R(x)" in out
+
+    def test_boolean_tree_no_star_legend(self):
+        tree = build_q_tree(zoo.E_T_BOOLEAN)
+        out = render_q_tree(tree, annotate=True)
+        assert "(* marks free variables)" not in out
+
+
+class TestRenderStructure:
+    def test_empty_structure(self):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        out = render_structure(engine.structures[0])
+        assert "C_start = 0" in out
+        assert "start-list:" in out
+
+    def test_weights_and_unfit_markers(self):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        out = render_structure(engine.structures[0])
+        assert "C_start = 23" in out
+        assert "C~_start = 23" in out
+        assert "(unfit)" in out
+        assert "y-list:" in out and "z'-list:" in out
+
+    def test_include_unfit_false_hides_markers(self):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        out = render_structure(engine.structures[0], include_unfit=False)
+        assert "(unfit)" not in out
+
+    def test_boolean_structure_has_no_tilde(self):
+        engine = QHierarchicalEngine(zoo.E_T_BOOLEAN)
+        engine.insert("E", (1, 5))
+        engine.insert("T", (5,))
+        out = render_structure(engine.structures[0])
+        assert "C~_start" not in out
+        assert "C_start = 1" in out
+
+    def test_random_structures_render_without_error(self):
+        rng = random.Random(12)
+        for _ in range(10):
+            query = random_q_hierarchical_query(rng)
+            engine = QHierarchicalEngine(query)
+            for command in random_stream(query, rng, rounds=30, domain=4):
+                engine.apply(command)
+            for structure in engine.structures:
+                out = render_structure(structure)
+                assert "C_start" in out

@@ -1,0 +1,138 @@
+"""Tests for the Appendix A ϕ2 engine (Lemma A.2)."""
+
+import random
+
+import pytest
+
+from repro.core.selfjoin import Phi2Engine, match_phi2
+from repro.cq import zoo
+from repro.cq.parser import parse_query
+from repro.errors import QueryStructureError
+from repro.eval_static.naive import evaluate as evaluate_naive
+from tests.conftest import loop_graph_stream
+
+
+class TestMatcher:
+    def test_matches_paper_query(self):
+        match = match_phi2(zoo.PHI_2)
+        assert match == ("x", "y", "z1", "z2", "E")
+
+    def test_matches_renamed_variant(self):
+        q = parse_query("Q(u, v, s, t) :- F(u, u), F(u, v), F(v, v), F(s, t)")
+        assert match_phi2(q) == ("u", "v", "s", "t", "F")
+
+    def test_matches_permuted_output(self):
+        q = parse_query("Q(z1, z2, x, y) :- E(x, x), E(x, y), E(y, y), E(z1, z2)")
+        assert match_phi2(q) is not None
+
+    def test_rejects_phi1(self):
+        assert match_phi2(zoo.PHI_1) is None
+
+    def test_rejects_wrong_shape(self):
+        q = parse_query("Q(x, y, z1, z2) :- E(x, x), E(x, y), E(y, x), E(z1, z2)")
+        assert match_phi2(q) is None
+
+    def test_engine_rejects_non_phi2(self):
+        with pytest.raises(QueryStructureError):
+            Phi2Engine(zoo.PHI_1)
+
+
+class TestSemantics:
+    def test_empty_graph(self):
+        engine = Phi2Engine(zoo.PHI_2)
+        assert not engine.answer()
+        assert engine.count() == 0
+        assert list(engine.enumerate()) == []
+
+    def test_loopless_graph_empty_result(self):
+        engine = Phi2Engine(zoo.PHI_2)
+        engine.insert("E", (1, 2))
+        engine.insert("E", (2, 3))
+        assert not engine.answer()
+        assert list(engine.enumerate()) == []
+
+    def test_single_loop(self):
+        engine = Phi2Engine(zoo.PHI_2)
+        engine.insert("E", (7, 7))
+        assert engine.answer()
+        assert engine.result_set() == {(7, 7, 7, 7)}
+        assert engine.count() == 1
+
+    def test_hand_example(self):
+        engine = Phi2Engine(zoo.PHI_2)
+        edges = [(1, 1), (2, 2), (1, 2), (3, 4)]
+        for edge in edges:
+            engine.insert("E", edge)
+        expected = evaluate_naive(zoo.PHI_2, engine.database)
+        rows = list(engine.enumerate())
+        assert len(rows) == len(set(rows))
+        assert set(rows) == expected
+        # |ϕ1| = 3 pairs × |E| = 4 edges.
+        assert engine.count() == 12 == len(expected)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_streams_match_naive(self, seed):
+        rng = random.Random(seed)
+        engine = Phi2Engine(zoo.PHI_2)
+        for step, command in enumerate(loop_graph_stream(rng, rounds=80)):
+            engine.apply(command)
+            if step % 13 == 0:
+                truth = evaluate_naive(zoo.PHI_2, engine.database)
+                rows = list(engine.enumerate())
+                assert len(rows) == len(set(rows)), step
+                assert set(rows) == truth, step
+                assert engine.count() == len(truth)
+                assert engine.answer() == bool(truth)
+
+    def test_phase_1_streams_c0_block_first(self):
+        engine = Phi2Engine(zoo.PHI_2)
+        engine.insert("E", (1, 1))
+        engine.insert("E", (2, 2))
+        engine.insert("E", (1, 2))
+        rows = list(engine.enumerate())
+        edge_count = 3
+        first_block = rows[:edge_count]
+        # Phase 1 emits (c0, c0) × E where c0 is the first loop seen.
+        assert all(row[0] == row[1] == 1 for row in first_block)
+
+    def test_deviation_from_paper_keeps_c0_partners(self):
+        # The pairs (c0, y) whose Exx-witness is the loop (c0, c0)
+        # must appear even though the appendix's D' would drop them.
+        engine = Phi2Engine(zoo.PHI_2)
+        engine.insert("E", (1, 1))
+        engine.insert("E", (1, 2))
+        engine.insert("E", (2, 2))
+        result = engine.result_set()
+        assert (1, 2, 1, 1) in result  # pair (c0=1, y=2) present
+
+    def test_output_order_permuted_query(self):
+        q = parse_query("Q(z1, z2, x, y) :- E(x, x), E(x, y), E(y, y), E(z1, z2)")
+        engine = Phi2Engine(q)
+        engine.insert("E", (7, 7))
+        assert engine.result_set() == {(7, 7, 7, 7)}
+        engine.insert("E", (8, 9))
+        assert (8, 9, 7, 7) in engine.result_set()
+
+    def test_phi1_pairs_helper(self):
+        engine = Phi2Engine(zoo.PHI_2)
+        for edge in [(1, 1), (2, 2), (1, 2), (5, 6)]:
+            engine.insert("E", edge)
+        assert set(engine.phi1_pairs()) == {(1, 1), (2, 2), (1, 2)}
+
+    def test_enumeration_is_lazy(self):
+        # The first tuple arrives without scanning the whole edge set:
+        # consume one tuple from a large graph and stop.
+        engine = Phi2Engine(zoo.PHI_2)
+        engine.insert("E", (0, 0))
+        for j in range(1, 2000):
+            engine.insert("E", (0, j))
+        generator = engine.enumerate()
+        first = next(generator)
+        assert first[0] == first[1] == 0
+        generator.close()
+
+    def test_repeated_enumerations_agree(self):
+        engine = Phi2Engine(zoo.PHI_2)
+        for edge in [(1, 1), (1, 2), (2, 2), (9, 8)]:
+            engine.insert("E", edge)
+        assert set(engine.enumerate()) == set(engine.enumerate())

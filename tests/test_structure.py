@@ -1,0 +1,191 @@
+"""Low-level tests of the Section 6 data structure (ComponentStructure)."""
+
+import random
+
+import pytest
+
+from repro.core.engine import QHierarchicalEngine
+from repro.core.structure import ComponentStructure
+from repro.cq import zoo
+from repro.cq.parser import parse_query
+from repro.eval_static.naive import evaluate as evaluate_naive, valuation_counts
+from tests.conftest import feed_example_6_1_sorted
+
+
+def example_structure() -> ComponentStructure:
+    engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+    feed_example_6_1_sorted(engine)
+    return engine.structures[0]
+
+
+class TestFigure3Weights:
+    """The exact numbers printed in Figure 3(a) and 3(b)."""
+
+    def test_c_start_23(self):
+        structure = example_structure()
+        assert structure.c_start == 23
+        assert structure.count() == 23
+
+    def test_root_weights(self):
+        structure = example_structure()
+        assert structure.item("x", ("a",)).weight == 14
+        assert structure.item("x", ("b",)).weight == 9
+
+    def test_y_level_weights(self):
+        structure = example_structure()
+        assert structure.item("y", ("a", "e")).weight == 6
+        assert structure.item("y", ("a", "f")).weight == 1
+        assert structure.item("y", ("b", "g")).weight == 3
+
+    def test_unfit_item_p_present_with_weight_zero(self):
+        structure = example_structure()
+        item = structure.item("y", ("b", "p"))
+        assert item is not None
+        assert item.weight == 0
+        assert not item.in_list
+
+    def test_figure_3a_omitted_unfit_items(self):
+        # The seven unfit items the caption lists as omitted.
+        structure = example_structure()
+        expected_missing_from_lists = [
+            ("y", ("b", "d")),
+            ("y", ("b", "h")),
+            ("z", ("a", "e", "c")),
+            ("z", ("b", "g", "a")),
+            ("z", ("b", "g", "c")),
+            ("z", ("b", "p", "b")),
+            ("z", ("b", "p", "c")),
+        ]
+        for node, key in expected_missing_from_lists:
+            item = structure.item(node, key)
+            assert item is not None, (node, key)
+            assert item.weight == 0 and not item.in_list, (node, key)
+
+    def test_insert_e_b_p_reaches_figure_3b(self):
+        structure = example_structure()
+        structure.apply(True, "E", ("b", "p"))
+        assert structure.c_start == 38
+        assert structure.item("x", ("b",)).weight == 24
+        assert structure.item("y", ("b", "p")).weight == 3
+        assert structure.item("y", ("b", "p")).in_list
+
+    def test_start_list_order(self):
+        structure = example_structure()
+        assert [item.constant for item in structure.start] == ["a", "b"]
+
+
+class TestWeightsAgainstBruteForce:
+    def test_weights_equal_expansion_counts(self):
+        """C^i must equal |E^i| (the Lemma 6.3 invariant), checked by
+        brute-force recomputation over the final database."""
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        structure = engine.structures[0]
+        db = engine.database
+        tree = structure.qtree
+        for node in tree.document_order():
+            atom_indices = tree.atoms_at[node]
+            sub_atoms = [zoo.EXAMPLE_6_1.atoms[i] for i in atom_indices]
+            sub_vars = sorted({v for a in sub_atoms for v in a.args})
+            subquery = parse_query(
+                "Qx("
+                + ", ".join(sub_vars)
+                + ") :- "
+                + ", ".join(str(a) for a in sub_atoms)
+            )
+            counts = valuation_counts(subquery, db)
+            for item in structure.items_at(node):
+                binding = dict(zip(tree.path[node], item.key))
+                expected = sum(
+                    amount
+                    for key, amount in counts.items()
+                    if all(
+                        key[sub_vars.index(var)] == value
+                        for var, value in binding.items()
+                        if var in sub_vars
+                    )
+                )
+                assert item.weight == expected, (node, item.key)
+
+
+class TestStructureLifecycle:
+    def test_empty_structure(self):
+        structure = ComponentStructure(zoo.EXAMPLE_6_1)
+        assert structure.c_start == 0
+        assert structure.count() == 0
+        assert not structure.answer()
+        assert list(structure.enumerate()) == []
+
+    def test_delete_everything_returns_to_pristine(self):
+        rng = random.Random(2)
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        structure = engine.structures[0]
+        rows = [
+            (relation.name, row)
+            for relation in engine.database.relations()
+            for row in relation.rows
+        ]
+        rng.shuffle(rows)
+        for name, row in rows:
+            engine.delete(name, row)
+        assert structure.c_start == 0
+        assert structure.t_start == 0
+        assert structure.item_count() == 0
+        assert list(structure.enumerate()) == []
+
+    def test_item_count_linear_in_database(self):
+        # Section 6.2: every fact yields a constant number of items.
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        tuples = engine.database.cardinality
+        max_path = 3  # deepest atom path in the q-tree
+        assert engine.item_count() <= tuples * max_path
+
+    def test_reinsert_after_delete_is_consistent(self):
+        engine = QHierarchicalEngine(zoo.EXAMPLE_6_1)
+        feed_example_6_1_sorted(engine)
+        engine.delete("E", ("a", "e"))
+        engine.insert("E", ("a", "e"))
+        assert engine.structures[0].c_start == 23
+
+    def test_repeated_variable_pattern_filter(self):
+        q = parse_query("Q(x) :- E(x, x)")
+        structure = ComponentStructure(q)
+        structure.apply(True, "E", (1, 2))  # pattern mismatch: ignored
+        assert structure.c_start == 0
+        structure.apply(True, "E", (3, 3))
+        assert structure.c_start == 1
+        assert list(structure.enumerate()) == [(3,)]
+
+    def test_boolean_structure_counts(self):
+        structure = ComponentStructure(zoo.E_T_BOOLEAN)
+        structure.apply(True, "E", (1, 5))
+        assert not structure.answer()  # T still empty
+        assert structure.count() == 0
+        structure.apply(True, "T", (5,))
+        assert structure.answer()
+        assert structure.count() == 1
+        assert list(structure.enumerate()) == [()]
+
+    def test_quantified_counting_tweights(self):
+        # ∃x (Exy ∧ Ty) with free y: count distinct y regardless of
+        # how many x witnesses exist.
+        q = zoo.E_T_Y_QUANTIFIED
+        structure = ComponentStructure(q)
+        structure.apply(True, "E", (1, 5))
+        structure.apply(True, "E", (2, 5))
+        structure.apply(True, "T", (5,))
+        assert structure.count() == 1  # y=5 once, despite two x's
+        assert structure.c_start == 2  # valuation count is 2
+        structure.apply(False, "E", (1, 5))
+        assert structure.count() == 1
+        structure.apply(False, "E", (2, 5))
+        assert structure.count() == 0
+
+    def test_snapshot_contents(self):
+        structure = example_structure()
+        snap = structure.snapshot()
+        assert snap["c_start"] == 23
+        assert snap["start_list"] == [("a",), ("b",)]
+        assert snap["items"][("x", ("a",))]["weight"] == 14

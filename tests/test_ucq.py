@@ -1,0 +1,239 @@
+"""Tests for the UCQ extension (unions of q-hierarchical CQs)."""
+
+import random
+
+import pytest
+
+from repro.cq.parser import parse_query
+from repro.errors import NotQHierarchicalError, QueryStructureError
+from repro.eval_static.naive import evaluate as evaluate_naive
+from repro.extensions.ucq import UnionEngine, UnionOfCQs, intersection_query
+from repro.storage.database import Database
+from tests.conftest import random_stream
+
+D1 = parse_query("Q(x, y) :- R(x, y), S(x)")
+D2 = parse_query("Q(x, y) :- T(x, y)")
+D3 = parse_query("Q(x, y) :- W(x), V(y)")
+
+
+def union_truth(union: UnionOfCQs, database: Database) -> set:
+    result = set()
+    for query in union.disjuncts:
+        result |= evaluate_naive(query, database)
+    return result
+
+
+def shared_database() -> Database:
+    from repro.storage.database import Schema
+
+    schema = Schema({"R": 2, "S": 1, "T": 2, "W": 1, "V": 1})
+    return Database(schema)
+
+
+class TestUnionOfCQs:
+    def test_construction(self):
+        union = UnionOfCQs([D1, D2])
+        assert union.arity == 2
+        assert union.relations == ("R", "S", "T")
+        assert "∪" in str(union)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryStructureError):
+            UnionOfCQs([])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(QueryStructureError):
+            UnionOfCQs([D1, parse_query("Q(x) :- T(x, y)")])
+
+    def test_relation_arity_clash_rejected(self):
+        with pytest.raises(QueryStructureError):
+            UnionOfCQs([D1, parse_query("Q(x, y) :- S(x, y)")])
+
+
+class TestIntersectionQuery:
+    def test_free_variables_unified(self):
+        q = intersection_query(D1, D2)
+        assert q.free == ("x", "y")
+        assert len(q.atoms) == 3
+
+    def test_quantified_renamed_apart(self):
+        left = parse_query("Q(x) :- R(x, y)")
+        right = parse_query("Q(u) :- T(u, y)")
+        q = intersection_query(left, right)
+        # right's y must not collide with left's y.
+        assert len(q.variables) == 3
+
+    def test_semantics(self):
+        db = Database.from_dict(
+            {"R": [(1, 2), (3, 4)], "S": [(1,), (3,)], "T": [(1, 2), (9, 9)]}
+        )
+        q = intersection_query(D1, D2)
+        assert evaluate_naive(q, db) == {(1, 2)}
+
+
+class TestUnionEngine:
+    def test_rejects_non_q_hierarchical_disjunct(self):
+        hard = parse_query("Q(x, y) :- S(x), E(x, y), T(y)")
+        with pytest.raises(NotQHierarchicalError):
+            UnionEngine(UnionOfCQs([hard]))
+
+    def test_basic_union(self):
+        engine = UnionEngine(UnionOfCQs([D1, D2]))
+        engine.insert("R", (1, 2))
+        engine.insert("S", (1,))
+        engine.insert("T", (1, 2))  # duplicate result via D2
+        engine.insert("T", (5, 6))
+        rows = list(engine.enumerate())
+        assert len(rows) == len(set(rows)) == 2
+        assert set(rows) == {(1, 2), (5, 6)}
+        assert engine.count() == 2
+        assert engine.answer()
+
+    def test_counting_supported_flag(self):
+        engine = UnionEngine(UnionOfCQs([D1, D2]))
+        # intersection (R ∧ S ∧ T over x,y) is q-hierarchical.
+        assert engine.counting_supported
+        assert len(engine.intersection_engines) == 1
+
+    def test_counting_fallback_when_intersection_hard(self):
+        # D_a(x,y) :- A(x), E(x,y); D_b(x,y) :- E(x,y), B(y).
+        # Each is q-hierarchical, but their intersection is the
+        # S-E-T pattern — counting degrades to enumeration.
+        da = parse_query("Q(x, y) :- A(x), E(x, y)")
+        db_query = parse_query("Q(x, y) :- E(x, y), B(y)")
+        engine = UnionEngine(UnionOfCQs([da, db_query]))
+        assert not engine.counting_supported
+        engine.insert("A", (1,))
+        engine.insert("E", (1, 2))
+        engine.insert("E", (3, 4))
+        engine.insert("B", (4,))
+        assert set(engine.enumerate()) == {(1, 2), (3, 4)}
+        assert engine.count() == 2  # enumeration fallback still exact
+
+    def test_contains(self):
+        engine = UnionEngine(UnionOfCQs([D1, D2]))
+        engine.insert("T", (7, 8))
+        assert engine.contains((7, 8))
+        assert not engine.contains((8, 7))
+
+    def test_deletions(self):
+        engine = UnionEngine(UnionOfCQs([D1, D2]))
+        engine.insert("R", (1, 2))
+        engine.insert("S", (1,))
+        engine.insert("T", (1, 2))
+        assert engine.count() == 1
+        engine.delete("T", (1, 2))
+        assert engine.count() == 1  # still derived by D1
+        engine.delete("S", (1,))
+        assert engine.count() == 0
+        assert not engine.answer()
+
+    def test_three_disjuncts_inclusion_exclusion(self):
+        # Three binary-pattern disjuncts whose intersections all stay
+        # q-hierarchical: O(1) counting via inclusion–exclusion.
+        d3_ok = parse_query("Q(x, y) :- U2(x, y)")
+        engine = UnionEngine(UnionOfCQs([D1, D2, d3_ok]))
+        assert engine.counting_supported
+        assert len(engine.intersection_engines) == 4  # 3 pairs + 1 triple
+        engine.insert("R", (1, 2))
+        engine.insert("S", (1,))
+        engine.insert("T", (1, 2))
+        engine.insert("T", (5, 6))
+        engine.insert("U2", (1, 2))  # triple overlap
+        engine.insert("U2", (7, 8))
+        rows = set(engine.enumerate())
+        assert rows == {(1, 2), (5, 6), (7, 8)}
+        assert engine.count() == 3
+
+    def test_cartesian_disjunct_intersection_is_hard(self):
+        # D1 ∩ D3 = R(x,y) ∧ S(x) ∧ W(x) ∧ V(y) contains the S-E-T
+        # pattern: exact O(1) counting of this union is *not* available
+        # (the paper's Theorem 3.5 machinery explains why), and the
+        # engine must degrade gracefully instead of lying.
+        engine = UnionEngine(UnionOfCQs([D1, D2, D3]))
+        assert not engine.counting_supported
+        engine.insert("R", (1, 2))
+        engine.insert("S", (1,))
+        engine.insert("T", (1, 2))
+        engine.insert("T", (5, 6))
+        engine.insert("W", (1,))
+        engine.insert("V", (2,))
+        rows = set(engine.enumerate())
+        assert rows == {(1, 2), (5, 6)}
+        assert engine.count() == 2  # exact via enumeration fallback
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_streams_match_naive_union(self, seed):
+        rng = random.Random(seed)
+        union = UnionOfCQs([D1, D2, D3])
+        engine = UnionEngine(union)
+        # Build a stream over the merged schema via a pseudo-query.
+        pseudo = parse_query(
+            "Q(x, y) :- R(x, y), S(x), T(x, y), W(x), V(y)"
+        )
+        db = shared_database()
+        for command in random_stream(pseudo, rng, rounds=80, domain=5):
+            engine.apply(command)
+            command.apply_to(db)
+        truth = union_truth(union, db)
+        rows = list(engine.enumerate())
+        assert len(rows) == len(set(rows))
+        assert set(rows) == truth
+        assert engine.count() == len(truth)
+        assert engine.answer() == bool(truth)
+        for row in list(truth)[:5]:
+            assert engine.contains(row)
+
+    def test_preload_database(self):
+        db = Database.from_dict(
+            {"R": [(1, 2)], "S": [(1,)], "T": [(9, 9)]}
+        )
+        engine = UnionEngine(UnionOfCQs([D1, D2]), db)
+        assert set(engine.enumerate()) == {(1, 2), (9, 9)}
+
+    def test_every_step_emits(self):
+        """The Durand–Strozecki merge never has a silent step: the
+        number of items pulled from the merged stream equals the union
+        size, and duplicates are replaced by earlier-disjunct tuples."""
+        engine = UnionEngine(UnionOfCQs([D1, D2]))
+        for i in range(20):
+            engine.insert("R", (i, i + 1))
+            engine.insert("S", (i,))
+            engine.insert("T", (i, i + 1))  # all duplicates
+        engine.insert("T", (99, 100))  # one fresh
+        rows = list(engine.enumerate())
+        assert len(rows) == 21
+        assert len(set(rows)) == 21
+
+    def test_repr(self):
+        engine = UnionEngine(UnionOfCQs([D1, D2]))
+        assert "O(1)" in repr(engine)
+
+    def test_single_disjunct_degenerates_to_plain_engine(self):
+        engine = UnionEngine(UnionOfCQs([D1]))
+        engine.insert("R", (1, 2))
+        engine.insert("S", (1,))
+        assert engine.count() == 1
+        assert set(engine.enumerate()) == {(1, 2)}
+        assert engine.counting_supported
+        assert engine.intersection_engines == {}
+
+    def test_contains_tracks_deletes(self):
+        engine = UnionEngine(UnionOfCQs([D1, D2]))
+        engine.insert("T", (4, 5))
+        assert engine.contains((4, 5))
+        engine.delete("T", (4, 5))
+        assert not engine.contains((4, 5))
+
+    def test_parse_union(self):
+        from repro.extensions.ucq import parse_union
+
+        union = parse_union(
+            """
+            # two rules, one view
+            Q(x, y) :- R(x, y), S(x)
+            Q(x, y) :- T(x, y)
+            """
+        )
+        assert len(union.disjuncts) == 2
+        assert union.disjuncts == (D1, D2)

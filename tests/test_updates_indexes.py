@@ -1,0 +1,105 @@
+"""Tests for update commands, streams and hash indexes."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.storage.database import Database
+from repro.storage.indexes import HashIndex, IndexPool
+from repro.storage.updates import (
+    UpdateCommand,
+    apply_all,
+    delete,
+    diff_updates,
+    insert,
+)
+
+
+class TestUpdateCommand:
+    def test_construction_and_apply(self):
+        db = Database.from_dict({"E": [(1, 2)]})
+        assert insert("E", (3, 4)).apply_to(db)
+        assert delete("E", (1, 2)).apply_to(db)
+        assert not delete("E", (9, 9)).apply_to(db)
+
+    def test_invalid_op(self):
+        with pytest.raises(UpdateError):
+            UpdateCommand("upsert", "E", (1,))
+
+    def test_inverse(self):
+        cmd = insert("E", (1, 2))
+        assert cmd.inverse() == delete("E", (1, 2))
+        assert cmd.inverse().inverse() == cmd
+
+    def test_str(self):
+        assert str(insert("E", (1, 2))) == "insert E(1, 2)"
+
+    def test_apply_all_counts_effective(self):
+        db = Database.from_dict({"E": [(1, 2)]})
+        commands = [insert("E", (1, 2)), insert("E", (3, 4)), delete("E", (5, 6))]
+        assert apply_all(db, commands) == 1
+
+
+class TestDiffUpdates:
+    def test_diff_roundtrip(self):
+        old = Database.from_dict({"E": [(1, 2), (3, 4)]})
+        new = Database.from_dict({"E": [(3, 4), (5, 6)]})
+        commands = diff_updates(old, new)
+        assert len(commands) == 2
+        patched = old.copy()
+        apply_all(patched, commands)
+        assert patched == new
+
+    def test_diff_empty(self):
+        db = Database.from_dict({"E": [(1, 2)]})
+        assert diff_updates(db, db.copy()) == []
+
+
+class TestHashIndex:
+    def test_probe(self):
+        index = HashIndex([0], [(1, "a"), (1, "b"), (2, "c")])
+        assert index.probe((1,)) == {(1, "a"), (1, "b")}
+        assert index.probe((3,)) == frozenset()
+
+    def test_add_remove(self):
+        index = HashIndex([1])
+        index.add((1, "k"))
+        index.add((2, "k"))
+        assert len(index.probe(("k",))) == 2
+        index.remove((1, "k"))
+        assert index.probe(("k",)) == {(2, "k")}
+        index.remove((2, "k"))
+        assert not index.contains_key(("k",))
+        assert index.bucket_count() == 0
+
+    def test_multi_column_key(self):
+        index = HashIndex([0, 2], [(1, "x", 9), (1, "y", 9)])
+        assert len(index.probe((1, 9))) == 2
+
+    def test_empty_columns_single_bucket(self):
+        index = HashIndex([], [(1,), (2,)])
+        assert len(index.probe(())) == 2
+
+    def test_len(self):
+        index = HashIndex([0], [(1,), (2,), (3,)])
+        assert len(index) == 3
+
+
+class TestIndexPool:
+    def test_caches_by_columns(self):
+        from repro.storage.database import Relation
+
+        rel = Relation("E", 2, [(1, 2), (1, 3)])
+        pool = IndexPool(rel)
+        first = pool.get([0])
+        second = pool.get((0,))
+        assert first is second
+        assert first.probe((1,)) == {(1, 2), (1, 3)}
+
+    def test_invalidate(self):
+        from repro.storage.database import Relation
+
+        rel = Relation("E", 2, [(1, 2)])
+        pool = IndexPool(rel)
+        old = pool.get([0])
+        pool.invalidate()
+        assert pool.get([0]) is not old

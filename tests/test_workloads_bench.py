@@ -1,0 +1,161 @@
+"""Tests for workload generators and the benchmark harness."""
+
+import random
+
+import pytest
+
+from repro.bench.harness import ScalingExperiment
+from repro.bench.reporting import banner, format_series, format_table, format_time
+from repro.bench.timing import (
+    DelayRecorder,
+    growth_exponent,
+    median,
+    percentile,
+)
+from repro.cq import zoo
+from repro.storage.database import Database
+from repro.storage.updates import apply_all
+from repro.workloads.distributions import UniformDomain, ZipfDomain
+from repro.workloads.streams import (
+    insert_only_stream,
+    mixed_stream,
+    sliding_window_stream,
+    star_database,
+)
+
+
+class TestDistributions:
+    def test_uniform_bounds(self):
+        rng = random.Random(0)
+        domain = UniformDomain(10)
+        samples = domain.sample_many(rng, 500)
+        assert all(0 <= s < 10 for s in samples)
+        assert len(set(samples)) > 5
+
+    def test_zipf_bounds_and_skew(self):
+        rng = random.Random(1)
+        domain = ZipfDomain(100, exponent=1.2)
+        samples = domain.sample_many(rng, 2000)
+        assert all(0 <= s < 100 for s in samples)
+        head = sum(1 for s in samples if s < 5)
+        tail = sum(1 for s in samples if s >= 50)
+        assert head > tail  # heavy head
+
+    def test_zipf_size_one(self):
+        rng = random.Random(2)
+        assert ZipfDomain(1).sample(rng) == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            UniformDomain(0)
+
+
+class TestStreams:
+    def test_insert_only(self):
+        rng = random.Random(3)
+        stream = insert_only_stream(rng, zoo.S_E_T, 50)
+        assert len(stream) == 50
+        assert all(cmd.is_insert for cmd in stream)
+        relations = {cmd.relation for cmd in stream}
+        assert relations <= {"S", "E", "T"}
+
+    def test_mixed_stream_deletes_are_effective(self):
+        rng = random.Random(4)
+        stream = mixed_stream(rng, zoo.S_E_T, 200, delete_fraction=0.4)
+        db = Database.empty_like(zoo.S_E_T)
+        effective = apply_all(db, stream)
+        assert effective == len(stream)  # every command changes the db
+
+    def test_sliding_window_bounds_live_size(self):
+        rng = random.Random(5)
+        window = 12
+        stream = sliding_window_stream(rng, zoo.E_T_QF, 120, window=window)
+        db = Database.empty_like(zoo.E_T_QF)
+        max_live = 0
+        for command in stream:
+            command.apply_to(db)
+            max_live = max(max_live, db.cardinality)
+        assert max_live <= window + 1
+
+    def test_star_database_shape(self):
+        rng = random.Random(6)
+        db = star_database(rng, n=20, fanout=3)
+        assert len(db.relation("S")) == 20
+        for i in range(1, 4):
+            assert len(db.relation(f"E{i}")) > 0
+        assert db.active_domain_size <= 20
+
+
+class TestTiming:
+    def test_median_and_percentile(self):
+        values = [5.0, 1.0, 3.0]
+        assert median(values) == 3.0
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+        assert percentile(values, 100) == 5.0
+        assert percentile(values, 1) == 1.0
+
+    def test_growth_exponent_shapes(self):
+        sizes = [100, 200, 400, 800]
+        linear = [s * 1e-6 for s in sizes]
+        quadratic = [s * s * 1e-9 for s in sizes]
+        flat = [5e-6] * 4
+        assert abs(growth_exponent(sizes, linear) - 1.0) < 0.01
+        assert abs(growth_exponent(sizes, quadratic) - 2.0) < 0.01
+        assert abs(growth_exponent(sizes, flat)) < 0.01
+
+    def test_growth_exponent_needs_points(self):
+        with pytest.raises(ValueError):
+            growth_exponent([10], [1.0])
+
+    def test_delay_recorder_counts(self):
+        recorder = DelayRecorder()
+        produced = recorder.consume(iter(range(5)))
+        assert produced == 5
+        # 5 inter-output delays + 1 end-of-enumeration delay.
+        assert len(recorder.delays) == 6
+        assert recorder.max_delay >= 0
+
+    def test_delay_recorder_limit(self):
+        recorder = DelayRecorder()
+        produced = recorder.consume(iter(range(100)), limit=7)
+        assert produced == 7
+        assert len(recorder.delays) == 7
+
+
+class TestReporting:
+    def test_format_time_scales(self):
+        assert format_time(2.5e-9).endswith("ns")
+        assert format_time(2.5e-6).endswith("µs")
+        assert format_time(2.5e-3).endswith("ms")
+        assert format_time(2.5).endswith("s")
+
+    def test_format_table(self):
+        table = format_table(["n", "time"], [[10, "1ms"], [100, "2ms"]])
+        lines = table.splitlines()
+        assert "n" in lines[0] and "time" in lines[0]
+        assert len(lines) == 4
+
+    def test_format_series(self):
+        series = format_series("delay", [1, 2], [0.5, 0.25])
+        assert "delay" in series and "0.25" in series
+
+    def test_banner(self):
+        assert "THM" in banner("THM 3.2")
+
+
+class TestScalingExperiment:
+    def test_runs_and_renders(self):
+        def measure(engine, n, rng):
+            return {"fast": 1e-6, "slow": n * 1e-6}[engine]
+
+        experiment = ScalingExperiment(
+            title="demo",
+            sizes=[100, 200, 400],
+            measure=measure,
+            engines=["fast", "slow"],
+        ).run()
+        assert abs(experiment.exponent("fast")) < 0.01
+        assert abs(experiment.exponent("slow") - 1.0) < 0.01
+        speedups = experiment.speedups()
+        assert speedups[-1] > speedups[0]
+        assert "demo" in experiment.render()

@@ -1,0 +1,79 @@
+"""Integrity tests for the paper-query zoo and its parametric families."""
+
+import pytest
+
+from repro.cq import zoo
+from repro.cq.analysis import is_hierarchical, is_q_hierarchical
+
+
+class TestZooIntegrity:
+    def test_all_queries_registered(self):
+        assert len(zoo.PAPER_QUERIES) == 13
+        for name, query in zoo.PAPER_QUERIES.items():
+            assert query.atoms, name
+
+    def test_equations_2_3_4(self):
+        # eq (2): ϕ_S-E-T is the quantifier-free triple.
+        assert zoo.S_E_T.is_quantifier_free
+        assert len(zoo.S_E_T.atoms) == 3
+        # eq (3): its Boolean version.
+        assert zoo.S_E_T_BOOLEAN.is_boolean
+        assert zoo.S_E_T_BOOLEAN.atoms == zoo.S_E_T.atoms
+        # eq (4): ϕ_E-T has free x, quantified y.
+        assert zoo.E_T.free == ("x",)
+        assert zoo.E_T.quantified == {"y"}
+
+    def test_loop_queries_share_relation(self):
+        assert zoo.PHI_1.relations == {"E"}
+        assert zoo.PHI_2.relations == {"E"}
+        assert not zoo.PHI_1.is_self_join_free
+        assert not zoo.PHI_2.is_self_join_free
+
+    def test_phi2_extends_phi1(self):
+        assert set(zoo.PHI_1.atoms) < set(zoo.PHI_2.atoms)
+
+    def test_example_6_1_matches_paper_text(self):
+        q = zoo.EXAMPLE_6_1
+        assert q.free == ("x", "y", "z", "y'", "z'")
+        assert len(q.atoms) == 5
+        assert q.is_quantifier_free
+        assert not q.is_self_join_free  # R occurs twice
+
+    def test_figure_1_quantified_variables(self):
+        assert zoo.FIGURE_1.quantified == {"x4", "x5"}
+
+
+class TestStarFamily:
+    @pytest.mark.parametrize("fanout", [1, 2, 4])
+    def test_star_q_hierarchical(self, fanout):
+        assert is_q_hierarchical(zoo.star_query(fanout))
+
+    def test_star_free_leaves_stay_q_hierarchical(self):
+        assert is_q_hierarchical(zoo.star_query(3, free_leaves=3))
+
+    def test_star_without_center_breaks_condition_ii(self):
+        query = zoo.star_query(2, free_center=False, free_leaves=1)
+        assert is_hierarchical(query)
+        assert not is_q_hierarchical(query)
+
+    def test_star_all_quantified_is_fine(self):
+        query = zoo.star_query(2, free_center=False, free_leaves=0)
+        assert query.is_boolean
+        assert is_q_hierarchical(query)
+
+
+class TestPathFamily:
+    @pytest.mark.parametrize("length", [1, 2])
+    def test_short_paths_hierarchical(self, length):
+        assert is_hierarchical(zoo.path_query(length))
+
+    @pytest.mark.parametrize("length", [3, 4, 6])
+    def test_long_paths_not_hierarchical(self, length):
+        assert not is_hierarchical(zoo.path_query(length))
+
+    def test_path_free_prefix(self):
+        query = zoo.path_query(3, free_count=2)
+        assert query.free == ("x0", "x1")
+
+    def test_path_uses_distinct_relations(self):
+        assert zoo.path_query(4).is_self_join_free
