@@ -1,23 +1,25 @@
-"""Scenario: a social feed view maintained under heavy churn.
+"""Scenario: a social feed served from a Session under heavy churn.
 
 Run:  python examples/social_feed.py
 
 The workload the paper's introduction motivates: a materialised view
-(`who sees which post`) over relations that change constantly.  We
-stream follows/unfollows and posts/deletions, and compare the paper's
-engine against recompute-from-scratch on identical update sequences.
-The dynamic engine answers `count()` after every single update — the
-recompute baseline visibly cannot.
+(`who sees which post`) over relations that change constantly.  The
+feed is a live view on a :class:`repro.Session` — the planner
+recognises the query as q-hierarchical and auto-selects the Theorem 3.2
+engine, so ``count()`` stays O(1) after every single update.  A second
+view registered with ``engine="recompute"`` serves as the baseline on
+the identical stream, and the same stream replayed through a
+``session.batch()`` shows net-effect compression discarding the churn
+that cancels out.
 """
 
 import random
 import time
 
-from repro import QHierarchicalEngine, RecomputeEngine, parse_query
+from repro import Session
+from repro.storage.updates import UpdateCommand
 
-QUERY = parse_query(
-    "Feed(user, author, post) :- Follows(user, author), Posted(author, post)"
-)
+QUERY = "Feed(user, author, post) :- Follows(user, author), Posted(author, post)"
 
 USERS = 400
 CHURN = 3000
@@ -31,27 +33,27 @@ def random_command(live_follows, live_posts):
     if kind < 0.35 or not live_follows:
         edge = (f"u{rng.randrange(USERS)}", f"u{rng.randrange(USERS)}")
         live_follows.add(edge)
-        return ("insert", "Follows", edge)
+        return UpdateCommand("insert", "Follows", edge)
     if kind < 0.5:
         edge = rng.choice(sorted(live_follows))
         live_follows.discard(edge)
-        return ("delete", "Follows", edge)
+        return UpdateCommand("delete", "Follows", edge)
     if kind < 0.85 or not live_posts:
         post = (f"u{rng.randrange(USERS)}", f"p{rng.randrange(10 * USERS)}")
         live_posts.add(post)
-        return ("insert", "Posted", post)
+        return UpdateCommand("insert", "Posted", post)
     post = rng.choice(sorted(live_posts))
     live_posts.discard(post)
-    return ("delete", "Posted", post)
+    return UpdateCommand("delete", "Posted", post)
 
 
-def run(engine, commands, query_every=1):
+def run(session, view, commands, query_every=1):
     """Replay the stream, asking for the count after every update."""
     start = time.perf_counter()
-    for index, (op, relation, row) in enumerate(commands):
-        getattr(engine, op)(relation, row)
+    for index, command in enumerate(commands):
+        session.apply(command)
         if index % query_every == 0:
-            engine.count()
+            view.count()
     return time.perf_counter() - start
 
 
@@ -61,12 +63,15 @@ def main():
         random_command(live_follows, live_posts) for _ in range(CHURN)
     ]
 
-    fast = QHierarchicalEngine(QUERY)
-    fast_time = run(fast, commands)
+    fast_session = Session()
+    fast = fast_session.view("feed", QUERY)  # auto → qhierarchical
+    print(f"planner picked:          {fast.engine_name}")
+    fast_time = run(fast_session, fast, commands)
 
-    slow = RecomputeEngine(QUERY)
+    slow_session = Session()
+    slow = slow_session.view("feed", QUERY, engine="recompute")
     # Give the baseline a head start: only query every 50 updates.
-    slow_time = run(slow, commands, query_every=50)
+    slow_time = run(slow_session, slow, commands, query_every=50)
 
     assert fast.count() == slow.count()
     print(f"updates streamed:        {CHURN}")
@@ -83,6 +88,19 @@ def main():
         f"per-update cost:         "
         f"{fast_time / CHURN * 1e6:.1f}µs dynamic vs "
         f"{slow_time / (CHURN / 50) * 1e6:.1f}µs per recompute round"
+    )
+
+    # The same stream, batched: insert/delete pairs that cancel within
+    # the window never reach the engine at all.
+    batch_session = Session()
+    batch_view = batch_session.view("feed", QUERY)
+    with batch_session.batch() as batch:
+        batch.apply_all(commands)
+    assert batch_view.count() == fast.count()
+    stats = batch.stats
+    print(
+        f"batched replay:          {stats['buffered']} commands → "
+        f"{stats['net']} net changes ({stats['applied']} applied)"
     )
 
     # Constant-delay peek at the first few feed entries.

@@ -1,32 +1,28 @@
-"""Scenario: a unified alert view — unions of CQs plus f-rep export.
+"""Scenario: a unified alert view — the Session API over a UCQ.
 
 Run:  python examples/union_views.py
 
-Exercises the two extensions built on top of the paper:
-
-* ``UnionEngine`` (the Section 7 outlook): one alert stream defined as
-  a *union* of q-hierarchical rules, maintained with constant update
-  time, O(1) inclusion–exclusion counting and duplicate-free
-  constant-delay enumeration (via the O(1) membership primitive of the
-  Section 6 structure).
-* ``factorize`` (the Section 3 f-representation remark): exporting a
-  rule's current result as a factorized expression whose size can be
-  exponentially smaller than the flat listing.
+One alert stream defined as a *union* of q-hierarchical rules,
+registered as a live view on a :class:`repro.Session`: the planner
+classifies the union, selects ``ucq_union`` (per-disjunct Theorem 3.2
+engines, O(1) inclusion–exclusion counting, duplicate-free
+constant-delay enumeration) and ``explain()`` states the guarantees.
+The churny event stream is applied through a transactional
+``session.batch()``, so cancelled insert/delete pairs never even reach
+the engines.  The f-rep export (the Section 3 remark) still works on
+the engine underneath the view.
 """
 
 import random
 
-from repro import QHierarchicalEngine, parse_query
+from repro import Session
 from repro.core.factorized import compression_ratio, factorize, flat_size
-from repro.extensions.ucq import UnionEngine, UnionOfCQs
 
 # Two alert rules over a shared event schema, same output (device, evt).
-RULE_FLAGGED = parse_query(
-    "Alert(device, evt) :- Event(device, evt), Flagged(device)"
-)
-RULE_CRITICAL = parse_query(
-    "Alert(device, evt) :- Critical(device, evt)"
-)
+ALERTS = """
+    Alert(device, evt) :- Event(device, evt), Flagged(device)
+    Alert(device, evt) :- Critical(device, evt)
+"""
 
 DEVICES = 300
 EVENTS = 2500
@@ -35,41 +31,47 @@ rng = random.Random(13)
 
 
 def main():
-    union = UnionOfCQs([RULE_FLAGGED, RULE_CRITICAL], name="Alerts")
-    engine = UnionEngine(union)
-    print(f"view: {union}")
-    print(
-        f"O(1) counting available: {engine.counting_supported} "
-        f"({len(engine.intersection_engines)} intersection engine(s))\n"
-    )
+    session = Session()
+    alerts = session.view("alerts", ALERTS)
+    print(alerts.explain().render())
+    print()
 
     for device in range(0, DEVICES, 7):
-        engine.insert("Flagged", (device,))
+        session.insert("Flagged", (device,))
 
+    # The event stream arrives in transactional batches; net-effect
+    # compression drops every insert/delete pair that cancels within a
+    # batch before any engine sees it.
     live = []
-    for _ in range(EVENTS):
-        if live and rng.random() < 0.25:
-            relation, row = live.pop(rng.randrange(len(live)))
-            engine.delete(relation, row)
-            continue
-        device = rng.randrange(DEVICES)
-        evt = rng.randrange(10_000)
-        relation = "Critical" if rng.random() < 0.2 else "Event"
-        row = (device, evt)
-        if engine.insert(relation, row):
-            live.append((relation, row))
+    buffered = net = 0
+    for start in range(0, EVENTS, 500):
+        with session.batch() as batch:
+            for _ in range(min(500, EVENTS - start)):
+                if live and rng.random() < 0.25:
+                    relation, row = live.pop(rng.randrange(len(live)))
+                    batch.delete(relation, row)
+                    continue
+                device = rng.randrange(DEVICES)
+                evt = rng.randrange(10_000)
+                relation = "Critical" if rng.random() < 0.2 else "Event"
+                row = (device, evt)
+                batch.insert(relation, row)
+                live.append((relation, row))
+        buffered += batch.stats["buffered"]
+        net += batch.stats["net"]
+    print(f"stream compression:      {buffered} commands → {net} net changes")
 
-    print(f"alerts live right now:   {engine.count()} (O(1))")
-    rows = list(engine.enumerate())
-    assert len(rows) == len(set(rows)) == engine.count()
+    print(f"alerts live right now:   {alerts.count()} (O(1))")
+    rows = list(alerts.enumerate())
+    assert len(rows) == len(set(rows)) == alerts.count()
     print(f"enumerated, no dups:     {len(rows)} tuples")
     sample = rows[:3]
     for row in sample:
-        assert engine.contains(row)
+        assert alerts.contains(row)
     print(f"membership spot-checks:  {sample} all O(1)-confirmed\n")
 
     # f-representation export of the flagged-device rule.
-    flagged_engine = engine.disjunct_engines[0]
+    flagged_engine = alerts.engine.disjunct_engines[0]
     structure = flagged_engine.structures[0]
     expression = factorize(structure)
     print("f-representation of the Flagged rule (Section 3 remark):")

@@ -11,18 +11,30 @@ conjunctive-query evaluation, with
 * recompute and delta-IVM baselines,
 * executable OMv / OuMv / OV lower-bound reductions (Section 5),
 * the Appendix A self-join frontier (:class:`Phi2Engine`),
-* static substrates (Yannakakis, free-connex constant-delay).
+* static substrates (Yannakakis, free-connex constant-delay),
+* the UCQ union engine (the Section 7 outlook) and the
+  :class:`Session`/:class:`View` serving layer, where the dichotomy
+  itself picks the engine per registered view.
 
-Quickstart::
+Quickstart — the Session API is the recommended front door::
 
-    from repro import parse_query, QHierarchicalEngine
+    from repro import Session
 
-    query = parse_query("Q(post, user) :- Follows(me, user), Posted(user, post)")
-    engine = QHierarchicalEngine(query)
-    engine.insert("Follows", ("me", "ada"))
-    engine.insert("Posted", ("ada", "p1"))
-    print(engine.count())           # O(1) at any moment
-    print(list(engine.enumerate())) # constant delay per tuple
+    session = Session()
+    feed = session.view(
+        "feed", "Feed(me, user, post) :- Follows(me, user), Posted(user, post)"
+    )
+    print(feed.explain().render())  # auto-selected engine + guarantees
+
+    with session.batch() as batch:  # transactional, net-effect compressed
+        batch.insert("Follows", ("me", "ada"))
+        batch.insert("Posted", ("ada", "p1"))
+    print(feed.count())             # O(1) at any moment
+    print(list(feed.enumerate()))   # constant delay per tuple
+
+Engines remain directly constructible when a single query is enough —
+``make_engine("auto", "Q(x, y) :- E(x, y), T(y)")`` applies the same
+dichotomy-driven selection without a session.
 """
 
 # NOTE: the homomorphic-core function is exported as `homomorphic_core`
@@ -62,7 +74,12 @@ from repro.interface import DynamicEngine, ENGINE_REGISTRY, make_engine
 from repro.ivm import DeltaIVMEngine, RecomputeEngine
 from repro.storage import Database, Schema, UpdateCommand, delete, insert
 
-__version__ = "1.0.0"
+# The Session/View facade and its planner (imported after the engine
+# modules above so every engine is registered before planning starts).
+from repro.extensions.ucq import UnionEngine, UnionOfCQs, parse_union
+from repro.api import Batch, Plan, Planner, Session, View, parse_view
+
+__version__ = "1.1.0"
 
 __all__ = [
     "Atom",
@@ -99,5 +116,14 @@ __all__ = [
     "UpdateCommand",
     "delete",
     "insert",
+    "UnionEngine",
+    "UnionOfCQs",
+    "parse_union",
+    "Batch",
+    "Plan",
+    "Planner",
+    "Session",
+    "View",
+    "parse_view",
     "__version__",
 ]

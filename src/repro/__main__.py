@@ -10,6 +10,11 @@ classify "Q(x) :- E(x, y), T(y)"
 qtree "Q(x, y) :- R(x, y), S(y)"
     Print a q-tree per connected component, or the reason none exists.
 
+plan "Q(x, y) :- R(x, y), S(y)"
+    Run the Session planner: print the engine the dichotomy selects for
+    the query (CQ, or UCQ given several ';'-separated rules) and the
+    paper's complexity guarantees for it.
+
 demo
     Run a 30-second self-contained demonstration: builds the Example
     6.1 database, prints the structure and enumerates Table 1.
@@ -76,6 +81,14 @@ def cmd_qtree(text: str) -> int:
     return status
 
 
+def cmd_plan(text: str, engine: str) -> int:
+    from repro.api import Planner, parse_view
+
+    plan = Planner().plan(parse_view(text), engine=engine)
+    print(plan.render())
+    return 0
+
+
 def _demo() -> int:
     from repro.core.engine import QHierarchicalEngine
     from repro.core.render import render_structure
@@ -130,6 +143,18 @@ def main(argv=None) -> int:
     )
     qtree_parser.add_argument("query")
 
+    plan_parser = subparsers.add_parser(
+        "plan", help="show the engine the dichotomy planner selects"
+    )
+    plan_parser.add_argument(
+        "query", help="a CQ, or a UCQ as ';'- or newline-separated rules"
+    )
+    plan_parser.add_argument(
+        "--engine",
+        default="auto",
+        help="force a registry engine instead of auto-selection",
+    )
+
     subparsers.add_parser("demo", help="run the Example 6.1 walkthrough")
 
     args = parser.parse_args(argv)
@@ -138,6 +163,8 @@ def main(argv=None) -> int:
             return cmd_classify(args.query)
         if args.command == "qtree":
             return cmd_qtree(args.query)
+        if args.command == "plan":
+            return cmd_plan(args.query, args.engine)
         return _demo()
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -1,0 +1,273 @@
+"""Classification-driven engine selection (the dichotomy as a planner).
+
+:class:`Planner` maps a query — CQ or UCQ, text or object — onto the
+best registered :class:`~repro.interface.DynamicEngine`:
+
+=============================================  =================
+query shape                                    chosen engine
+=============================================  =================
+q-hierarchical CQ                              ``qhierarchical``
+UCQ, every disjunct q-hierarchical             ``ucq_union``
+any other CQ                                   ``delta_ivm`` (*)
+UCQ with a non-q-hierarchical disjunct         refused, with the
+                                               violation witness
+=============================================  =================
+
+(*) configurable via ``Planner(fallback=...)`` — ``"recompute"`` is the
+honest choice when queries are rare and updates plentiful.
+
+The returned :class:`Plan` is the ``explain()`` artefact: it records
+the classification, the reason for the choice, and the paper's
+complexity guarantees (preprocessing, update time, enumeration delay,
+counting) for the selected engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from repro.cq.analysis import QueryClassification, classify, find_violation
+from repro.cq.parser import parse_many
+from repro.cq.query import ConjunctiveQuery
+from repro.errors import (
+    EngineStateError,
+    NotQHierarchicalError,
+    QuerySyntaxError,
+)
+from repro.extensions.ucq import UnionOfCQs, supports_exact_counting
+from repro.interface import ENGINE_REGISTRY, DynamicEngine
+from repro.storage.database import Database
+
+__all__ = ["Plan", "Planner", "parse_view"]
+
+QueryLike = Union[ConjunctiveQuery, UnionOfCQs]
+
+
+def parse_view(text: str, name: Optional[str] = None) -> QueryLike:
+    """Parse view text: one rule is a CQ, several rules are a UCQ.
+
+    Rules are separated by newlines or ``;``; blank lines and ``#``
+    comments are skipped, as in :func:`repro.cq.parser.parse_many`.
+    """
+    queries = parse_many(text.replace(";", "\n"))
+    if not queries:
+        raise QuerySyntaxError(f"no rules found in {text!r}")
+    if len(queries) == 1:
+        query = queries[0]
+        if name is not None:
+            return ConjunctiveQuery(query.atoms, query.free, name=name)
+        return query
+    return UnionOfCQs(queries, name=name or queries[0].name)
+
+
+#: Complexity guarantees per engine, straight from the paper.  ``n`` is
+#: the active-domain size, ϕ/Φ the (U)CQ, q the number of disjuncts.
+_GUARANTEES: Dict[str, Dict[str, str]] = {
+    "qhierarchical": {
+        "preprocessing": "O(||D|| · poly(ϕ))",
+        "update": "O(poly(ϕ)) — constant in the data (Theorem 3.2)",
+        "delay": "O(poly(ϕ)) per tuple, duplicate-free",
+        "count": "O(1)",
+        "answer": "O(1)",
+    },
+    "ucq_union": {
+        "preprocessing": "O(2^q · ||D|| · poly(Φ))",
+        "update": "O(2^q · poly(Φ)) — constant in the data",
+        "delay": "O(q · poly(Φ)) per tuple (Durand–Strozecki union)",
+        "count": "O(2^q) via inclusion–exclusion",
+        "answer": "O(q)",
+    },
+    "delta_ivm": {
+        "preprocessing": "O(||D|| · delta joins) (replayed insertions)",
+        "update": "Θ(delta join size) — can reach the Ω(n^{1-ε}) "
+        "barrier of Theorems 3.3–3.5",
+        "delay": "O(1) per tuple from the materialised view",
+        "count": "O(1) (materialised distinct count)",
+        "answer": "O(1)",
+    },
+    "recompute": {
+        "preprocessing": "O(||D||) (store only, lazy evaluation)",
+        "update": "O(1) (cache invalidation)",
+        "delay": "first tuple only after full re-evaluation",
+        "count": "full re-evaluation when stale",
+        "answer": "full re-evaluation when stale",
+    },
+}
+
+_UNSTATED = "no stated guarantee for this engine"
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An explainable engine choice for one view.
+
+    Attributes
+    ----------
+    query:
+        The parsed :class:`ConjunctiveQuery` or :class:`UnionOfCQs`.
+    engine:
+        Registry name of the selected engine class.
+    kind:
+        ``"cq"`` or ``"ucq"``.
+    auto:
+        False when the caller forced the engine.
+    reason:
+        Human-readable justification (includes the Definition 3.1
+        violation witness when the fallback was chosen).
+    guarantees:
+        ``{"preprocessing" | "update" | "delay" | "count" | "answer":
+        bound}`` for the chosen engine.
+    classification:
+        The full three-dichotomy classification (CQ plans only).
+    counting_exact:
+        Whether ``count()`` meets the stated O(1)/O(2^q) bound; False
+        only for UCQs whose inclusion–exclusion intersections leave the
+        q-hierarchical class (counting then degrades to enumeration).
+    """
+
+    query: QueryLike
+    engine: str
+    kind: str
+    auto: bool
+    reason: str
+    guarantees: Dict[str, str] = field(repr=False)
+    classification: Optional[QueryClassification] = field(default=None, repr=False)
+    counting_exact: bool = True
+
+    def build(self, database: Optional[Database] = None) -> DynamicEngine:
+        """Instantiate the planned engine (preprocessing phase)."""
+        return ENGINE_REGISTRY[self.engine](self.query, database)
+
+    def render(self) -> str:
+        """The ``explain()`` report as printable text."""
+        lines = [
+            f"view:   {self.query}",
+            f"kind:   {self.kind}",
+            f"engine: {self.engine} ({'auto-selected' if self.auto else 'forced by caller'})",
+            f"reason: {self.reason}",
+            "guarantees:",
+        ]
+        for aspect in ("preprocessing", "update", "delay", "count", "answer"):
+            lines.append(f"  {aspect:<14} {self.guarantees.get(aspect, _UNSTATED)}")
+        if not self.counting_exact:
+            lines.append(
+                "  note           exact counting degrades to enumeration "
+                "(a union intersection leaves the q-hierarchical class)"
+            )
+        return "\n".join(lines)
+
+
+class Planner:
+    """Select engines by the paper's dichotomy; see the module table."""
+
+    def __init__(self, fallback: str = "delta_ivm"):
+        if fallback not in ENGINE_REGISTRY:
+            known = ", ".join(sorted(ENGINE_REGISTRY))
+            raise EngineStateError(
+                f"unknown fallback engine {fallback!r}; known: {known}"
+            )
+        self._fallback = fallback
+
+    def plan(self, query: Union[str, QueryLike], engine: str = "auto") -> Plan:
+        """Plan a view: classify ``query`` and pick (or validate) an engine."""
+        if isinstance(query, str):
+            query = parse_view(query)
+        if isinstance(query, UnionOfCQs) and len(query.disjuncts) == 1:
+            query = query.disjuncts[0]
+        if engine != "auto":
+            return self._forced(query, engine)
+        if isinstance(query, UnionOfCQs):
+            return self._plan_union(query)
+        return self._plan_cq(query)
+
+    # -- the three dichotomy branches -----------------------------------------
+
+    def _plan_cq(self, query: ConjunctiveQuery) -> Plan:
+        classification = classify(query)
+        if classification.q_hierarchical:
+            return Plan(
+                query=query,
+                engine="qhierarchical",
+                kind="cq",
+                auto=True,
+                reason="q-hierarchical (Definition 3.1) → Theorem 3.2 "
+                "constant-update engine",
+                guarantees=dict(_GUARANTEES["qhierarchical"]),
+                classification=classification,
+            )
+        witness = classification.violation.describe()
+        return Plan(
+            query=query,
+            engine=self._fallback,
+            kind="cq",
+            auto=True,
+            reason=f"not q-hierarchical ({witness}); Theorems 3.3–3.5 rule "
+            f"out constant-update maintenance → {self._fallback} baseline",
+            guarantees=dict(_GUARANTEES.get(self._fallback, {})),
+            classification=classification,
+        )
+
+    def _plan_union(self, union: UnionOfCQs) -> Plan:
+        for query in union.disjuncts:
+            violation = find_violation(query)
+            if violation is not None:
+                raise NotQHierarchicalError(
+                    f"disjunct {query} of union {union.name!r} is not "
+                    f"q-hierarchical: {violation.describe()} — no dynamic "
+                    "union engine is available for it; maintain the "
+                    "disjuncts as separate fallback views instead",
+                    violation=violation,
+                )
+        counting_exact = supports_exact_counting(union)
+        return Plan(
+            query=union,
+            engine="ucq_union",
+            kind="ucq",
+            auto=True,
+            reason=f"union of {len(union.disjuncts)} q-hierarchical "
+            "disjuncts → per-disjunct Theorem 3.2 engines with "
+            "inclusion–exclusion counting",
+            guarantees=dict(_GUARANTEES["ucq_union"]),
+            counting_exact=counting_exact,
+        )
+
+    def _forced(self, query: QueryLike, engine: str) -> Plan:
+        if engine not in ENGINE_REGISTRY:
+            known = ", ".join(sorted(ENGINE_REGISTRY)) + ", auto"
+            raise EngineStateError(f"unknown engine {engine!r}; known: {known}")
+        cls = ENGINE_REGISTRY[engine]
+        if isinstance(query, UnionOfCQs) and not getattr(cls, "accepts_unions", False):
+            raise EngineStateError(
+                f"engine {engine!r} maintains a single conjunctive query; "
+                "use 'ucq_union' or 'auto' for a union"
+            )
+        kind = "ucq" if isinstance(query, UnionOfCQs) else "cq"
+        classification = classify(query) if kind == "cq" else None
+
+        # Refuse plans whose build() is statically known to raise, so a
+        # forced plan never advertises guarantees it cannot deliver.
+        if engine in ("qhierarchical", "ucq_union"):
+            disjuncts = query.disjuncts if kind == "ucq" else (query,)
+            for disjunct in disjuncts:
+                violation = find_violation(disjunct)
+                if violation is not None:
+                    raise NotQHierarchicalError(
+                        f"engine {engine!r} cannot maintain {disjunct}: "
+                        f"{violation.describe()}",
+                        violation=violation,
+                    )
+
+        counting_exact = True
+        if isinstance(query, UnionOfCQs):
+            counting_exact = supports_exact_counting(query)
+        return Plan(
+            query=query,
+            engine=engine,
+            kind=kind,
+            auto=False,
+            reason="engine forced by caller (no classification applied)",
+            guarantees=dict(_GUARANTEES.get(engine, {})),
+            classification=classification,
+            counting_exact=counting_exact,
+        )

@@ -1,0 +1,380 @@
+"""Sessions: one shared database, many live views, transactional batches.
+
+A :class:`Session` is the serving-system front door the ROADMAP asks
+for: callers register named views from query text (CQ or UCQ) and the
+:class:`~repro.api.planner.Planner` picks the engine by the paper's
+dichotomy.  The session owns the authoritative set-semantics store;
+every effective update is fanned out exactly once to each view whose
+query mentions the updated relation, so unrelated views never pay for
+each other's traffic.
+
+:meth:`Session.batch` opens a transaction: commands are buffered, and on
+a clean exit only their *net effect* is applied — per (relation, tuple)
+the last operation wins, and operations that agree with the pre-batch
+state (inserting a present tuple, deleting an absent one) are dropped.
+On churny streams this saves the full per-view update fan-out for every
+cancelled pair, which is where the engines spend their time.  If the
+``with`` body raises, the buffer is discarded and no view observes any
+of it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.api.planner import Plan, Planner, QueryLike
+from repro.errors import EngineStateError, SchemaError, UpdateError
+from repro.interface import DynamicEngine
+from repro.storage.database import Constant, Database, Row, Schema
+from repro.storage.updates import (
+    UpdateCommand,
+    compress_commands,
+    delete as delete_command,
+    insert as insert_command,
+)
+
+__all__ = ["Session", "View", "Batch"]
+
+
+class View:
+    """A named live query registered with a :class:`Session`.
+
+    Thin façade over the planned engine: the query surface
+    (``count``/``answer``/``enumerate``/``result_set``/``contains``)
+    delegates, while updates arrive only through the owning session.
+    """
+
+    def __init__(self, name: str, session: "Session", plan: Plan, engine: DynamicEngine):
+        self.name = name
+        self._session = session
+        self._plan = plan
+        self._engine = engine
+
+    # -- plan introspection ---------------------------------------------------
+
+    @property
+    def query(self) -> QueryLike:
+        return self._plan.query
+
+    @property
+    def engine_name(self) -> str:
+        return self._plan.engine
+
+    @property
+    def engine(self) -> DynamicEngine:
+        """The underlying engine (query methods only — update via the
+        session, or the shared store and this view disagree)."""
+        return self._engine
+
+    def explain(self) -> Plan:
+        """The planner's report: chosen engine, reason, guarantees."""
+        return self._plan
+
+    # -- query surface --------------------------------------------------------
+
+    def count(self) -> int:
+        return self._engine.count()
+
+    def answer(self) -> bool:
+        return self._engine.answer()
+
+    def enumerate(self) -> Iterator[Row]:
+        return self._engine.enumerate()
+
+    def result_set(self) -> Set[Row]:
+        return self._engine.result_set()
+
+    def contains(self, row: Sequence[Constant]) -> bool:
+        """Output-tuple membership; O(1) when the engine supports it."""
+        row = tuple(row)
+        probe = getattr(self._engine, "contains", None)
+        if probe is not None:
+            return probe(row)
+        return row in self._engine.result_set()
+
+    def __repr__(self) -> str:
+        return f"View({self.name!r}, engine={self.engine_name!r})"
+
+
+class Batch:
+    """A buffered, net-effect-compressed transaction on a session.
+
+    Use via ``with session.batch() as batch:`` — commands buffer until
+    the block exits cleanly, then the compressed net effect is applied
+    once per affected view.  An exception inside the block discards the
+    buffer entirely.  After commit, :attr:`stats` records the
+    compression: ``{"buffered": ..., "net": ..., "applied": ...}``.
+    """
+
+    def __init__(self, session: "Session"):
+        self._session = session
+        self._commands: List[UpdateCommand] = []
+        self._open = False
+        self._finished = False
+        self.stats: Optional[Dict[str, int]] = None
+
+    # -- buffering ------------------------------------------------------------
+
+    def insert(self, relation: str, row: Sequence[Constant]) -> "Batch":
+        return self.apply(insert_command(relation, row))
+
+    def delete(self, relation: str, row: Sequence[Constant]) -> "Batch":
+        return self.apply(delete_command(relation, row))
+
+    def apply(self, command: UpdateCommand) -> "Batch":
+        if not self._open:
+            raise EngineStateError("batch is not open; use 'with session.batch()'")
+        # Validate eagerly so a bad command aborts the whole transaction
+        # before anything is applied.
+        self._session._check(command.relation, command.row)
+        self._commands.append(command)
+        return self
+
+    def apply_all(self, commands: Iterable[UpdateCommand]) -> "Batch":
+        for command in commands:
+            self.apply(command)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._commands)
+
+    # -- transaction protocol -------------------------------------------------
+
+    def __enter__(self) -> "Batch":
+        if self._finished:
+            # One-shot: a committed (or rolled-back) batch holds stale
+            # commands whose net effect was computed against old state.
+            raise EngineStateError(
+                "this batch already finished; open a new one with session.batch()"
+            )
+        self._session._open_batch(self)
+        self._open = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._session._close_batch(self)
+        self._open = False
+        self._finished = True
+        if exc_type is not None:
+            self._commands.clear()  # rollback: nothing was applied
+            return False
+        self._commit()
+        return False
+
+    def _commit(self) -> None:
+        net = compress_commands(self._commands, self._session._present)
+        applied = 0
+        for command in net:
+            if self._session._apply_effective(command):
+                applied += 1
+        self.stats = {
+            "buffered": len(self._commands),
+            "net": len(net),
+            "applied": applied,
+        }
+
+
+class Session:
+    """A shared database serving many named live views.
+
+    Construction is free; cost is paid per registered view
+    (preprocessing) and per effective update (fan-out to the views that
+    mention the relation).  Views registered late are preloaded with the
+    session's current contents, so registration order never changes
+    results.
+    """
+
+    def __init__(self, planner: Optional[Planner] = None):
+        self._planner = planner or Planner()
+        self._arities: Dict[str, int] = {}
+        self._rows: Dict[str, Set[Row]] = {}
+        self._views: Dict[str, View] = {}
+        self._views_by_relation: Dict[str, List[View]] = {}
+        self._active_batch: Optional[Batch] = None
+
+    # ------------------------------------------------------------------
+    # view registration
+    # ------------------------------------------------------------------
+
+    def view(self, name: str, query: object, engine: str = "auto") -> View:
+        """Register a live view from query text (CQ or UCQ) or a query
+        object; ``engine="auto"`` lets the dichotomy choose."""
+        if name in self._views:
+            raise EngineStateError(f"a view named {name!r} already exists")
+        if self._active_batch is not None:
+            raise EngineStateError("cannot register a view inside an open batch")
+        plan = self._planner.plan(query, engine=engine)
+        parsed = plan.query
+
+        # Check schema compatibility before any state changes.
+        arities = {r: parsed.arity_of(r) for r in parsed.relations}
+        for relation, arity in arities.items():
+            declared = self._arities.get(relation, arity)
+            if declared != arity:
+                raise SchemaError(
+                    f"view {name!r} uses {relation}/{arity} but the session "
+                    f"already serves {relation}/{declared}"
+                )
+
+        # Preprocessing: build the engine over the session's current
+        # contents restricted to the view's relations.
+        preload = Database(Schema(arities))
+        for relation in arities:
+            for row in self._rows.get(relation, ()):
+                preload.insert(relation, row)
+        built = plan.build(preload)
+
+        self._arities.update(arities)
+        view = View(name, self, plan, built)
+        self._views[name] = view
+        for relation in arities:
+            self._rows.setdefault(relation, set())
+            self._views_by_relation.setdefault(relation, []).append(view)
+        return view
+
+    def drop_view(self, name: str) -> None:
+        """Unregister a view (its relations stay in the shared store)."""
+        try:
+            view = self._views.pop(name)
+        except KeyError:
+            raise EngineStateError(f"no view named {name!r}") from None
+        for views in self._views_by_relation.values():
+            if view in views:
+                views.remove(view)
+
+    def __getitem__(self, name: str) -> View:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise EngineStateError(f"no view named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    @property
+    def views(self) -> Tuple[View, ...]:
+        return tuple(self._views.values())
+
+    def explain(self, name: str) -> Plan:
+        return self[name].explain()
+
+    # ------------------------------------------------------------------
+    # updates — fan out once per affected view
+    # ------------------------------------------------------------------
+
+    def insert(self, relation: str, row: Sequence[Constant]) -> bool:
+        """``insert R(ā)``; True iff the shared store changed."""
+        return self.apply(insert_command(relation, row))
+
+    def delete(self, relation: str, row: Sequence[Constant]) -> bool:
+        """``delete R(ā)``; True iff the shared store changed."""
+        return self.apply(delete_command(relation, row))
+
+    def apply(self, command: UpdateCommand) -> bool:
+        if self._active_batch is not None:
+            raise EngineStateError(
+                "a batch is open; route updates through it (or close it first)"
+            )
+        self._check(command.relation, command.row)
+        return self._apply_effective(command)
+
+    def apply_all(self, commands: Iterable[UpdateCommand]) -> int:
+        """Apply a stream command-by-command; returns effective changes."""
+        changed = 0
+        for command in commands:
+            if self.apply(command):
+                changed += 1
+        return changed
+
+    def ingest(self, database: Database) -> int:
+        """Bulk-insert every tuple of a database; returns insertions."""
+        changed = 0
+        for relation in database.relations():
+            for row in relation.rows:
+                if self.insert(relation.name, row):
+                    changed += 1
+        return changed
+
+    def batch(self) -> Batch:
+        """Open a transactional, net-effect-compressed update batch."""
+        return Batch(self)
+
+    # -- internals ------------------------------------------------------------
+
+    def _check(self, relation: str, row: Row) -> None:
+        try:
+            arity = self._arities[relation]
+        except KeyError:
+            known = ", ".join(sorted(self._arities)) or "(none)"
+            raise SchemaError(
+                f"no registered view uses relation {relation!r}; "
+                f"known relations: {known}"
+            ) from None
+        if len(row) != arity:
+            raise UpdateError(
+                f"tuple {tuple(row)!r} has arity {len(row)}, relation "
+                f"{relation!r} expects {arity}"
+            )
+
+    def _present(self, relation: str, row: Row) -> bool:
+        return row in self._rows.get(relation, ())
+
+    def _apply_effective(self, command: UpdateCommand) -> bool:
+        rows = self._rows[command.relation]
+        if command.is_insert:
+            if command.row in rows:
+                return False
+            rows.add(command.row)
+        else:
+            if command.row not in rows:
+                return False
+            rows.remove(command.row)
+        for view in self._views_by_relation.get(command.relation, ()):
+            view._engine.apply(command)
+        return True
+
+    def _open_batch(self, batch: Batch) -> None:
+        if self._active_batch is not None:
+            raise EngineStateError("a batch is already open on this session")
+        self._active_batch = batch
+
+    def _close_batch(self, batch: Batch) -> None:
+        if self._active_batch is batch:
+            self._active_batch = None
+
+    # ------------------------------------------------------------------
+    # shared-store introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def relations(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._arities))
+
+    @property
+    def cardinality(self) -> int:
+        """Total number of stored tuples across all relations."""
+        return sum(len(rows) for rows in self._rows.values())
+
+    def rows(self, relation: str) -> Set[Row]:
+        """Snapshot of one relation's tuples."""
+        self._check_known(relation)
+        return set(self._rows[relation])
+
+    def _check_known(self, relation: str) -> None:
+        if relation not in self._arities:
+            raise SchemaError(f"unknown relation {relation!r}")
+
+    @property
+    def database(self) -> Database:
+        """A :class:`Database` snapshot of the shared store (O(||D||))."""
+        snapshot = Database(Schema(self._arities))
+        for relation, rows in self._rows.items():
+            for row in rows:
+                snapshot.insert(relation, row)
+        return snapshot
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{view.name}:{view.engine_name}" for view in self._views.values()
+        )
+        return f"Session([{inner}], |D|={self.cardinality})"

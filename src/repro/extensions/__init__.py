@@ -16,6 +16,13 @@ from repro.extensions.ucq import (
     UnionOfCQs,
     intersection_query,
     parse_union,
+    supports_exact_counting,
 )
 
-__all__ = ["UnionEngine", "UnionOfCQs", "intersection_query", "parse_union"]
+__all__ = [
+    "UnionEngine",
+    "UnionOfCQs",
+    "intersection_query",
+    "parse_union",
+    "supports_exact_counting",
+]

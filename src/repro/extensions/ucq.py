@@ -28,21 +28,32 @@ The interesting parts are the operations that must *combine* them:
 
 Updates fan out to every engine (per-disjunct and per-intersection), so
 the update time is O(2^q · poly(Φ)) — constant in the data, as required.
+
+:class:`UnionEngine` is a regular :class:`~repro.interface.DynamicEngine`
+registered as ``"ucq_union"``: it shares the interface's update/query
+contract with the CQ engines and is selected automatically by the
+planner (:mod:`repro.api`) for unions of q-hierarchical disjuncts.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.engine import QHierarchicalEngine
 from repro.cq.analysis import is_q_hierarchical
 from repro.cq.query import ConjunctiveQuery
 from repro.errors import QueryStructureError
+from repro.interface import DynamicEngine, register_engine
 from repro.storage.database import Constant, Database, Row
-from repro.storage.updates import UpdateCommand
 
-__all__ = ["UnionOfCQs", "UnionEngine", "intersection_query", "parse_union"]
+__all__ = [
+    "UnionOfCQs",
+    "UnionEngine",
+    "intersection_query",
+    "parse_union",
+    "supports_exact_counting",
+]
 
 
 def parse_union(text: str, name: str = "U") -> "UnionOfCQs":
@@ -88,10 +99,49 @@ class UnionOfCQs:
         self.disjuncts = disjuncts
         self.arity = arity
         self.name = name
+        self._arities = arities
+        self._intersection_profile: Optional[
+            Tuple[Tuple[Tuple[int, ...], ConjunctiveQuery, bool], ...]
+        ] = None
 
     @property
     def relations(self) -> Tuple[str, ...]:
         return tuple(sorted({r for q in self.disjuncts for r in q.relations}))
+
+    @property
+    def free(self) -> Tuple[str, ...]:
+        """The output schema, mirroring :attr:`ConjunctiveQuery.free`.
+
+        Disjuncts align positionally, so the first disjunct's free-tuple
+        names stand for the whole union's output columns.
+        """
+        return self.disjuncts[0].free
+
+    def arity_of(self, relation: str) -> int:
+        """Declared arity of a relation (shared across disjuncts)."""
+        try:
+            return self._arities[relation]
+        except KeyError:
+            raise QueryStructureError(
+                f"relation {relation!r} does not occur in {self.name}"
+            ) from None
+
+    def intersection_profile(
+        self,
+    ) -> Tuple[Tuple[Tuple[int, ...], ConjunctiveQuery, bool], ...]:
+        """Every >=2-subset of disjunct indices with its intersection CQ
+        and whether that CQ is q-hierarchical.
+
+        The O(2^q) construction is cached on the union, so planning a
+        UCQ (:func:`supports_exact_counting`) and then building its
+        :class:`UnionEngine` pays for it once.
+        """
+        if self._intersection_profile is None:
+            self._intersection_profile = tuple(
+                (subset, query, is_q_hierarchical(query))
+                for subset, query in _intersection_subsets(self)
+            )
+        return self._intersection_profile
 
     def __str__(self) -> str:
         return " ∪ ".join(str(q) for q in self.disjuncts)
@@ -135,69 +185,90 @@ def _intersection_of(queries: Sequence[ConjunctiveQuery]) -> ConjunctiveQuery:
     return result
 
 
-class UnionEngine:
+def _intersection_subsets(
+    union: UnionOfCQs,
+) -> Iterator[Tuple[Tuple[int, ...], ConjunctiveQuery]]:
+    """Every >=2-subset of disjunct indices with its intersection CQ."""
+    indices = range(len(union.disjuncts))
+    for size in range(2, len(union.disjuncts) + 1):
+        for subset in itertools.combinations(indices, size):
+            yield subset, _intersection_of([union.disjuncts[i] for i in subset])
+
+
+def supports_exact_counting(union: UnionOfCQs) -> bool:
+    """Whether O(2^q) inclusion–exclusion counting is available.
+
+    True iff every inclusion–exclusion intersection is itself
+    q-hierarchical — the static check behind
+    :attr:`UnionEngine.counting_supported`, usable without building the
+    engine (the planner reports the counting guarantee from it).
+    """
+    return all(qh for _, _, qh in union.intersection_profile())
+
+
+@register_engine
+class UnionEngine(DynamicEngine):
     """Dynamic evaluation for unions of q-hierarchical CQs.
+
+    A full :class:`~repro.interface.DynamicEngine`: construction is the
+    preprocessing phase, updates go through the shared
+    ``insert``/``delete``/``apply`` front (set-semantics no-ops filtered
+    once by the base class) and fan out to the per-disjunct and
+    per-intersection Theorem 3.2 engines — O(2^q · poly(Φ)) per update,
+    constant in the data.
 
     Construction raises :class:`NotQHierarchicalError` if some disjunct
     is outside Theorem 3.2's class.  ``counting_supported`` reports
     whether every inclusion–exclusion intersection is q-hierarchical —
-    only then is ``count()`` O(1).
+    only then is ``count()`` O(1).  A plain
+    :class:`~repro.cq.query.ConjunctiveQuery` is accepted as the
+    degenerate single-disjunct union, so the registry entry
+    ``"ucq_union"`` composes with :func:`~repro.interface.make_engine`.
     """
 
     name = "ucq_union"
+    accepts_unions = True
 
-    def __init__(self, union: UnionOfCQs, database: Optional[Database] = None):
-        self._union = union
-        self._engines: List[QHierarchicalEngine] = []
-        for query in union.disjuncts:
-            self._engines.append(QHierarchicalEngine(query))
+    def __init__(
+        self,
+        union: Union[UnionOfCQs, ConjunctiveQuery],
+        database: Optional[Database] = None,
+    ):
+        if isinstance(union, ConjunctiveQuery):
+            union = UnionOfCQs([union], name=union.name)
+        super().__init__(union, database)
+
+    def _setup(self) -> None:
+        union: UnionOfCQs = self._query
+        self._engines: List[QHierarchicalEngine] = [
+            QHierarchicalEngine(query) for query in union.disjuncts
+        ]
 
         # Inclusion–exclusion engines for every subset of size >= 2.
         self._intersections: Dict[Tuple[int, ...], QHierarchicalEngine] = {}
         self.counting_supported = True
-        indices = range(len(union.disjuncts))
-        for size in range(2, len(union.disjuncts) + 1):
-            for subset in itertools.combinations(indices, size):
-                query = _intersection_of(
-                    [union.disjuncts[i] for i in subset]
-                )
-                if not is_q_hierarchical(query):
-                    self.counting_supported = False
-                    continue
-                self._intersections[subset] = QHierarchicalEngine(query)
+        for subset, query, q_hierarchical in union.intersection_profile():
+            if not q_hierarchical:
+                self.counting_supported = False
+                continue
+            self._intersections[subset] = QHierarchicalEngine(query)
 
         self._by_relation: Dict[str, List[QHierarchicalEngine]] = {}
         for engine in list(self._engines) + list(self._intersections.values()):
             for relation in engine.query.relations:
                 self._by_relation.setdefault(relation, []).append(engine)
 
-        if database is not None:
-            for relation in database.relations():
-                for row in relation.rows:
-                    self.insert(relation.name, row)
-
     # ------------------------------------------------------------------
     # updates — O(2^q · poly(Φ)), constant in the data
     # ------------------------------------------------------------------
 
-    def insert(self, relation: str, row: Sequence[Constant]) -> bool:
-        changed = False
+    def _on_insert(self, relation: str, row: Row) -> None:
         for engine in self._by_relation.get(relation, ()):
-            if engine.insert(relation, row):
-                changed = True
-        return changed
+            engine.insert(relation, row)
 
-    def delete(self, relation: str, row: Sequence[Constant]) -> bool:
-        changed = False
+    def _on_delete(self, relation: str, row: Row) -> None:
         for engine in self._by_relation.get(relation, ()):
-            if engine.delete(relation, row):
-                changed = True
-        return changed
-
-    def apply(self, command: UpdateCommand) -> bool:
-        if command.is_insert:
-            return self.insert(command.relation, command.row)
-        return self.delete(command.relation, command.row)
+            engine.delete(relation, row)
 
     # ------------------------------------------------------------------
     # queries
@@ -254,12 +325,9 @@ class UnionEngine:
 
         return merged(len(self._engines))
 
-    def result_set(self) -> set:
-        return set(self.enumerate())
-
     @property
     def union(self) -> UnionOfCQs:
-        return self._union
+        return self._query
 
     @property
     def disjunct_engines(self) -> Tuple[QHierarchicalEngine, ...]:
@@ -271,7 +339,7 @@ class UnionEngine:
 
     def __repr__(self) -> str:
         return (
-            f"UnionEngine({self._union.name}, q={len(self._engines)}, "
+            f"UnionEngine({self._query.name}, q={len(self._engines)}, "
             f"counting={'O(1)' if self.counting_supported else 'fallback'})"
         )
 

@@ -14,6 +14,13 @@ phase, and subsequent updates go through :meth:`insert` /
 :meth:`delete` / :meth:`apply`.  Set semantics no-ops (inserting a
 present tuple, deleting an absent one) are filtered here once, so
 subclasses only ever see effective changes.
+
+The registry spans CQ engines *and* the UCQ union engine
+(``"ucq_union"``); an engine that can maintain a
+:class:`~repro.extensions.ucq.UnionOfCQs` sets ``accepts_unions``.
+:func:`make_engine` additionally accepts raw rule text and the engine
+name ``"auto"``, which delegates selection to the dichotomy-driven
+:class:`repro.api.Planner` — the recommended way to pick an engine.
 """
 
 from __future__ import annotations
@@ -34,6 +41,10 @@ class DynamicEngine(ABC):
 
     #: Short identifier used in benchmark tables and the registry.
     name: str = "abstract"
+
+    #: Whether the engine can maintain a :class:`UnionOfCQs` (the
+    #: query object then only needs ``relations``/``arity_of``/``free``).
+    accepts_unions: bool = False
 
     def __init__(self, query: ConjunctiveQuery, database: Optional[Database] = None):
         self._query = query
@@ -145,12 +156,38 @@ def register_engine(cls: Type[DynamicEngine]) -> Type[DynamicEngine]:
 
 
 def make_engine(
-    name: str, query: ConjunctiveQuery, database: Optional[Database] = None
+    name: str, query, database: Optional[Database] = None
 ) -> DynamicEngine:
-    """Instantiate a registered engine by name."""
+    """Instantiate a registered engine by name — or let the planner pick.
+
+    ``query`` may be a :class:`~repro.cq.query.ConjunctiveQuery`, a
+    :class:`~repro.extensions.ucq.UnionOfCQs`, or raw rule text (one
+    rule per line; several rules make a UCQ).  ``name="auto"`` delegates
+    engine selection to :class:`repro.api.Planner`, which applies the
+    paper's dichotomy: q-hierarchical → ``"qhierarchical"``, a union of
+    q-hierarchical disjuncts → ``"ucq_union"``, anything else → the
+    delta-IVM baseline.
+    """
+    # Imported lazily: repro.api builds on this module.
+    from repro.api.planner import Planner, parse_view
+
+    if isinstance(query, str):
+        query = parse_view(query)
+    if name == "auto":
+        return Planner().plan(query).build(database)
     try:
         cls = ENGINE_REGISTRY[name]
     except KeyError:
-        known = ", ".join(sorted(ENGINE_REGISTRY))
+        known = ", ".join(sorted(ENGINE_REGISTRY)) + ", auto"
         raise EngineStateError(f"unknown engine {name!r}; known: {known}") from None
+    if not isinstance(query, ConjunctiveQuery) and not _accepts_unions(cls):
+        raise EngineStateError(
+            f"engine {name!r} maintains a single conjunctive query; "
+            f"use 'ucq_union' or 'auto' for a union"
+        )
     return cls(query, database)
+
+
+def _accepts_unions(cls: Type[DynamicEngine]) -> bool:
+    """Whether an engine class can maintain a :class:`UnionOfCQs`."""
+    return bool(getattr(cls, "accepts_unions", False))

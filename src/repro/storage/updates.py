@@ -8,12 +8,21 @@ generated once and replayed against several engines for comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.errors import UpdateError
 from repro.storage.database import Constant, Database, Row
 
-__all__ = ["INSERT", "DELETE", "UpdateCommand", "insert", "delete", "apply_all", "diff_updates"]
+__all__ = [
+    "INSERT",
+    "DELETE",
+    "UpdateCommand",
+    "insert",
+    "delete",
+    "apply_all",
+    "compress_commands",
+    "diff_updates",
+]
 
 INSERT = "insert"
 DELETE = "delete"
@@ -68,6 +77,34 @@ def apply_all(database: Database, commands: Iterable[UpdateCommand]) -> int:
         if command.apply_to(database):
             changed += 1
     return changed
+
+
+def compress_commands(
+    commands: Iterable[UpdateCommand],
+    present: Callable[[str, Row], bool],
+) -> List[UpdateCommand]:
+    """Net-effect compression of an update stream (set semantics).
+
+    Under set semantics the final membership of a tuple depends only on
+    the *last* command addressing it, so per (relation, tuple) every
+    earlier command cancels.  A surviving command that agrees with the
+    current state — inserting a tuple ``present`` already reports, or
+    deleting an absent one — is a no-op and is dropped too.  The result
+    applied once is equivalent to replaying the whole stream; this is
+    the hot-path optimisation behind :meth:`repro.api.Session.batch`.
+
+    ``present(relation, row)`` must report membership in the state the
+    compressed commands will be applied to.  Output preserves each
+    tuple's first-occurrence order.
+    """
+    net: Dict[Tuple[str, Row], UpdateCommand] = {}
+    for command in commands:
+        net[(command.relation, command.row)] = command
+    return [
+        command
+        for (relation, row), command in net.items()
+        if command.is_insert != present(relation, row)
+    ]
 
 
 def diff_updates(old: Database, new: Database) -> List[UpdateCommand]:

@@ -1,0 +1,100 @@
+"""Property-style tests: batched net-effect application ≡ replaying the
+raw stream command-by-command.
+
+For random update streams (including redundant and self-cancelling
+commands), a :meth:`Session.batch` commit must leave every view with
+exactly the ``result_set()``/``count()`` that applying the same stream
+one command at a time through a :class:`RecomputeEngine` produces —
+net-effect compression is an optimisation, never a semantics change.
+"""
+
+import random
+
+import pytest
+
+from repro.api import Session
+from repro.cq.parser import parse_query
+from repro.extensions.ucq import UnionOfCQs
+from repro.ivm.recompute import RecomputeEngine
+from repro.storage.updates import delete, insert
+
+VIEW_CQ = parse_query("V(x, y) :- R(x, y), S(x)")
+VIEW_UCQ_TEXT = "V(x, y) :- R(x, y), S(x); V(x, y) :- T(x, y)"
+UCQ_DISJUNCTS = (VIEW_CQ, parse_query("V(x, y) :- T(x, y)"))
+
+SCHEMA = {"R": 2, "S": 1, "T": 2}
+
+
+def churny_stream(rng: random.Random, rounds: int, domain: int = 4):
+    """A redundant stream: small domain, frequent toggles, duplicate
+    inserts and deletes of absent tuples all occur."""
+    commands = []
+    for _ in range(rounds):
+        relation = rng.choice(sorted(SCHEMA))
+        row = tuple(rng.randint(1, domain) for _ in range(SCHEMA[relation]))
+        op = insert if rng.random() < 0.6 else delete
+        commands.append(op(relation, row))
+    return commands
+
+
+def recompute_union_truth(commands) -> set:
+    """Replay the raw stream per disjunct through RecomputeEngine."""
+    result = set()
+    for disjunct in UCQ_DISJUNCTS:
+        engine = RecomputeEngine(disjunct)
+        for command in commands:
+            if command.relation in engine.database.schema:
+                engine.apply(command)
+        result |= engine.result_set()
+    return result
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_batched_session_matches_per_command_recompute(seed):
+    rng = random.Random(seed)
+    commands = churny_stream(rng, rounds=120)
+
+    session = Session()
+    cq_view = session.view("cq", VIEW_CQ)
+    ucq_view = session.view("ucq", VIEW_UCQ_TEXT)
+
+    # Apply in a handful of batches (transaction boundaries shouldn't
+    # matter either) while the baseline replays command-by-command.
+    chunk = max(1, len(commands) // 3)
+    for start in range(0, len(commands), chunk):
+        with session.batch() as batch:
+            batch.apply_all(commands[start : start + chunk])
+        assert batch.stats["net"] <= batch.stats["buffered"]
+
+    baseline_cq = RecomputeEngine(VIEW_CQ)
+    for command in commands:
+        if command.relation in baseline_cq.database.schema:
+            baseline_cq.apply(command)
+
+    assert cq_view.result_set() == baseline_cq.result_set()
+    assert cq_view.count() == baseline_cq.count()
+    assert ucq_view.result_set() == recompute_union_truth(commands)
+    assert ucq_view.count() == len(recompute_union_truth(commands))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_single_batch_matches_per_command_session(seed):
+    rng = random.Random(1000 + seed)
+    commands = churny_stream(rng, rounds=150, domain=3)
+
+    def build_session():
+        session = Session()
+        view = session.view("v", VIEW_CQ)
+        session.view("t", parse_query("W(x, y) :- T(x, y)"))
+        return session, view
+
+    batched, batched_view = build_session()
+    with batched.batch() as batch:
+        batch.apply_all(commands)
+
+    sequential, sequential_view = build_session()
+    sequential.apply_all(commands)
+
+    assert batched_view.result_set() == sequential_view.result_set()
+    for relation in SCHEMA:
+        assert batched.rows(relation) == sequential.rows(relation)

@@ -54,6 +54,43 @@ class TestQTreeCommand:
         assert out.count("component") == 2
 
 
+class TestPlanCommand:
+    def test_q_hierarchical_query_plans_theorem_32(self, capsys):
+        status = main(["plan", "Q(x, y) :- E(x, y), T(y)"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "engine: qhierarchical (auto-selected)" in out
+        assert "Theorem 3.2" in out
+
+    def test_hard_query_plans_fallback_with_witness(self, capsys):
+        status = main(["plan", "Q(x) :- E(x, y), T(y)"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "engine: delta_ivm (auto-selected)" in out
+        assert "condition (ii)" in out
+
+    def test_ucq_plans_union_engine(self, capsys):
+        status = main(["plan", "Q(x) :- R(x); Q(x) :- S(x)"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "engine: ucq_union (auto-selected)" in out
+        assert "kind:   ucq" in out
+
+    def test_forced_engine(self, capsys):
+        status = main(["plan", "--engine", "recompute", "Q(x) :- R(x)"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "engine: recompute (forced by caller)" in out
+
+    def test_ucq_with_hard_disjunct_exits_2(self, capsys):
+        status = main(
+            ["plan", "Q(x, y) :- S(x), E(x, y), T(y); Q(x, y) :- W(x, y)"]
+        )
+        err = capsys.readouterr().err
+        assert status == 2
+        assert "not q-hierarchical" in err
+
+
 class TestDemoCommand:
     def test_demo_reproduces_counts(self, capsys):
         status = main(["demo"])

@@ -11,9 +11,13 @@ from tests.conftest import example_6_1_database
 
 class TestRegistry:
     def test_all_engines_registered(self):
-        assert {"qhierarchical", "recompute", "delta_ivm", "phi2_appendix"} <= set(
-            ENGINE_REGISTRY
-        )
+        assert {
+            "qhierarchical",
+            "recompute",
+            "delta_ivm",
+            "phi2_appendix",
+            "ucq_union",
+        } <= set(ENGINE_REGISTRY)
 
     def test_make_engine(self):
         engine = make_engine("recompute", zoo.S_E_T)

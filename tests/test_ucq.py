@@ -9,6 +9,7 @@ from repro.errors import NotQHierarchicalError, QueryStructureError
 from repro.eval_static.naive import evaluate as evaluate_naive
 from repro.extensions.ucq import UnionEngine, UnionOfCQs, intersection_query
 from repro.storage.database import Database
+from repro.storage.updates import insert as insert_command
 from tests.conftest import random_stream
 
 D1 = parse_query("Q(x, y) :- R(x, y), S(x)")
@@ -36,6 +37,17 @@ class TestUnionOfCQs:
         assert union.arity == 2
         assert union.relations == ("R", "S", "T")
         assert "∪" in str(union)
+
+    def test_free_mirrors_conjunctive_query(self):
+        union = UnionOfCQs([D1, D2])
+        assert union.free == D1.free == ("x", "y")
+
+    def test_arity_of(self):
+        union = UnionOfCQs([D1, D2])
+        assert union.arity_of("R") == 2
+        assert union.arity_of("S") == 1
+        with pytest.raises(QueryStructureError):
+            union.arity_of("Nope")
 
     def test_empty_rejected(self):
         with pytest.raises(QueryStructureError):
@@ -224,6 +236,41 @@ class TestUnionEngine:
         assert engine.contains((4, 5))
         engine.delete("T", (4, 5))
         assert not engine.contains((4, 5))
+
+    def test_is_a_dynamic_engine(self):
+        """The refactor: UnionEngine shares the DynamicEngine contract."""
+        from repro.interface import ENGINE_REGISTRY, DynamicEngine
+
+        engine = UnionEngine(UnionOfCQs([D1, D2]))
+        assert isinstance(engine, DynamicEngine)
+        assert ENGINE_REGISTRY["ucq_union"] is UnionEngine
+        # The second insert is a set-semantics no-op, filtered once by
+        # the shared base class.
+        changed = engine.apply_all(2 * [insert_command("T", (1, 2))])
+        assert changed == 1
+        assert engine.database.cardinality == 1
+        assert engine.result_set() == {(1, 2)}
+
+    def test_result_set_returns_typed_set(self):
+        engine = UnionEngine(UnionOfCQs([D1, D2]))
+        engine.insert("T", (1, 2))
+        rows = engine.result_set()
+        assert isinstance(rows, set)
+        assert all(isinstance(row, tuple) for row in rows)
+
+    def test_accepts_plain_cq(self):
+        engine = UnionEngine(D2)
+        engine.insert("T", (3, 4))
+        assert engine.count() == 1
+        assert engine.union.disjuncts == (D2,)
+
+    def test_supports_exact_counting_helper(self):
+        from repro.extensions.ucq import supports_exact_counting
+
+        assert supports_exact_counting(UnionOfCQs([D1, D2]))
+        da = parse_query("Q(x, y) :- A(x), E(x, y)")
+        db_query = parse_query("Q(x, y) :- E(x, y), B(y)")
+        assert not supports_exact_counting(UnionOfCQs([da, db_query]))
 
     def test_parse_union(self):
         from repro.extensions.ucq import parse_union
