@@ -24,7 +24,7 @@ counting) for the selected engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple, Union
 
 from repro.cq.analysis import QueryClassification, classify, find_violation
@@ -124,6 +124,11 @@ class Plan:
         Whether ``count()`` meets the stated O(1)/O(2^q) bound; False
         only for UCQs whose inclusion–exclusion intersections leave the
         q-hierarchical class (counting then degrades to enumeration).
+    stats:
+        Execution-plan statistics reported by a *built* engine
+        (compiled atom plans, dispatch width, delta arms, ...).  None
+        on a plan that has not been attached to an engine yet;
+        :meth:`repro.api.session.View.explain` fills it in.
     """
 
     query: QueryLike
@@ -134,6 +139,7 @@ class Plan:
     guarantees: Dict[str, str] = field(repr=False)
     classification: Optional[QueryClassification] = field(default=None, repr=False)
     counting_exact: bool = True
+    stats: Optional[Dict[str, object]] = field(default=None, repr=False)
 
     def build(self, database: Optional[Database] = None) -> DynamicEngine:
         """Instantiate the planned engine (preprocessing phase)."""
@@ -155,7 +161,17 @@ class Plan:
                 "  note           exact counting degrades to enumeration "
                 "(a union intersection leaves the q-hierarchical class)"
             )
+        if self.stats:
+            lines.append("plan stats:")
+            for key in sorted(self.stats):
+                lines.append(f"  {key:<14} {self.stats[key]}")
         return "\n".join(lines)
+
+    def with_stats(self, stats: Optional[Dict[str, object]]) -> "Plan":
+        """A copy of this plan carrying a built engine's statistics."""
+        if not stats:
+            return self
+        return replace(self, stats=stats)
 
 
 class Planner:

@@ -67,8 +67,10 @@ class View:
         return self._engine
 
     def explain(self) -> Plan:
-        """The planner's report: chosen engine, reason, guarantees."""
-        return self._plan
+        """The planner's report: chosen engine, reason, guarantees —
+        plus the built engine's execution-plan statistics (compiled
+        atom plans, dispatch width, delta arms)."""
+        return self._plan.with_stats(self._engine.plan_stats())
 
     # -- query surface --------------------------------------------------------
 
@@ -217,11 +219,15 @@ class Session:
                 )
 
         # Preprocessing: build the engine over the session's current
-        # contents restricted to the view's relations.
+        # contents restricted to the view's relations.  Session rows
+        # were arity-checked on entry, so they bulk-copy without
+        # per-row validation, and the engine's own bulk path takes it
+        # from there.
         preload = Database(Schema(arities))
         for relation in arities:
-            for row in self._rows.get(relation, ()):
-                preload.insert(relation, row)
+            rows = self._rows.get(relation)
+            if rows:
+                preload.bulk_insert(relation, rows, checked=True)
         built = plan.build(preload)
 
         self._arities.update(arities)
@@ -366,11 +372,15 @@ class Session:
 
     @property
     def database(self) -> Database:
-        """A :class:`Database` snapshot of the shared store (O(||D||))."""
+        """A :class:`Database` snapshot of the shared store (O(||D||)).
+
+        Rows were arity-checked on entry, so they bulk-copy without
+        per-row validation.
+        """
         snapshot = Database(Schema(self._arities))
         for relation, rows in self._rows.items():
-            for row in rows:
-                snapshot.insert(relation, row)
+            if rows:
+                snapshot.bulk_insert(relation, rows, checked=True)
         return snapshot
 
     def __repr__(self) -> str:

@@ -3,11 +3,22 @@
 :class:`QHierarchicalEngine` accepts any q-hierarchical conjunctive
 query and maintains it under updates with
 
-* O(poly(ϕ) · ||D0||) preprocessing (construction replays the initial
-  database as insertions, each O(poly(ϕ))),
-* O(poly(ϕ)) update time,
+* O(poly(ϕ) · ||D0||) preprocessing — by default via the bulk path
+  (:meth:`ComponentStructure.bulk_load`): the initial database is
+  deduplicated per relation in one shot and each component's item trie
+  and counters are built in a single bottom-up pass, instead of
+  replaying ``||D0||`` single-tuple insertions,
+* O(poly(ϕ)) update time — by default through the compiled per-atom
+  plans of :mod:`repro.core.plans`, flattened here into a per-relation
+  dispatch table of ``(structure, plan)`` pairs so an update runs
+  exactly the plans that mention the relation,
 * O(1) counting / Boolean answering,
 * O(poly(ϕ)) delay enumeration.
+
+``compiled=False`` selects the seed's reference implementation for both
+preprocessing (insert-by-insert replay) and updates (binding dicts and
+full Lemma 6.3/6.4 product recomputation) — the differential-testing
+oracle and the baseline of ``benchmarks/bench_update_throughput.py``.
 
 Non-connected queries are handled exactly as Section 6's preamble
 prescribes: one :class:`~repro.core.structure.ComponentStructure` per
@@ -30,7 +41,7 @@ from repro.core.qtree import QTree, try_build_q_tree
 from repro.core.structure import ComponentStructure
 from repro.cq.analysis import find_violation
 from repro.cq.query import ConjunctiveQuery
-from repro.errors import NotQHierarchicalError
+from repro.errors import NotQHierarchicalError, UpdateError
 from repro.interface import DynamicEngine, register_engine
 from repro.storage.database import Database, Row
 
@@ -48,6 +59,7 @@ class QHierarchicalEngine(DynamicEngine):
         query: ConjunctiveQuery,
         database: Optional[Database] = None,
         prefer: Sequence[str] = (),
+        compiled: bool = True,
     ):
         violation = find_violation(query)
         if violation is not None:
@@ -57,6 +69,7 @@ class QHierarchicalEngine(DynamicEngine):
                 violation=violation,
             )
         self._prefer = tuple(prefer)
+        self._compiled = compiled
         super().__init__(query, database)
 
     def _setup(self) -> None:
@@ -68,12 +81,23 @@ class QHierarchicalEngine(DynamicEngine):
                 raise NotQHierarchicalError(
                     f"no q-tree for component {component.name!r}"
                 )
-            self._structures.append(ComponentStructure(component, qtree))
+            self._structures.append(
+                ComponentStructure(component, qtree, compiled=self._compiled)
+            )
 
         self._by_relation: Dict[str, List[ComponentStructure]] = {}
         for structure in self._structures:
             for relation in structure.query.relations:
                 self._by_relation.setdefault(relation, []).append(structure)
+
+        # Compiled dispatch: relation → [generated runner, ...], merged
+        # from the structures' own tables (the single source of truth)
+        # so one update resolves its whole fan-out with a single dict
+        # probe and no per-call attribute lookups.
+        self._dispatch: Dict[str, List[object]] = {}
+        for structure in self._structures:
+            for relation, runners in structure.runners_by_relation.items():
+                self._dispatch.setdefault(relation, []).extend(runners)
 
         # Where each component's free variables land in the output tuple.
         out_position = {v: i for i, v in enumerate(self._query.free)}
@@ -85,17 +109,60 @@ class QHierarchicalEngine(DynamicEngine):
             for s in self._free_structures
         ]
 
+    def _preload(self, database: Database) -> None:
+        """Preprocessing: bulk-load the initial database.
+
+        The rows are deduplicated into the engine's own store with one
+        set operation per relation, then every component structure
+        ingests the per-relation groups through
+        :meth:`ComponentStructure.bulk_load`.  With ``compiled=False``
+        this falls back to the seed's insert-by-insert replay.
+        """
+        if not self._compiled:
+            super()._preload(database)
+            return
+        rows_by_relation: Dict[str, Sequence[Row]] = {}
+        for relation in database.relations():
+            rows = relation.rows
+            if not rows:
+                # Matches the replay path: an empty relation is a
+                # no-op even when the engine's schema doesn't know it.
+                continue
+            name = relation.name
+            # A Relation's rows all share its arity, so one check
+            # covers the whole set and bulk_insert may trust it.
+            # Unknown relations fall through to bulk_insert, which
+            # raises the same SchemaError the replay path would.
+            if name in self._db.schema and relation.arity != self._db.schema.arity(name):
+                raise UpdateError(
+                    f"relation {name!r} has arity {relation.arity}, "
+                    f"engine expects {self._db.schema.arity(name)}"
+                )
+            fresh = self._db.bulk_insert(name, rows, checked=True)
+            if fresh:
+                rows_by_relation[name] = fresh
+        for structure in self._structures:
+            structure.bulk_load(rows_by_relation)
+
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
 
     def _on_insert(self, relation: str, row: Row) -> None:
-        for structure in self._by_relation.get(relation, ()):
-            structure.apply(True, relation, row)
+        if self._compiled:
+            for runner in self._dispatch.get(relation, ()):
+                runner(True, row)
+        else:
+            for structure in self._by_relation.get(relation, ()):
+                structure.apply(True, relation, row)
 
     def _on_delete(self, relation: str, row: Row) -> None:
-        for structure in self._by_relation.get(relation, ()):
-            structure.apply(False, relation, row)
+        if self._compiled:
+            for runner in self._dispatch.get(relation, ()):
+                runner(False, row)
+        else:
+            for structure in self._by_relation.get(relation, ()):
+                structure.apply(False, relation, row)
 
     # ------------------------------------------------------------------
     # queries
@@ -178,3 +245,19 @@ class QHierarchicalEngine(DynamicEngine):
     def item_count(self) -> int:
         """Total items across components — linear in ``||D||`` (§6.2)."""
         return sum(structure.item_count() for structure in self._structures)
+
+    def plan_stats(self) -> Dict[str, object]:
+        """Compiled update-plan statistics (surfaced by ``explain()``)."""
+        per_structure = [s.plan_stats() for s in self._structures]
+        return {
+            "compiled": self._compiled,
+            "components": len(self._structures),
+            "atom_plans": sum(s["atom_plans"] for s in per_structure),
+            "max_path_depth": max(
+                (s["max_path_depth"] for s in per_structure), default=0
+            ),
+            "dispatch_width": {
+                relation: len(pairs)
+                for relation, pairs in sorted(self._dispatch.items())
+            },
+        }

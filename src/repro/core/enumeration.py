@@ -33,7 +33,7 @@ def algorithm1(structure: ComponentStructure) -> Iterator[Row]:
             yield ()
         return
 
-    order: List[str] = structure.qtree.free_document_order()
+    order: List[str] = structure.free_order
     parent_of = structure.qtree.parent
     free_tuple = structure.query.free
     k = len(order)

@@ -17,6 +17,16 @@ Each item stores (paper notation in parentheses):
   those expansions, maintained via Lemma 6.4 (only for free ``v``);
 * ``child_sum[u]`` (``C^i_u``) / ``tchild_sum[u]`` (``C̃^i_u``) — the
   cached sums over the fit list ``L^i_u``;
+* the zero-aware product decomposition of the Lemma 6.3/6.4 formulas,
+  used by the compiled update path of
+  :mod:`repro.core.plans`: ``nzp`` is the product of the *nonzero*
+  factors of ``C^i`` (the child sums ``C^i_u``; represented-atom guards
+  contribute the neutral factor 1) and ``zf`` counts the factors that
+  are zero (zero child sums plus unsatisfied represented atoms), so
+  ``C^i = nzp`` iff ``zf == 0`` and ``0`` otherwise.  ``tnzp``/``tzf``
+  play the same roles for ``C̃^i`` over the free children.  A one-factor
+  delta updates the decomposition with O(1) arithmetic instead of
+  re-multiplying every child;
 * the intrusive doubly-linked-list pointers of its (unique) fit list.
 
 An item is **fit** iff ``weight > 0``; the fit lists contain exactly the
@@ -44,6 +54,10 @@ class Item:
         "tweight",
         "child_sum",
         "tchild_sum",
+        "nzp",
+        "zf",
+        "tnzp",
+        "tzf",
         "lists",
         "parent_item",
         "in_list",
@@ -59,6 +73,10 @@ class Item:
         self.tweight = 0
         self.child_sum: Dict[str, int] = {}
         self.tchild_sum: Dict[str, int] = {}
+        self.nzp = 1
+        self.zf = 0
+        self.tnzp = 1
+        self.tzf = 0
         self.lists: Dict[str, "FitList"] = {}
         self.parent_item = parent_item
         self.in_list = False

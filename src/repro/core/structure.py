@@ -18,6 +18,26 @@ The update procedure is the five-step loop of Section 6.4 (plus steps
 whose repeated-variable pattern matches the tuple, walking the atom's
 root path bottom-up.
 
+Two implementations of that loop coexist:
+
+* the **compiled** path (default): per-atom :class:`~repro.core.plans.
+  AtomPlan` recipes resolved at construction, with the Lemma 6.3/6.4
+  products maintained *zero-aware incrementally* — each item keeps the
+  product of its nonzero factors plus a zero-factor count
+  (``Item.nzp``/``zf``/``tnzp``/``tzf``), so a one-child delta is O(1)
+  arithmetic instead of a product over all children;
+* the **reference** path (``compiled=False``): the seed's literal
+  rendering of the paper — ``_unify`` builds a binding dict per tuple
+  and ``_lemma_6_3``/``_lemma_6_4`` recompute the products from
+  scratch.  It is the differential-testing oracle and the benchmark
+  baseline; both paths maintain byte-identical observable state.
+
+:meth:`bulk_load` is the batch preprocessing path: it ingests the
+initial database grouped per atom, builds the item tries top-down with
+plain counter bumps, and computes every weight/fit-list/total in one
+bottom-up pass — O(poly(ϕ) · ||D0||) like the replay, but without the
+per-insert fit-list churn and propagation.
+
 The structure answers:
 
 * ``answer()``  — ``C_start > 0``                    in O(1),
@@ -27,9 +47,18 @@ The structure answers:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.items import FitList, Item
+from repro.core.plans import (
+    AtomPlan,
+    compile_finalizer,
+    compile_loader,
+    compile_plans,
+    compile_runner,
+    loader_fuses_leaf,
+    plan_summary,
+)
 from repro.core.qtree import QTree, build_q_tree
 from repro.cq.query import ConjunctiveQuery
 from repro.errors import EngineStateError, QueryStructureError
@@ -45,6 +74,7 @@ class ComponentStructure:
         self,
         component: ConjunctiveQuery,
         qtree: Optional[QTree] = None,
+        compiled: bool = True,
     ):
         if not component.is_connected:
             raise QueryStructureError(
@@ -54,6 +84,7 @@ class ComponentStructure:
         self.qtree = qtree if qtree is not None else build_q_tree(component)
         self.free = component.free_set
         self._has_free = bool(component.free)
+        self._compiled = compiled
 
         tree = self.qtree
         self._children: Dict[str, List[str]] = tree.children
@@ -70,6 +101,26 @@ class ComponentStructure:
         ]
         self._items: Dict[str, Dict[Row, Item]] = {v: {} for v in tree.parent}
 
+        # Orders and probe layouts that every contains()/enumerate()
+        # call used to recompute from the q-tree, cached once.
+        self._doc_order: List[str] = tree.document_order()
+        self._free_order: List[str] = tree.free_document_order()
+        free_position = {v: i for i, v in enumerate(component.free)}
+        # Free nodes only ever have free ancestors (Definition 4.1(2)),
+        # so each root-path value can be read straight off the output
+        # tuple — no binding dict needed in contains().
+        self._contains_probes: List[Tuple[Dict[Row, Item], Tuple[int, ...]]] = [
+            (
+                self._items[node],
+                tuple(free_position[v] for v in tree.path[node]),
+            )
+            for node in self._free_order
+        ]
+
+        # The compiled update-plan layer (also built for reference-mode
+        # structures: it is cheap and keeps plan_stats() meaningful).
+        self.plans = compile_plans(component, tree, self._items)
+
         self.start = FitList()
         self.c_start = 0
         self.t_start = 0
@@ -78,6 +129,42 @@ class ComponentStructure:
         #: silently yielding garbage (the paper's model restarts the
         #: enumeration phase after each update anyway).
         self.version = 0
+
+        # One generated update function per plan (see compile_runner);
+        # the engine's dispatch table calls these directly.
+        self.runners: List[object] = (
+            [compile_runner(plan, self) for plan in self.plans]
+            if compiled
+            else []
+        )
+        self._runners_by_relation: Dict[str, List[object]] = {}
+        for plan, runner in zip(self.plans, self.runners):
+            self._runners_by_relation.setdefault(plan.relation, []).append(
+                runner
+            )
+
+    @property
+    def compiled(self) -> bool:
+        """Whether updates run through the compiled plan layer."""
+        return self._compiled
+
+    @property
+    def runners_by_relation(self) -> Dict[str, List[object]]:
+        """Relation → generated runners (the engine merges these into
+        its dispatch table; treat as read-only)."""
+        return self._runners_by_relation
+
+    @property
+    def free_order(self) -> List[str]:
+        """Cached ``qtree.free_document_order()`` (do not mutate)."""
+        return self._free_order
+
+    def plan_stats(self) -> Dict[str, object]:
+        """Compiled-plan statistics for ``explain()`` and benchmarks."""
+        stats = plan_summary(self.plans)
+        stats["compiled"] = self._compiled
+        stats["nodes"] = len(self._items)
+        return stats
 
     # ------------------------------------------------------------------
     # updates (Section 6.4 / 6.5)
@@ -90,6 +177,95 @@ class ComponentStructure:
         filtering: this method assumes an insert adds a genuinely new
         tuple and a delete removes a genuinely present one.
         """
+        if not self._compiled:
+            self._apply_reference(is_insert, relation, row)
+            return
+        runners = self._runners_by_relation.get(relation)
+        if not runners:
+            return
+        row = tuple(row)
+        for runner in runners:
+            runner(is_insert, row)
+
+    # ------------------------------------------------------------------
+    # bulk preprocessing
+    # ------------------------------------------------------------------
+
+    def bulk_load(self, rows_by_relation: Mapping[str, Sequence[Row]]) -> None:
+        """Batch-ingest an initial database into a pristine structure.
+
+        Two passes replace the insert-by-insert replay:
+
+        1. per atom, stream the relation's rows through the compiled
+           plan, creating the item trie top-down and bumping only the
+           ``C^i_ψ`` counters — no weights, no fit lists, no
+           propagation;
+        2. walk the q-tree bottom-up (reverse document order) and
+           compute every item's zero-aware decomposition, weight,
+           ``C̃``-weight, fit-list membership and parent sums in one
+           shot — each item is touched exactly once.
+
+        The result is state-identical to replaying the same rows as
+        single inserts (the fit lists may hold their items in a
+        different order, which is not observable through counts,
+        membership or the result set).
+        """
+        if self.version or self.item_count() or self.c_start:
+            raise EngineStateError(
+                "bulk_load requires a pristine structure; apply() has "
+                "already run (build a fresh structure instead)"
+            )
+        if not any(
+            rows_by_relation.get(plan.relation) for plan in self.plans
+        ):
+            return  # nothing to load — skip all codegen and sweeps
+
+        # Pass 1: item tries + per-atom counters, one generated loader
+        # call per (atom, relation) pair.  The loaders' prefix caches
+        # exploit runs of tuples sharing upper-level path values; rows
+        # are fed in whatever order the store holds them (sorting by
+        # path prefix costs more than the extra cache hits save).
+        for plan in self.plans:
+            rows = rows_by_relation.get(plan.relation)
+            if rows:
+                compile_loader(plan)(rows)
+
+        # Pass 2: counters bottom-up, children strictly before parents,
+        # one generated finalizer sweep per q-tree node (factor reads
+        # unrolled, fit-list appends inlined; see compile_finalizer).
+        # Exclusive leaves were already finalised inside their loader
+        # (loader_fuses_leaf) and are skipped.
+        fused_nodes = {
+            plan.levels[-1].node
+            for plan in self.plans
+            if loader_fuses_leaf(plan)
+        }
+        free = self.free
+        root = self.qtree.root
+        for node in reversed(self._doc_order):
+            if node in fused_nodes or not self._items[node]:
+                continue
+            finalize = compile_finalizer(
+                node,
+                self._rep[node],
+                list(self._children.get(node, ())),
+                self._free_children[node],
+                node in free,
+                node == root,
+                self.start,
+            )
+            c_delta, t_delta = finalize(self._items[node].values())
+            self.c_start += c_delta
+            self.t_start += t_delta
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # reference update path (the seed's literal Section 6.4 rendering;
+    # differential-testing oracle and benchmark baseline)
+    # ------------------------------------------------------------------
+
+    def _apply_reference(self, is_insert: bool, relation: str, row: Row) -> None:
+        """The seed update loop: scan atoms, unify, recompute products."""
         for atom_index, atom in enumerate(self.query.atoms):
             if atom.relation != relation:
                 continue
@@ -259,7 +435,7 @@ class ComponentStructure:
                 yield ()
             return
 
-        order = self.qtree.free_document_order()
+        order = self._free_order
         parent_of = self.qtree.parent
         free_tuple = self.query.free
         current: Dict[str, Item] = {}
@@ -294,18 +470,18 @@ class ComponentStructure:
         6.2 the enumerated result is exactly the set of tuples whose
         free-node items are all *fit*, so membership reduces to looking
         up each free node's item along its root path and checking its
-        fit flag.  This is the O(1)-per-test primitive that makes
-        constant-delay *union* enumeration possible
-        (:mod:`repro.extensions.ucq`).
+        fit flag.  The per-node probe layouts are compiled once at
+        construction (``_contains_probes``), so a test is ``k`` tuple
+        builds and dict probes with no binding dict.  This is the
+        O(1)-per-test primitive that makes constant-delay *union*
+        enumeration possible (:mod:`repro.extensions.ucq`).
         """
         if not self._has_free:
             return row == () and self.c_start > 0
         if len(row) != len(self.query.free):
             return False
-        value_of = dict(zip(self.query.free, row))
-        for node in self.qtree.free_document_order():
-            key = tuple(value_of[v] for v in self.qtree.path[node])
-            item = self._items[node].get(key)
+        for store, positions in self._contains_probes:
+            item = store.get(tuple(map(row.__getitem__, positions)))
             if item is None or not item.in_list:
                 return False
         return True
@@ -327,7 +503,13 @@ class ComponentStructure:
         return sum(len(store) for store in self._items.values())
 
     def snapshot(self) -> Dict[str, object]:
-        """A plain-data dump used by the Figure 3 bench and the tests."""
+        """A plain-data dump used by the Figure 3 bench and the tests.
+
+        ``start_list`` is canonicalised (sorted by key repr) so that
+        two structures holding the same state compare equal regardless
+        of the order in which their fit lists were grown — the list
+        order is an implementation detail, not observable semantics.
+        """
         items = {}
         for node, store in self._items.items():
             for key, item in store.items():
@@ -340,6 +522,8 @@ class ComponentStructure:
         return {
             "c_start": self.c_start,
             "t_start": self.t_start,
-            "start_list": [item.key for item in self.start],
+            "start_list": sorted(
+                (item.key for item in self.start), key=repr
+            ),
             "items": items,
         }

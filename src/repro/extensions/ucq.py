@@ -337,6 +337,20 @@ class UnionEngine(DynamicEngine):
     def intersection_engines(self) -> Dict[Tuple[int, ...], QHierarchicalEngine]:
         return dict(self._intersections)
 
+    def plan_stats(self) -> Dict[str, object]:
+        """Aggregate compiled-plan statistics over all sub-engines."""
+        sub = [engine.plan_stats() for engine in self._engines] + [
+            engine.plan_stats() for engine in self._intersections.values()
+        ]
+        return {
+            "disjuncts": len(self._engines),
+            "intersection_engines": len(self._intersections),
+            "atom_plans": sum(s["atom_plans"] for s in sub),
+            "max_path_depth": max(
+                (s["max_path_depth"] for s in sub), default=0
+            ),
+        }
+
     def __repr__(self) -> str:
         return (
             f"UnionEngine({self._query.name}, q={len(self._engines)}, "

@@ -51,14 +51,25 @@ class DynamicEngine(ABC):
         self._db = Database.empty_like(query)
         self._setup()
         if database is not None:
-            for relation in database.relations():
-                for row in relation.rows:
-                    self.insert(relation.name, row)
+            self._preload(database)
 
     # -- hooks for subclasses -------------------------------------------------
 
     def _setup(self) -> None:
         """Initialise per-engine structures for the empty database."""
+
+    def _preload(self, database: Database) -> None:
+        """Preprocessing: ingest the initial database.
+
+        The default replays every tuple as a single insertion —
+        O(poly(ϕ)) each for the paper's engine, so O(poly(ϕ) · ||D0||)
+        overall.  Engines with a faster batch path (e.g.
+        :class:`repro.core.engine.QHierarchicalEngine`'s
+        ``bulk_load``) override this hook.
+        """
+        for relation in database.relations():
+            for row in relation.rows:
+                self.insert(relation.name, row)
 
     @abstractmethod
     def _on_insert(self, relation: str, row: Row) -> None:
@@ -87,16 +98,22 @@ class DynamicEngine(ABC):
         return True
 
     def apply(self, command: UpdateCommand) -> bool:
-        """Apply a prepared :class:`UpdateCommand`."""
-        if command.is_insert:
+        """Apply a prepared :class:`UpdateCommand`.
+
+        Dispatches through :meth:`insert`/:meth:`delete` so subclass
+        overrides keep working; the branch reads ``command.op``
+        directly (commands carry normalised tuples already).
+        """
+        if command.op == "insert":
             return self.insert(command.relation, command.row)
         return self.delete(command.relation, command.row)
 
     def apply_all(self, commands: Iterable[UpdateCommand]) -> int:
         """Apply a stream of commands; returns the number of changes."""
         changed = 0
+        apply = self.apply
         for command in commands:
-            if self.apply(command):
+            if apply(command):
                 changed += 1
         return changed
 
@@ -122,6 +139,17 @@ class DynamicEngine(ABC):
     def result_set(self) -> Set[Row]:
         """Materialise ``ϕ(D)`` (testing convenience, not O(1))."""
         return set(self.enumerate())
+
+    # -- introspection ----------------------------------------------------
+
+    def plan_stats(self) -> Dict[str, object]:
+        """Engine-specific execution-plan statistics for ``explain()``.
+
+        Engines that compile per-update plans (the q-hierarchical
+        engine's atom plans, the delta engine's telescoping arms)
+        report their shape here; the default is empty.
+        """
+        return {}
 
     # -- shared accessors -------------------------------------------------
 

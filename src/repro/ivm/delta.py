@@ -131,6 +131,10 @@ class _SingletonSource:
         return 1
 
 
+#: Source-selector tags of a compiled delta arm (see ``_delta_plans``).
+_OTHER, _PIN, _NEW, _OLD = range(4)
+
+
 @register_engine
 class DeltaIVMEngine(DynamicEngine):
     """Materialised view + counting deltas (handles self-joins)."""
@@ -147,6 +151,32 @@ class DeltaIVMEngine(DynamicEngine):
         self._counts: Counter = Counter()
         self._distinct = 0  # number of keys with positive count
 
+        # Compiled telescoping plans, shared across every update on the
+        # same relation: one *arm* per atom occurrence of the relation,
+        # each a fixed (atom, selector) sequence.  The seed rebuilt
+        # this per update with an O(m²) ``pinned_indices.index`` scan;
+        # now an update only maps the four selectors to live sources.
+        self._delta_plans: Dict[str, List[List[Tuple[Atom, int]]]] = {}
+        atoms = self._query.atoms
+        for relation, pinned_indices in self._atoms_by_relation.items():
+            arm_of = {index: arm for arm, index in enumerate(pinned_indices)}
+            arms: List[List[Tuple[Atom, int]]] = []
+            for position, pinned in enumerate(pinned_indices):
+                arm: List[Tuple[Atom, int]] = []
+                for index, atom in enumerate(atoms):
+                    if atom.relation != relation:
+                        arm.append((atom, _OTHER))
+                    elif index == pinned:
+                        arm.append((atom, _PIN))
+                    else:
+                        # Earlier R-atoms see the new state, later ones
+                        # the old state (telescoping).
+                        arm.append(
+                            (atom, _NEW if arm_of[index] < position else _OLD)
+                        )
+                arms.append(arm)
+            self._delta_plans[relation] = arms
+
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
@@ -162,31 +192,30 @@ class DeltaIVMEngine(DynamicEngine):
         self._apply_delta(relation, row, sign=-1)
 
     def _apply_delta(self, relation: str, row: Row, sign: int) -> None:
-        pinned_indices = self._atoms_by_relation.get(relation, [])
-        atoms = self._query.atoms
         live = self._relations[relation]
         if sign > 0:
-            new_view = live
             old_view = _AdjustedView(live, drop=row)
         else:
-            new_view = live
             old_view = _AdjustedView(live, add=row)
+        pinned = _SingletonSource(row)
+        relations = self._relations
+        free = self._query.free
 
-        for position, pinned in enumerate(pinned_indices):
-            pairs: List[Tuple[Atom, object]] = []
-            for index, atom in enumerate(atoms):
-                if atom.relation != relation:
-                    pairs.append((atom, self._relations[atom.relation]))
-                elif index == pinned:
-                    pairs.append((atom, _SingletonSource(row)))
-                else:
-                    # Earlier R-atoms see the new state, later ones the
-                    # old state (telescoping).
-                    arm = pinned_indices.index(index)
-                    pairs.append(
-                        (atom, new_view if arm < position else old_view)
-                    )
-            delta = evaluate_sources(pairs, self._query.free)
+        for arm in self._delta_plans.get(relation, ()):
+            pairs: List[Tuple[Atom, object]] = [
+                (
+                    atom,
+                    relations[atom.relation]
+                    if selector == _OTHER
+                    else pinned
+                    if selector == _PIN
+                    else live
+                    if selector == _NEW
+                    else old_view,
+                )
+                for atom, selector in arm
+            ]
+            delta = evaluate_sources(pairs, free)
             for key, amount in delta.items():
                 self._bump(key, sign * amount)
 
@@ -222,3 +251,13 @@ class DeltaIVMEngine(DynamicEngine):
     def valuation_count(self, key: Row) -> int:
         """Stored derivation count for one output tuple (testing)."""
         return self._counts.get(tuple(key), 0)
+
+    def plan_stats(self) -> Dict[str, object]:
+        """Compiled telescoping-plan statistics for ``explain()``."""
+        return {
+            "delta_arms": sum(len(arms) for arms in self._delta_plans.values()),
+            "arms_per_relation": {
+                relation: len(arms)
+                for relation, arms in sorted(self._delta_plans.items())
+            },
+        }

@@ -13,6 +13,8 @@ paper's bounds — is available in O(1) at any time.
 
 from __future__ import annotations
 
+from collections import Counter
+from itertools import chain
 from typing import (
     Any,
     Dict,
@@ -104,6 +106,26 @@ class Relation:
         self._rows.add(row)
         return True
 
+    def bulk_insert(
+        self, rows: Iterable[Sequence[Constant]], checked: bool = False
+    ) -> FrozenSet[Row]:
+        """Add many tuples at once; returns the genuinely new ones.
+
+        Deduplication against the present contents happens with one set
+        difference instead of a membership test per row — the bulk
+        half of the engines' preprocessing path.  ``checked=True``
+        skips the per-row arity check and tuple copy; it requires
+        ``rows`` to be a set of equal-arity tuples (e.g. another
+        :class:`Relation`'s ``rows`` whose arity the caller verified).
+        """
+        if checked and isinstance(rows, (set, frozenset)):
+            fresh = frozenset(rows - self._rows)
+        else:
+            candidate = {self._check(row) for row in rows}
+            fresh = frozenset(candidate - self._rows)
+        self._rows |= fresh
+        return fresh
+
     def delete(self, row: Sequence[Constant]) -> bool:
         """Remove a tuple; returns True iff the relation changed."""
         row = self._check(row)
@@ -148,7 +170,9 @@ class Database:
         self._relations: Dict[str, Relation] = {
             name: Relation(name, schema.arity(name)) for name in schema.relations()
         }
-        self._adom_refcount: Dict[Constant, int] = {}
+        # A Counter so bulk loads can fold whole relations in via the
+        # C-level ``Counter.update``; single updates use plain dict ops.
+        self._adom_refcount: Counter = Counter()
         self._tuple_count = 0
 
     # ------------------------------------------------------------------
@@ -192,7 +216,7 @@ class Database:
         clone = Database(self._schema)
         for name, relation in self._relations.items():
             clone._relations[name] = relation.copy()
-        clone._adom_refcount = dict(self._adom_refcount)
+        clone._adom_refcount = Counter(self._adom_refcount)
         clone._tuple_count = self._tuple_count
         return clone
 
@@ -221,29 +245,73 @@ class Database:
     # ------------------------------------------------------------------
 
     def insert(self, name: str, row: Sequence[Constant]) -> bool:
-        """``insert R(a1, ..., ar)``; True iff the database changed."""
-        relation = self.relation(name)
+        """``insert R(a1, ..., ar)``; True iff the database changed.
+
+        Inlined hot path: this runs once per update command of every
+        engine, so the per-row work is a membership probe, a set add
+        and the active-domain refcounts — no intermediate frames.
+        """
+        relation = self._relations.get(name)
+        if relation is None:
+            raise SchemaError(f"unknown relation {name!r}")
         row = tuple(row)
-        if not relation.insert(row):
+        rows = relation._rows
+        if row in rows:
             return False
+        if len(row) != relation.arity:
+            raise UpdateError(
+                f"tuple {row!r} has arity {len(row)}, relation "
+                f"{name!r} expects {relation.arity}"
+            )
+        rows.add(row)
         self._tuple_count += 1
+        refcount = self._adom_refcount
         for value in row:
-            self._adom_refcount[value] = self._adom_refcount.get(value, 0) + 1
+            refcount[value] = refcount.get(value, 0) + 1
         return True
+
+    def bulk_insert(
+        self,
+        name: str,
+        rows: Iterable[Sequence[Constant]],
+        checked: bool = False,
+    ) -> FrozenSet[Row]:
+        """Insert many tuples in one shot; returns the genuinely new ones.
+
+        Equivalent to calling :meth:`insert` per row, but the
+        deduplication is a single set difference and the active-domain
+        reference counts are folded in with one C-level
+        ``Counter.update`` over a C-level flattening — the
+        preprocessing fast path of the dynamic engines.  ``checked``
+        is forwarded to :meth:`Relation.bulk_insert`.
+        """
+        relation = self.relation(name)
+        fresh = relation.bulk_insert(rows, checked=checked)
+        if fresh:
+            self._tuple_count += len(fresh)
+            self._adom_refcount.update(chain.from_iterable(fresh))
+        return fresh
 
     def delete(self, name: str, row: Sequence[Constant]) -> bool:
         """``delete R(a1, ..., ar)``; True iff the database changed."""
-        relation = self.relation(name)
+        relation = self._relations.get(name)
+        if relation is None:
+            raise SchemaError(f"unknown relation {name!r}")
         row = tuple(row)
-        if not relation.delete(row):
+        rows = relation._rows
+        if row not in rows:
+            if len(row) != relation.arity:
+                relation._check(row)  # raise the precise arity error
             return False
+        rows.remove(row)
         self._tuple_count -= 1
+        refcount = self._adom_refcount
         for value in row:
-            remaining = self._adom_refcount[value] - 1
+            remaining = refcount[value] - 1
             if remaining:
-                self._adom_refcount[value] = remaining
+                refcount[value] = remaining
             else:
-                del self._adom_refcount[value]
+                del refcount[value]
         return True
 
     # ------------------------------------------------------------------

@@ -10,11 +10,49 @@ the static evaluators and the delta-IVM baseline.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+from collections.abc import Set as AbstractSet
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.storage.database import Constant, Relation, Row
 
-__all__ = ["HashIndex", "IndexPool"]
+__all__ = ["HashIndex", "IndexPool", "BucketView"]
+
+_EMPTY_BUCKET: frozenset = frozenset()
+
+
+class BucketView(AbstractSet):
+    """A read-only, O(1) view over one index bucket.
+
+    :meth:`HashIndex.probe` used to copy its bucket into a fresh
+    ``frozenset`` per call — O(bucket) allocation on every probe.  The
+    view exposes the same set interface (membership, iteration, length,
+    equality with any other set) without copying, and resolves the
+    bucket through the index on every operation, so it stays live even
+    across the bucket being emptied and re-created.  Unlike the old
+    frozensets it is not hashable (live views make no stable keys);
+    copy into ``frozenset(view)`` to snapshot.
+    """
+
+    __slots__ = ("_buckets", "_key")
+
+    def __init__(self, buckets: Dict[Row, Set[Row]], key: Row):
+        self._buckets = buckets
+        self._key = key
+
+    def _bucket(self) -> AbstractSet:
+        return self._buckets.get(self._key, _EMPTY_BUCKET)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._bucket()
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._bucket())
+
+    def __len__(self) -> int:
+        return len(self._bucket())
+
+    def __repr__(self) -> str:
+        return f"BucketView({set(self._bucket())!r})"
 
 
 class HashIndex:
@@ -26,11 +64,12 @@ class HashIndex:
     (useful for uniform code paths).
     """
 
-    __slots__ = ("columns", "_buckets")
+    __slots__ = ("columns", "_buckets", "_size")
 
     def __init__(self, columns: Sequence[int], rows: Iterable[Row] = ()):
         self.columns: Tuple[int, ...] = tuple(columns)
         self._buckets: Dict[Row, Set[Row]] = {}
+        self._size = 0
         for row in rows:
             self.add(row)
 
@@ -38,24 +77,28 @@ class HashIndex:
         return tuple(row[c] for c in self.columns)
 
     def add(self, row: Row) -> None:
-        self._buckets.setdefault(self.key_of(row), set()).add(row)
+        bucket = self._buckets.setdefault(self.key_of(row), set())
+        if row not in bucket:
+            bucket.add(row)
+            self._size += 1
 
     def remove(self, row: Row) -> None:
         key = self.key_of(row)
         bucket = self._buckets.get(key)
-        if bucket is None:
+        if bucket is None or row not in bucket:
             return
-        bucket.discard(row)
+        bucket.remove(row)
+        self._size -= 1
         if not bucket:
             del self._buckets[key]
 
-    def probe(self, key: Sequence[Constant]) -> FrozenSet[Row]:
-        """All rows whose projection equals ``key`` (possibly empty)."""
-        bucket = self._buckets.get(tuple(key))
-        return frozenset(bucket) if bucket else frozenset()
+    def probe(self, key: Sequence[Constant]) -> BucketView:
+        """All rows whose projection equals ``key``, as a read-only
+        set view — O(1), no bucket copy."""
+        return BucketView(self._buckets, tuple(key))
 
     def probe_iter(self, key: Sequence[Constant]) -> Iterator[Row]:
-        """Iterate matching rows without materialising a frozenset."""
+        """Iterate matching rows without materialising a set."""
         bucket = self._buckets.get(tuple(key))
         if bucket:
             yield from bucket
@@ -67,7 +110,8 @@ class HashIndex:
         return len(self._buckets)
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._buckets.values())
+        """Total indexed rows — O(1) via a maintained counter."""
+        return self._size
 
 
 class IndexPool:
