@@ -1,0 +1,460 @@
+"""Serving-layer benchmark: cursors, delta subscriptions, dispatcher.
+
+Three experiments over the new ``repro.serve`` subsystem:
+
+* ``cursor_resume`` — a cursor pages through a large view result;
+  per-page cost must be flat from the first page to the last (resume
+  is O(1) per tuple: the Algorithm 1 walk is suspended, never
+  restarted).  The contrast client re-enumerates from scratch and
+  skips to the offset per page — its per-page cost grows linearly,
+  which is exactly what resumable cursors remove.
+
+* ``subscription_delta`` — update throughput with a live subscriber:
+  the engines' O(δ) ``apply_with_delta`` (touched-path derivation)
+  versus the naive rematerialise-and-diff baseline (the
+  ``DynamicEngine`` default), on a workload whose per-update δ is tiny
+  while the materialised result is large.
+
+* ``multi_client`` — reader and writer threads hammer one
+  :class:`repro.serve.Server`: readers page cursors (reopening on
+  invalidation) and poll counts, writers stream effective updates
+  through the reader–writer lock.  Reported as sustained reads/sec and
+  writes/sec; at the end the subscription log must replay to exactly
+  the final ``result_set()``.
+
+Output: a table on stdout plus machine-readable JSON (default
+``BENCH_serving.json`` at the repository root).  ``--quick`` shrinks
+sizes for the CI smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import math
+import pathlib
+import platform
+import random
+import sys
+import threading
+import time
+from itertools import islice
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.engine import QHierarchicalEngine
+from repro.cq import zoo
+from repro.errors import CursorInvalidatedError
+from repro.interface import DynamicEngine
+from repro.serve import Server
+from repro.storage.database import Database
+from repro.storage.updates import UpdateCommand, delete, insert
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_serving.json"
+
+
+def _timed(fn) -> float:
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+# ---------------------------------------------------------------------------
+# workload: E_T_QF (V(x, y) :- E(x, y) ∧ T(y)) with a large materialisation
+# ---------------------------------------------------------------------------
+
+
+def feed_database(rows: int, domain: int, rng: random.Random) -> Database:
+    query = zoo.E_T_QF
+    database = Database.empty_like(query)
+    for value in range(domain):
+        database.insert("T", (value,))
+    added = 0
+    while added < rows:
+        if database.insert(
+            "E", (rng.randrange(domain * 4), rng.randrange(domain))
+        ):
+            added += 1
+    return database
+
+
+# ---------------------------------------------------------------------------
+# experiment 1: cursor paging is O(1) per tuple, independent of position
+# ---------------------------------------------------------------------------
+
+
+def bench_cursor_resume(
+    rows: int, page: int, rng: random.Random
+) -> Dict[str, object]:
+    server = Server()
+    view = server.view("feed", zoo.E_T_QF)
+    database = feed_database(rows, max(64, rows // 16), rng)
+    for relation in database.relations():
+        for row in relation.rows:
+            server.insert(relation.name, row)
+    total = server.count("feed")
+    pages = total // page
+
+    cursor = view.cursor()
+    page_times: List[float] = []
+    for _ in range(pages):
+        page_times.append(_timed(lambda: cursor.fetch(page)))
+    cursor.close()
+
+    head = page_times[: max(1, pages // 10)]
+    tail = page_times[-max(1, pages // 10):]
+    first_ms = 1000 * sum(head) / len(head)
+    last_ms = 1000 * sum(tail) / len(tail)
+
+    # Contrast: a client without cursors re-enumerates and skips to the
+    # offset for every page (sampled — the full quadratic sweep is the
+    # point, not something to wait for).
+    sample_offsets = [0, (pages // 2) * page, (pages - 1) * page]
+    naive_ms = []
+    engine = view.engine
+    for offset in sample_offsets:
+        naive_ms.append(
+            1000
+            * _timed(
+                lambda off=offset: list(
+                    islice(engine.enumerate(), off, off + page)
+                )
+            )
+        )
+
+    return {
+        "result_size": total,
+        "page_size": page,
+        "pages": pages,
+        "cursor_page_ms_first": round(first_ms, 4),
+        "cursor_page_ms_last": round(last_ms, 4),
+        "cursor_last_over_first": round(last_ms / first_ms, 3),
+        "naive_page_ms_at_start": round(naive_ms[0], 4),
+        "naive_page_ms_at_middle": round(naive_ms[1], 4),
+        "naive_page_ms_at_end": round(naive_ms[2], 4),
+        "naive_end_over_start": round(naive_ms[2] / max(naive_ms[0], 1e-9), 1),
+    }
+
+
+# ---------------------------------------------------------------------------
+# experiment 2: O(δ) subscription deltas vs rematerialise-and-diff
+# ---------------------------------------------------------------------------
+
+
+def delta_update_stream(
+    count: int, domain: int, rng: random.Random
+) -> List[UpdateCommand]:
+    """Effective inserts/deletes with per-update δ of 0 or 1."""
+    commands: List[UpdateCommand] = []
+    live: List[tuple] = []
+    for step in range(count):
+        if live and rng.random() < 0.4:
+            row = live.pop(rng.randrange(len(live)))
+            commands.append(delete("E", row))
+        else:
+            row = (10_000_000 + step, rng.randrange(domain))
+            live.append(row)
+            commands.append(insert("E", row))
+    return commands
+
+
+def bench_subscription_delta(
+    rows: int, updates: int, rng: random.Random
+) -> Dict[str, object]:
+    query = zoo.E_T_QF
+    domain = max(64, rows // 16)
+    database = feed_database(rows, domain, rng)
+
+    fast = QHierarchicalEngine(query, database)
+    slow = QHierarchicalEngine(query, database)
+    stream = delta_update_stream(updates, domain, rng)
+    # The naive side pays O(|result|) per update; sample it.
+    slow_sample = stream[: max(10, updates // 100)]
+
+    def run_fast() -> None:
+        for command in stream:
+            fast.apply_with_delta(command)
+
+    def run_slow() -> None:
+        for command in slow_sample:
+            DynamicEngine.apply_with_delta(slow, command)
+
+    fast_s = _timed(run_fast)
+    slow_s = _timed(run_slow)
+    fast_ups = len(stream) / fast_s
+    slow_ups = len(slow_sample) / slow_s
+    return {
+        "result_size": slow.count(),
+        "updates": len(stream),
+        "delta_updates_per_s": round(fast_ups),
+        "rematerialize_updates_per_s": round(slow_ups),
+        "speedup": round(fast_ups / slow_ups, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
+# experiment 3: multi-client dispatcher throughput
+# ---------------------------------------------------------------------------
+
+
+def bench_multi_client(
+    rows: int,
+    writer_ops: int,
+    readers: int,
+    writers: int,
+    page: int,
+    rng: random.Random,
+) -> Dict[str, object]:
+    server = Server()
+    server.view("feed", zoo.E_T_QF)
+    domain = max(64, rows // 16)
+    database = feed_database(rows, domain, rng)
+    commands = [
+        insert(relation.name, row)
+        for relation in database.relations()
+        for row in relation.rows
+    ]
+    server.batch(commands)
+    subscription = server.subscribe("feed")
+    baseline = set(server.session["feed"].result_set())
+
+    streams = [
+        delta_update_stream(writer_ops // writers, domain, random.Random(i))
+        for i in range(writers)
+    ]
+    # Writers share one relation namespace; offset the fresh keys so the
+    # streams stay effective against each other.
+    streams = [
+        [
+            UpdateCommand(
+                c.op, c.relation, (c.row[0] + 1_000_000 * i, *c.row[1:])
+            )
+            for c in stream
+        ]
+        for i, stream in enumerate(streams)
+    ]
+
+    stop = threading.Event()
+    fetches = [0] * readers
+    counts = [0] * readers
+    invalidated = [0] * readers
+    failures: List[BaseException] = []
+
+    def writer(stream: Sequence[UpdateCommand]) -> None:
+        try:
+            for command in stream:
+                server.apply(command)
+        except BaseException as error:  # pragma: no cover
+            failures.append(error)
+            raise
+
+    def reader(index: int) -> None:
+        rng_local = random.Random(1000 + index)
+        try:
+            while not stop.is_set():
+                cursor = server.open_cursor("feed")
+                for _ in range(rng_local.randint(1, 30)):
+                    try:
+                        if not server.fetch(cursor, page):
+                            break
+                    except CursorInvalidatedError:
+                        invalidated[index] += 1
+                        break
+                    fetches[index] += 1
+                server.close_cursor(cursor)
+                server.count("feed")
+                counts[index] += 1
+        except BaseException as error:  # pragma: no cover
+            failures.append(error)
+            raise
+
+    reader_threads = [
+        threading.Thread(target=reader, args=(i,)) for i in range(readers)
+    ]
+    writer_threads = [
+        threading.Thread(target=writer, args=(stream,)) for stream in streams
+    ]
+    start = time.perf_counter()
+    for thread in reader_threads + writer_threads:
+        thread.start()
+    for thread in writer_threads:
+        thread.join()
+    write_elapsed = time.perf_counter() - start
+    stop.set()
+    for thread in reader_threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if failures:
+        raise failures[0]
+
+    mirror = set(baseline)
+    for delta_item in server.poll(subscription):
+        mirror |= set(delta_item.added)
+        mirror -= set(delta_item.removed)
+    expected = server.session["feed"].result_set()
+    assert mirror == expected, "subscription replay diverged from the view"
+
+    total_writes = sum(len(stream) for stream in streams)
+    total_fetches = sum(fetches)
+    return {
+        "readers": readers,
+        "writers": writers,
+        "result_size": len(expected),
+        "writes": total_writes,
+        "writes_per_s": round(total_writes / write_elapsed),
+        "fetch_pages": total_fetches,
+        "tuples_read_per_s": round(total_fetches * page / elapsed),
+        "count_queries": sum(counts),
+        "cursor_invalidations": sum(invalidated),
+        "subscription_replay_ok": True,
+        "elapsed_s": round(elapsed, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+
+def render(report: Dict[str, object]) -> str:
+    lines = ["serving layer (cursors / subscriptions / dispatcher)", ""]
+    cursor = report["cursor_resume"]
+    lines.append(
+        f"cursor paging over {cursor['result_size']} tuples "
+        f"(pages of {cursor['page_size']}):"
+    )
+    lines.append(
+        f"  cursor   first {cursor['cursor_page_ms_first']:.3f}ms/page, "
+        f"last {cursor['cursor_page_ms_last']:.3f}ms/page "
+        f"(ratio {cursor['cursor_last_over_first']:.2f} — flat = O(1) resume)"
+    )
+    lines.append(
+        f"  naive    start {cursor['naive_page_ms_at_start']:.3f}ms, "
+        f"end {cursor['naive_page_ms_at_end']:.3f}ms "
+        f"(ratio {cursor['naive_end_over_start']:.0f} — re-enumeration)"
+    )
+    sub = report["subscription_delta"]
+    lines.append("")
+    lines.append(
+        f"subscription deltas over a {sub['result_size']}-tuple view:"
+    )
+    lines.append(
+        f"  O(δ) capture     {sub['delta_updates_per_s']:>10} updates/s"
+    )
+    lines.append(
+        f"  rematerialize    {sub['rematerialize_updates_per_s']:>10} updates/s"
+    )
+    lines.append(f"  speedup          {sub['speedup']:>10.2f}x")
+    multi = report["multi_client"]
+    lines.append("")
+    lines.append(
+        f"dispatcher with {multi['readers']} readers + "
+        f"{multi['writers']} writers:"
+    )
+    lines.append(f"  writes/s         {multi['writes_per_s']:>10}")
+    lines.append(f"  tuples read/s    {multi['tuples_read_per_s']:>10}")
+    lines.append(
+        f"  invalidations    {multi['cursor_invalidations']:>10} "
+        "(each reported precisely, reader reopened)"
+    )
+    lines.append(
+        f"  subscription replay == result_set: "
+        f"{multi['subscription_replay_ok']}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke sizes: smaller view, fewer updates and clients",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=DEFAULT_OUT,
+        help=f"JSON output path (default {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        rows, page, updates, writer_ops, readers, writers = (
+            20_000, 200, 2_000, 600, 2, 1,
+        )
+    else:
+        rows, page, updates, writer_ops, readers, writers = (
+            120_000, 500, 10_000, 4_000, 4, 2,
+        )
+
+    rng = random.Random(17)
+    cursor_resume = bench_cursor_resume(rows, page, rng)
+    subscription_delta = bench_subscription_delta(rows, updates, rng)
+    multi_client = bench_multi_client(
+        rows // 2, writer_ops, readers, writers, page, rng
+    )
+
+    quick_note = (
+        " (quick smoke sizes; authoritative numbers come from a full run)"
+        if args.quick
+        else ""
+    )
+    targets = {
+        "cursor_resume_o1": {
+            "metric": "cursor_last_over_first",
+            "value": cursor_resume["cursor_last_over_first"],
+            "met": cursor_resume["cursor_last_over_first"] <= 3.0,
+            "note": "per-page cost of the last pages over the first — "
+            "flat means fetches resume instead of re-enumerating"
+            + quick_note,
+        },
+        "delta_beats_rematerialize_10x": {
+            "metric": "subscription_delta.speedup",
+            "value": subscription_delta["speedup"],
+            "met": subscription_delta["speedup"] >= 10.0,
+            "note": "O(δ) touched-path capture vs full result diff per "
+            "update" + quick_note,
+        },
+        "subscription_replay_exact": {
+            "metric": "multi_client.subscription_replay_ok",
+            "value": multi_client["subscription_replay_ok"],
+            "met": bool(multi_client["subscription_replay_ok"]),
+            "note": "replaying the delta log reproduces result_set() "
+            "after the full multi-client run",
+        },
+    }
+
+    report = {
+        "meta": {
+            "experiment": "serving",
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "unix_time": int(time.time()),
+        },
+        "cursor_resume": cursor_resume,
+        "subscription_delta": subscription_delta,
+        "multi_client": multi_client,
+        "targets": targets,
+    }
+
+    print(render(report))
+    print()
+    for name, target in targets.items():
+        state = "MET" if target["met"] else "not met"
+        print(f"target {name}: {target['value']} ({target['metric']}) — {state}")
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -263,6 +263,68 @@ def bench_toggle(rounds: int, reps: int, quick: bool) -> List[Dict[str, object]]
     return rows
 
 
+def bench_merged_loaders(
+    count: int, reps: int, quick: bool
+) -> List[Dict[str, object]]:
+    """Merged same-relation loaders vs one loader per atom (self-joins).
+
+    Bulk preprocessing on queries with several atoms over one relation:
+    the merged loader streams each relation once and walks shared path
+    prefixes once per relation, the per-atom layout (the PR-2 state)
+    walks them once per atom.  Both are verified state-identical before
+    timing.
+    """
+    queries = [
+        ("EXAMPLE_6_1", zoo.EXAMPLE_6_1),
+        ("FIGURE_1", zoo.FIGURE_1),
+        ("HIERARCHICAL_RRE", zoo.HIERARCHICAL_RRE),
+        ("SELFSTAR_3", zoo.selfjoin_star_query(3)),
+        ("SELFSTAR_5", zoo.selfjoin_star_query(5)),
+    ]
+    if quick:
+        queries = queries[:2] + [queries[3]]
+    rows: List[Dict[str, object]] = []
+    rng = random.Random(21)
+    for name, query in queries:
+        database = Database.empty_like(query)
+        domain = UniformDomain(max(8, count // 300))
+        for command in insert_only_stream(rng, query, count, domain=domain):
+            database.insert(command.relation, command.row)
+
+        merged = QHierarchicalEngine(query, database, merged_loaders=True)
+        per_atom = QHierarchicalEngine(query, database, merged_loaders=False)
+        assert merged.count() == per_atom.count(), name
+        for sm, sp in zip(merged.structures, per_atom.structures):
+            assert sm.snapshot() == sp.snapshot(), name
+
+        merged_s = min(
+            _timed(
+                lambda: QHierarchicalEngine(
+                    query, database, merged_loaders=True
+                )
+            )
+            for _ in range(reps)
+        )
+        per_atom_s = min(
+            _timed(
+                lambda: QHierarchicalEngine(
+                    query, database, merged_loaders=False
+                )
+            )
+            for _ in range(reps)
+        )
+        rows.append(
+            {
+                "query": name,
+                "rows": database.cardinality,
+                "merged_s": merged_s,
+                "per_atom_s": per_atom_s,
+                "speedup": per_atom_s / merged_s,
+            }
+        )
+    return rows
+
+
 def bench_preprocessing(
     count: int, reps: int, quick: bool
 ) -> List[Dict[str, object]]:
@@ -318,10 +380,12 @@ def geomean(values: Sequence[float]) -> float:
 def aggregate(
     update_rows: List[Dict[str, object]],
     pre_rows: List[Dict[str, object]],
+    merged_rows: List[Dict[str, object]],
 ) -> Dict[str, float]:
     engine = [r["speedup"] for r in update_rows if r["tier"] == "engine"]
     procedure = [r["speedup"] for r in update_rows if r["tier"] == "procedure"]
     pre = [r["speedup"] for r in pre_rows]
+    merged = [r["speedup"] for r in merged_rows]
     return {
         "update_engine_geomean": round(geomean(engine), 3),
         "update_engine_best": round(max(engine), 3) if engine else 0.0,
@@ -329,10 +393,12 @@ def aggregate(
         "update_procedure_best": round(max(procedure), 3) if procedure else 0.0,
         "preprocessing_geomean": round(geomean(pre), 3),
         "preprocessing_best": round(max(pre), 3) if pre else 0.0,
+        "merged_loader_geomean": round(geomean(merged), 3),
+        "merged_loader_best": round(max(merged), 3) if merged else 0.0,
     }
 
 
-def render_table(update_rows, pre_rows, aggregates) -> str:
+def render_table(update_rows, pre_rows, merged_rows, aggregates) -> str:
     lines = ["update throughput (updates/sec, compiled vs seed reference)", ""]
     lines.append(
         f"{'query':<18} {'stream':<7} {'tier':<10} "
@@ -354,6 +420,17 @@ def render_table(update_rows, pre_rows, aggregates) -> str:
         lines.append(
             f"{r['query']:<18} {r['rows']:>8} {r['bulk_s']*1000:>8.1f}ms "
             f"{r['replay_s']*1000:>8.1f}ms {r['speedup']:>7.2f}x"
+        )
+    lines.append("")
+    lines.append("merged same-relation loaders (self-joins, vs per-atom)")
+    lines.append("")
+    lines.append(
+        f"{'query':<18} {'rows':>8} {'merged':>10} {'per-atom':>10} {'speedup':>8}"
+    )
+    for r in merged_rows:
+        lines.append(
+            f"{r['query']:<18} {r['rows']:>8} {r['merged_s']*1000:>8.1f}ms "
+            f"{r['per_atom_s']*1000:>8.1f}ms {r['speedup']:>7.2f}x"
         )
     lines.append("")
     for key, value in aggregates.items():
@@ -395,7 +472,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     update_rows = bench_updates(update_count, reps, args.quick)
     update_rows += bench_toggle(toggle_rounds, reps, args.quick)
     pre_rows = bench_preprocessing(pre_count, reps, args.quick)
-    aggregates = aggregate(update_rows, pre_rows)
+    merged_rows = bench_merged_loaders(pre_count, reps, args.quick)
+    aggregates = aggregate(update_rows, pre_rows, merged_rows)
 
     quick_note = (
         " (quick smoke sizes understate both sides; authoritative "
@@ -419,6 +497,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "note": "bulk_load vs insert-by-insert replay on the same "
             "initial database (geomean also reported)" + quick_note,
         },
+        "merged_loaders_faster": {
+            "metric": "merged_loader_geomean",
+            "value": aggregates["merged_loader_geomean"],
+            "met": aggregates["merged_loader_geomean"] >= 1.05,
+            "note": "one pass per relation (shared path prefixes) vs one "
+            "pass per atom on self-join queries, whole-engine "
+            "construction time" + quick_note,
+        },
     }
 
     report = {
@@ -433,11 +519,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         },
         "update_throughput": update_rows,
         "preprocessing": pre_rows,
+        "merged_loaders": merged_rows,
         "aggregates": aggregates,
         "targets": targets,
     }
 
-    text = render_table(update_rows, pre_rows, aggregates)
+    text = render_table(update_rows, pre_rows, merged_rows, aggregates)
     print(text)
     print()
     for name, target in targets.items():

@@ -13,8 +13,11 @@ conjunctive-query evaluation, with
 * the Appendix A self-join frontier (:class:`Phi2Engine`),
 * static substrates (Yannakakis, free-connex constant-delay),
 * the UCQ union engine (the Section 7 outlook) and the
-  :class:`Session`/:class:`View` serving layer, where the dichotomy
-  itself picks the engine per registered view.
+  :class:`Session`/:class:`View` facade, where the dichotomy itself
+  picks the engine per registered view,
+* the live serving layer (:mod:`repro.serve`): resumable cursors with
+  parameter binding and snapshot isolation, O(δ) delta subscriptions,
+  and the thread-safe multi-client :class:`Server` dispatcher.
 
 Quickstart — the Session API is the recommended front door::
 
@@ -79,7 +82,11 @@ from repro.storage import Database, Schema, UpdateCommand, delete, insert
 from repro.extensions.ucq import UnionEngine, UnionOfCQs, parse_union
 from repro.api import Batch, Plan, Planner, Session, View, parse_view
 
-__version__ = "1.1.0"
+# The live serving layer (imported last: it builds on the session).
+from repro.errors import CursorInvalidatedError
+from repro.serve import Cursor, CursorInvalidation, Delta, Server, Subscription
+
+__version__ = "1.2.0"
 
 __all__ = [
     "Atom",
@@ -125,5 +132,11 @@ __all__ = [
     "Session",
     "View",
     "parse_view",
+    "Cursor",
+    "CursorInvalidation",
+    "CursorInvalidatedError",
+    "Delta",
+    "Server",
+    "Subscription",
     "__version__",
 ]

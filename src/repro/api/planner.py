@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple, Union
 
+from repro.core.qtree import try_build_q_tree
 from repro.cq.analysis import QueryClassification, classify, find_violation
 from repro.cq.parser import parse_many
 from repro.cq.query import ConjunctiveQuery
@@ -65,11 +66,13 @@ def parse_view(text: str, name: Optional[str] = None) -> QueryLike:
 #: the active-domain size, ϕ/Φ the (U)CQ, q the number of disjuncts.
 _GUARANTEES: Dict[str, Dict[str, str]] = {
     "qhierarchical": {
-        "preprocessing": "O(||D|| · poly(ϕ))",
+        "preprocessing": "O(||D|| · poly(ϕ)) (bulk load)",
         "update": "O(poly(ϕ)) — constant in the data (Theorem 3.2)",
         "delay": "O(poly(ϕ)) per tuple, duplicate-free",
         "count": "O(1)",
         "answer": "O(1)",
+        "delta": "O(poly(ϕ) + δ) per update, from the touched root "
+        "paths (serving-layer subscriptions)",
     },
     "ucq_union": {
         "preprocessing": "O(2^q · ||D|| · poly(Φ))",
@@ -77,14 +80,19 @@ _GUARANTEES: Dict[str, Dict[str, str]] = {
         "delay": "O(q · poly(Φ)) per tuple (Durand–Strozecki union)",
         "count": "O(2^q) via inclusion–exclusion",
         "answer": "O(q)",
+        "delta": "O(2^q · poly(Φ) + q · poly(Φ) · δ) per update "
+        "(per-disjunct deltas, membership-deduplicated)",
     },
     "delta_ivm": {
-        "preprocessing": "O(||D|| · delta joins) (replayed insertions)",
+        "preprocessing": "O(||D|| + eval(ϕ, D)) (bulk mirror + one "
+        "evaluation)",
         "update": "Θ(delta join size) — can reach the Ω(n^{1-ε}) "
         "barrier of Theorems 3.3–3.5",
         "delay": "O(1) per tuple from the materialised view",
         "count": "O(1) (materialised distinct count)",
         "answer": "O(1)",
+        "delta": "free with the update: sign flips of the touched "
+        "valuation counts",
     },
     "recompute": {
         "preprocessing": "O(||D||) (store only, lazy evaluation)",
@@ -92,10 +100,32 @@ _GUARANTEES: Dict[str, Dict[str, str]] = {
         "delay": "first tuple only after full re-evaluation",
         "count": "full re-evaluation when stale",
         "answer": "full re-evaluation when stale",
+        "delta": "O(|result|) per update (full before/after diff)",
     },
 }
 
 _UNSTATED = "no stated guarantee for this engine"
+
+
+def _binding_orders(
+    query: ConjunctiveQuery,
+) -> Optional[Tuple[Tuple[str, ...], ...]]:
+    """Per-component free-variable q-tree orders (cursor-binding hints).
+
+    Only defined for q-hierarchical queries; Boolean components are
+    skipped (nothing to bind).  Returns None when some component has no
+    q-tree — callers only ask for plans that classified q-hierarchical,
+    so that is purely defensive.
+    """
+    orders = []
+    for component in query.connected_components():
+        if not component.free:
+            continue
+        tree = try_build_q_tree(component)
+        if tree is None:
+            return None
+        orders.append(tuple(tree.free_document_order()))
+    return tuple(orders)
 
 
 @dataclass(frozen=True)
@@ -124,6 +154,14 @@ class Plan:
         Whether ``count()`` meets the stated O(1)/O(2^q) bound; False
         only for UCQs whose inclusion–exclusion intersections leave the
         q-hierarchical class (counting then degrades to enumeration).
+    binding_orders:
+        For q-hierarchical CQ plans: one tuple per connected component
+        with free variables, listing that component's free variables in
+        q-tree (document) order.  A cursor binding that is
+        ancestor-closed — a prefix along each branch of these orders —
+        is served with O(1) pinned probes by
+        ``View.cursor(X=c)``; anything else degrades to a filtered
+        scan.  None when the engine has no q-tree to pin against.
     stats:
         Execution-plan statistics reported by a *built* engine
         (compiled atom plans, dispatch width, delta arms, ...).  None
@@ -139,6 +177,9 @@ class Plan:
     guarantees: Dict[str, str] = field(repr=False)
     classification: Optional[QueryClassification] = field(default=None, repr=False)
     counting_exact: bool = True
+    binding_orders: Optional[Tuple[Tuple[str, ...], ...]] = field(
+        default=None, repr=False
+    )
     stats: Optional[Dict[str, object]] = field(default=None, repr=False)
 
     def build(self, database: Optional[Database] = None) -> DynamicEngine:
@@ -154,8 +195,16 @@ class Plan:
             f"reason: {self.reason}",
             "guarantees:",
         ]
-        for aspect in ("preprocessing", "update", "delay", "count", "answer"):
+        for aspect in ("preprocessing", "update", "delay", "count", "answer", "delta"):
             lines.append(f"  {aspect:<14} {self.guarantees.get(aspect, _UNSTATED)}")
+        if self.binding_orders:
+            orders = " × ".join(
+                "(" + ", ".join(order) + ")" for order in self.binding_orders
+            )
+            lines.append(
+                f"cursor bindings: ancestor-closed prefixes of {orders} "
+                "pin in O(1)"
+            )
         if not self.counting_exact:
             lines.append(
                 "  note           exact counting degrades to enumeration "
@@ -211,6 +260,7 @@ class Planner:
                 "constant-update engine",
                 guarantees=dict(_GUARANTEES["qhierarchical"]),
                 classification=classification,
+                binding_orders=_binding_orders(query),
             )
         witness = classification.violation.describe()
         return Plan(
@@ -286,4 +336,7 @@ class Planner:
             guarantees=dict(_GUARANTEES.get(engine, {})),
             classification=classification,
             counting_exact=counting_exact,
+            binding_orders=(
+                _binding_orders(query) if engine == "qhierarchical" else None
+            ),
         )

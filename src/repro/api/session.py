@@ -16,6 +16,15 @@ On churny streams this saves the full per-view update fan-out for every
 cancelled pair, which is where the engines spend their time.  If the
 ``with`` body raises, the buffer is discarded and no view observes any
 of it.
+
+Views are also the anchor of the serving layer (:mod:`repro.serve`):
+:meth:`View.cursor` opens resumable enumeration handles and
+:meth:`View.subscribe` registers delta consumers.  Every effective
+update delivered to a view runs the serving choreography
+(:meth:`View._deliver`): snapshot cursors pin their remainder before
+the engine mutates, the O(δ) result delta is captured when someone
+subscribed, plain cursors are invalidated with the precise command,
+and subscribers are notified last.
 """
 
 from __future__ import annotations
@@ -49,6 +58,10 @@ class View:
         self._session = session
         self._plan = plan
         self._engine = engine
+        # Serving-layer state: live cursors to notify around updates and
+        # delta subscribers to fan changes out to (repro.serve).
+        self._cursors: List[object] = []
+        self._subscriptions: List[object] = []
 
     # -- plan introspection ---------------------------------------------------
 
@@ -93,6 +106,117 @@ class View:
         if probe is not None:
             return probe(row)
         return row in self._engine.result_set()
+
+    # -- serving surface (repro.serve) ----------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The engine's generation stamp; bumped per effective update
+        touching this view.  Cursors compare epochs to resume safely."""
+        return self._engine.epoch
+
+    def cursor(
+        self,
+        binding: Optional[Dict[str, Constant]] = None,
+        snapshot: bool = False,
+        **variables,
+    ) -> "object":
+        """Open a resumable enumeration cursor over this view.
+
+        Output variables bind to constants either as keyword sugar
+        (``view.cursor(x=3)``) or through the explicit ``binding`` dict
+        — use the dict for variables whose names collide with the
+        ``binding``/``snapshot`` parameters.  Bindings forming a
+        q-tree-order prefix are pinned in O(1), see
+        :class:`repro.serve.cursors.Cursor`.  ``snapshot=True`` pins
+        the pre-update result if a write interleaves.
+        """
+        from repro.serve.cursors import Cursor  # avoid an import cycle
+
+        merged = dict(binding or {})
+        merged.update(variables)
+        return Cursor(self, binding=merged or None, snapshot=snapshot)
+
+    def subscribe(
+        self, callback=None, max_pending: Optional[int] = None
+    ) -> "object":
+        """Register a delta subscriber on this view.
+
+        Every effective update touching the view then runs through the
+        engine's ``apply_with_delta`` and the resulting
+        :class:`repro.serve.subscriptions.Delta` is queued on the
+        subscription's outbox (and pushed to ``callback``, if given).
+        """
+        from repro.serve.subscriptions import Subscription
+
+        return Subscription(self, callback=callback, max_pending=max_pending)
+
+    @property
+    def subscriptions(self) -> Tuple[object, ...]:
+        return tuple(self._subscriptions)
+
+    @property
+    def open_cursors(self) -> Tuple[object, ...]:
+        return tuple(self._cursors)
+
+    # -- serving internals ----------------------------------------------------
+
+    def _register_cursor(self, cursor) -> None:
+        self._cursors.append(cursor)
+
+    def _drop_cursor(self, cursor) -> None:
+        try:
+            self._cursors.remove(cursor)
+        except ValueError:
+            pass  # already deregistered (exhausted, closed, invalidated)
+
+    def _register_subscription(self, subscription) -> None:
+        self._subscriptions.append(subscription)
+
+    def _drop_subscription(self, subscription) -> None:
+        try:
+            self._subscriptions.remove(subscription)
+        except ValueError:
+            pass
+
+    def _deliver(self, command: UpdateCommand) -> None:
+        """Apply one effective update with full serving choreography.
+
+        Order matters: snapshot cursors drain *before* the engine
+        mutates (they pin the pre-update result); the delta is captured
+        during the update only when someone subscribed (otherwise the
+        plain O(1) path runs); plain cursors are invalidated — with the
+        precise command — *after*, and subscribers last, so a callback
+        observing the view sees the post-update state.
+        """
+        for cursor in list(self._cursors):
+            cursor._before_view_update(command)
+        if self._subscriptions:
+            from repro.serve.subscriptions import Delta
+
+            added, removed = self._engine.apply_with_delta(command)
+            delta = Delta(
+                view=self.name,
+                epoch=self._engine.epoch,
+                command=command,
+                added=tuple(added),
+                removed=tuple(removed),
+            )
+        else:
+            self._engine.apply(command)
+            delta = None
+        for cursor in list(self._cursors):
+            cursor._after_view_update(command)
+        if delta is not None and delta.size:
+            for subscription in list(self._subscriptions):
+                subscription._dispatch(delta)
+
+    def _close_serving(self) -> None:
+        """Release cursors and subscriptions (on ``drop_view``)."""
+        for cursor in list(self._cursors):
+            cursor.close()
+        for subscription in list(self._subscriptions):
+            subscription.close()
 
     def __repr__(self) -> str:
         return f"View({self.name!r}, engine={self.engine_name!r})"
@@ -244,6 +368,7 @@ class Session:
             view = self._views.pop(name)
         except KeyError:
             raise EngineStateError(f"no view named {name!r}") from None
+        view._close_serving()
         for views in self._views_by_relation.values():
             if view in views:
                 views.remove(view)
@@ -336,7 +461,7 @@ class Session:
                 return False
             rows.remove(command.row)
         for view in self._views_by_relation.get(command.relation, ()):
-            view._engine.apply(command)
+            view._deliver(command)
         return True
 
     def _open_batch(self, batch: Batch) -> None:

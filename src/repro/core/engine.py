@@ -35,15 +35,16 @@ the honest behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from itertools import chain
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.qtree import QTree, try_build_q_tree
 from repro.core.structure import ComponentStructure
 from repro.cq.analysis import find_violation
 from repro.cq.query import ConjunctiveQuery
-from repro.errors import NotQHierarchicalError, UpdateError
+from repro.errors import NotQHierarchicalError, QueryStructureError
 from repro.interface import DynamicEngine, register_engine
-from repro.storage.database import Database, Row
+from repro.storage.database import Constant, Database, Row
 
 __all__ = ["QHierarchicalEngine"]
 
@@ -60,6 +61,7 @@ class QHierarchicalEngine(DynamicEngine):
         database: Optional[Database] = None,
         prefer: Sequence[str] = (),
         compiled: bool = True,
+        merged_loaders: bool = True,
     ):
         violation = find_violation(query)
         if violation is not None:
@@ -70,6 +72,7 @@ class QHierarchicalEngine(DynamicEngine):
             )
         self._prefer = tuple(prefer)
         self._compiled = compiled
+        self._merged_loaders = merged_loaders
         super().__init__(query, database)
 
     def _setup(self) -> None:
@@ -82,7 +85,12 @@ class QHierarchicalEngine(DynamicEngine):
                     f"no q-tree for component {component.name!r}"
                 )
             self._structures.append(
-                ComponentStructure(component, qtree, compiled=self._compiled)
+                ComponentStructure(
+                    component,
+                    qtree,
+                    compiled=self._compiled,
+                    merged_loaders=self._merged_loaders,
+                )
             )
 
         self._by_relation: Dict[str, List[ComponentStructure]] = {}
@@ -108,6 +116,12 @@ class QHierarchicalEngine(DynamicEngine):
             tuple(out_position[v] for v in s.query.free)
             for s in self._free_structures
         ]
+        # Same layout over *all* structures (Boolean ones contribute no
+        # positions) — the delta expansion iterates every component.
+        self._struct_positions: List[Tuple[int, ...]] = [
+            tuple(out_position[v] for v in s.query.free)
+            for s in self._structures
+        ]
 
     def _preload(self, database: Database) -> None:
         """Preprocessing: bulk-load the initial database.
@@ -121,26 +135,7 @@ class QHierarchicalEngine(DynamicEngine):
         if not self._compiled:
             super()._preload(database)
             return
-        rows_by_relation: Dict[str, Sequence[Row]] = {}
-        for relation in database.relations():
-            rows = relation.rows
-            if not rows:
-                # Matches the replay path: an empty relation is a
-                # no-op even when the engine's schema doesn't know it.
-                continue
-            name = relation.name
-            # A Relation's rows all share its arity, so one check
-            # covers the whole set and bulk_insert may trust it.
-            # Unknown relations fall through to bulk_insert, which
-            # raises the same SchemaError the replay path would.
-            if name in self._db.schema and relation.arity != self._db.schema.arity(name):
-                raise UpdateError(
-                    f"relation {name!r} has arity {relation.arity}, "
-                    f"engine expects {self._db.schema.arity(name)}"
-                )
-            fresh = self._db.bulk_insert(name, rows, checked=True)
-            if fresh:
-                rows_by_relation[name] = fresh
+        rows_by_relation = self._db.mirror_from(database)
         for structure in self._structures:
             structure.bulk_load(rows_by_relation)
 
@@ -164,6 +159,112 @@ class QHierarchicalEngine(DynamicEngine):
             for structure in self._by_relation.get(relation, ()):
                 structure.apply(False, relation, row)
 
+    def apply_with_delta(self, command) -> Tuple[Tuple[Row, ...], Tuple[Row, ...]]:
+        """Apply one command and derive the output-tuple delta in O(δ).
+
+        Per touched component the delta comes from the flipped items of
+        the touched root paths
+        (:meth:`ComponentStructure.apply_with_delta`); across components
+        the engine result is a product, so the total delta telescopes::
+
+            Π new_c − Π old_c  =  ⨄_c  old_{<c} × Δ_c × new_{>c}
+
+        (a disjoint union — each term's Δ_c is disjoint from old_c and
+        from new-minus-Δ).  Every enumerated element contributes to an
+        output tuple, so the cost is O(poly(ϕ) · (1 + δ)) per update.
+        A single-tuple command moves every component the same way, so
+        one side of ``(added, removed)`` is always empty.
+        """
+        relation = command.relation
+        row = tuple(command.row)
+        if command.is_insert:
+            if not self._db.insert(relation, row):
+                return (), ()
+            is_insert = True
+        else:
+            if not self._db.delete(relation, row):
+                return (), ()
+            is_insert = False
+        self._epoch += 1
+        component_delta: Dict[int, Tuple[Tuple[Row, ...], Tuple[Row, ...]]] = {}
+        for structure in self._by_relation.get(relation, ()):
+            component_delta[id(structure)] = structure.apply_with_delta(
+                is_insert, relation, row
+            )
+        pick = 0 if is_insert else 1
+        expanded = self._expand_delta(component_delta, pick)
+        return (expanded, ()) if is_insert else ((), expanded)
+
+    def _expand_delta(
+        self,
+        component_delta: Dict[int, Tuple[Tuple[Row, ...], Tuple[Row, ...]]],
+        pick: int,
+    ) -> Tuple[Row, ...]:
+        """Telescope per-component deltas into output-tuple space.
+
+        ``pick`` selects the delta side (0 = added, 1 = removed).  The
+        factor for components *before* the pivot is their pre-update
+        result (current adjusted by their own delta), *after* the pivot
+        their current result — see :meth:`apply_with_delta`.
+        """
+        structures = self._structures
+        out: List[Row] = []
+        for c, pivot in enumerate(structures):
+            delta = component_delta.get(id(pivot))
+            if not delta or not delta[pick]:
+                continue
+            factories: List[object] = []
+            for d, other in enumerate(structures):
+                if d == c:
+                    factories.append(lambda rows=delta[pick]: iter(rows))
+                elif d < c:
+                    factories.append(
+                        self._old_factory(other, component_delta, pick)
+                    )
+                else:
+                    factories.append(other.enumerate)
+            out.extend(self._assemble(factories))
+        return tuple(out)
+
+    def _old_factory(
+        self,
+        structure: ComponentStructure,
+        component_delta: Dict[int, Tuple[Tuple[Row, ...], Tuple[Row, ...]]],
+        pick: int,
+    ) -> object:
+        """The component's *pre-update* result as a stream factory."""
+        delta = component_delta.get(id(structure))
+        if not delta or not delta[pick]:
+            return structure.enumerate
+        changed = delta[pick]
+        if pick == 0:  # insert: old = current minus the added tuples
+            skip = set(changed)
+            return lambda: (t for t in structure.enumerate() if t not in skip)
+        # delete: old = current plus the removed tuples
+        return lambda: chain(structure.enumerate(), iter(changed))
+
+    def _assemble(self, factories: Sequence[object]) -> Iterator[Row]:
+        """Product over *all* components from explicit stream factories.
+
+        Unlike :meth:`_product` there is no ``answer()`` gate — Boolean
+        factors participate as ``()``-or-nothing streams so the factors
+        can represent past states.
+        """
+        assembly: List[object] = [None] * len(self._query.free)
+        positions = self._struct_positions
+
+        def product(index: int) -> Iterator[Row]:
+            if index == len(factories):
+                yield tuple(assembly)
+                return
+            pos = positions[index]
+            for row in factories[index]():
+                for position, value in zip(pos, row):
+                    assembly[position] = value
+                yield from product(index + 1)
+
+        return product(0)
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
@@ -183,6 +284,15 @@ class QHierarchicalEngine(DynamicEngine):
 
     def enumerate(self) -> Iterator[Row]:
         """Constant-delay enumeration (Algorithm 1 + component product)."""
+        return self._product([s.enumerate for s in self._free_structures])
+
+    def _product(self, factories: Sequence[object]) -> Iterator[Row]:
+        """Nested-loop component product over per-component streams.
+
+        ``factories`` is aligned with ``self._free_structures``; each
+        is a zero-argument callable returning a fresh iterator of that
+        component's tuples.  Boolean components gate via ``answer()``.
+        """
         for structure in self._structures:
             if not structure.answer():
                 return
@@ -193,20 +303,50 @@ class QHierarchicalEngine(DynamicEngine):
             return
 
         assembly: List[object] = [None] * arity
-        free_structures = self._free_structures
         out_positions = self._out_positions
 
         def product(index: int) -> Iterator[Row]:
-            if index == len(free_structures):
+            if index == len(factories):
                 yield tuple(assembly)
                 return
             positions = out_positions[index]
-            for row in free_structures[index].enumerate():
+            for row in factories[index]():
                 for position, value in zip(positions, row):
                     assembly[position] = value
                 yield from product(index + 1)
 
         yield from product(0)
+
+    def enumerate_bound(self, binding: Mapping[str, Constant]) -> Iterator[Row]:
+        """Enumeration with some output variables bound to constants.
+
+        Splits the binding across components and delegates to
+        :meth:`ComponentStructure.enumerate_bound`: bound variables
+        forming an ancestor-closed set in their component's q-tree are
+        pinned with O(1) item probes (constant delay per tuple); the
+        rest degrade to fit-list filters.  Output tuples carry the
+        bound values in place, over the query's full output arity.
+        """
+        binding = dict(binding)
+        if not binding:
+            return self.enumerate()
+        free_set = set(self._query.free)
+        unknown = [v for v in binding if v not in free_set]
+        if unknown:
+            raise QueryStructureError(
+                f"cannot bind {sorted(unknown)}: not output variables of "
+                f"{self._query.name!r} (free: {self._query.free})"
+            )
+        factories = []
+        for structure in self._free_structures:
+            sub = {
+                v: binding[v] for v in structure.query.free if v in binding
+            }
+            if sub:
+                factories.append(lambda s=structure, b=sub: s.enumerate_bound(b))
+            else:
+                factories.append(structure.enumerate)
+        return self._product(factories)
 
     def contains(self, row: Row) -> bool:
         """Membership test ``ā ∈ ϕ(D)`` in O(poly(ϕ)) time.

@@ -29,7 +29,7 @@ update touches exactly the plans that mention the relation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.items import FitList, Item
 from repro.core.qtree import QTree
@@ -43,6 +43,7 @@ __all__ = [
     "compile_plans",
     "compile_runner",
     "compile_loader",
+    "compile_relation_loader",
     "plan_summary",
 ]
 
@@ -215,17 +216,19 @@ def compile_plans(
     return plans
 
 
-def _emit_item_creation(
+def _emit_item_fields(
     emit,
     pad: str,
-    j: int,
-    level: LevelPlan,
+    var: str,
+    node_const: str,
+    key_var: str,
+    store_var: str,
     parent: str,
+    level: LevelPlan,
     c_atom: str = "{}",
     deferred: bool = False,
 ) -> None:
-    """Emit the inline item-construction block shared by runner and
-    loader codegen.
+    """Emit an inline item-construction block with explicit names.
 
     Bypassing ``Item.__init__`` saves a Python frame per created item,
     and leaf nodes skip the three child-side dicts entirely — a leaf
@@ -239,30 +242,46 @@ def _emit_item_creation(
     ``zf`` for every item, and sets ``tzf``/``tnzp`` for every free
     node — quantified nodes never have theirs read at all.
     """
-    emit(f"{pad}i{j} = _new(_Item)")
-    emit(f"{pad}i{j}.node = _N{j}")
-    emit(f"{pad}i{j}.key = k{j}")
-    emit(f"{pad}i{j}.parent_item = {parent}")
-    emit(f"{pad}i{j}.c_atom = {c_atom}")
-    emit(f"{pad}i{j}.weight = 0")
-    emit(f"{pad}i{j}.tweight = 0")
+    emit(f"{pad}{var} = _new(_Item)")
+    emit(f"{pad}{var}.node = {node_const}")
+    emit(f"{pad}{var}.key = {key_var}")
+    emit(f"{pad}{var}.parent_item = {parent}")
+    emit(f"{pad}{var}.c_atom = {c_atom}")
+    emit(f"{pad}{var}.weight = 0")
+    emit(f"{pad}{var}.tweight = 0")
     if level.is_leaf:
-        emit(f"{pad}i{j}.child_sum = None")
-        emit(f"{pad}i{j}.tchild_sum = None")
-        emit(f"{pad}i{j}.lists = None")
+        emit(f"{pad}{var}.child_sum = None")
+        emit(f"{pad}{var}.tchild_sum = None")
+        emit(f"{pad}{var}.lists = None")
     else:
-        emit(f"{pad}i{j}.child_sum = {{}}")
-        emit(f"{pad}i{j}.tchild_sum = {{}}")
-        emit(f"{pad}i{j}.lists = {{}}")
-    emit(f"{pad}i{j}.nzp = 1")
+        emit(f"{pad}{var}.child_sum = {{}}")
+        emit(f"{pad}{var}.tchild_sum = {{}}")
+        emit(f"{pad}{var}.lists = {{}}")
+    emit(f"{pad}{var}.nzp = 1")
     if not deferred:
-        emit(f"{pad}i{j}.zf = {level.init_zf}")
-        emit(f"{pad}i{j}.tnzp = 1")
-        emit(f"{pad}i{j}.tzf = {level.init_tzf}")
-    emit(f"{pad}i{j}.in_list = False")
-    emit(f"{pad}i{j}.prev = None")
-    emit(f"{pad}i{j}.next = None")
-    emit(f"{pad}_S{j}[k{j}] = i{j}")
+        emit(f"{pad}{var}.zf = {level.init_zf}")
+        emit(f"{pad}{var}.tnzp = 1")
+        emit(f"{pad}{var}.tzf = {level.init_tzf}")
+    emit(f"{pad}{var}.in_list = False")
+    emit(f"{pad}{var}.prev = None")
+    emit(f"{pad}{var}.next = None")
+    emit(f"{pad}{store_var}[{key_var}] = {var}")
+
+
+def _emit_item_creation(
+    emit,
+    pad: str,
+    j: int,
+    level: LevelPlan,
+    parent: str,
+    c_atom: str = "{}",
+    deferred: bool = False,
+) -> None:
+    """Item construction with the per-plan naming scheme (``i{j}``)."""
+    _emit_item_fields(
+        emit, pad, f"i{j}", f"_N{j}", f"k{j}", f"_S{j}", parent, level,
+        c_atom, deferred,
+    )
 
 
 def compile_runner(plan: AtomPlan, structure) -> "object":
@@ -552,6 +571,276 @@ def compile_loader(plan: AtomPlan) -> "object":
         namespace[f"_N{j}"] = level.node
     exec(
         compile(source, f"<loader {plan.relation}#{plan.atom_index}>", "exec"),
+        namespace,
+    )
+    return namespace["_loader"]
+
+
+class _TrieLevel:
+    """One shared cached level of a merged relation loader.
+
+    Plans of the same relation whose repeated-variable checks (``eq``)
+    agree and whose cached levels read the same q-tree node from the
+    same row position share the level's prefix cache — the item locate,
+    the run counter, the flush — instead of re-walking it per atom.
+    """
+
+    __slots__ = (
+        "ident",
+        "parent",
+        "pos",
+        "level",
+        "childmap",
+        "plans",
+        "fused",
+        "terminals",
+        "key_positions",
+    )
+
+    def __init__(self, ident, parent, pos, level):
+        self.ident = ident
+        self.parent = parent  # Optional[_TrieLevel]
+        self.pos = pos  # row position feeding this level
+        self.level = level  # the shared LevelPlan
+        self.childmap: Dict[Tuple[str, int], "_TrieLevel"] = {}
+        self.plans: List[int] = []  # plan indices walking through
+        self.fused: List[int] = []  # fused-leaf plans parented here
+        self.terminals: List[int] = []  # plans whose deepest level sits here
+        up = parent.key_positions if parent is not None else ()
+        self.key_positions: Tuple[int, ...] = up + (pos,)
+
+
+def compile_relation_loader(plans: Sequence[AtomPlan]) -> "object":
+    """Generate a bulk loader feeding ALL of a relation's atom plans in
+    one pass over the rows (self-join merging).
+
+    The per-plan loaders of :func:`compile_loader` stream the whole
+    relation once per atom, so a self-join query walks shared path
+    prefixes once per occurrence.  This generator merges the plans into
+    a single row loop:
+
+    * plans are grouped by their ``eq`` checks (one guard per group —
+      plans with different repeated-variable patterns see different row
+      subsets and cannot share state);
+    * within a group, cached levels reading the same q-tree node from
+      the same row position are unified into a :class:`_TrieLevel`, so
+      a shared prefix is located once per run and its flush bumps every
+      plan's ``C^i_ψ`` counter in one go;
+    * each plan's deepest level keeps its own per-row block (fused
+      leaves, exclusive creation, or get-or-create) exactly as in the
+      per-plan loader.
+
+    Phase-1 work is commutative counter arithmetic, so the final state
+    is identical to running the per-plan loaders back to back; only the
+    row loop and the shared prefix walks are saved.  A single-plan
+    relation falls back to :func:`compile_loader` unchanged.
+    """
+    plans = list(plans)
+    if len(plans) == 1:
+        return compile_loader(plans[0])
+    relation = plans[0].relation
+
+    trie_nodes: List[_TrieLevel] = []
+    # eq tuple → (root childmap, root-attached terminal plan indices)
+    groups: Dict[Tuple[Tuple[int, int], ...], Tuple[Dict, List[int]]] = {}
+
+    def trie_child(container: Dict, parent, key, level) -> _TrieLevel:
+        existing = container.get(key)
+        if existing is None:
+            existing = _TrieLevel(len(trie_nodes), parent, key[1], level)
+            trie_nodes.append(existing)
+            container[key] = existing
+        return existing
+
+    for index, plan in enumerate(plans):
+        roots, root_terminals = groups.setdefault(plan.eq, ({}, []))
+        depth = len(plan.levels)
+        cursor: Optional[_TrieLevel] = None
+        container = roots
+        for j in range(depth - 1):
+            cursor = trie_child(
+                container,
+                cursor,
+                (plan.levels[j].node, plan.extract[j]),
+                plan.levels[j],
+            )
+            cursor.plans.append(index)
+            container = cursor.childmap
+        if cursor is None:
+            root_terminals.append(index)
+        else:
+            cursor.terminals.append(index)
+            if loader_fuses_leaf(plan):
+                cursor.fused.append(index)
+
+    lines: List[str] = ["def _loader(rows):"]
+    emit = lines.append
+    for trie in trie_nodes:
+        emit(f"    p{trie.ident} = _miss")
+        emit(f"    i{trie.ident} = None")
+        emit(f"    n{trie.ident} = 0")
+    fused_plans = {index for trie in trie_nodes for index in trie.fused}
+    for index in sorted(fused_plans):
+        emit(f"    fl{index} = None")
+        emit(f"    tl{index} = None")
+
+    positions = sorted(
+        {pos for plan in plans for pos in plan.extract}
+        | {pos for plan in plans for pair in plan.eq for pos in pair}
+    )
+    emit("    for row in rows:")
+    for pos in positions:
+        emit(f"        r{pos} = row[{pos}]")
+
+    def emit_flush(pad: str, trie: _TrieLevel) -> None:
+        emit(f"{pad}if n{trie.ident}:")
+        emit(f"{pad}    c_ = i{trie.ident}.c_atom")
+        for index in trie.plans:
+            ai = plans[index].atom_index
+            emit(f"{pad}    c_[{ai}] = c_.get({ai}, 0) + n{trie.ident}")
+        for index in trie.fused:
+            emit(f"{pad}    cs_ = i{trie.ident}.child_sum")
+            emit(
+                f"{pad}    cs_[_NL{index}] = "
+                f"cs_.get(_NL{index}, 0) + n{trie.ident}"
+            )
+            if plans[index].levels[-1].is_free:
+                emit(f"{pad}    ts_ = i{trie.ident}.tchild_sum")
+                emit(
+                    f"{pad}    ts_[_NL{index}] = "
+                    f"ts_.get(_NL{index}, 0) + n{trie.ident}"
+                )
+            emit(f"{pad}    fl{index}.tail = tl{index}")
+            emit(f"{pad}    fl{index}.length += n{trie.ident}")
+        emit(f"{pad}    n{trie.ident} = 0")
+
+    def descendants(trie: _TrieLevel) -> Iterator[_TrieLevel]:
+        for child in trie.childmap.values():
+            yield child
+            yield from descendants(child)
+
+    def key_tuple(key_positions: Sequence[int]) -> str:
+        inner = ", ".join(f"r{pos}" for pos in key_positions)
+        if len(key_positions) == 1:
+            inner += ","
+        return f"({inner})"
+
+    def emit_terminal(pad: str, index: int, parent: Optional[_TrieLevel]) -> None:
+        plan = plans[index]
+        leaf = plan.levels[-1]
+        ai = plan.atom_index
+        parent_var = f"i{parent.ident}" if parent is not None else "None"
+        emit(f"{pad}kl{index} = {key_tuple(plan.extract)}")
+        if index in fused_plans:
+            # Born finalised: weight 1, fit, linked at the list tail
+            # (the parent's sums and list length fold in per run).
+            emit(f"{pad}il{index} = _new(_Item)")
+            emit(f"{pad}il{index}.node = _NL{index}")
+            emit(f"{pad}il{index}.key = kl{index}")
+            emit(f"{pad}il{index}.parent_item = {parent_var}")
+            emit(f"{pad}il{index}.c_atom = {{{ai}: 1}}")
+            emit(f"{pad}il{index}.weight = 1")
+            emit(f"{pad}il{index}.tweight = {1 if leaf.is_free else 0}")
+            emit(f"{pad}il{index}.child_sum = None")
+            emit(f"{pad}il{index}.tchild_sum = None")
+            emit(f"{pad}il{index}.lists = None")
+            emit(f"{pad}il{index}.nzp = 1")
+            emit(f"{pad}il{index}.zf = 0")
+            if leaf.is_free:
+                emit(f"{pad}il{index}.tnzp = 1")
+                emit(f"{pad}il{index}.tzf = 0")
+            emit(f"{pad}il{index}.in_list = True")
+            emit(f"{pad}il{index}.prev = tl{index}")
+            emit(f"{pad}il{index}.next = None")
+            emit(f"{pad}if tl{index} is None:")
+            emit(f"{pad}    fl{index}.head = il{index}")
+            emit(f"{pad}else:")
+            emit(f"{pad}    tl{index}.next = il{index}")
+            emit(f"{pad}tl{index} = il{index}")
+            emit(f"{pad}_L{index}[kl{index}] = il{index}")
+        elif leaf.exclusive:
+            _emit_item_fields(
+                emit, pad, f"il{index}", f"_NL{index}", f"kl{index}",
+                f"_L{index}", parent_var, leaf, f"{{{ai}: 1}}", deferred=True,
+            )
+        else:
+            emit(f"{pad}il{index} = _L{index}.get(kl{index})")
+            emit(f"{pad}if il{index} is None:")
+            _emit_item_fields(
+                emit, pad + "    ", f"il{index}", f"_NL{index}", f"kl{index}",
+                f"_L{index}", parent_var, leaf, deferred=True,
+            )
+            emit(f"{pad}c_ = il{index}.c_atom")
+            emit(f"{pad}c_[{ai}] = c_.get({ai}, 0) + 1")
+
+    def emit_trie(pad: str, trie: _TrieLevel) -> None:
+        ident = trie.ident
+        parent_var = (
+            f"i{trie.parent.ident}" if trie.parent is not None else "None"
+        )
+        emit(f"{pad}if r{trie.pos} != p{ident}:")
+        inner = pad + "    "
+        emit_flush(inner, trie)
+        for below in descendants(trie):
+            emit_flush(inner, below)
+            emit(f"{inner}p{below.ident} = _miss")
+        emit(f"{inner}p{ident} = r{trie.pos}")
+        emit(f"{inner}k{ident} = {key_tuple(trie.key_positions)}")
+        emit(f"{inner}i{ident} = _S{ident}.get(k{ident})")
+        emit(f"{inner}if i{ident} is None:")
+        _emit_item_fields(
+            emit, inner + "    ", f"i{ident}", f"_N{ident}", f"k{ident}",
+            f"_S{ident}", parent_var, trie.level, deferred=True,
+        )
+        for index in trie.fused:
+            emit(f"{inner}lists_ = i{ident}.lists")
+            emit(f"{inner}fl{index} = lists_.get(_NL{index})")
+            emit(f"{inner}if fl{index} is None:")
+            emit(f"{inner}    fl{index} = _FitList()")
+            emit(f"{inner}    lists_[_NL{index}] = fl{index}")
+            emit(f"{inner}tl{index} = fl{index}.tail")
+        emit(f"{pad}n{ident} += 1")
+        for index in trie.terminals:
+            emit_terminal(pad, index, trie)
+        for child in trie.childmap.values():
+            emit_trie(pad, child)
+
+    for eq, (roots, root_terminals) in groups.items():
+        if eq:
+            guard = " and ".join(f"r{s} == r{t}" for s, t in eq)
+            emit(f"        if {guard}:")
+            pad = "            "
+        else:
+            pad = "        "
+        body_start = len(lines)
+        for trie in roots.values():
+            emit_trie(pad, trie)
+        for index in root_terminals:
+            emit_terminal(pad, index, None)
+        if eq and len(lines) == body_start:
+            emit(f"{pad}pass")  # unreachable, defensive
+
+    # Flush the pending counter runs after the stream ends.
+    for trie in trie_nodes:
+        emit_flush("    ", trie)
+
+    source = "\n".join(lines)
+    namespace: Dict[str, object] = {
+        "_Item": Item,
+        "_new": Item.__new__,
+        "_miss": _MISS,
+        "_FitList": FitList,
+    }
+    for trie in trie_nodes:
+        namespace[f"_S{trie.ident}"] = trie.level.store
+        namespace[f"_N{trie.ident}"] = trie.level.node
+    for index, plan in enumerate(plans):
+        leaf = plan.levels[-1]
+        namespace[f"_L{index}"] = leaf.store
+        namespace[f"_NL{index}"] = leaf.node
+        plan.loader_source = source
+    exec(
+        compile(source, f"<merged loader {relation}>", "exec"),
         namespace,
     )
     return namespace["_loader"]

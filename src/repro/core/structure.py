@@ -55,6 +55,7 @@ from repro.core.plans import (
     compile_finalizer,
     compile_loader,
     compile_plans,
+    compile_relation_loader,
     compile_runner,
     loader_fuses_leaf,
     plan_summary,
@@ -75,6 +76,7 @@ class ComponentStructure:
         component: ConjunctiveQuery,
         qtree: Optional[QTree] = None,
         compiled: bool = True,
+        merged_loaders: bool = True,
     ):
         if not component.is_connected:
             raise QueryStructureError(
@@ -85,6 +87,7 @@ class ComponentStructure:
         self.free = component.free_set
         self._has_free = bool(component.free)
         self._compiled = compiled
+        self._merged_loaders = merged_loaders
 
         tree = self.qtree
         self._children: Dict[str, List[str]] = tree.children
@@ -188,6 +191,104 @@ class ComponentStructure:
             runner(is_insert, row)
 
     # ------------------------------------------------------------------
+    # updates with result-delta capture (serving layer)
+    # ------------------------------------------------------------------
+
+    def apply_with_delta(
+        self, is_insert: bool, relation: str, row: Row
+    ) -> Tuple[Tuple[Row, ...], Tuple[Row, ...]]:
+        """Apply one effective update and report the component's delta.
+
+        Returns ``(added, removed)``: the component result tuples that
+        entered / left because of this command.  The derivation uses
+        the Theorem 3.2 structure of the update: all fitness changes
+        happen on the root paths of the atoms matching the tuple, so
+        scanning the O(poly(ϕ)) free chain items before and after the
+        update identifies the *flipped* items, and every changed result
+        tuple extends the shallowest flipped item of its chain (free
+        nodes have only free ancestors, so the chain keys are output
+        values).  Enumerating under those anchors with
+        :meth:`enumerate_bound` costs O(poly(ϕ)) per delta tuple.
+
+        A single-tuple insert only ever adds result tuples and a delete
+        only removes them (counters move monotonically), so exactly one
+        side is non-empty.  Deletions enumerate the vanished tuples in
+        the *pre-update* state by undoing the update (its exact
+        inverse), reading, and redoing — three O(poly(ϕ)) passes plus
+        O(δ) enumeration.
+        """
+        row = tuple(row)
+        if not self._has_free:
+            before = self.c_start > 0
+            self.apply(is_insert, relation, row)
+            after = self.c_start > 0
+            if after and not before:
+                return ((),), ()
+            if before and not after:
+                return (), ((),)
+            return (), ()
+
+        # The free chain of every atom plan matching the tuple: free
+        # nodes form a prefix of each root path (Definition 4.1(2)).
+        chains: List[List[Tuple[str, Row]]] = []
+        for plan in self.plans:
+            if plan.relation != relation or not plan.matches(row):
+                continue
+            values = plan.values_of(row)
+            prefix: List[Tuple[str, Row]] = []
+            for j, node in enumerate(plan.path):
+                if node not in self.free:
+                    break
+                prefix.append((node, values[: j + 1]))
+            chains.append(prefix)
+        if not chains:
+            return (), ()
+
+        before_flags = [
+            [self._fit(node, key) for node, key in chain] for chain in chains
+        ]
+        self.apply(is_insert, relation, row)
+
+        anchors: List[Tuple[str, Row]] = []
+        anchor_seen = set()
+        for chain, flags in zip(chains, before_flags):
+            for (node, key), was_fit in zip(chain, flags):
+                if self._fit(node, key) != was_fit:
+                    if (node, key) not in anchor_seen:
+                        anchor_seen.add((node, key))
+                        anchors.append((node, key))
+                    break  # deeper flips are covered by this anchor
+        if not anchors:
+            return (), ()
+        if is_insert:
+            return self._collect_under(anchors), ()
+        self.apply(True, relation, row)  # undo: restore the old state
+        removed = self._collect_under(anchors)
+        self.apply(False, relation, row)  # redo
+        return (), removed
+
+    def _fit(self, node: str, key: Row) -> bool:
+        item = self._items[node].get(key)
+        return item is not None and item.in_list
+
+    def _collect_under(
+        self, anchors: Sequence[Tuple[str, Row]]
+    ) -> Tuple[Row, ...]:
+        """Result tuples extending the anchor items (deduplicated)."""
+        path_of = self.qtree.path
+        if len(anchors) == 1:
+            node, key = anchors[0]
+            return tuple(self.enumerate_bound(dict(zip(path_of[node], key))))
+        seen = set()
+        out: List[Row] = []
+        for node, key in anchors:
+            for result in self.enumerate_bound(dict(zip(path_of[node], key))):
+                if result not in seen:
+                    seen.add(result)
+                    out.append(result)
+        return tuple(out)
+
+    # ------------------------------------------------------------------
     # bulk preprocessing
     # ------------------------------------------------------------------
 
@@ -220,15 +321,28 @@ class ComponentStructure:
         ):
             return  # nothing to load — skip all codegen and sweeps
 
-        # Pass 1: item tries + per-atom counters, one generated loader
-        # call per (atom, relation) pair.  The loaders' prefix caches
-        # exploit runs of tuples sharing upper-level path values; rows
-        # are fed in whatever order the store holds them (sorting by
-        # path prefix costs more than the extra cache hits save).
-        for plan in self.plans:
-            rows = rows_by_relation.get(plan.relation)
-            if rows:
-                compile_loader(plan)(rows)
+        # Pass 1: item tries + per-atom counters.  By default all atom
+        # plans of one relation are merged into a single generated
+        # loader (one pass over the rows, shared path prefixes located
+        # once per relation instead of once per atom — the self-join
+        # win); ``merged_loaders=False`` keeps the one-loader-per-atom
+        # layout as the differential baseline.  The loaders' prefix
+        # caches exploit runs of tuples sharing upper-level path
+        # values; rows are fed in whatever order the store holds them
+        # (sorting by path prefix costs more than the cache hits save).
+        if self._merged_loaders:
+            plans_by_relation: Dict[str, List[AtomPlan]] = {}
+            for plan in self.plans:
+                plans_by_relation.setdefault(plan.relation, []).append(plan)
+            for relation, group in plans_by_relation.items():
+                rows = rows_by_relation.get(relation)
+                if rows:
+                    compile_relation_loader(group)(rows)
+        else:
+            for plan in self.plans:
+                rows = rows_by_relation.get(plan.relation)
+                if rows:
+                    compile_loader(plan)(rows)
 
         # Pass 2: counters bottom-up, children strictly before parents,
         # one generated finalizer sweep per q-tree node (factor reads
@@ -460,6 +574,93 @@ class ComponentStructure:
             for item in fit_list:
                 current[node] = item
                 yield from descend(depth + 1)
+
+        yield from descend(0)
+
+    def enumerate_bound(
+        self, binding: Mapping[str, Constant]
+    ) -> Iterator[Row]:
+        """Enumerate the component with some free variables bound.
+
+        ``binding`` maps free variables to constants.  Bound variables
+        whose ancestors are all bound form an *ancestor-closed* set and
+        are **pinned**: their items are looked up directly along the
+        root path (O(1) dict probes, the free-access-pattern primitive
+        behind ``cursor(X=c)``), so the delay stays O(k) per tuple and
+        is independent of how many tuples the unpinned part skips.
+        Bound variables below an unbound ancestor cannot be pinned and
+        degrade to a filter over their fit list — still duplicate-free
+        and correct, but the delay is no longer constant (the planner's
+        binding order tells callers which prefixes pin).
+
+        Tuples are emitted over the component's free-variable order,
+        with the bound values in place.
+        """
+        if not binding:
+            yield from self.enumerate()
+            return
+        unknown = [v for v in binding if v not in self.free]
+        if unknown:
+            raise QueryStructureError(
+                f"cannot bind {sorted(unknown)}: not free variables of "
+                f"component {self.query.name!r}"
+            )
+        order = self._free_order
+        parent_of = self.qtree.parent
+        path_of = self.qtree.path
+
+        pinnable = set()
+        for node in order:
+            up = parent_of[node]
+            if node in binding and (up is None or up in pinnable):
+                pinnable.add(node)
+        pinned: Dict[str, Item] = {}
+        filters: Dict[str, Constant] = {}
+        for node in order:
+            if node in pinnable:
+                item = self._items[node].get(
+                    tuple(binding[v] for v in path_of[node])
+                )
+                if item is None or not item.in_list:
+                    return  # the bound prefix has no fit item
+                pinned[node] = item
+            elif node in binding:
+                filters[node] = binding[node]
+
+        free_tuple = self.query.free
+        current: Dict[str, Item] = dict(pinned)
+        version = self.version
+
+        def descend(depth: int) -> Iterator[Row]:
+            if self.version != version:
+                raise EngineStateError(
+                    "structure was updated during enumeration; restart "
+                    "enumerate_bound() to observe the new result"
+                )
+            if depth == len(order):
+                yield tuple(current[v].constant for v in free_tuple)
+                return
+            node = order[depth]
+            if node in pinned:
+                yield from descend(depth + 1)
+                return
+            up = parent_of[node]
+            fit_list = (
+                self.start if up is None else current[up].lists.get(node)
+            )
+            if fit_list is None:
+                return
+            if node in filters:  # None is a legal constant — probe by key
+                wanted = filters[node]
+                for item in fit_list:
+                    if item.key[-1] != wanted:
+                        continue
+                    current[node] = item
+                    yield from descend(depth + 1)
+            else:
+                for item in fit_list:
+                    current[node] = item
+                    yield from descend(depth + 1)
 
         yield from descend(0)
 

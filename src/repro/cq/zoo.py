@@ -39,7 +39,7 @@ FIGURE_1            ``ϕ(x1, x2, x3) = ∃x4∃x5 (Ex1x2 ∧ Rx4x1x2x1 ∧
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.cq.query import Atom, ConjunctiveQuery
 
@@ -59,6 +59,7 @@ __all__ = [
     "FIGURE_1",
     "PAPER_QUERIES",
     "star_query",
+    "selfjoin_star_query",
     "path_query",
 ]
 
@@ -171,6 +172,23 @@ def star_query(fanout: int, free_center: bool = True, free_leaves: int = 0) -> C
         if i <= free_leaves:
             free.append(f"y{i}")
     return ConjunctiveQuery(atoms, free, name=f"star{fanout}")
+
+
+def selfjoin_star_query(fanout: int, free_leaves: Optional[int] = None) -> ConjunctiveQuery:
+    """A q-hierarchical self-join star over ONE relation:
+    ``E(x, y1) ∧ ... ∧ E(x, yf)``.
+
+    Every atom reads the same relation ``E``, so all update plans and
+    bulk loaders target it — the showcase workload for merged
+    same-relation loaders (all ``f`` path walks share the ``x`` prefix).
+    The centre and the first ``free_leaves`` leaves are free
+    (default: all of them).
+    """
+    if free_leaves is None:
+        free_leaves = fanout
+    atoms = [Atom("E", ["x", f"y{i}"]) for i in range(1, fanout + 1)]
+    free = ["x"] + [f"y{i}" for i in range(1, free_leaves + 1)]
+    return ConjunctiveQuery(atoms, free, name=f"selfstar{fanout}")
 
 
 def path_query(length: int, free_count: int = 0) -> ConjunctiveQuery:

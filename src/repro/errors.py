@@ -15,6 +15,7 @@ __all__ = [
     "NotQHierarchicalError",
     "UpdateError",
     "EngineStateError",
+    "CursorInvalidatedError",
     "ReductionError",
 ]
 
@@ -63,6 +64,22 @@ class UpdateError(ReproError):
 class EngineStateError(ReproError):
     """Raised when an engine routine is called in an invalid state, e.g.
     ``enumerate`` before ``preprocess``."""
+
+
+class CursorInvalidatedError(EngineStateError):
+    """Raised when a serving-layer cursor is fetched after an update
+    invalidated it.
+
+    Carries the precise invalidation report (a
+    :class:`repro.serve.cursors.CursorInvalidation`: the epochs, the
+    first invalidating command and how many tuples had been fetched) so
+    clients can decide whether to reopen, re-bind, or fall back to a
+    snapshot cursor.
+    """
+
+    def __init__(self, message: str, invalidation: object = None):
+        super().__init__(message)
+        self.invalidation = invalidation
 
 
 class ReductionError(ReproError):

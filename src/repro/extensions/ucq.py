@@ -258,6 +258,26 @@ class UnionEngine(DynamicEngine):
             for relation in engine.query.relations:
                 self._by_relation.setdefault(relation, []).append(engine)
 
+    def _preload(self, database: Database) -> None:
+        """Preprocessing: bulk-load every sub-engine.
+
+        The replay default would push ``||D0||`` single-tuple inserts
+        through the full O(2^q) fan-out.  Instead the rows are
+        deduplicated once into the union's own store and every
+        per-disjunct / per-intersection engine ingests the restriction
+        to its schema through its own bulk path
+        (:meth:`QHierarchicalEngine._preload` → ``bulk_load``).
+        """
+        loaded = self._db.mirror_from(database)
+        for engine in list(self._engines) + list(self._intersections.values()):
+            schema = engine.database.schema
+            restricted = Database(schema)
+            for name in schema.relations():
+                rows = loaded.get(name)
+                if rows:
+                    restricted.bulk_insert(name, rows, checked=True)
+            engine._preload(restricted)
+
     # ------------------------------------------------------------------
     # updates — O(2^q · poly(Φ)), constant in the data
     # ------------------------------------------------------------------
@@ -269,6 +289,70 @@ class UnionEngine(DynamicEngine):
     def _on_delete(self, relation: str, row: Row) -> None:
         for engine in self._by_relation.get(relation, ()):
             engine.delete(relation, row)
+
+    def apply_with_delta(self, command) -> Tuple[Tuple[Row, ...], Tuple[Row, ...]]:
+        """Apply and report the union-level result delta.
+
+        Each touched disjunct engine reports its own O(δ) delta; a
+        candidate enters the union iff no disjunct contained it before
+        (reconstructed from the current ``contains`` and the disjunct's
+        own delta) and leaves iff no disjunct contains it now.
+        Intersection engines are updated as usual but contribute no
+        delta — they only serve counting.
+        """
+        relation = command.relation
+        row = tuple(command.row)
+        if command.is_insert:
+            if not self._db.insert(relation, row):
+                return (), ()
+        else:
+            if not self._db.delete(relation, row):
+                return (), ()
+        self._epoch += 1
+        disjunct_ids = {id(engine) for engine in self._engines}
+        added_by: Dict[int, Tuple[Row, ...]] = {}
+        removed_by: Dict[int, Tuple[Row, ...]] = {}
+        for engine in self._by_relation.get(relation, ()):
+            if id(engine) in disjunct_ids:
+                index = self._engines.index(engine)
+                added_by[index], removed_by[index] = engine.apply_with_delta(
+                    command
+                )
+            else:
+                engine.apply(command)
+
+        added_sets = {i: set(rows) for i, rows in added_by.items()}
+        removed_sets = {i: set(rows) for i, rows in removed_by.items()}
+
+        def in_union_before(candidate: Row) -> bool:
+            for i, engine in enumerate(self._engines):
+                if candidate in removed_sets.get(i, ()):
+                    return True
+                if candidate not in added_sets.get(i, ()) and engine.contains(
+                    candidate
+                ):
+                    return True
+            return False
+
+        added: List[Row] = []
+        seen = set()
+        for rows in added_by.values():
+            for candidate in rows:
+                if candidate in seen:
+                    continue
+                seen.add(candidate)
+                if not in_union_before(candidate):
+                    added.append(candidate)
+        removed: List[Row] = []
+        seen = set()
+        for rows in removed_by.values():
+            for candidate in rows:
+                if candidate in seen:
+                    continue
+                seen.add(candidate)
+                if not self.contains(candidate):
+                    removed.append(candidate)
+        return tuple(added), tuple(removed)
 
     # ------------------------------------------------------------------
     # queries
@@ -320,6 +404,51 @@ class UnionEngine(DynamicEngine):
             return _union_stream(
                 merged(prefix_end - 1),
                 self._engines[prefix_end - 1].enumerate(),
+                lambda row: member_of_prefix(row, prefix_end - 1),
+            )
+
+        return merged(len(self._engines))
+
+    def enumerate_bound(self, binding) -> Iterator[Row]:
+        """Duplicate-free bound enumeration over the union.
+
+        ``binding`` uses the union's output names (the first disjunct's
+        free tuple); it is translated positionally onto each disjunct
+        and the Durand–Strozecki fold runs over the per-disjunct bound
+        streams, deduplicating with full-tuple ``contains`` probes as
+        in :meth:`enumerate`.
+        """
+        binding = dict(binding)
+        if not binding:
+            return self.enumerate()
+        names = self._query.free
+        position = {v: i for i, v in enumerate(names)}
+        unknown = [v for v in binding if v not in position]
+        if unknown:
+            raise QueryStructureError(
+                f"cannot bind {sorted(unknown)}: not output variables of "
+                f"union {self._query.name!r} (free: {names})"
+            )
+        translated = []
+        for engine in self._engines:
+            free = engine.query.free
+            translated.append(
+                {free[position[v]]: value for v, value in binding.items()}
+            )
+
+        def member_of_prefix(row: Row, prefix_end: int) -> bool:
+            return any(
+                self._engines[i].contains(row) for i in range(prefix_end)
+            )
+
+        def merged(prefix_end: int) -> Iterator[Row]:
+            if prefix_end == 0:
+                return iter(())
+            return _union_stream(
+                merged(prefix_end - 1),
+                self._engines[prefix_end - 1].enumerate_bound(
+                    translated[prefix_end - 1]
+                ),
                 lambda row: member_of_prefix(row, prefix_end - 1),
             )
 

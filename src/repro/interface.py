@@ -26,7 +26,7 @@ name ``"auto"``, which delegates selection to the dichotomy-driven
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, Iterator, Optional, Sequence, Set, Type
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Set, Tuple, Type
 
 from repro.cq.query import ConjunctiveQuery
 from repro.errors import EngineStateError
@@ -49,6 +49,7 @@ class DynamicEngine(ABC):
     def __init__(self, query: ConjunctiveQuery, database: Optional[Database] = None):
         self._query = query
         self._db = Database.empty_like(query)
+        self._epoch = 0
         self._setup()
         if database is not None:
             self._preload(database)
@@ -86,6 +87,7 @@ class DynamicEngine(ABC):
         row = tuple(row)
         if not self._db.insert(relation, row):
             return False
+        self._epoch += 1
         self._on_insert(relation, row)
         return True
 
@@ -94,6 +96,7 @@ class DynamicEngine(ABC):
         row = tuple(row)
         if not self._db.delete(relation, row):
             return False
+        self._epoch += 1
         self._on_delete(relation, row)
         return True
 
@@ -116,6 +119,31 @@ class DynamicEngine(ABC):
             if apply(command):
                 changed += 1
         return changed
+
+    def apply_with_delta(
+        self, command: UpdateCommand
+    ) -> Tuple[Tuple[Row, ...], Tuple[Row, ...]]:
+        """Apply one command and report the result-tuple delta.
+
+        Returns ``(added, removed)``: the output tuples that entered and
+        left ``ϕ(D)`` because of this command (both empty when the
+        command was a set-semantics no-op).  This is the primitive the
+        serving layer's delta subscriptions are built on
+        (:mod:`repro.serve.subscriptions`).
+
+        The default implementation diffs :meth:`result_set` before and
+        after — O(|result|) per update, correct for every engine.
+        Engines with structural update knowledge override it:
+        :class:`~repro.core.engine.QHierarchicalEngine` derives the
+        delta in O(poly(ϕ) + δ) from the touched root paths, the union
+        engine combines per-disjunct deltas, and the delta-IVM baseline
+        reads it off the sign flips of its maintained counts.
+        """
+        before = self.result_set()
+        if not self.apply(command):
+            return (), ()
+        after = self.result_set()
+        return tuple(after - before), tuple(before - after)
 
     # -- query API ------------------------------------------------------------
 
@@ -152,6 +180,17 @@ class DynamicEngine(ABC):
         return {}
 
     # -- shared accessors -------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Generation stamp: bumped once per *effective* update.
+
+        Readers (cursors, the serving dispatcher) compare epochs to
+        decide whether enumeration state opened earlier is still valid;
+        two equal epochs guarantee the engine's result is unchanged and
+        its internal enumeration structures untouched.
+        """
+        return self._epoch
 
     @property
     def query(self) -> ConjunctiveQuery:

@@ -29,12 +29,12 @@ is precisely the ``n^{1-ε}`` barrier of Theorems 3.3–3.5.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cq.query import Atom
-from repro.eval_static.naive import evaluate_sources
+from repro.eval_static.naive import evaluate_sources, valuation_counts
 from repro.interface import DynamicEngine, register_engine
-from repro.storage.database import Row
+from repro.storage.database import Database, Row
 from repro.storage.indexes import HashIndex
 
 __all__ = ["DeltaIVMEngine"]
@@ -59,6 +59,13 @@ class _IndexedRelation:
         self._rows.add(row)
         for index in self._indexes.values():
             index.add(row)
+
+    def bulk_add(self, rows: Iterable[Row]) -> None:
+        """Fold many rows in with one set union (preprocessing path)."""
+        self._rows |= set(rows)
+        for index in self._indexes.values():
+            for row in rows:
+                index.add(row)
 
     def discard(self, row: Row) -> None:
         self._rows.discard(row)
@@ -150,6 +157,10 @@ class DeltaIVMEngine(DynamicEngine):
             self._atoms_by_relation.setdefault(atom.relation, []).append(index)
         self._counts: Counter = Counter()
         self._distinct = 0  # number of keys with positive count
+        # When set (by apply_with_delta), _bump records the keys whose
+        # positive/zero sign flipped into ``(entered, left)`` — the
+        # before/after result diff of exactly the touched delta keys.
+        self._capture: Optional[Tuple[List[Row], List[Row]]] = None
 
         # Compiled telescoping plans, shared across every update on the
         # same relation: one *arm* per atom occurrence of the relation,
@@ -230,8 +241,45 @@ class DeltaIVMEngine(DynamicEngine):
             del self._counts[key]
         if before <= 0 < after:
             self._distinct += 1
+            if self._capture is not None:
+                self._capture[0].append(key)
         elif after <= 0 < before:
             self._distinct -= 1
+            if self._capture is not None:
+                self._capture[1].append(key)
+
+    def apply_with_delta(self, command) -> Tuple[Tuple[Row, ...], Tuple[Row, ...]]:
+        """Apply and report the result delta from the touched keys.
+
+        The telescoping delta evaluation already visits exactly the
+        output keys whose valuation counts change; a key enters the
+        result when its count crosses zero upward and leaves when it
+        crosses downward, so the capture costs nothing beyond the
+        update itself (all bumps of one command share a sign, so each
+        key flips at most once).
+        """
+        self._capture = ([], [])
+        try:
+            changed = self.apply(command)
+        finally:
+            entered, left = self._capture
+            self._capture = None
+        if not changed:
+            return (), ()
+        return tuple(entered), tuple(left)
+
+    def _preload(self, database: "Database") -> None:
+        """Preprocessing: bulk-mirror the rows, evaluate the view once.
+
+        Replaying ``||D0||`` insertions costs one telescoping delta
+        evaluation *per tuple*; the initial materialisation is just the
+        valuation counts of the full query, computable with a single
+        backtracking evaluation over the loaded database.
+        """
+        for name, fresh in self._db.mirror_from(database).items():
+            self._relations[name].bulk_add(fresh)
+        self._counts = valuation_counts(self._query, self._db)
+        self._distinct = len(self._counts)
 
     # ------------------------------------------------------------------
     # queries — O(1) count/answer, O(|result|) enumeration

@@ -1,0 +1,45 @@
+"""The live serving layer: cursors, delta subscriptions, dispatcher.
+
+Built on the Theorem 3.2 guarantees the rest of the library maintains —
+O(1) counting, constant-delay enumeration and constant-time updates —
+this package turns a :class:`~repro.api.session.Session` into something
+clients can hold open connections against:
+
+* :mod:`repro.serve.cursors` — resumable, parameter-bindable
+  enumeration handles with epoch-based invalidation and an optional
+  snapshot mode;
+* :mod:`repro.serve.subscriptions` — per-update O(δ) result deltas
+  fanned out to callbacks and pollable outboxes;
+* :mod:`repro.serve.server` — a thread-safe reader–writer dispatcher
+  with an id-based request loop for multi-client traffic.
+
+Quickstart::
+
+    from repro import Server
+
+    server = Server()
+    server.view("feed", "Feed(u, p) :- Follows(u, f), Posted(f, p)")
+    sub = server.subscribe("feed")
+    cursor = server.open_cursor("feed", binding={"u": "ada"})
+
+    server.insert("Follows", ("ada", "bob"))
+    server.insert("Posted", ("bob", "p1"))
+
+    print(server.poll(sub))          # the deltas, O(δ) each
+    print(server.fetch(cursor, 10))  # raises CursorInvalidatedError:
+                                     # the view changed under the cursor
+"""
+
+from repro.serve.cursors import Cursor, CursorInvalidation, bound_stream
+from repro.serve.server import RWLock, Server
+from repro.serve.subscriptions import Delta, Subscription
+
+__all__ = [
+    "Cursor",
+    "CursorInvalidation",
+    "bound_stream",
+    "Delta",
+    "RWLock",
+    "Server",
+    "Subscription",
+]

@@ -1,0 +1,291 @@
+"""Resumable cursors: stateful constant-delay enumeration handles.
+
+A :class:`Cursor` pages through a live view's result with
+:meth:`~Cursor.fetch`, holding its position between calls — resuming a
+page costs O(1) per tuple (the underlying Algorithm 1 walk is simply
+suspended, never restarted), which is what makes the paper's
+constant-delay guarantee usable by clients that consume results
+incrementally instead of rematerialising.
+
+Interleaved updates are handled with the engine's epoch stamp
+(:attr:`repro.interface.DynamicEngine.epoch`, bumped once per effective
+update):
+
+* updates to relations the view does not mention leave the epoch — and
+  the suspended walk — untouched, so the cursor **resumes safely**;
+* an update that touches the view invalidates a plain cursor *eagerly*
+  and precisely: the next fetch raises
+  :class:`~repro.errors.CursorInvalidatedError` carrying a
+  :class:`CursorInvalidation` report (opened/invalidated epochs, the
+  first invalidating command, tuples fetched so far);
+* a **snapshot** cursor (``snapshot=True``) instead pins the pre-update
+  result: the first invalidating update drains the cursor's remaining
+  tuples into a buffer *before* the engine mutates — O(remaining) paid
+  once, only when writer traffic actually interleaves.
+
+Parameter binding (``view.cursor(X=c)``) restricts enumeration to the
+given output values.  Bindings forming a prefix of the q-tree order
+(ancestor-closed sets) are pinned with O(1) item probes by
+:meth:`QHierarchicalEngine.enumerate_bound`, keeping the delay
+constant; other engines — and non-prefix bindings — fall back to a
+filtered scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import islice
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import CursorInvalidatedError, EngineStateError, QueryStructureError
+from repro.storage.database import Constant, Row
+from repro.storage.updates import UpdateCommand
+
+__all__ = ["Cursor", "CursorInvalidation", "bound_stream"]
+
+
+def bound_stream(engine, binding: Optional[Dict[str, Constant]]) -> Iterator[Row]:
+    """The engine's result stream under an output-variable binding.
+
+    Uses the engine's ``enumerate_bound`` fast path when it has one
+    (q-hierarchical and union engines pin q-tree prefixes in O(1) per
+    probe); otherwise filters the plain enumeration — correct for any
+    engine, with delay proportional to the tuples skipped.
+    """
+    if not binding:
+        return engine.enumerate()
+    fast = getattr(engine, "enumerate_bound", None)
+    if fast is not None:
+        return fast(binding)
+    free = tuple(engine.query.free)
+    unknown = [v for v in binding if v not in free]
+    if unknown:
+        raise QueryStructureError(
+            f"cannot bind {sorted(unknown)}: not output variables "
+            f"(free: {free})"
+        )
+    checks = tuple((free.index(v), value) for v, value in binding.items())
+    return (
+        row
+        for row in engine.enumerate()
+        if all(row[i] == value for i, value in checks)
+    )
+
+
+@dataclass(frozen=True)
+class CursorInvalidation:
+    """Why a cursor stopped being resumable — the precise report.
+
+    ``command`` is the first update that touched the view after the
+    cursor opened (None only when the engine was mutated directly,
+    bypassing the session)."""
+
+    view: str
+    opened_epoch: int
+    invalidated_epoch: int
+    command: Optional[UpdateCommand]
+    fetched: int
+
+    def describe(self) -> str:
+        cause = (
+            f"'{self.command}'"
+            if self.command is not None
+            else "an unmanaged engine mutation"
+        )
+        return (
+            f"cursor on view {self.view!r} opened at epoch "
+            f"{self.opened_epoch} was invalidated at epoch "
+            f"{self.invalidated_epoch} by {cause} after "
+            f"{self.fetched} fetched tuple(s); reopen to observe the "
+            "new result, or use snapshot=True to pin pre-update results"
+        )
+
+
+class Cursor:
+    """A resumable enumeration handle over a registered view.
+
+    Obtained via :meth:`repro.api.session.View.cursor`; not constructed
+    directly by clients.  ``fetch(n)`` returns the next ``n`` tuples
+    (fewer at the end of the result; ``[]`` once exhausted), in the
+    engine's enumeration order, without ever restarting the walk.
+    """
+
+    def __init__(
+        self,
+        view,
+        binding: Optional[Dict[str, Constant]] = None,
+        snapshot: bool = False,
+    ):
+        self._view = view
+        self.binding: Dict[str, Constant] = dict(binding or {})
+        self.snapshot = snapshot
+        self.opened_epoch: int = view.epoch
+        # bound_stream (and every engine's enumerate_bound behind it)
+        # validates the binding names eagerly, so a bad cursor open
+        # raises QueryStructureError here, before registration.
+        self._stream: Optional[Iterator[Row]] = bound_stream(
+            view.engine, self.binding
+        )
+        self._buffer: Optional[List[Row]] = None  # snapshot drain target
+        self._buffer_pos = 0
+        self._fetched = 0
+        self._exhausted = False
+        self._closed = False
+        self._invalidation: Optional[CursorInvalidation] = None
+        view._register_cursor(self)
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def view(self):
+        return self._view
+
+    @property
+    def fetched(self) -> int:
+        """Number of tuples handed out so far."""
+        return self._fetched
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    @property
+    def valid(self) -> bool:
+        return self._invalidation is None and not self._closed
+
+    @property
+    def invalidation(self) -> Optional[CursorInvalidation]:
+        """The precise invalidation report, or None while resumable."""
+        return self._invalidation
+
+    # -- fetching -------------------------------------------------------------
+
+    def fetch(self, n: int) -> List[Row]:
+        """The next ``n`` result tuples; ``[]`` when exhausted.
+
+        Raises :class:`CursorInvalidatedError` (with the precise
+        report) if an update touched the view since the cursor opened
+        and the cursor is not in snapshot mode.
+        """
+        if n < 0:
+            raise EngineStateError(f"fetch size must be >= 0, got {n}")
+        self._check_valid()
+        if self._exhausted or n == 0:
+            return []
+        if self._buffer is not None:
+            page = self._buffer[self._buffer_pos : self._buffer_pos + n]
+            self._buffer_pos += len(page)
+            if self._buffer_pos >= len(self._buffer):
+                self._finish()
+        else:
+            try:
+                page = list(islice(self._stream, n))
+            except EngineStateError as error:
+                # Defensive: direct engine mutation bypassing the
+                # session cannot be epoch-tracked, but the structure's
+                # own version guard still fails loudly.
+                self._invalidate_unmanaged()
+                raise CursorInvalidatedError(
+                    self._invalidation.describe()
+                    if self._invalidation
+                    else str(error),
+                    self._invalidation,
+                ) from error
+            if len(page) < n:
+                self._finish()
+        self._fetched += len(page)
+        return page
+
+    def fetch_all(self) -> List[Row]:
+        """Drain the remaining tuples in one call."""
+        out: List[Row] = []
+        while True:
+            page = self.fetch(1024)
+            if not page:
+                return out
+            out.extend(page)
+
+    def __iter__(self) -> Iterator[Row]:
+        while True:
+            page = self.fetch(256)
+            if not page:
+                return
+            yield from page
+
+    def close(self) -> None:
+        """Release the cursor (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._stream = None
+            self._buffer = None
+            self._view._drop_cursor(self)
+
+    def _finish(self) -> None:
+        self._exhausted = True
+        self._stream = None
+        self._buffer = None
+        self._view._drop_cursor(self)
+
+    def _check_valid(self) -> None:
+        if self._closed:
+            raise EngineStateError("cursor is closed")
+        if self._invalidation is not None:
+            raise CursorInvalidatedError(
+                self._invalidation.describe(), self._invalidation
+            )
+
+    # -- update notifications (called by the owning view) ---------------------
+
+    def _before_view_update(self, command: UpdateCommand) -> None:
+        """Pre-mutation hook: snapshot cursors pin their remainder now."""
+        if self._exhausted or self._closed or self._invalidation is not None:
+            return
+        if self.snapshot and self._buffer is None:
+            self._buffer = list(self._stream)
+            self._buffer_pos = 0
+            self._stream = None
+
+    def _after_view_update(self, command: UpdateCommand) -> None:
+        """Post-mutation hook: plain cursors record the invalidation."""
+        if self._exhausted or self._closed or self._invalidation is not None:
+            return
+        if self.snapshot:
+            return  # pinned: keeps serving the pre-update result
+        self._invalidation = CursorInvalidation(
+            view=self._view.name,
+            opened_epoch=self.opened_epoch,
+            invalidated_epoch=self._view.epoch,
+            command=command,
+            fetched=self._fetched,
+        )
+        self._stream = None
+        self._view._drop_cursor(self)
+
+    def _invalidate_unmanaged(self) -> None:
+        if self._invalidation is None:
+            self._invalidation = CursorInvalidation(
+                view=self._view.name,
+                opened_epoch=self.opened_epoch,
+                invalidated_epoch=self._view.epoch,
+                command=None,
+                fetched=self._fetched,
+            )
+            self._stream = None
+            self._view._drop_cursor(self)
+
+    def __repr__(self) -> str:
+        state = (
+            "closed"
+            if self._closed
+            else "invalid"
+            if self._invalidation is not None
+            else "exhausted"
+            if self._exhausted
+            else "open"
+        )
+        bind = f", bind={self.binding}" if self.binding else ""
+        snap = ", snapshot" if self.snapshot else ""
+        return (
+            f"Cursor({self._view.name!r}, {state}, epoch="
+            f"{self.opened_epoch}, fetched={self._fetched}{bind}{snap})"
+        )

@@ -1,0 +1,463 @@
+"""A thread-safe multi-client dispatcher over a :class:`Session`.
+
+:class:`Server` is the serving front door for concurrent readers and
+writers: a reader–writer protocol (many concurrent reads — counts,
+cursor fetches, polls — or one exclusive write) wraps the session, and
+a small id-based request surface (``open_cursor`` / ``fetch`` /
+``subscribe`` / ``poll`` / ``update`` / ``batch``) makes the whole
+thing drivable from worker threads or a serialized request loop
+(:meth:`Server.handle`).
+
+Why this shape matches the paper: updates are O(poly(ϕ)) and queries
+O(1)-per-probe/O(1)-delay, so the write lock is held for constant time
+per command and readers page results between writes without ever
+rematerialising.  Per-view epoch bookkeeping (the engines' generation
+stamps surfaced by :meth:`Server.epochs`) is what lets a cursor fetched
+across that interleaving either resume safely or report precisely why
+it cannot (:mod:`repro.serve.cursors`).
+
+The request loop speaks plain dicts so a transport (socket, HTTP,
+queue) can be bolted on without touching the core::
+
+    reply = server.handle({"op": "open_cursor", "view": "feed"})
+    rows  = server.handle({"op": "fetch", "cursor": reply["cursor"], "n": 64})
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.api.session import Session, View
+from repro.errors import (
+    CursorInvalidatedError,
+    EngineStateError,
+    ReproError,
+)
+from repro.serve.cursors import Cursor
+from repro.serve.subscriptions import Delta, Subscription
+from repro.storage.database import Constant, Row
+from repro.storage.updates import (
+    UpdateCommand,
+    delete as delete_command,
+    insert as insert_command,
+)
+
+__all__ = ["Server", "RWLock"]
+
+
+class RWLock:
+    """A reader–writer lock with writer preference, writer-reentrant.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone.  Waiting writers block *new* readers, so a steady read load
+    cannot starve updates — the property the serving benchmark's
+    mixed-client workload leans on.
+
+    The thread holding the write side may re-acquire both sides freely:
+    subscription callbacks run inside the write path
+    (:meth:`Server.apply` → delta dispatch), and a callback that reads
+    the server back (``server.count(...)``) must not deadlock on the
+    lock its own writer is holding.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_thread: Optional[int] = None
+        self._writer_depth = 0
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer_thread == me:
+                reentrant = True  # the writer reads its own state freely
+            else:
+                reentrant = False
+                while self._writer_thread is not None or self._writers_waiting:
+                    self._cond.wait()
+                self._readers += 1
+        try:
+            yield
+        finally:
+            if not reentrant:
+                with self._cond:
+                    self._readers -= 1
+                    if self._readers == 0:
+                        self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer_thread == me:
+                self._writer_depth += 1
+            else:
+                self._writers_waiting += 1
+                try:
+                    while self._writer_thread is not None or self._readers:
+                        self._cond.wait()
+                    self._writer_thread = me
+                    self._writer_depth = 1
+                finally:
+                    self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_depth -= 1
+                if self._writer_depth == 0:
+                    self._writer_thread = None
+                    self._cond.notify_all()
+
+
+class Server:
+    """Multi-client serving dispatcher (thread-safe Session wrapper).
+
+    Reads (``fetch``/``count``/``answer``/``contains``/``poll``) run
+    under the shared side of a :class:`RWLock`; writes (``view``
+    registration, ``insert``/``delete``/``apply``/``batch``) take the
+    exclusive side, so every engine sees the paper's sequential
+    update model while clients overlap freely.
+    """
+
+    def __init__(self, session: Optional[Session] = None):
+        self._session = session or Session()
+        self._lock = RWLock()
+        self._cursors: Dict[int, Cursor] = {}
+        self._cursor_locks: Dict[int, threading.Lock] = {}
+        self._subscriptions: Dict[int, Subscription] = {}
+        self._next_id = 1
+        self._id_lock = threading.Lock()
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def session(self) -> Session:
+        """The wrapped session — only touch it single-threaded."""
+        return self._session
+
+    def _new_id(self) -> int:
+        with self._id_lock:
+            handle = self._next_id
+            self._next_id += 1
+            return handle
+
+    # ------------------------------------------------------------------
+    # view registration (exclusive)
+    # ------------------------------------------------------------------
+
+    def view(self, name: str, query: object, engine: str = "auto") -> View:
+        with self._lock.write_locked():
+            return self._session.view(name, query, engine=engine)
+
+    def drop_view(self, name: str) -> None:
+        with self._lock.write_locked():
+            dropped = self._session[name]
+            self._session.drop_view(name)
+            for handle, cursor in list(self._cursors.items()):
+                if cursor.view is dropped:
+                    self._release_cursor(handle)
+            for handle, sub in list(self._subscriptions.items()):
+                if sub.view is dropped:
+                    del self._subscriptions[handle]
+
+    # ------------------------------------------------------------------
+    # cursors
+    # ------------------------------------------------------------------
+
+    def open_cursor(
+        self,
+        view: str,
+        binding: Optional[Dict[str, Constant]] = None,
+        snapshot: bool = False,
+    ) -> int:
+        """Open a cursor; returns its handle for :meth:`fetch`.
+
+        Takes the write lock: registering the cursor must not race an
+        in-flight update's cursor notifications.
+        """
+        with self._lock.write_locked():
+            cursor = self._session[view].cursor(
+                binding=binding, snapshot=snapshot
+            )
+            handle = self._new_id()
+            self._cursors[handle] = cursor
+            self._cursor_locks[handle] = threading.Lock()
+            return handle
+
+    def fetch(self, cursor: int, n: int) -> List[Row]:
+        """The cursor's next ``n`` tuples (see :meth:`Cursor.fetch`)."""
+        with self._lock.read_locked():
+            self.reads += 1
+            handle_lock = self._cursor_locks.get(cursor)
+            if handle_lock is None:
+                raise EngineStateError(f"unknown cursor handle {cursor}")
+            with handle_lock:
+                return self._cursors[cursor].fetch(n)
+
+    def cursor_state(self, cursor: int) -> Cursor:
+        """The cursor object behind a handle (introspection)."""
+        with self._lock.read_locked():
+            try:
+                return self._cursors[cursor]
+            except KeyError:
+                raise EngineStateError(
+                    f"unknown cursor handle {cursor}"
+                ) from None
+
+    def close_cursor(self, cursor: int) -> None:
+        with self._lock.write_locked():
+            handle = self._cursors.pop(cursor, None)
+            self._cursor_locks.pop(cursor, None)
+            if handle is not None:
+                handle.close()
+
+    def _release_cursor(self, handle: int) -> None:
+        self._cursors.pop(handle, None)
+        self._cursor_locks.pop(handle, None)
+
+    # ------------------------------------------------------------------
+    # subscriptions
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        view: str,
+        callback: Optional[Callable[[Delta], None]] = None,
+        max_pending: Optional[int] = None,
+    ) -> int:
+        with self._lock.write_locked():
+            subscription = self._session[view].subscribe(
+                callback=callback, max_pending=max_pending
+            )
+            handle = self._new_id()
+            self._subscriptions[handle] = subscription
+            return handle
+
+    def poll(self, subscription: int, max_items: Optional[int] = None) -> List[Delta]:
+        """Drain a subscription's outbox.
+
+        Runs outside the RW lock: the subscription serialises its own
+        outbox against the dispatching writer, so polling never blocks
+        (or is blocked by) other clients."""
+        try:
+            target = self._subscriptions[subscription]
+        except KeyError:
+            raise EngineStateError(
+                f"unknown subscription handle {subscription}"
+            ) from None
+        return target.poll(max_items)
+
+    def unsubscribe(self, subscription: int) -> None:
+        with self._lock.write_locked():
+            target = self._subscriptions.pop(subscription, None)
+            if target is not None:
+                target.close()
+
+    # ------------------------------------------------------------------
+    # updates (exclusive)
+    # ------------------------------------------------------------------
+
+    def insert(self, relation: str, row: Sequence[Constant]) -> bool:
+        return self.apply(insert_command(relation, row))
+
+    def delete(self, relation: str, row: Sequence[Constant]) -> bool:
+        return self.apply(delete_command(relation, row))
+
+    def apply(self, command: UpdateCommand) -> bool:
+        with self._lock.write_locked():
+            self.writes += 1
+            return self._session.apply(command)
+
+    def batch(self, commands: Iterable[UpdateCommand]) -> Dict[str, int]:
+        """Apply a transactional, net-effect-compressed batch."""
+        with self._lock.write_locked():
+            self.writes += 1
+            with self._session.batch() as batch:
+                batch.apply_all(commands)
+            return dict(batch.stats or {})
+
+    # ------------------------------------------------------------------
+    # reads (shared)
+    # ------------------------------------------------------------------
+
+    def count(self, view: str) -> int:
+        with self._lock.read_locked():
+            self.reads += 1
+            return self._session[view].count()
+
+    def answer(self, view: str) -> bool:
+        with self._lock.read_locked():
+            self.reads += 1
+            return self._session[view].answer()
+
+    def contains(self, view: str, row: Sequence[Constant]) -> bool:
+        with self._lock.read_locked():
+            self.reads += 1
+            return self._session[view].contains(row)
+
+    def explain(self, view: str) -> str:
+        with self._lock.read_locked():
+            return self._session[view].explain().render()
+
+    def epochs(self) -> Dict[str, int]:
+        """Per-view epoch bookkeeping: view name → generation stamp."""
+        with self._lock.read_locked():
+            return {v.name: v.epoch for v in self._session.views}
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock.read_locked():
+            return {
+                "views": {v.name: v.engine_name for v in self._session.views},
+                "epochs": {v.name: v.epoch for v in self._session.views},
+                "cardinality": self._session.cardinality,
+                "open_cursors": len(self._cursors),
+                "subscriptions": len(self._subscriptions),
+                "reads": self.reads,
+                "writes": self.writes,
+            }
+
+    # ------------------------------------------------------------------
+    # the request loop
+    # ------------------------------------------------------------------
+
+    def handle(self, request: Dict[str, object]) -> Dict[str, object]:
+        """Serve one plain-dict request; never raises for client errors.
+
+        Successful replies carry ``ok: True`` plus op-specific fields;
+        failures carry ``ok: False``, the error class name and message
+        — and for invalidated cursors the precise invalidation report.
+        """
+        try:
+            return self._dispatch(dict(request))
+        except CursorInvalidatedError as error:
+            report = error.invalidation
+            reply: Dict[str, object] = {
+                "ok": False,
+                "error": type(error).__name__,
+                "message": str(error),
+            }
+            if report is not None:
+                reply["invalidation"] = {
+                    "view": report.view,
+                    "opened_epoch": report.opened_epoch,
+                    "invalidated_epoch": report.invalidated_epoch,
+                    "command": str(report.command),
+                    "fetched": report.fetched,
+                }
+            return reply
+        except ReproError as error:
+            return {
+                "ok": False,
+                "error": type(error).__name__,
+                "message": str(error),
+            }
+        except (KeyError, TypeError, ValueError) as error:
+            # Malformed requests (missing fields, wrong shapes) are
+            # client errors too — a transport loop must not die on them.
+            return {
+                "ok": False,
+                "error": type(error).__name__,
+                "message": f"malformed request: {error!r}",
+            }
+
+    def serve(
+        self, requests: Iterable[Dict[str, object]]
+    ) -> Iterator[Dict[str, object]]:
+        """The request loop: one reply per request, in order."""
+        for request in requests:
+            yield self.handle(request)
+
+    def _dispatch(self, request: Dict[str, object]) -> Dict[str, object]:
+        op = request.get("op")
+        if op == "view":
+            registered = self.view(
+                request["name"],
+                request["query"],
+                engine=request.get("engine", "auto"),
+            )
+            return {
+                "ok": True,
+                "view": registered.name,
+                "engine": registered.engine_name,
+            }
+        if op == "open_cursor":
+            handle = self.open_cursor(
+                request["view"],
+                binding=request.get("binding"),
+                snapshot=bool(request.get("snapshot", False)),
+            )
+            return {
+                "ok": True,
+                "cursor": handle,
+                "epoch": self._cursors[handle].opened_epoch,
+            }
+        if op == "fetch":
+            rows = self.fetch(request["cursor"], int(request.get("n", 100)))
+            state = self._cursors.get(request["cursor"])
+            return {
+                "ok": True,
+                "rows": rows,
+                "exhausted": state.exhausted if state is not None else True,
+            }
+        if op == "close_cursor":
+            self.close_cursor(request["cursor"])
+            return {"ok": True}
+        if op == "subscribe":
+            handle = self.subscribe(
+                request["view"], max_pending=request.get("max_pending")
+            )
+            return {"ok": True, "subscription": handle}
+        if op == "poll":
+            deltas = self.poll(
+                request["subscription"], request.get("max_items")
+            )
+            return {
+                "ok": True,
+                "deltas": [
+                    {
+                        "view": d.view,
+                        "epoch": d.epoch,
+                        "command": str(d.command),
+                        "added": list(d.added),
+                        "removed": list(d.removed),
+                    }
+                    for d in deltas
+                ],
+            }
+        if op == "unsubscribe":
+            self.unsubscribe(request["subscription"])
+            return {"ok": True}
+        if op in ("insert", "delete"):
+            maker = insert_command if op == "insert" else delete_command
+            changed = self.apply(maker(request["relation"], request["row"]))
+            return {"ok": True, "changed": changed}
+        if op == "batch":
+            commands = [
+                insert_command(rel, row)
+                if kind == "insert"
+                else delete_command(rel, row)
+                for kind, rel, row in request["commands"]
+            ]
+            return {"ok": True, "stats": self.batch(commands)}
+        if op == "count":
+            return {"ok": True, "count": self.count(request["view"])}
+        if op == "answer":
+            return {"ok": True, "answer": self.answer(request["view"])}
+        if op == "explain":
+            return {"ok": True, "explain": self.explain(request["view"])}
+        if op == "epochs":
+            return {"ok": True, "epochs": self.epochs()}
+        if op == "stats":
+            return {"ok": True, "stats": self.stats()}
+        raise EngineStateError(f"unknown request op {op!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Server({self._session!r}, cursors={len(self._cursors)}, "
+            f"subscriptions={len(self._subscriptions)})"
+        )

@@ -1,0 +1,159 @@
+"""Delta subscriptions: push the O(δ) result changes of every update.
+
+When a view has subscribers, the owning session routes each effective
+update through the engine's
+:meth:`~repro.interface.DynamicEngine.apply_with_delta`, which derives
+the set of result tuples that *entered* and *left* the view — in
+O(poly(ϕ) + δ) from the touched root paths for the Theorem 3.2 engine
+(see :meth:`repro.core.structure.ComponentStructure.apply_with_delta`),
+per-disjunct for unions, and from the sign flips of the maintained
+valuation counts for the delta-IVM fallback.  Views without subscribers
+never pay for the capture.
+
+Each change is wrapped in a :class:`Delta` and fanned out to every
+:class:`Subscription` of the view: appended to the subscription's
+outbox queue (drained with :meth:`~Subscription.poll`) and, when the
+subscriber registered a callback, delivered synchronously.  Replaying a
+view's deltas in order onto a set reproduces ``result_set()`` exactly —
+the invariant the serving test-suite checks on randomized streams.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.storage.database import Row
+from repro.storage.updates import UpdateCommand
+
+__all__ = ["Delta", "Subscription"]
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One update's effect on one view's result.
+
+    ``added`` and ``removed`` are disjoint, duplicate-free tuples of
+    output rows; exactly one of them is non-empty (a single-tuple
+    command moves the result monotonically).  ``epoch`` is the view's
+    engine epoch *after* the update, so consecutive deltas of one view
+    carry strictly increasing epochs.
+    """
+
+    view: str
+    epoch: int
+    command: UpdateCommand
+    added: Tuple[Row, ...]
+    removed: Tuple[Row, ...] = field(default=())
+
+    @property
+    def size(self) -> int:
+        """``δ`` — how many result tuples this update moved."""
+        return len(self.added) + len(self.removed)
+
+    def __str__(self) -> str:
+        return (
+            f"Δ[{self.view}@{self.epoch}] {self.command}: "
+            f"+{len(self.added)} -{len(self.removed)}"
+        )
+
+
+class Subscription:
+    """A registered consumer of one view's deltas.
+
+    Obtained via :meth:`repro.api.session.View.subscribe`.  Deltas
+    accumulate in the outbox until :meth:`poll` drains them; an
+    optional ``callback`` is additionally invoked synchronously per
+    delta (from the updating thread — keep it cheap, it runs inside
+    the write path).  A raising callback never disturbs the update or
+    the other subscribers: the error lands in
+    :attr:`callback_errors` / :attr:`last_callback_error` instead.
+
+    ``max_pending`` bounds the outbox: when full, the *oldest* deltas
+    are dropped and :attr:`dropped` counts them, so a slow consumer
+    can detect the gap and rematerialise instead of replaying.
+    """
+
+    def __init__(
+        self,
+        view,
+        callback: Optional[Callable[[Delta], None]] = None,
+        max_pending: Optional[int] = None,
+    ):
+        self._view = view
+        self._callback = callback
+        self._outbox: Deque[Delta] = deque(maxlen=max_pending)
+        self._max_pending = max_pending
+        # Serialises _dispatch (the writer) against poll (any consumer
+        # thread): the full-outbox drop accounting needs the length
+        # check and the evicting append to be atomic.
+        self._lock = threading.Lock()
+        self.dropped = 0
+        self.delivered = 0
+        #: callback failures are isolated (a raising callback must not
+        #: starve other subscribers of the delta, nor abort a batch
+        #: half-applied) — counted here, last exception kept for
+        #: inspection.  The outbox received the delta regardless.
+        self.callback_errors = 0
+        self.last_callback_error: Optional[BaseException] = None
+        self._closed = False
+        view._register_subscription(self)
+
+    @property
+    def view(self):
+        return self._view
+
+    @property
+    def pending(self) -> int:
+        return len(self._outbox)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def poll(self, max_items: Optional[int] = None) -> List[Delta]:
+        """Drain up to ``max_items`` queued deltas (all by default)."""
+        out: List[Delta] = []
+        with self._lock:
+            while self._outbox and (
+                max_items is None or len(out) < max_items
+            ):
+                out.append(self._outbox.popleft())
+        return out
+
+    def close(self) -> None:
+        """Stop receiving deltas (idempotent); pending ones remain
+        pollable."""
+        if not self._closed:
+            self._closed = True
+            self._view._drop_subscription(self)
+
+    # -- dispatch (called by the owning view) ---------------------------------
+
+    def _dispatch(self, delta: Delta) -> None:
+        if self._closed:
+            return
+        with self._lock:
+            if (
+                self._max_pending is not None
+                and len(self._outbox) == self._max_pending
+            ):
+                self.dropped += 1  # deque(maxlen) evicts the oldest
+            self._outbox.append(delta)
+            self.delivered += 1
+        if self._callback is not None:
+            try:
+                self._callback(delta)
+            except Exception as error:
+                self.callback_errors += 1
+                self.last_callback_error = error
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"Subscription({self._view.name!r}, {state}, "
+            f"pending={len(self._outbox)}, delivered={self.delivered}, "
+            f"dropped={self.dropped})"
+        )

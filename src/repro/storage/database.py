@@ -292,6 +292,33 @@ class Database:
             self._adom_refcount.update(chain.from_iterable(fresh))
         return fresh
 
+    def mirror_from(self, source: "Database") -> Dict[str, FrozenSet[Row]]:
+        """Bulk-copy every non-empty relation of ``source`` into this
+        database; returns ``{relation: genuinely new rows}``.
+
+        The shared preprocessing mirror of the dynamic engines: arity
+        mismatches raise the same :class:`UpdateError` a per-row replay
+        would (and unknown relations the same :class:`SchemaError`, via
+        :meth:`bulk_insert`), while matching relations copy with the
+        checked fast path.  Relations contributing no new rows are
+        omitted from the result.
+        """
+        loaded: Dict[str, FrozenSet[Row]] = {}
+        for relation in source.relations():
+            rows = relation.rows
+            if not rows:
+                continue
+            name = relation.name
+            if name in self._schema and relation.arity != self._schema.arity(name):
+                raise UpdateError(
+                    f"relation {name!r} has arity {relation.arity}, "
+                    f"engine expects {self._schema.arity(name)}"
+                )
+            fresh = self.bulk_insert(name, rows, checked=True)
+            if fresh:
+                loaded[name] = fresh
+        return loaded
+
     def delete(self, name: str, row: Sequence[Constant]) -> bool:
         """``delete R(a1, ..., ar)``; True iff the database changed."""
         relation = self._relations.get(name)
