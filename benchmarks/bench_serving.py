@@ -1,6 +1,6 @@
-"""Serving-layer benchmark: cursors, delta subscriptions, dispatcher.
+"""Serving-layer benchmark: cursors, subscriptions, sharding, dispatch.
 
-Three experiments over the new ``repro.serve`` subsystem:
+Five experiments over the ``repro.serve`` subsystem:
 
 * ``cursor_resume`` — a cursor pages through a large view result;
   per-page cost must be flat from the first page to the last (resume
@@ -16,15 +16,37 @@ Three experiments over the new ``repro.serve`` subsystem:
   while the materialised result is large.
 
 * ``multi_client`` — reader and writer threads hammer one
-  :class:`repro.serve.Server`: readers page cursors (reopening on
-  invalidation) and poll counts, writers stream effective updates
-  through the reader–writer lock.  Reported as sustained reads/sec and
-  writes/sec; at the end the subscription log must replay to exactly
-  the final ``result_set()``.
+  :class:`repro.serve.Server`: readers page cursors (revalidating or
+  reopening on invalidation) and poll counts, writers stream effective
+  updates through the reader–writer locks.  Reported as sustained
+  reads/sec and writes/sec; at the end the subscription log must
+  replay to exactly the final ``result_set()``.
+
+* ``sharded_writes`` — N writer threads hammer N views over pairwise
+  disjoint relations while the server runs with 1, 2, … shards.  Each
+  view carries one synchronous subscriber whose callback sleeps ~50µs
+  — the stand-in for pushing the delta to a downstream socket (blocks
+  the writer, releases the GIL, like real network I/O).  With one
+  shard that push serialises inside the single writer-preference lock,
+  stalling every other writer (the seed's protocol); with view-affine
+  shards the disjoint views' write paths overlap and aggregate
+  throughput climbs.  Replaying every view's subscription log must
+  still match its ``result_set()``.
+
+* ``async_dispatch`` — one writer streams updates to a view with S
+  slow subscribers (each callback blocks ~0.1 ms, standing in for a
+  network push — it releases the GIL, like real socket I/O).
+  Synchronous dispatch pays all S callbacks inside the write path;
+  the worker pool lets the writer proceed and absorbs the callbacks
+  concurrently.  Reported as writer-side updates/sec for both modes
+  plus the drain time, with the byte-identical replay check on the
+  outboxes.
 
 Output: a table on stdout plus machine-readable JSON (default
 ``BENCH_serving.json`` at the repository root).  ``--quick`` shrinks
-sizes for the CI smoke run.
+sizes for the CI smoke run; ``--readers/--writers/--shards`` pin the
+client counts so different runs compare like with like (the CI
+regression gate passes them explicitly).
 """
 
 from __future__ import annotations
@@ -40,7 +62,7 @@ import sys
 import threading
 import time
 from itertools import islice
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.engine import QHierarchicalEngine
 from repro.cq import zoo
@@ -210,8 +232,10 @@ def bench_multi_client(
     writers: int,
     page: int,
     rng: random.Random,
+    shards: int = 1,
+    dispatch_workers: int = 0,
 ) -> Dict[str, object]:
-    server = Server()
+    server = Server(shards=shards, dispatch_workers=dispatch_workers)
     server.view("feed", zoo.E_T_QF)
     domain = max(64, rows // 16)
     database = feed_database(rows, domain, rng)
@@ -292,6 +316,7 @@ def bench_multi_client(
     elapsed = time.perf_counter() - start
     if failures:
         raise failures[0]
+    server.drain()
 
     mirror = set(baseline)
     for delta_item in server.poll(subscription):
@@ -305,6 +330,8 @@ def bench_multi_client(
     return {
         "readers": readers,
         "writers": writers,
+        "shards": shards,
+        "dispatch_workers": dispatch_workers,
         "result_size": len(expected),
         "writes": total_writes,
         "writes_per_s": round(total_writes / write_elapsed),
@@ -314,6 +341,191 @@ def bench_multi_client(
         "cursor_invalidations": sum(invalidated),
         "subscription_replay_ok": True,
         "elapsed_s": round(elapsed, 2),
+    }
+
+
+# ---------------------------------------------------------------------------
+# experiment 4: sharded write path — writer scaling over disjoint views
+# ---------------------------------------------------------------------------
+
+
+def disjoint_write_stream(
+    index: int, count: int, domain: int, seed: int
+) -> List[UpdateCommand]:
+    """Effective inserts/deletes against relation ``E<index>``."""
+    rng = random.Random(seed)
+    commands: List[UpdateCommand] = []
+    live: List[tuple] = []
+    for step in range(count):
+        if live and rng.random() < 0.35:
+            row = live.pop(rng.randrange(len(live)))
+            commands.append(delete(f"E{index}", row))
+        else:
+            row = (step, rng.randrange(domain))
+            live.append(row)
+            commands.append(insert(f"E{index}", row))
+    return commands
+
+
+def _run_sharded(
+    shards: int,
+    writers: int,
+    streams: List[List[UpdateCommand]],
+    domain: int,
+    push_ms: float,
+) -> Tuple[float, bool]:
+    """One configuration: aggregate write time + replay exactness.
+
+    Every view carries one *synchronous* subscriber whose callback
+    sleeps ``push_ms`` — the stand-in for pushing the delta to a
+    downstream socket (it blocks the writer but releases the GIL, like
+    real network I/O).  That makes the experiment measure exactly what
+    sharding changes: with one shard the push serialises inside the
+    global write lock, stalling every other writer; with view-affine
+    shards the pushes of disjoint views overlap.
+    """
+    server = Server(shards=shards)
+    subscriptions = []
+    push_s = push_ms / 1000.0
+    for i in range(writers):
+        server.view(f"v{i}", f"V(x, y) :- E{i}(x, y), T{i}(y)")
+        for value in range(domain):
+            server.insert(f"T{i}", (value,))
+        subscriptions.append(
+            server.subscribe(f"v{i}", callback=lambda d: time.sleep(push_s))
+        )
+    failures: List[BaseException] = []
+
+    def writer(stream: Sequence[UpdateCommand]) -> None:
+        try:
+            for command in stream:
+                server.apply(command)
+        except BaseException as error:  # pragma: no cover
+            failures.append(error)
+            raise
+
+    threads = [
+        threading.Thread(target=writer, args=(stream,)) for stream in streams
+    ]
+    gc.collect()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if failures:
+        raise failures[0]
+
+    replay_ok = True
+    for i, handle in enumerate(subscriptions):
+        mirror: set = set()
+        for delta_item in server.poll(handle):
+            mirror |= set(delta_item.added)
+            mirror -= set(delta_item.removed)
+        if mirror != server.session[f"v{i}"].result_set():
+            replay_ok = False
+    return elapsed, replay_ok
+
+
+def bench_sharded_writes(
+    writer_ops: int,
+    writers: int,
+    shard_counts: Sequence[int],
+    push_ms: float = 0.05,
+) -> Dict[str, object]:
+    domain = 64
+    streams = [
+        disjoint_write_stream(i, writer_ops // writers, domain, 500 + i)
+        for i in range(writers)
+    ]
+    total_ops = sum(len(stream) for stream in streams)
+    curve: List[Dict[str, object]] = []
+    replay_ok = True
+    for shards in shard_counts:
+        elapsed, ok = _run_sharded(shards, writers, streams, domain, push_ms)
+        replay_ok = replay_ok and ok
+        curve.append(
+            {
+                "shards": shards,
+                "writes_per_s": round(total_ops / elapsed),
+                "elapsed_s": round(elapsed, 4),
+            }
+        )
+    base_ups = curve[0]["writes_per_s"]
+    for point in curve:
+        point["speedup_vs_1shard"] = round(point["writes_per_s"] / base_ups, 3)
+    best = curve[-1]
+    return {
+        "writers": writers,
+        "writes": total_ops,
+        "push_ms": push_ms,
+        "curve": curve,
+        "speedup_at_max_shards": best["speedup_vs_1shard"],
+        "max_shards": best["shards"],
+        "subscription_replay_ok": replay_ok,
+    }
+
+
+# ---------------------------------------------------------------------------
+# experiment 5: async subscription dispatch — offloading slow consumers
+# ---------------------------------------------------------------------------
+
+
+def bench_async_dispatch(
+    updates: int, subscribers: int, callback_ms: float, workers: int
+) -> Dict[str, object]:
+    domain = 64
+    stream = disjoint_write_stream(0, updates, domain, 900)
+    results: Dict[str, Dict[str, float]] = {}
+    replay_ok = True
+    sleep_s = callback_ms / 1000.0
+
+    for mode, dispatch_workers in (("sync", 0), ("async", workers)):
+        server = Server(dispatch_workers=dispatch_workers)
+        server.view("v0", "V(x, y) :- E0(x, y), T0(y)")
+        for value in range(domain):
+            server.insert("T0", (value,))
+        handles = [
+            # the sleep stands in for a network push: it blocks the
+            # delivering thread but releases the GIL, like socket I/O
+            server.subscribe("v0", callback=lambda d: time.sleep(sleep_s))
+            for _ in range(subscribers)
+        ]
+        gc.collect()
+        start = time.perf_counter()
+        for command in stream:
+            server.apply(command)
+        writer_elapsed = time.perf_counter() - start
+        server.drain()
+        drained_elapsed = time.perf_counter() - start
+        server.close()
+        for handle in handles:
+            mirror: set = set()
+            for delta_item in server.poll(handle):
+                mirror |= set(delta_item.added)
+                mirror -= set(delta_item.removed)
+            if mirror != server.session["v0"].result_set():
+                replay_ok = False
+        results[mode] = {
+            "writer_updates_per_s": round(len(stream) / writer_elapsed),
+            "writer_elapsed_s": round(writer_elapsed, 4),
+            "drained_elapsed_s": round(drained_elapsed, 4),
+        }
+
+    speedup = (
+        results["async"]["writer_updates_per_s"]
+        / results["sync"]["writer_updates_per_s"]
+    )
+    return {
+        "updates": len(stream),
+        "subscribers": subscribers,
+        "callback_ms": callback_ms,
+        "dispatch_workers": workers,
+        "sync": results["sync"],
+        "async": results["async"],
+        "writer_speedup": round(speedup, 2),
+        "subscription_replay_ok": replay_ok,
     }
 
 
@@ -367,6 +579,39 @@ def render(report: Dict[str, object]) -> str:
         f"  subscription replay == result_set: "
         f"{multi['subscription_replay_ok']}"
     )
+    sharded = report["sharded_writes"]
+    lines.append("")
+    lines.append(
+        f"sharded write path ({sharded['writers']} writers over disjoint "
+        "views):"
+    )
+    for point in sharded["curve"]:
+        lines.append(
+            f"  {point['shards']} shard(s)   {point['writes_per_s']:>10} "
+            f"writes/s  ({point['speedup_vs_1shard']:.2f}x vs 1 shard)"
+        )
+    lines.append(
+        f"  replay byte-identical: {sharded['subscription_replay_ok']}"
+    )
+    asyncd = report["async_dispatch"]
+    lines.append("")
+    lines.append(
+        f"async dispatch ({asyncd['subscribers']} slow subscribers, "
+        f"{asyncd['callback_ms']}ms callback, "
+        f"{asyncd['dispatch_workers']} workers):"
+    )
+    lines.append(
+        f"  sync writer      {asyncd['sync']['writer_updates_per_s']:>10} "
+        "updates/s (callbacks inline)"
+    )
+    lines.append(
+        f"  async writer     {asyncd['async']['writer_updates_per_s']:>10} "
+        f"updates/s ({asyncd['writer_speedup']:.2f}x — pool absorbs the "
+        "fan-out)"
+    )
+    lines.append(
+        f"  replay byte-identical: {asyncd['subscription_replay_ok']}"
+    )
     return "\n".join(lines)
 
 
@@ -383,22 +628,66 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=DEFAULT_OUT,
         help=f"JSON output path (default {DEFAULT_OUT})",
     )
+    parser.add_argument(
+        "--readers",
+        type=int,
+        default=None,
+        help="multi_client reader threads (default: 2 quick, 4 full)",
+    )
+    parser.add_argument(
+        "--writers",
+        type=int,
+        default=None,
+        help="writer threads for multi_client AND sharded_writes "
+        "(default: 2 quick, 4 full)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="max shard count for the sharded_writes curve, also used "
+        "by multi_client (default: 4; the curve runs 1..max in "
+        "doublings)",
+    )
+    parser.add_argument(
+        "--dispatch-workers",
+        type=int,
+        default=4,
+        help="worker-pool size for the async_dispatch experiment "
+        "(default 4)",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
-        rows, page, updates, writer_ops, readers, writers = (
-            20_000, 200, 2_000, 600, 2, 1,
-        )
+        rows, page, updates, writer_ops = 20_000, 200, 2_000, 1_200
+        readers = 2 if args.readers is None else args.readers
+        writers = 2 if args.writers is None else args.writers
+        async_updates, subscribers, callback_ms = 150, 4, 0.1
     else:
-        rows, page, updates, writer_ops, readers, writers = (
-            120_000, 500, 10_000, 4_000, 4, 2,
-        )
+        rows, page, updates, writer_ops = 120_000, 500, 10_000, 8_000
+        readers = 4 if args.readers is None else args.readers
+        writers = 4 if args.writers is None else args.writers
+        async_updates, subscribers, callback_ms = 1_500, 8, 0.1
+    max_shards = 4 if args.shards is None else args.shards
+    shard_counts = [1]
+    while shard_counts[-1] * 2 <= max_shards:
+        shard_counts.append(shard_counts[-1] * 2)
 
     rng = random.Random(17)
     cursor_resume = bench_cursor_resume(rows, page, rng)
     subscription_delta = bench_subscription_delta(rows, updates, rng)
     multi_client = bench_multi_client(
-        rows // 2, writer_ops, readers, writers, page, rng
+        rows // 2,
+        writer_ops // 2,
+        readers,
+        max(1, writers // 2),
+        page,
+        rng,
+        shards=max_shards,
+    )
+    sharded_writes = bench_sharded_writes(writer_ops, writers, shard_counts)
+    async_dispatch = bench_async_dispatch(
+        async_updates, subscribers, callback_ms, args.dispatch_workers
     )
 
     quick_note = (
@@ -429,6 +718,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "note": "replaying the delta log reproduces result_set() "
             "after the full multi-client run",
         },
+        "sharded_writes_scale_1_5x": {
+            "metric": "sharded_writes.speedup_at_max_shards",
+            "value": sharded_writes["speedup_at_max_shards"],
+            "met": sharded_writes["speedup_at_max_shards"] >= 1.5
+            and bool(sharded_writes["subscription_replay_ok"]),
+            "note": "aggregate write throughput of concurrent writers "
+            "over disjoint views at the max shard count vs the "
+            "single-writer lock, replay still byte-identical"
+            + quick_note,
+        },
+        "async_dispatch_offload_1_5x": {
+            "metric": "async_dispatch.writer_speedup",
+            "value": async_dispatch["writer_speedup"],
+            "met": async_dispatch["writer_speedup"] >= 1.5
+            and bool(async_dispatch["subscription_replay_ok"]),
+            "note": "writer-side update throughput with slow consumers "
+            "on the worker pool vs inline synchronous fan-out, replay "
+            "still byte-identical" + quick_note,
+        },
     }
 
     report = {
@@ -438,10 +746,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "python": platform.python_version(),
             "platform": platform.platform(),
             "unix_time": int(time.time()),
+            "readers": readers,
+            "writers": writers,
+            "max_shards": max_shards,
+            "dispatch_workers": args.dispatch_workers,
         },
         "cursor_resume": cursor_resume,
         "subscription_delta": subscription_delta,
         "multi_client": multi_client,
+        "sharded_writes": sharded_writes,
+        "async_dispatch": async_dispatch,
         "targets": targets,
     }
 

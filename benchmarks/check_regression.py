@@ -1,0 +1,217 @@
+"""CI perf-regression gate: fresh bench JSON vs the committed baselines.
+
+The repository root carries the authoritative benchmark trajectories
+(``BENCH_update_throughput.json``, ``BENCH_serving.json``, both from
+full runs).  CI re-runs the benches in ``--quick`` mode and this script
+compares the *tracked metrics* of the fresh JSON against the committed
+baseline, failing the job when any of them regresses beyond a
+tolerance.
+
+Tracked metrics are deliberately **ratios** (speedup geomeans, the
+cursor flatness ratio), not absolute updates/sec: ratios compare the
+same code against its own in-process baseline, so they are largely
+independent of runner hardware and of the ``--quick`` sizing, which is
+what makes a quick CI run comparable against a committed full-run
+baseline at all.  Absolute throughputs are still recorded in the JSON
+artifacts (and the nightly full run) — they are just not gated.
+
+Tolerance: default 30% (``--tolerance 0.30``), generous on purpose —
+shared CI runners are noisy and the quick sizes amplify variance.  The
+override knob for a PR that intentionally trades one metric away::
+
+    python benchmarks/check_regression.py ... --tolerance 0.5
+
+or ``BENCH_REGRESSION_TOLERANCE=0.5`` in the workflow environment
+(the CLI flag wins).  A tracked metric missing from the *baseline* is
+skipped with a note (older baselines predate newer benches); missing
+from the *fresh* run it fails — the bench stopped emitting something
+it should.
+
+Exit status: 0 all tracked metrics within tolerance, 1 regression(s),
+2 usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: (baseline file, fresh-run CLI flag) per experiment.
+EXPERIMENTS = {
+    "update_throughput": REPO_ROOT / "BENCH_update_throughput.json",
+    "serving": REPO_ROOT / "BENCH_serving.json",
+}
+
+#: experiment → list of (json dotted path, direction, mode).
+#:
+#: ``direction`` — ``higher`` means a drop is a regression; ``lower``
+#: the reverse (cursor flatness: 1.0 is perfect, growth means paging
+#: degrades).
+#:
+#: ``mode`` — ``"relative"`` gates against the committed baseline value
+#: with the tolerance; a float gates against that **absolute** bound
+#: instead.  Relative gating needs the metric to be scale-robust (the
+#: compiled-vs-reference speedup geomeans barely move between --quick
+#: and full sizes).  Metrics that *grow with the data size* — the O(δ)
+#: capture speedup is ~O(|result|), bulk preprocessing gains with
+#: volume — would always look "regressed" when a quick run meets a
+#: full-run baseline, so they get absolute guardrails: generous enough
+#: for quick sizes on a noisy runner, tight enough to turn red when the
+#: optimisation is actually broken (speedup collapsing towards 1).
+TRACKED: Dict[str, List[Tuple[str, str, object]]] = {
+    "update_throughput": [
+        ("aggregates.update_engine_geomean", "higher", "relative"),
+        ("aggregates.update_procedure_geomean", "higher", "relative"),
+        ("aggregates.preprocessing_geomean", "higher", 1.5),
+        ("aggregates.merged_loader_geomean", "higher", "relative"),
+    ],
+    "serving": [
+        ("cursor_resume.cursor_last_over_first", "lower", 3.0),
+        ("subscription_delta.speedup", "higher", 10.0),
+        ("sharded_writes.speedup_at_max_shards", "higher", 1.25),
+        ("async_dispatch.writer_speedup", "higher", 1.5),
+    ],
+}
+
+
+def dig(blob: Dict[str, object], path: str) -> Optional[float]:
+    node: object = blob
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def check_experiment(
+    name: str,
+    baseline_path: pathlib.Path,
+    fresh_path: pathlib.Path,
+    tolerance: float,
+) -> Tuple[List[str], List[str]]:
+    """Returns (regressions, notes) for one experiment's tracked set."""
+    regressions: List[str] = []
+    notes: List[str] = []
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    fresh = json.loads(fresh_path.read_text(encoding="utf-8"))
+    for path, direction, mode in TRACKED[name]:
+        base_value = dig(baseline, path)
+        if mode == "relative" and base_value is None:
+            notes.append(
+                f"  skip {name}:{path} — not in baseline "
+                f"{baseline_path.name} (predates this metric?)"
+            )
+            continue
+        fresh_value = dig(fresh, path)
+        if fresh_value is None:
+            regressions.append(
+                f"  {name}:{path} — missing from the fresh run "
+                f"({fresh_path.name}); the bench stopped emitting it"
+            )
+            continue
+        if mode == "relative":
+            limit = (
+                base_value * (1.0 - tolerance)
+                if direction == "higher"
+                else base_value * (1.0 + tolerance)
+            )
+            against = f"baseline {base_value:.3f}"
+        else:
+            limit = float(mode)  # scale-dependent: absolute guardrail
+            against = "absolute guardrail"
+        if direction == "higher":
+            ok = fresh_value >= limit
+            bound = f">= {limit:.3f}"
+        else:
+            ok = fresh_value <= limit
+            bound = f"<= {limit:.3f}"
+        verdict = "ok" if ok else "REGRESSED"
+        line = (
+            f"  {name}:{path} — fresh {fresh_value:.3f} vs {against} "
+            f"(need {bound}): {verdict}"
+        )
+        notes.append(line)
+        if not ok:
+            regressions.append(line)
+    return regressions, notes
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh-update-throughput",
+        type=pathlib.Path,
+        help="fresh bench_update_throughput.py JSON to compare",
+    )
+    parser.add_argument(
+        "--fresh-serving",
+        type=pathlib.Path,
+        help="fresh bench_serving.py JSON to compare",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed relative regression (default 0.30; env override "
+        "BENCH_REGRESSION_TOLERANCE, this flag wins)",
+    )
+    args = parser.parse_args(argv)
+
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(os.environ.get("BENCH_REGRESSION_TOLERANCE", "0.30"))
+    if not 0 <= tolerance < 1:
+        print(f"tolerance must be in [0, 1), got {tolerance}")
+        return 2
+
+    jobs: List[Tuple[str, pathlib.Path]] = []
+    if args.fresh_update_throughput is not None:
+        jobs.append(("update_throughput", args.fresh_update_throughput))
+    if args.fresh_serving is not None:
+        jobs.append(("serving", args.fresh_serving))
+    if not jobs:
+        print(
+            "nothing to check: pass --fresh-update-throughput and/or "
+            "--fresh-serving"
+        )
+        return 2
+
+    all_regressions: List[str] = []
+    print(f"perf-regression gate (tolerance {tolerance:.0%})")
+    for name, fresh_path in jobs:
+        baseline_path = EXPERIMENTS[name]
+        for path, label in ((baseline_path, "baseline"), (fresh_path, "fresh")):
+            if not path.is_file():
+                print(f"  {name}: {label} JSON missing: {path}")
+                return 2
+        regressions, notes = check_experiment(
+            name, baseline_path, fresh_path, tolerance
+        )
+        print("\n".join(notes))
+        all_regressions.extend(regressions)
+
+    if all_regressions:
+        print()
+        print(f"{len(all_regressions)} tracked metric(s) regressed:")
+        print("\n".join(all_regressions))
+        print(
+            "\nIf this trade-off is intentional, raise the tolerance "
+            "(--tolerance / BENCH_REGRESSION_TOLERANCE) for this run and "
+            "refresh the committed baseline with a full bench run in the "
+            "same PR."
+        )
+        return 1
+    print("\nall tracked metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,8 +11,12 @@ layer (:mod:`repro.serve`):
   including a parameter-bound cursor (``user=...``) pinned via the
   q-tree, and a snapshot cursor that keeps serving the pre-update
   result while a writer thread races it;
-* a plain cursor getting **precisely invalidated** by the writer and
-  reopened at the new epoch.
+* a plain cursor **revalidating** across a burst of beyond-frontier
+  writes (delta-aware: it re-anchors its walk and keeps serving the
+  live result), then getting **precisely invalidated** by the one
+  write that removes a tuple it already emitted;
+* async dispatch: the push notifier's deltas are delivered by the
+  server's worker pool instead of the writer thread.
 
 Run with ``PYTHONPATH=src python examples/live_serving.py``.
 """
@@ -26,7 +30,9 @@ from repro import CursorInvalidatedError, Server
 
 
 def main() -> None:
-    server = Server()
+    # 2 shards (this example has one view, so sharding is just shown
+    # wired up) and 2 dispatch workers delivering deltas off-thread.
+    server = Server(shards=2, dispatch_workers=2)
     # All three variables free keeps the query q-hierarchical, so the
     # view gets the Theorem 3.2 engine: O(1) counts, constant-delay
     # cursors, O(δ) subscription deltas.  (Project ``author`` away and
@@ -67,11 +73,12 @@ def main() -> None:
             author = rng.choice(authors)
             server.insert("Posted", (author, f"{author}_live{step}"))
 
-    # A snapshot cursor pins the pre-write result; a plain cursor will
-    # be invalidated precisely.
+    # A snapshot cursor pins the pre-write result; a plain cursor
+    # revalidates across the inserts (their deltas land beyond its
+    # frontier) and keeps serving the live result.
     snapshot = server.open_cursor("feed", snapshot=True)
     plain = server.open_cursor("feed")
-    server.fetch(plain, 5)
+    emitted = server.fetch(plain, 5)
 
     thread = threading.Thread(target=writer)
     thread.start()
@@ -86,6 +93,17 @@ def main() -> None:
     print(f"\nsnapshot cursor served {len(pinned)} pre-write tuples")
     print(f"live view now has {server.count('feed')} tuples")
 
+    server.fetch(plain, 5)  # survived all 30 writes
+    state = server.cursor_state(plain)
+    print(
+        f"plain cursor revalidated {state.revalidations}x across the "
+        "writer burst and kept paging"
+    )
+
+    # Deleting a tuple the cursor already emitted is the one genuinely
+    # invalidating write — reported precisely.
+    author, _user, post = emitted[0]
+    server.delete("Posted", (author, post))
     try:
         server.fetch(plain, 5)
     except CursorInvalidatedError as error:

@@ -138,7 +138,10 @@ class View:
         return Cursor(self, binding=merged or None, snapshot=snapshot)
 
     def subscribe(
-        self, callback=None, max_pending: Optional[int] = None
+        self,
+        callback=None,
+        max_pending: Optional[int] = None,
+        dispatcher: Optional[object] = None,
     ) -> "object":
         """Register a delta subscriber on this view.
 
@@ -146,10 +149,19 @@ class View:
         engine's ``apply_with_delta`` and the resulting
         :class:`repro.serve.subscriptions.Delta` is queued on the
         subscription's outbox (and pushed to ``callback``, if given).
+        ``dispatcher`` — a :class:`repro.serve.dispatch.DispatchPool` —
+        moves the delivery out of the writer thread: the update only
+        submits, a pool worker appends/invokes (per-subscription FIFO,
+        see :meth:`repro.serve.server.Server.subscribe`).
         """
         from repro.serve.subscriptions import Subscription
 
-        return Subscription(self, callback=callback, max_pending=max_pending)
+        return Subscription(
+            self,
+            callback=callback,
+            max_pending=max_pending,
+            dispatcher=dispatcher,
+        )
 
     @property
     def subscriptions(self) -> Tuple[object, ...]:
@@ -184,14 +196,23 @@ class View:
 
         Order matters: snapshot cursors drain *before* the engine
         mutates (they pin the pre-update result); the delta is captured
-        during the update only when someone subscribed (otherwise the
-        plain O(1) path runs); plain cursors are invalidated — with the
-        precise command — *after*, and subscribers last, so a callback
-        observing the view sees the post-update state.
+        during the update when someone subscribed — or when live plain
+        cursors could be revalidated by it and the engine derives
+        deltas structurally in O(poly(ϕ) + δ) (``supports_cheap_delta``;
+        speculative O(|result|) diffs just to maybe save a cursor would
+        invert the paper's update bound); cursors are revalidated or
+        invalidated against the delta *after* the mutation, and
+        subscribers are notified last, so a callback observing the view
+        sees the post-update state.
         """
         for cursor in list(self._cursors):
             cursor._before_view_update(command)
-        if self._subscriptions:
+        want_delta = bool(self._subscriptions)
+        if not want_delta and self._cursors:
+            want_delta = getattr(
+                self._engine, "supports_cheap_delta", False
+            ) and any(not cursor.snapshot for cursor in self._cursors)
+        if want_delta:
             from repro.serve.subscriptions import Delta
 
             added, removed = self._engine.apply_with_delta(command)
@@ -205,8 +226,9 @@ class View:
         else:
             self._engine.apply(command)
             delta = None
+        pair = (delta.added, delta.removed) if delta is not None else None
         for cursor in list(self._cursors):
-            cursor._after_view_update(command)
+            cursor._after_view_update(command, pair)
         if delta is not None and delta.size:
             for subscription in list(self._subscriptions):
                 subscription._dispatch(delta)

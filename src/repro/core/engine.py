@@ -55,6 +55,10 @@ class QHierarchicalEngine(DynamicEngine):
 
     name = "qhierarchical"
 
+    #: apply_with_delta reads the delta off the flipped fit-items of
+    #: the touched root paths — O(poly(ϕ) + δ), never O(|result|).
+    supports_cheap_delta = True
+
     def __init__(
         self,
         query: ConjunctiveQuery,

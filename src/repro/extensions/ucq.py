@@ -229,6 +229,10 @@ class UnionEngine(DynamicEngine):
     name = "ucq_union"
     accepts_unions = True
 
+    #: apply_with_delta combines the disjuncts' O(δ) deltas with O(1)
+    #: membership probes for dedup — never a full result diff.
+    supports_cheap_delta = True
+
     def __init__(
         self,
         union: Union[UnionOfCQs, ConjunctiveQuery],

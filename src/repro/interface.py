@@ -46,6 +46,15 @@ class DynamicEngine(ABC):
     #: query object then only needs ``relations``/``arity_of``/``free``).
     accepts_unions: bool = False
 
+    #: Whether :meth:`apply_with_delta` derives the result delta
+    #: structurally — O(poly(ϕ) + δ) per update — rather than through
+    #: the default rematerialise-and-diff (O(|result|)).  The serving
+    #: layer consults this before computing deltas *speculatively*:
+    #: delta-aware cursor revalidation is free to run per touching
+    #: write on a cheap-delta engine, but on a diff-based engine it is
+    #: only worth it when a subscriber needs the delta anyway.
+    supports_cheap_delta: bool = False
+
     def __init__(self, query: ConjunctiveQuery, database: Optional[Database] = None):
         self._query = query
         self._db = Database.empty_like(query)

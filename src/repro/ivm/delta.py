@@ -148,6 +148,10 @@ class DeltaIVMEngine(DynamicEngine):
 
     name = "delta_ivm"
 
+    #: apply_with_delta captures the zero-crossings of the maintained
+    #: valuation counts during the update itself — no result diff.
+    supports_cheap_delta = True
+
     def _setup(self) -> None:
         self._relations: Dict[str, _IndexedRelation] = {
             relation: _IndexedRelation() for relation in self._query.relations

@@ -6,18 +6,21 @@ this package turns a :class:`~repro.api.session.Session` into something
 clients can hold open connections against:
 
 * :mod:`repro.serve.cursors` — resumable, parameter-bindable
-  enumeration handles with epoch-based invalidation and an optional
-  snapshot mode;
+  enumeration handles with delta-aware revalidation, epoch-based
+  invalidation reports and an optional snapshot mode;
 * :mod:`repro.serve.subscriptions` — per-update O(δ) result deltas
   fanned out to callbacks and pollable outboxes;
-* :mod:`repro.serve.server` — a thread-safe reader–writer dispatcher
-  with an id-based request loop for multi-client traffic.
+* :mod:`repro.serve.dispatch` — the bounded worker pool that moves
+  delta delivery out of the writer thread (per-subscription FIFO,
+  back-pressure, drain barrier);
+* :mod:`repro.serve.server` — a thread-safe sharded reader–writer
+  dispatcher with an id-based request loop for multi-client traffic.
 
 Quickstart::
 
     from repro import Server
 
-    server = Server()
+    server = Server(shards=4, dispatch_workers=2)
     server.view("feed", "Feed(u, p) :- Follows(u, f), Posted(f, p)")
     sub = server.subscribe("feed")
     cursor = server.open_cursor("feed", binding={"u": "ada"})
@@ -26,11 +29,13 @@ Quickstart::
     server.insert("Posted", ("bob", "p1"))
 
     print(server.poll(sub))          # the deltas, O(δ) each
-    print(server.fetch(cursor, 10))  # raises CursorInvalidatedError:
-                                     # the view changed under the cursor
+    print(server.fetch(cursor, 10))  # the new row: both writes landed
+                                     # after the cursor's frontier, so
+                                     # it revalidated instead of dying
 """
 
 from repro.serve.cursors import Cursor, CursorInvalidation, bound_stream
+from repro.serve.dispatch import DispatchPool
 from repro.serve.server import RWLock, Server
 from repro.serve.subscriptions import Delta, Subscription
 
@@ -39,6 +44,7 @@ __all__ = [
     "CursorInvalidation",
     "bound_stream",
     "Delta",
+    "DispatchPool",
     "RWLock",
     "Server",
     "Subscription",

@@ -9,19 +9,40 @@ incrementally instead of rematerialising.
 
 Interleaved updates are handled with the engine's epoch stamp
 (:attr:`repro.interface.DynamicEngine.epoch`, bumped once per effective
-update):
+update) plus the O(δ) result delta the session already derives per
+update:
 
 * updates to relations the view does not mention leave the epoch — and
   the suspended walk — untouched, so the cursor **resumes safely**;
-* an update that touches the view invalidates a plain cursor *eagerly*
-  and precisely: the next fetch raises
+* an update that touches the view but whose result delta stays *at or
+  after the cursor's frontier* — an **empty delta** (the result did not
+  move), or added/removed tuples none of which the cursor has emitted
+  yet — **revalidates** the cursor instead of killing it: the consumed
+  prefix is still a subset of the post-update result, so the cursor
+  re-anchors its walk on the updated structure and keeps enumerating
+  (the rebuilt walk skips the already-emitted prefix in O(1) per
+  skipped tuple, paid once per surviving write, then resumes constant
+  delay).  :attr:`Cursor.revalidations` counts these survivals;
+* an update that **removes an already-emitted tuple** is genuinely
+  invalidating — the client has observed a row that left the result —
+  and the next fetch raises
   :class:`~repro.errors.CursorInvalidatedError` carrying a
   :class:`CursorInvalidation` report (opened/invalidated epochs, the
-  first invalidating command, tuples fetched so far);
+  first invalidating command, tuples fetched so far).  The same happens
+  when no delta is available (engines whose delta derivation would cost
+  O(|result|) per write and that nobody subscribed to);
 * a **snapshot** cursor (``snapshot=True``) instead pins the pre-update
-  result: the first invalidating update drains the cursor's remaining
+  result: the first touching update drains the cursor's remaining
   tuples into a buffer *before* the engine mutates — O(remaining) paid
   once, only when writer traffic actually interleaves.
+
+A revalidated cursor enumerates exactly the *post-update* result: the
+already-emitted prefix (all still present, or the cursor would have
+been invalidated) plus the not-yet-emitted remainder in the engine's
+fresh enumeration order.  Tuples added by surviving writes therefore
+appear in the remainder even when the engine's global order would have
+placed them before the frontier — the cursor linearises them after what
+its client has already consumed.
 
 Parameter binding (``view.cursor(X=c)``) restricts enumeration to the
 given output values.  Bindings forming a prefix of the q-tree order
@@ -35,7 +56,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import islice
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import CursorInvalidatedError, EngineStateError, QueryStructureError
 from repro.storage.database import Constant, Row
@@ -76,9 +97,9 @@ def bound_stream(engine, binding: Optional[Dict[str, Constant]]) -> Iterator[Row
 class CursorInvalidation:
     """Why a cursor stopped being resumable — the precise report.
 
-    ``command`` is the first update that touched the view after the
-    cursor opened (None only when the engine was mutated directly,
-    bypassing the session)."""
+    ``command`` is the first update that genuinely invalidated the view
+    for this cursor after it opened (None only when the engine was
+    mutated directly, bypassing the session)."""
 
     view: str
     opened_epoch: int
@@ -129,6 +150,12 @@ class Cursor:
         self._buffer: Optional[List[Row]] = None  # snapshot drain target
         self._buffer_pos = 0
         self._fetched = 0
+        #: every row handed out so far — the cursor's frontier.  Used by
+        #: delta-aware revalidation (was an emitted row removed?) and by
+        #: the rebuilt walk to skip the consumed prefix in O(1) probes.
+        self._emitted: Set[Row] = set()
+        self._needs_rebuild = False
+        self.revalidations = 0
         self._exhausted = False
         self._closed = False
         self._invalidation: Optional[CursorInvalidation] = None
@@ -164,8 +191,9 @@ class Cursor:
         """The next ``n`` result tuples; ``[]`` when exhausted.
 
         Raises :class:`CursorInvalidatedError` (with the precise
-        report) if an update touched the view since the cursor opened
-        and the cursor is not in snapshot mode.
+        report) if an update genuinely invalidated this cursor —
+        removed an already-emitted tuple, or touched the view without
+        delta information — and the cursor is not in snapshot mode.
         """
         if n < 0:
             raise EngineStateError(f"fetch size must be >= 0, got {n}")
@@ -178,6 +206,8 @@ class Cursor:
             if self._buffer_pos >= len(self._buffer):
                 self._finish()
         else:
+            if self._needs_rebuild:
+                self._rebuild_stream()
             try:
                 page = list(islice(self._stream, n))
             except EngineStateError as error:
@@ -194,6 +224,7 @@ class Cursor:
             if len(page) < n:
                 self._finish()
         self._fetched += len(page)
+        self._emitted.update(page)
         return page
 
     def fetch_all(self) -> List[Row]:
@@ -234,6 +265,20 @@ class Cursor:
                 self._invalidation.describe(), self._invalidation
             )
 
+    def _rebuild_stream(self) -> None:
+        """Re-anchor the walk on the updated engine structure.
+
+        The suspended generator walked enumeration structures that a
+        surviving write has since mutated — resuming it is undefined.
+        A fresh walk filtered by the emitted set yields exactly the
+        not-yet-consumed tuples of the *current* result: O(1) per
+        skipped tuple for the consumed prefix, constant delay after.
+        """
+        emitted = self._emitted
+        fresh = bound_stream(self._view.engine, self.binding)
+        self._stream = (row for row in fresh if row not in emitted)
+        self._needs_rebuild = False
+
     # -- update notifications (called by the owning view) ---------------------
 
     def _before_view_update(self, command: UpdateCommand) -> None:
@@ -245,12 +290,33 @@ class Cursor:
             self._buffer_pos = 0
             self._stream = None
 
-    def _after_view_update(self, command: UpdateCommand) -> None:
-        """Post-mutation hook: plain cursors record the invalidation."""
+    def _after_view_update(
+        self,
+        command: UpdateCommand,
+        delta: Optional[Tuple[Tuple[Row, ...], Tuple[Row, ...]]] = None,
+    ) -> None:
+        """Post-mutation hook: revalidate against the delta, or record
+        the invalidation.
+
+        ``delta`` is the update's ``(added, removed)`` result change
+        when the session derived one (a subscriber asked for it, or the
+        engine derives it in O(poly(ϕ) + δ) anyway); None means no
+        delta information exists and the cursor must assume the worst.
+        """
         if self._exhausted or self._closed or self._invalidation is not None:
             return
         if self.snapshot:
             return  # pinned: keeps serving the pre-update result
+        if delta is not None:
+            removed = delta[1]
+            emitted = self._emitted
+            if not any(row in emitted for row in removed):
+                # The consumed prefix is intact and every delta tuple
+                # sits at/after the frontier: survive in place.
+                self.revalidations += 1
+                self._needs_rebuild = True
+                self._stream = None
+                return
         self._invalidation = CursorInvalidation(
             view=self._view.name,
             opened_epoch=self.opened_epoch,
@@ -285,7 +351,13 @@ class Cursor:
         )
         bind = f", bind={self.binding}" if self.binding else ""
         snap = ", snapshot" if self.snapshot else ""
+        reval = (
+            f", revalidations={self.revalidations}"
+            if self.revalidations
+            else ""
+        )
         return (
             f"Cursor({self._view.name!r}, {state}, epoch="
-            f"{self.opened_epoch}, fetched={self._fetched}{bind}{snap})"
+            f"{self.opened_epoch}, fetched={self._fetched}{bind}{snap}"
+            f"{reval})"
         )

@@ -1,20 +1,40 @@
-"""A thread-safe multi-client dispatcher over a :class:`Session`.
+"""A thread-safe, shardable multi-client dispatcher over a :class:`Session`.
 
 :class:`Server` is the serving front door for concurrent readers and
-writers: a reader–writer protocol (many concurrent reads — counts,
-cursor fetches, polls — or one exclusive write) wraps the session, and
-a small id-based request surface (``open_cursor`` / ``fetch`` /
-``subscribe`` / ``poll`` / ``update`` / ``batch``) makes the whole
-thing drivable from worker threads or a serialized request loop
-(:meth:`Server.handle`).
+writers.  The session's views are partitioned into **view-affine
+shards** — every view lives wholly on one shard, each shard owns a
+reader–writer lock — and requests route by what they touch:
+
+* reads of one view (``count``/``answer``/``contains``/``fetch``) take
+  only that view's shard read lock;
+* an update takes the write locks of exactly the shards holding views
+  that mention the updated relation (the relation→shard map is derived
+  from the views' dependency sets), so updates to disjoint relations
+  proceed in parallel instead of serialising behind one writer —
+  ``shards=1`` is the seed's single-writer behaviour;
+* view registration, drops and transactional batches take every shard
+  (they change the routing itself, or must look atomic across views).
+
+Multi-shard write locks are always acquired in ascending shard order,
+so concurrent writers cannot deadlock.  Within one shard the lock keeps
+the writer-preference and writer-reentrancy of the seed ``RWLock``.
+
+Subscription deltas are delivered synchronously in the writer thread by
+default; ``dispatch_workers=N`` moves the fan-out onto a bounded
+:class:`~repro.serve.dispatch.DispatchPool` (per-subscription FIFO,
+back-pressure, drain barrier) so writers stop paying for slow
+consumers — see :mod:`repro.serve.dispatch`.  :meth:`Server.drain`
+waits for the pool to settle; :meth:`Server.close` drains and stops it
+(the server is also a context manager).
 
 Why this shape matches the paper: updates are O(poly(ϕ)) and queries
-O(1)-per-probe/O(1)-delay, so the write lock is held for constant time
-per command and readers page results between writes without ever
-rematerialising.  Per-view epoch bookkeeping (the engines' generation
-stamps surfaced by :meth:`Server.epochs`) is what lets a cursor fetched
-across that interleaving either resume safely or report precisely why
-it cannot (:mod:`repro.serve.cursors`).
+O(1)-per-probe/O(1)-delay, so each shard's write lock is held for
+constant time per command and readers page results between writes
+without ever rematerialising.  Per-view epoch bookkeeping (the engines'
+generation stamps surfaced by :meth:`Server.epochs`) is what lets a
+cursor fetched across that interleaving resume safely, revalidate
+against the update's O(δ) delta, or report precisely why it cannot
+(:mod:`repro.serve.cursors`).
 
 The request loop speaks plain dicts so a transport (socket, HTTP,
 queue) can be bolted on without touching the core::
@@ -26,8 +46,17 @@ queue) can be bolted on without touching the core::
 from __future__ import annotations
 
 import threading
-from contextlib import contextmanager
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from contextlib import ExitStack, contextmanager
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.api.session import Session, View
 from repro.errors import (
@@ -36,6 +65,7 @@ from repro.errors import (
     ReproError,
 )
 from repro.serve.cursors import Cursor
+from repro.serve.dispatch import DispatchPool
 from repro.serve.subscriptions import Delta, Subscription
 from repro.storage.database import Constant, Row
 from repro.storage.updates import (
@@ -56,7 +86,7 @@ class RWLock:
     mixed-client workload leans on.
 
     The thread holding the write side may re-acquire both sides freely:
-    subscription callbacks run inside the write path
+    synchronous subscription callbacks run inside the write path
     (:meth:`Server.apply` → delta dispatch), and a callback that reads
     the server back (``server.count(...)``) must not deadlock on the
     lock its own writer is holding.
@@ -117,28 +147,72 @@ class RWLock:
 class Server:
     """Multi-client serving dispatcher (thread-safe Session wrapper).
 
-    Reads (``fetch``/``count``/``answer``/``contains``/``poll``) run
-    under the shared side of a :class:`RWLock`; writes (``view``
-    registration, ``insert``/``delete``/``apply``/``batch``) take the
-    exclusive side, so every engine sees the paper's sequential
-    update model while clients overlap freely.
+    ``shards`` partitions the views across that many RW locks (see the
+    module docstring; 1 reproduces the seed's single-writer protocol).
+    ``dispatch_workers`` > 0 enables the async subscription dispatch
+    pool (``dispatch_queue`` bounds its backlog — the back-pressure
+    knob).  With multiple shards, use async dispatch when callbacks
+    read the server back: a *synchronous* callback runs while its
+    writer holds shard write locks, so reading its own view is safe
+    (reentrant), but reading a view on **another** shard can form a
+    lock cycle with a concurrent writer — a hard deadlock, not a wait.
+    Synchronous callbacks must touch only their own view; route
+    anything cross-view through the pool, whose workers hold no locks
+    (the same own-view rule applies transiently while the pool's queue
+    is saturated, because the back-pressured writer helps deliver).
     """
 
-    def __init__(self, session: Optional[Session] = None):
+    def __init__(
+        self,
+        session: Optional[Session] = None,
+        shards: int = 1,
+        dispatch_workers: int = 0,
+        dispatch_queue: int = 8192,
+    ):
+        if shards < 1:
+            raise EngineStateError(f"need >= 1 shard, got {shards}")
         self._session = session or Session()
-        self._lock = RWLock()
+        self._shards: List[RWLock] = [RWLock() for _ in range(shards)]
+        self._shard_of_view: Dict[str, int] = {}
+        self._shard_of_cursor: Dict[int, int] = {}
+        self._shard_of_subscription: Dict[int, int] = {}
+        self._relation_shards: Dict[str, Tuple[int, ...]] = {}
+        self._placed = 0  # round-robin view placement counter
+        self._pool: Optional[DispatchPool] = (
+            DispatchPool(dispatch_workers, dispatch_queue)
+            if dispatch_workers > 0
+            else None
+        )
         self._cursors: Dict[int, Cursor] = {}
         self._cursor_locks: Dict[int, threading.Lock] = {}
         self._subscriptions: Dict[int, Subscription] = {}
         self._next_id = 1
         self._id_lock = threading.Lock()
+        #: total reads served; approximate under concurrency (readers
+        #: deliberately do not serialise on a shared counter).
         self.reads = 0
-        self.writes = 0
+        #: exact per-shard write counters, bumped under the write lock
+        #: of the view's / first touched shard.
+        self._shard_writes = [0] * shards
+        for view in self._session.views:
+            self._place_view(view)
 
     @property
     def session(self) -> Session:
         """The wrapped session — only touch it single-threaded."""
         return self._session
+
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def writes(self) -> int:
+        return sum(self._shard_writes)
+
+    @property
+    def dispatcher(self) -> Optional[DispatchPool]:
+        return self._pool
 
     def _new_id(self) -> int:
         with self._id_lock:
@@ -147,15 +221,93 @@ class Server:
             return handle
 
     # ------------------------------------------------------------------
-    # view registration (exclusive)
+    # shard routing
+    # ------------------------------------------------------------------
+
+    def _place_view(self, view: View) -> int:
+        """Assign a view to a shard (round-robin) and index its
+        relations; caller holds all write locks."""
+        shard = self._placed % len(self._shards)
+        self._placed += 1
+        self._shard_of_view[view.name] = shard
+        for relation in view.query.relations:
+            known = set(self._relation_shards.get(relation, ()))
+            known.add(shard)
+            self._relation_shards[relation] = tuple(sorted(known))
+        return shard
+
+    def _reindex_relations(self) -> None:
+        """Rebuild the relation→shards map (after a view drop);
+        caller holds all write locks."""
+        fresh: Dict[str, set] = {}
+        for view in self._session.views:
+            shard = self._shard_of_view[view.name]
+            for relation in view.query.relations:
+                fresh.setdefault(relation, set()).add(shard)
+        self._relation_shards = {
+            relation: tuple(sorted(ids)) for relation, ids in fresh.items()
+        }
+
+    def shard_of(self, view: str) -> int:
+        """Which shard serves a view (introspection/tests)."""
+        try:
+            return self._shard_of_view[view]
+        except KeyError:
+            raise EngineStateError(f"no view named {view!r}") from None
+
+    @contextmanager
+    def _view_locked(self, view: str, write: bool = False) -> Iterator[None]:
+        """One view's shard lock, revalidated after acquisition.
+
+        The routing maps are read without a lock, so a concurrent
+        ``view()`` / ``drop_view()`` (which hold *all* shards) can move
+        the name between our read and our acquisition — re-check under
+        the lock and retry with the fresh placement.  Unknown views
+        fall back to shard 0 and let the session raise its precise
+        error under the lock.
+        """
+        while True:
+            shard = self._shard_of_view.get(view, 0)
+            lock = self._shards[shard]
+            with lock.write_locked() if write else lock.read_locked():
+                if self._shard_of_view.get(view, 0) == shard:
+                    yield
+                    return
+
+    @contextmanager
+    def _write_shards(self, ids: Sequence[int]) -> Iterator[None]:
+        """Exclusive locks on the given shards, ascending order (the
+        global deadlock-avoidance protocol for multi-shard writes)."""
+        with ExitStack() as stack:
+            for shard in sorted(set(ids)):
+                stack.enter_context(self._shards[shard].write_locked())
+            yield
+
+    @contextmanager
+    def _write_all(self) -> Iterator[None]:
+        with self._write_shards(range(len(self._shards))):
+            yield
+
+    def _shards_for_relation(self, relation: str) -> Tuple[int, ...]:
+        ids = self._relation_shards.get(relation)
+        if ids is None:
+            # Unknown relation: the session will raise SchemaError; take
+            # shard 0 so the error path still runs under a lock.
+            return (0,)
+        return ids
+
+    # ------------------------------------------------------------------
+    # view registration (exclusive everywhere: changes the routing)
     # ------------------------------------------------------------------
 
     def view(self, name: str, query: object, engine: str = "auto") -> View:
-        with self._lock.write_locked():
-            return self._session.view(name, query, engine=engine)
+        with self._write_all():
+            registered = self._session.view(name, query, engine=engine)
+            self._place_view(registered)
+            return registered
 
     def drop_view(self, name: str) -> None:
-        with self._lock.write_locked():
+        with self._write_all():
             dropped = self._session[name]
             self._session.drop_view(name)
             for handle, cursor in list(self._cursors.items()):
@@ -164,6 +316,9 @@ class Server:
             for handle, sub in list(self._subscriptions.items()):
                 if sub.view is dropped:
                     del self._subscriptions[handle]
+                    self._shard_of_subscription.pop(handle, None)
+            self._shard_of_view.pop(name, None)
+            self._reindex_relations()
 
     # ------------------------------------------------------------------
     # cursors
@@ -177,21 +332,24 @@ class Server:
     ) -> int:
         """Open a cursor; returns its handle for :meth:`fetch`.
 
-        Takes the write lock: registering the cursor must not race an
-        in-flight update's cursor notifications.
+        Takes the view's shard write lock: registering the cursor must
+        not race an in-flight update's cursor notifications.
         """
-        with self._lock.write_locked():
+        with self._view_locked(view, write=True):
             cursor = self._session[view].cursor(
                 binding=binding, snapshot=snapshot
             )
             handle = self._new_id()
             self._cursors[handle] = cursor
             self._cursor_locks[handle] = threading.Lock()
+            # the placement is stable under the held lock
+            self._shard_of_cursor[handle] = self._shard_of_view[view]
             return handle
 
     def fetch(self, cursor: int, n: int) -> List[Row]:
         """The cursor's next ``n`` tuples (see :meth:`Cursor.fetch`)."""
-        with self._lock.read_locked():
+        shard = self._shard_of_cursor.get(cursor, 0)
+        with self._shards[shard].read_locked():
             self.reads += 1
             handle_lock = self._cursor_locks.get(cursor)
             if handle_lock is None:
@@ -201,7 +359,8 @@ class Server:
 
     def cursor_state(self, cursor: int) -> Cursor:
         """The cursor object behind a handle (introspection)."""
-        with self._lock.read_locked():
+        shard = self._shard_of_cursor.get(cursor, 0)
+        with self._shards[shard].read_locked():
             try:
                 return self._cursors[cursor]
             except KeyError:
@@ -210,15 +369,18 @@ class Server:
                 ) from None
 
     def close_cursor(self, cursor: int) -> None:
-        with self._lock.write_locked():
+        shard = self._shard_of_cursor.get(cursor, 0)
+        with self._shards[shard].write_locked():
             handle = self._cursors.pop(cursor, None)
             self._cursor_locks.pop(cursor, None)
+            self._shard_of_cursor.pop(cursor, None)
             if handle is not None:
                 handle.close()
 
     def _release_cursor(self, handle: int) -> None:
         self._cursors.pop(handle, None)
         self._cursor_locks.pop(handle, None)
+        self._shard_of_cursor.pop(handle, None)
 
     # ------------------------------------------------------------------
     # subscriptions
@@ -230,20 +392,34 @@ class Server:
         callback: Optional[Callable[[Delta], None]] = None,
         max_pending: Optional[int] = None,
     ) -> int:
-        with self._lock.write_locked():
+        """Register a delta subscriber; returns its handle for
+        :meth:`poll`.
+
+        With ``dispatch_workers`` > 0 the subscription is wired to the
+        server's pool: deliveries (outbox append + callback) run on
+        workers in per-subscription FIFO order instead of in the
+        writer thread.
+        """
+        with self._view_locked(view, write=True):
             subscription = self._session[view].subscribe(
-                callback=callback, max_pending=max_pending
+                callback=callback,
+                max_pending=max_pending,
+                dispatcher=self._pool,
             )
             handle = self._new_id()
             self._subscriptions[handle] = subscription
+            self._shard_of_subscription[handle] = self._shard_of_view[view]
             return handle
 
     def poll(self, subscription: int, max_items: Optional[int] = None) -> List[Delta]:
         """Drain a subscription's outbox.
 
-        Runs outside the RW lock: the subscription serialises its own
-        outbox against the dispatching writer, so polling never blocks
-        (or is blocked by) other clients."""
+        Runs outside the RW locks: the subscription serialises its own
+        outbox against the delivering thread, so polling never blocks
+        (or is blocked by) other clients.  Under async dispatch the
+        poll first waits for this subscription's already-submitted
+        deliveries (the pool's drain barrier), so it observes every
+        write that returned before the poll started."""
         try:
             target = self._subscriptions[subscription]
         except KeyError:
@@ -253,13 +429,15 @@ class Server:
         return target.poll(max_items)
 
     def unsubscribe(self, subscription: int) -> None:
-        with self._lock.write_locked():
+        shard = self._shard_of_subscription.get(subscription, 0)
+        with self._shards[shard].write_locked():
             target = self._subscriptions.pop(subscription, None)
+            self._shard_of_subscription.pop(subscription, None)
             if target is not None:
                 target.close()
 
     # ------------------------------------------------------------------
-    # updates (exclusive)
+    # updates (exclusive on the touched shards only)
     # ------------------------------------------------------------------
 
     def insert(self, relation: str, row: Sequence[Constant]) -> bool:
@@ -269,49 +447,65 @@ class Server:
         return self.apply(delete_command(relation, row))
 
     def apply(self, command: UpdateCommand) -> bool:
-        with self._lock.write_locked():
-            self.writes += 1
-            return self._session.apply(command)
+        # Same revalidate-after-acquire dance as _view_locked: a view
+        # registered between our routing read and our lock acquisition
+        # could widen the relation's shard set, and mutating its engine
+        # without holding its shard would race that shard's readers.
+        while True:
+            shard_ids = self._shards_for_relation(command.relation)
+            with self._write_shards(shard_ids):
+                if self._shards_for_relation(command.relation) == shard_ids:
+                    self._shard_writes[shard_ids[0]] += 1
+                    return self._session.apply(command)
 
     def batch(self, commands: Iterable[UpdateCommand]) -> Dict[str, int]:
-        """Apply a transactional, net-effect-compressed batch."""
-        with self._lock.write_locked():
-            self.writes += 1
+        """Apply a transactional, net-effect-compressed batch.
+
+        Takes every shard: the batch must look atomic to all views."""
+        with self._write_all():
+            self._shard_writes[0] += 1
             with self._session.batch() as batch:
                 batch.apply_all(commands)
             return dict(batch.stats or {})
 
     # ------------------------------------------------------------------
-    # reads (shared)
+    # reads (shared, single shard)
     # ------------------------------------------------------------------
 
     def count(self, view: str) -> int:
-        with self._lock.read_locked():
+        with self._view_locked(view):
             self.reads += 1
             return self._session[view].count()
 
     def answer(self, view: str) -> bool:
-        with self._lock.read_locked():
+        with self._view_locked(view):
             self.reads += 1
             return self._session[view].answer()
 
     def contains(self, view: str, row: Sequence[Constant]) -> bool:
-        with self._lock.read_locked():
+        with self._view_locked(view):
             self.reads += 1
             return self._session[view].contains(row)
 
     def explain(self, view: str) -> str:
-        with self._lock.read_locked():
+        with self._view_locked(view):
             return self._session[view].explain().render()
 
     def epochs(self) -> Dict[str, int]:
         """Per-view epoch bookkeeping: view name → generation stamp."""
-        with self._lock.read_locked():
+        with self._read_all():
             return {v.name: v.epoch for v in self._session.views}
 
+    @contextmanager
+    def _read_all(self) -> Iterator[None]:
+        with ExitStack() as stack:
+            for lock in self._shards:
+                stack.enter_context(lock.read_locked())
+            yield
+
     def stats(self) -> Dict[str, object]:
-        with self._lock.read_locked():
-            return {
+        with self._read_all():
+            report: Dict[str, object] = {
                 "views": {v.name: v.engine_name for v in self._session.views},
                 "epochs": {v.name: v.epoch for v in self._session.views},
                 "cardinality": self._session.cardinality,
@@ -319,7 +513,40 @@ class Server:
                 "subscriptions": len(self._subscriptions),
                 "reads": self.reads,
                 "writes": self.writes,
+                "shards": len(self._shards),
+                "shard_of_view": dict(self._shard_of_view),
+                "shard_writes": list(self._shard_writes),
             }
+            if self._pool is not None:
+                report["dispatch"] = {
+                    "workers": self._pool.workers,
+                    "submitted": self._pool.submitted,
+                    "delivered": self._pool.delivered,
+                    "pending": self._pool.pending,
+                }
+            return report
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Wait until every submitted async delivery has completed
+        (no-op under synchronous dispatch)."""
+        if self._pool is not None:
+            self._pool.drain()
+
+    def close(self) -> None:
+        """Drain and stop the dispatch pool (idempotent); the server
+        keeps serving, falling back to synchronous delivery."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # the request loop
@@ -457,7 +684,13 @@ class Server:
         raise EngineStateError(f"unknown request op {op!r}")
 
     def __repr__(self) -> str:
+        mode = (
+            f"dispatch={self._pool.workers}w"
+            if self._pool is not None
+            else "dispatch=sync"
+        )
         return (
-            f"Server({self._session!r}, cursors={len(self._cursors)}, "
+            f"Server({self._session!r}, shards={len(self._shards)}, {mode}, "
+            f"cursors={len(self._cursors)}, "
             f"subscriptions={len(self._subscriptions)})"
         )

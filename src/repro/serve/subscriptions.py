@@ -11,11 +11,18 @@ valuation counts for the delta-IVM fallback.  Views without subscribers
 never pay for the capture.
 
 Each change is wrapped in a :class:`Delta` and fanned out to every
-:class:`Subscription` of the view: appended to the subscription's
-outbox queue (drained with :meth:`~Subscription.poll`) and, when the
-subscriber registered a callback, delivered synchronously.  Replaying a
-view's deltas in order onto a set reproduces ``result_set()`` exactly —
-the invariant the serving test-suite checks on randomized streams.
+:class:`Subscription` of the view.  Delivery — the outbox append plus
+the optional callback — happens either *synchronously in the writer
+thread* (the default, and the only mode when the subscription has no
+dispatcher) or *asynchronously* on a
+:class:`~repro.serve.dispatch.DispatchPool`: the writer merely submits,
+and a worker performs the delivery in per-subscription FIFO order.
+Either way, replaying a view's deltas in order onto a set reproduces
+``result_set()`` exactly — the invariant the serving test-suite checks
+on randomized streams; :meth:`Subscription.poll` waits for the
+already-submitted deliveries of *this* subscription before draining, so
+async dispatch never makes a poll observe fewer deltas than a
+synchronous one would have.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional, Tuple
 
+from repro.serve.dispatch import DispatchPool
 from repro.storage.database import Row
 from repro.storage.updates import UpdateCommand
 
@@ -65,10 +73,12 @@ class Subscription:
 
     Obtained via :meth:`repro.api.session.View.subscribe`.  Deltas
     accumulate in the outbox until :meth:`poll` drains them; an
-    optional ``callback`` is additionally invoked synchronously per
-    delta (from the updating thread — keep it cheap, it runs inside
-    the write path).  A raising callback never disturbs the update or
-    the other subscribers: the error lands in
+    optional ``callback`` is additionally invoked per delta.  Without a
+    ``dispatcher`` the delivery runs synchronously in the updating
+    thread (keep callbacks cheap — they hold up the write path); with
+    one, the writer only submits and a pool worker delivers, so slow
+    consumers stop taxing writers.  A raising callback never disturbs
+    the update or the other subscribers: the error lands in
     :attr:`callback_errors` / :attr:`last_callback_error` instead.
 
     ``max_pending`` bounds the outbox: when full, the *oldest* deltas
@@ -81,14 +91,16 @@ class Subscription:
         view,
         callback: Optional[Callable[[Delta], None]] = None,
         max_pending: Optional[int] = None,
+        dispatcher: Optional[DispatchPool] = None,
     ):
         self._view = view
         self._callback = callback
         self._outbox: Deque[Delta] = deque(maxlen=max_pending)
         self._max_pending = max_pending
-        # Serialises _dispatch (the writer) against poll (any consumer
-        # thread): the full-outbox drop accounting needs the length
-        # check and the evicting append to be atomic.
+        self._dispatcher = dispatcher
+        # Serialises delivery (writer thread or pool worker) against
+        # poll (any consumer thread): the full-outbox drop accounting
+        # needs the length check and the evicting append to be atomic.
         self._lock = threading.Lock()
         self.dropped = 0
         self.delivered = 0
@@ -99,6 +111,18 @@ class Subscription:
         self.callback_errors = 0
         self.last_callback_error: Optional[BaseException] = None
         self._closed = False
+        # Async-dispatch state, owned by the DispatchPool's lock: the
+        # per-subscription FIFO queue, the "some worker holds me"
+        # flag, and the submitted/done counters behind poll's barrier.
+        self._async_pending: Deque[Delta] = deque()
+        self._async_scheduled = False
+        self._async_submitted = 0
+        self._async_done = 0
+        #: ident of the thread currently delivering to this
+        #: subscription (set by the pool around ``_deliver_now``) —
+        #: lets a callback poll its own subscription without waiting
+        #: on the delivery it is itself inside of.
+        self._delivering_thread: Optional[int] = None
         view._register_subscription(self)
 
     @property
@@ -113,8 +137,27 @@ class Subscription:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def dispatcher(self) -> Optional[DispatchPool]:
+        return self._dispatcher
+
     def poll(self, max_items: Optional[int] = None) -> List[Delta]:
-        """Drain up to ``max_items`` queued deltas (all by default)."""
+        """Drain up to ``max_items`` queued deltas (all by default).
+
+        Under async dispatch this first waits for every delta submitted
+        *before the call* to land in the outbox (the pool's drain
+        barrier), so a poll issued after a write deterministically
+        observes that write — exactly like synchronous dispatch.  A
+        poll issued from *inside this subscription's own callback*
+        skips the barrier (it would wait on the delivery it is part
+        of); the triggering delta is already in the outbox, appended
+        before the callback ran.
+        """
+        if (
+            self._dispatcher is not None
+            and self._delivering_thread != threading.get_ident()
+        ):
+            self._dispatcher.wait_for(self, self._async_submitted)
         out: List[Delta] = []
         with self._lock:
             while self._outbox and (
@@ -133,8 +176,17 @@ class Subscription:
     # -- dispatch (called by the owning view) ---------------------------------
 
     def _dispatch(self, delta: Delta) -> None:
+        """Route one delta: submit to the pool, or deliver inline."""
         if self._closed:
             return
+        if self._dispatcher is not None:
+            self._async_submitted += 1
+            self._dispatcher.submit(self, delta)
+        else:
+            self._deliver_now(delta)
+
+    def _deliver_now(self, delta: Delta) -> None:
+        """The actual delivery: outbox append + callback invocation."""
         with self._lock:
             if (
                 self._max_pending is not None
@@ -152,8 +204,9 @@ class Subscription:
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
+        mode = "async" if self._dispatcher is not None else "sync"
         return (
-            f"Subscription({self._view.name!r}, {state}, "
+            f"Subscription({self._view.name!r}, {state}, {mode}, "
             f"pending={len(self._outbox)}, delivered={self.delivered}, "
             f"dropped={self.dropped})"
         )

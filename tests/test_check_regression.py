@@ -1,0 +1,146 @@
+"""The CI perf-regression gate: tracked-metric comparison logic."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+SCRIPT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_regression.py"
+)
+spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def write(path, blob):
+    path.write_text(json.dumps(blob), encoding="utf-8")
+    return path
+
+
+def serving_blob(sharded=2.2, async_speedup=10.0, flatness=1.1, delta=20000.0):
+    return {
+        "cursor_resume": {"cursor_last_over_first": flatness},
+        "subscription_delta": {"speedup": delta},
+        "sharded_writes": {"speedup_at_max_shards": sharded},
+        "async_dispatch": {"writer_speedup": async_speedup},
+    }
+
+
+def test_dig_walks_dotted_paths():
+    blob = {"a": {"b": {"c": 1.5}}, "flag": True}
+    assert check_regression.dig(blob, "a.b.c") == 1.5
+    assert check_regression.dig(blob, "a.missing") is None
+    assert check_regression.dig(blob, "flag") is None  # bools not metrics
+
+
+def test_within_tolerance_passes(tmp_path):
+    baseline = write(tmp_path / "base.json", serving_blob())
+    fresh = write(tmp_path / "fresh.json", serving_blob(sharded=1.9))
+    regressions, notes = check_regression.check_experiment(
+        "serving", baseline, fresh, 0.30
+    )
+    assert regressions == []
+    assert any("ok" in line for line in notes)
+
+
+def test_absolute_guardrail_turns_red(tmp_path):
+    baseline = write(tmp_path / "base.json", serving_blob())
+    fresh = write(
+        tmp_path / "fresh.json", serving_blob(async_speedup=0.9)
+    )  # a 2x-slowdown-style collapse: below the 1.5 guardrail
+    regressions, _ = check_regression.check_experiment(
+        "serving", baseline, fresh, 0.30
+    )
+    assert len(regressions) == 1
+    assert "async_dispatch.writer_speedup" in regressions[0]
+
+
+def test_lower_is_better_direction(tmp_path):
+    baseline = write(tmp_path / "base.json", serving_blob())
+    fresh = write(tmp_path / "fresh.json", serving_blob(flatness=9.0))
+    regressions, _ = check_regression.check_experiment(
+        "serving", baseline, fresh, 0.30
+    )
+    assert any("cursor_last_over_first" in line for line in regressions)
+
+
+def test_relative_mode_uses_the_committed_baseline(tmp_path):
+    base_blob = {
+        "aggregates": {
+            "update_engine_geomean": 3.0,
+            "update_procedure_geomean": 3.0,
+            "preprocessing_geomean": 4.0,
+            "merged_loader_geomean": 1.1,
+        }
+    }
+    fresh_blob = json.loads(json.dumps(base_blob))
+    fresh_blob["aggregates"]["update_engine_geomean"] = 1.9  # > 30% drop
+    baseline = write(tmp_path / "base.json", base_blob)
+    fresh = write(tmp_path / "fresh.json", fresh_blob)
+    regressions, _ = check_regression.check_experiment(
+        "update_throughput", baseline, fresh, 0.30
+    )
+    assert len(regressions) == 1
+    assert "update_engine_geomean" in regressions[0]
+    # looser tolerance absorbs the same drop — the override knob
+    regressions, _ = check_regression.check_experiment(
+        "update_throughput", baseline, fresh, 0.50
+    )
+    assert regressions == []
+
+
+def test_metric_missing_from_fresh_run_is_a_failure(tmp_path):
+    baseline = write(tmp_path / "base.json", serving_blob())
+    blob = serving_blob()
+    del blob["sharded_writes"]
+    fresh = write(tmp_path / "fresh.json", blob)
+    regressions, _ = check_regression.check_experiment(
+        "serving", baseline, fresh, 0.30
+    )
+    assert any("stopped emitting" in line for line in regressions)
+
+
+def test_relative_metric_missing_from_baseline_is_skipped(tmp_path):
+    baseline = write(tmp_path / "base.json", {"aggregates": {}})
+    fresh = write(
+        tmp_path / "fresh.json",
+        {
+            "aggregates": {
+                "update_engine_geomean": 3.0,
+                "update_procedure_geomean": 3.0,
+                "preprocessing_geomean": 4.0,
+                "merged_loader_geomean": 1.1,
+            }
+        },
+    )
+    regressions, notes = check_regression.check_experiment(
+        "update_throughput", baseline, fresh, 0.30
+    )
+    # relative metrics skip with a note; the absolute guardrail
+    # (preprocessing) still runs
+    assert regressions == []
+    assert sum("skip" in line for line in notes) == 3
+    assert any("preprocessing_geomean" in line and "ok" in line for line in notes)
+
+
+def test_main_cli_exit_codes(tmp_path):
+    baseline_dir = check_regression.EXPERIMENTS
+    fresh = write(tmp_path / "fresh.json", serving_blob())
+    # the real committed baseline is used; all guardrail metrics pass
+    assert (
+        check_regression.main(["--fresh-serving", str(fresh)]) == 0
+    )
+    bad = write(tmp_path / "bad.json", serving_blob(sharded=0.5))
+    assert check_regression.main(["--fresh-serving", str(bad)]) == 1
+    assert check_regression.main([]) == 2
+    assert (
+        check_regression.main(
+            ["--fresh-serving", str(tmp_path / "missing.json")]
+        )
+        == 2
+    )
+    assert baseline_dir["serving"].is_file()  # sanity: repo baseline exists

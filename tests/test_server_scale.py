@@ -1,0 +1,343 @@
+"""The scaled serving layer: sharded writes and async dispatch.
+
+Covers the :class:`repro.serve.Server` scaling surface:
+
+* **view-affine sharding** — round-robin placement, relation→shard
+  routing (one write takes exactly the shards whose views mention the
+  relation, ascending order), cross-shard fan-out when two views on
+  different shards share a relation, and batches looking atomic
+  everywhere;
+* **async subscription dispatch** — deliveries leave the writer
+  thread, per-subscription FIFO keeps delta epochs increasing, the
+  drain barrier makes poll deterministic, back-pressure bounds the
+  backlog, and a closed pool degrades to inline delivery;
+* **differential ends** — after any concurrent run, every view equals
+  a sequential oracle over the session's final rows, and subscription
+  replay reproduces ``result_set()`` exactly.
+"""
+
+import random
+import threading
+import time
+from typing import List
+
+import pytest
+
+from repro.api import Session
+from repro.errors import EngineStateError
+from repro.serve import DispatchPool, Server
+from repro.storage.updates import insert
+
+N_VIEWS = 4
+
+
+def disjoint_server(shards, **kwargs):
+    server = Server(shards=shards, **kwargs)
+    for i in range(N_VIEWS):
+        server.view(f"v{i}", f"V(x, y) :- E{i}(x, y), T{i}(y)")
+    return server
+
+
+def churn(server, index, seed, rounds=120):
+    rng = random.Random(seed)
+    for step in range(rounds):
+        if rng.random() < 0.75:
+            server.insert(f"E{index}", (rng.randint(1, 30), rng.randint(1, 6)))
+        elif rng.random() < 0.5:
+            server.insert(f"T{index}", (rng.randint(1, 6),))
+        else:
+            server.delete(f"E{index}", (rng.randint(1, 30), rng.randint(1, 6)))
+
+
+def expected_result(server, index):
+    e_rows = server.session.rows(f"E{index}")
+    t_rows = server.session.rows(f"T{index}")
+    return {(x, y) for (x, y) in e_rows if (y,) in t_rows}
+
+
+# ---------------------------------------------------------------------------
+# sharded write path
+# ---------------------------------------------------------------------------
+
+
+def test_views_place_round_robin_and_writes_route_by_relation():
+    server = disjoint_server(shards=4)
+    assert [server.shard_of(f"v{i}") for i in range(4)] == [0, 1, 2, 3]
+    assert server._relation_shards["E2"] == (2,)
+    server.insert("E3", (1, 1))
+    assert server._shard_writes == [0, 0, 0, 1]  # only shard 3 wrote
+    stats = server.stats()
+    assert stats["shards"] == 4 and stats["shard_of_view"]["v1"] == 1
+
+
+def test_shared_relation_fans_out_across_shards():
+    server = Server(shards=2)
+    server.view("a", "A(x, y) :- E(x, y), L(y)")  # shard 0
+    server.view("b", "B(x) :- E(x, x)")  # shard 1: E is shared
+    assert server._relation_shards["E"] == (0, 1)
+    server.insert("L", (2,))
+    server.insert("E", (1, 2))
+    server.insert("E", (3, 3))
+    assert server.count("a") == 1 and server.count("b") == 1
+    assert server.epochs() == {"a": 3, "b": 2}  # L only touched shard 0
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_concurrent_disjoint_writers_match_sequential_oracle(shards):
+    server = disjoint_server(shards=shards)
+    subscriptions = [server.subscribe(f"v{i}") for i in range(N_VIEWS)]
+    threads = [
+        threading.Thread(target=churn, args=(server, i, 1000 + i))
+        for i in range(N_VIEWS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for i in range(N_VIEWS):
+        view = server.session[f"v{i}"]
+        assert view.result_set() == expected_result(server, i)
+        mirror = set()
+        epochs = []
+        for delta in server.poll(subscriptions[i]):
+            mirror |= set(delta.added)
+            mirror -= set(delta.removed)
+            epochs.append(delta.epoch)
+        assert mirror == view.result_set()
+        assert epochs == sorted(epochs) and len(set(epochs)) == len(epochs)
+
+
+def test_cross_shard_writers_on_a_shared_relation_stay_consistent():
+    server = Server(shards=4)
+    server.view("left", "L(x, y) :- E(x, y), A(y)")
+    server.view("right", "R(x, y) :- E(x, y), B(y)")
+    server.view("third", "T3(x) :- C(x)")
+
+    def writer(seed):
+        rng = random.Random(seed)
+        for _ in range(150):
+            roll = rng.random()
+            if roll < 0.5:
+                server.insert("E", (rng.randint(1, 20), rng.randint(1, 5)))
+            elif roll < 0.7:
+                server.insert("A", (rng.randint(1, 5),))
+            elif roll < 0.9:
+                server.insert("B", (rng.randint(1, 5),))
+            else:
+                server.delete("E", (rng.randint(1, 20), rng.randint(1, 5)))
+
+    threads = [threading.Thread(target=writer, args=(s,)) for s in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    e_rows = server.session.rows("E")
+    a_rows = server.session.rows("A")
+    b_rows = server.session.rows("B")
+    assert server.session["left"].result_set() == {
+        (x, y) for (x, y) in e_rows if (y,) in a_rows
+    }
+    assert server.session["right"].result_set() == {
+        (x, y) for (x, y) in e_rows if (y,) in b_rows
+    }
+
+
+def test_batch_is_atomic_across_shards():
+    server = disjoint_server(shards=4)
+    stats = server.batch(
+        [insert("E0", (1, 1)), insert("T0", (1,)), insert("E3", (2, 2)),
+         insert("T3", (2,))]
+    )
+    assert stats["applied"] == 4
+    assert server.count("v0") == 1 and server.count("v3") == 1
+
+
+def test_drop_view_reroutes_relations():
+    server = disjoint_server(shards=2)
+    server.drop_view("v0")
+    with pytest.raises(EngineStateError):
+        server.shard_of("v0")
+    assert "E0" not in server._relation_shards
+    server.insert("E1", (1, 1))  # routing still works after reindex
+    assert server.count("v1") == 0
+
+
+def test_single_shard_server_rejects_bad_shard_count():
+    with pytest.raises(EngineStateError):
+        Server(shards=0)
+
+
+def test_wrapping_a_prepopulated_session_places_existing_views():
+    session = Session()
+    session.view("a", "A(x) :- R(x)")
+    session.view("b", "B(x) :- S(x)")
+    server = Server(session, shards=2)
+    assert {server.shard_of("a"), server.shard_of("b")} == {0, 1}
+    server.insert("R", (1,))
+    assert server.count("a") == 1
+
+
+# ---------------------------------------------------------------------------
+# async subscription dispatch
+# ---------------------------------------------------------------------------
+
+
+def test_async_dispatch_replay_is_identical_and_polls_deterministically():
+    with Server(shards=2, dispatch_workers=2) as server:
+        server.view("v", "V(x, y) :- E(x, y), T(y)")
+        subscription = server.subscribe("v")
+        rng = random.Random(3)
+        for value in range(5):
+            server.insert("T", (value,))
+        for _ in range(200):
+            if rng.random() < 0.7:
+                server.insert("E", (rng.randint(1, 40), rng.randrange(5)))
+            else:
+                server.delete("E", (rng.randint(1, 40), rng.randrange(5)))
+        # drain barrier: a poll after the writes observes all of them —
+        # no explicit drain() needed
+        mirror = set()
+        epochs = []
+        for delta in server.poll(subscription):
+            mirror |= set(delta.added)
+            mirror -= set(delta.removed)
+            epochs.append(delta.epoch)
+        assert mirror == server.session["v"].result_set()
+        assert epochs == sorted(epochs) and len(set(epochs)) == len(epochs)
+
+
+def test_async_callbacks_run_off_the_writer_thread():
+    with Server(dispatch_workers=1) as server:
+        server.view("v", "V(x) :- R(x)")
+        delivery_threads = []
+        handle = server.subscribe(
+            "v", callback=lambda d: delivery_threads.append(
+                threading.get_ident()
+            )
+        )
+        for i in range(5):
+            server.insert("R", (i,))
+        server.drain()
+        assert len(server.poll(handle)) == 5
+        assert delivery_threads and all(
+            t != threading.get_ident() for t in delivery_threads
+        )
+
+
+def test_sync_dispatch_remains_in_writer_thread_by_default():
+    server = Server()
+    server.view("v", "V(x) :- R(x)")
+    delivery_threads = []
+    server.subscribe(
+        "v", callback=lambda d: delivery_threads.append(threading.get_ident())
+    )
+    server.insert("R", (1,))
+    assert delivery_threads == [threading.get_ident()]
+
+
+def test_backpressure_bounds_the_backlog():
+    session = Session()
+    view = session.view("v", "V(x) :- R(x)")
+    pool = DispatchPool(workers=1, max_queue=3)
+    observed = []
+
+    def slow_callback(delta):
+        time.sleep(0.002)
+
+    subscription = view.subscribe(callback=slow_callback, dispatcher=pool)
+    for i in range(30):
+        session.insert("R", (i,))
+        observed.append(pool.pending)
+    assert max(observed) <= 3  # submit blocked instead of queueing deeper
+    pool.drain()
+    assert len(subscription.poll()) == 30
+    assert subscription.delivered == 30
+    pool.close()
+
+
+def test_closed_pool_degrades_to_inline_delivery():
+    session = Session()
+    view = session.view("v", "V(x) :- R(x)")
+    pool = DispatchPool(workers=1)
+    subscription = view.subscribe(dispatcher=pool)
+    session.insert("R", (1,))
+    pool.close()
+    session.insert("R", (2,))  # delivered inline by the writer
+    assert [d.added for d in subscription.poll()] == [(((1,),)), (((2,),))]
+    pool.close()  # idempotent
+
+
+def test_max_pending_drop_accounting_still_works_async():
+    with Server(dispatch_workers=2) as server:
+        server.view("v", "V(x) :- R(x)")
+        handle = server.subscribe("v", max_pending=2)
+        for i in range(6):
+            server.insert("R", (i,))
+        server.drain()
+        subscription = server._subscriptions[handle]
+        assert subscription.dropped == 4
+        assert [d.added for d in server.poll(handle)] == [
+            (((4,),)),
+            (((5,),)),
+        ]
+
+
+def test_callback_may_poll_its_own_subscription_under_async_dispatch():
+    # The notify-then-drain pattern: a callback that polls its own
+    # subscription must not deadlock on the pool's drain barrier (the
+    # delta being delivered is already in the outbox).
+    done = threading.Event()
+    polled: List[object] = []
+    with Server(dispatch_workers=1) as server:
+        server.view("v", "V(x) :- R(x)")
+        handle_box: List[int] = []
+
+        def callback(delta):
+            polled.extend(server.poll(handle_box[0]))
+            done.set()
+
+        handle_box.append(server.subscribe("v", callback=callback))
+        server.insert("R", (1,))
+        assert done.wait(timeout=5), "callback self-poll deadlocked"
+        server.drain()
+    assert [d.added for d in polled] == [(((1,),))]
+
+
+def test_backpressure_with_reentrant_callbacks_makes_progress():
+    # Saturated queue + callbacks that read the server back: the
+    # back-pressured writer must help deliver instead of deadlocking
+    # against the worker that is blocked on the writer's shard lock.
+    counts: List[int] = []
+    with Server(dispatch_workers=1, dispatch_queue=1) as server:
+        server.view("v", "V(x) :- R(x)")
+        handle = server.subscribe(
+            "v", callback=lambda d: counts.append(server.count("v"))
+        )
+        done = threading.Event()
+
+        def writer():
+            for i in range(25):
+                server.insert("R", (i,))
+            done.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        assert done.wait(timeout=10), "writer wedged on back-pressure"
+        thread.join()
+        server.drain()
+        assert len(server.poll(handle)) == 25
+    assert len(counts) == 25
+
+
+def test_stats_surface_shards_and_dispatch():
+    with Server(shards=3, dispatch_workers=2) as server:
+        server.view("v", "V(x) :- R(x)")
+        server.subscribe("v")
+        server.insert("R", (1,))
+        server.drain()
+        stats = server.stats()
+        assert stats["shards"] == 3
+        assert sum(stats["shard_writes"]) == stats["writes"] == 1
+        assert stats["dispatch"]["workers"] == 2
+        assert stats["dispatch"]["delivered"] == 1
+        assert stats["dispatch"]["pending"] == 0

@@ -294,11 +294,13 @@ def test_cursor_survives_updates_to_other_views():
 
 
 def test_cursor_invalidation_is_precise():
+    # Genuinely invalidating: the write removes a tuple the cursor has
+    # already handed out, so no consistent resume exists.
     session, view, _ = make_feed_session()
     opened = view.epoch
     cursor = view.cursor()
-    cursor.fetch(1)
-    command = insert("E", (99, 0))
+    first = cursor.fetch(1)[0]
+    command = delete("E", first)  # F(x, y) :- E(x, y), T(y): direct hit
     session.apply(command)
     with pytest.raises(CursorInvalidatedError) as excinfo:
         cursor.fetch(1)
@@ -314,19 +316,20 @@ def test_cursor_invalidation_is_precise():
         cursor.fetch(1)
 
 
-def test_cursor_invalidated_even_when_result_unchanged():
-    # The engine's internal enumeration state changed, so resuming is
-    # not safe even though the visible result did not move.
+def test_cursor_revalidates_on_empty_delta_and_after_frontier_writes():
+    # A touching write with an empty delta (the result did not move)
+    # re-anchors the walk instead of killing the cursor; so does a
+    # write whose delta lands entirely beyond what was fetched.
     session, view, _ = make_feed_session()
     cursor = view.cursor()
-    cursor.fetch(1)
-    session.insert("E", (50, 1))  # (50,1) needs T(1): present -> changes
-    session2, view2, _ = make_feed_session()
-    cursor2 = view2.cursor()
-    cursor2.fetch(1)
-    session2.insert("E", (77, 2))  # T(2) present as well
-    with pytest.raises(CursorInvalidatedError):
-        cursor2.fetch(1)
+    got = cursor.fetch(1)
+    session.insert("E", (50, 9))  # T(9) absent: touching, delta empty
+    assert cursor.valid and cursor.revalidations == 1
+    session.insert("E", (77, 2))  # T(2) present: delta adds (77, 2)
+    assert cursor.valid and cursor.revalidations == 2
+    got += cursor.fetch_all()  # the rebuilt walk serves the remainder
+    assert sorted(got) == sorted(view.result_set())
+    assert len(got) == len(set(got))
 
 
 def test_snapshot_cursor_pins_pre_update_result():
@@ -374,8 +377,18 @@ def test_plain_and_snapshot_cursor_interleaving_property():
             remaining = cursor.fetch_all() if not cursor.exhausted else []
             assert got + remaining == pre  # the pinned pre-update result
         elif not invalidated:
-            # never interrupted: a prefix of the pre-update enumeration
-            assert got == pre[: len(got)]
+            # survived every touching write: the revalidated cursor
+            # enumerates exactly the FINAL result, duplicate-free (the
+            # emitted prefix stayed live, the rebuilt walk served the
+            # rest)
+            total = got + (cursor.fetch_all() if not cursor.exhausted else [])
+            assert len(total) == len(set(total))
+            assert set(total) == view.result_set()
+        else:
+            # invalidated: the precise report matches what was consumed
+            report = cursor.invalidation
+            assert report is not None and report.fetched == len(got)
+            assert report.command is not None and not report.command.is_insert
 
 
 def test_bound_cursor_prefix_and_filter():
@@ -613,17 +626,26 @@ def test_server_request_loop_roundtrip():
     assert replies[8]["epochs"]["v"] == 4
     assert replies[9]["ok"] is False
 
-    # the cursor was invalidated by the two later inserts — precisely
+    # the two later inserts only added beyond the cursor's (empty)
+    # frontier, so it revalidated and serves the updated result
+    reply = server.handle({"op": "fetch", "cursor": cursor, "n": 1})
+    assert reply["ok"] is True and len(reply["rows"]) == 1
+    emitted = reply["rows"][0]
+
+    # deleting the emitted row is genuinely invalidating — precisely
+    server.handle({"op": "delete", "relation": "R", "row": emitted})
     reply = server.handle({"op": "fetch", "cursor": cursor, "n": 10})
     assert reply["ok"] is False
     assert reply["error"] == "CursorInvalidatedError"
     assert reply["invalidation"]["view"] == "v"
-    assert reply["invalidation"]["fetched"] == 0
+    assert reply["invalidation"]["fetched"] == 1
 
     polled = server.handle({"op": "poll", "subscription": subscription})
-    assert [d["added"] for d in polled["deltas"]] == [[(2,)]]
+    assert [d["added"] for d in polled["deltas"]] == [[(2,)], []]
+    assert [d["removed"] for d in polled["deltas"]] == [[], [emitted]]
 
-    # fresh cursor pages fine through the loop
+    # restore the deleted row; a fresh cursor pages fine through the loop
+    server.handle({"op": "insert", "relation": "R", "row": emitted})
     cursor = server.handle({"op": "open_cursor", "view": "v"})["cursor"]
     rows = server.handle({"op": "fetch", "cursor": cursor, "n": 10})
     assert sorted(rows["rows"]) == [(1,), (2,)] and rows["exhausted"]
