@@ -27,6 +27,13 @@ skipped with a note (older baselines predate newer benches); missing
 from the *fresh* run it fails — the bench stopped emitting something
 it should.
 
+Machine-readable output: ``--json-out gate.json`` writes one verdict
+record per tracked metric (experiment, metric, fresh/baseline values,
+bound, status) plus the overall outcome — what dashboards and the
+nightly workflow consume.  When ``GITHUB_STEP_SUMMARY`` is set (any
+GitHub Actions job), the same verdicts are appended to the job summary
+as a markdown table, so the gate is readable without log digging.
+
 Exit status: 0 all tracked metrics within tolerance, 1 regression(s),
 2 usage/IO errors.
 """
@@ -75,6 +82,13 @@ TRACKED: Dict[str, List[Tuple[str, str, object]]] = {
         ("cursor_resume.cursor_last_over_first", "lower", 3.0),
         ("subscription_delta.speedup", "higher", 10.0),
         ("sharded_writes.speedup_at_max_shards", "higher", 1.25),
+        # The cluster-vs-threads ratio holds its own in --quick runs
+        # (both sides measured in the same process on the same sizes),
+        # but shared CI runners with 2 vCPUs squeeze a 4-process
+        # cluster much harder than 4 threads — the guardrail is set
+        # where only a genuinely broken transport (ratio collapsing
+        # towards or below 1) trips it.
+        ("multiprocess_shards.speedup_vs_inprocess_best", "higher", 1.1),
         ("async_dispatch.writer_speedup", "higher", 1.5),
     ],
 }
@@ -91,31 +105,50 @@ def dig(blob: Dict[str, object], path: str) -> Optional[float]:
     return float(node)
 
 
-def check_experiment(
+def evaluate_experiment(
     name: str,
-    baseline_path: pathlib.Path,
-    fresh_path: pathlib.Path,
+    baseline: Dict[str, object],
+    fresh: Dict[str, object],
     tolerance: float,
-) -> Tuple[List[str], List[str]]:
-    """Returns (regressions, notes) for one experiment's tracked set."""
-    regressions: List[str] = []
-    notes: List[str] = []
-    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
-    fresh = json.loads(fresh_path.read_text(encoding="utf-8"))
+    baseline_name: str = "baseline",
+    fresh_name: str = "fresh",
+) -> List[Dict[str, object]]:
+    """One machine-readable verdict record per tracked metric.
+
+    ``status`` is ``"ok"``, ``"regressed"``, ``"skipped"`` (relative
+    metric absent from the baseline) or ``"missing"`` (absent from the
+    fresh run — counted as a regression).
+    """
+    records: List[Dict[str, object]] = []
     for path, direction, mode in TRACKED[name]:
+        record: Dict[str, object] = {
+            "experiment": name,
+            "metric": path,
+            "direction": direction,
+            "mode": "relative" if mode == "relative" else "absolute",
+            "tolerance": tolerance if mode == "relative" else None,
+        }
         base_value = dig(baseline, path)
+        record["baseline"] = base_value
         if mode == "relative" and base_value is None:
-            notes.append(
-                f"  skip {name}:{path} — not in baseline "
-                f"{baseline_path.name} (predates this metric?)"
+            record.update(
+                status="skipped",
+                fresh=None,
+                bound=None,
+                note=f"not in {baseline_name} (predates this metric?)",
             )
+            records.append(record)
             continue
         fresh_value = dig(fresh, path)
+        record["fresh"] = fresh_value
         if fresh_value is None:
-            regressions.append(
-                f"  {name}:{path} — missing from the fresh run "
-                f"({fresh_path.name}); the bench stopped emitting it"
+            record.update(
+                status="missing",
+                bound=None,
+                note=f"missing from {fresh_name}; the bench stopped "
+                "emitting it",
             )
+            records.append(record)
             continue
         if mode == "relative":
             limit = (
@@ -123,25 +156,118 @@ def check_experiment(
                 if direction == "higher"
                 else base_value * (1.0 + tolerance)
             )
-            against = f"baseline {base_value:.3f}"
         else:
             limit = float(mode)  # scale-dependent: absolute guardrail
-            against = "absolute guardrail"
-        if direction == "higher":
-            ok = fresh_value >= limit
-            bound = f">= {limit:.3f}"
-        else:
-            ok = fresh_value <= limit
-            bound = f"<= {limit:.3f}"
-        verdict = "ok" if ok else "REGRESSED"
-        line = (
-            f"  {name}:{path} — fresh {fresh_value:.3f} vs {against} "
-            f"(need {bound}): {verdict}"
+        ok = (
+            fresh_value >= limit
+            if direction == "higher"
+            else fresh_value <= limit
         )
-        notes.append(line)
-        if not ok:
-            regressions.append(line)
-    return regressions, notes
+        record.update(status="ok" if ok else "regressed", bound=limit)
+        records.append(record)
+    return records
+
+
+def _record_line(record: Dict[str, object]) -> str:
+    name = record["experiment"]
+    path = record["metric"]
+    if record["status"] == "skipped":
+        return f"  skip {name}:{path} — {record['note']}"
+    if record["status"] == "missing":
+        return f"  {name}:{path} — {record['note']}"
+    against = (
+        f"baseline {record['baseline']:.3f}"
+        if record["mode"] == "relative"
+        else "absolute guardrail"
+    )
+    op = ">=" if record["direction"] == "higher" else "<="
+    verdict = "ok" if record["status"] == "ok" else "REGRESSED"
+    return (
+        f"  {name}:{path} — fresh {record['fresh']:.3f} vs {against} "
+        f"(need {op} {record['bound']:.3f}): {verdict}"
+    )
+
+
+def _load_and_evaluate(
+    name: str,
+    baseline_path: pathlib.Path,
+    fresh_path: pathlib.Path,
+    tolerance: float,
+) -> List[Dict[str, object]]:
+    """Read both JSON files and evaluate one experiment's tracked set."""
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    fresh = json.loads(fresh_path.read_text(encoding="utf-8"))
+    return evaluate_experiment(
+        name,
+        baseline,
+        fresh,
+        tolerance,
+        baseline_name=baseline_path.name,
+        fresh_name=fresh_path.name,
+    )
+
+
+def _regression_lines(records: List[Dict[str, object]]) -> List[str]:
+    return [
+        _record_line(record)
+        for record in records
+        if record["status"] in ("regressed", "missing")
+    ]
+
+
+def check_experiment(
+    name: str,
+    baseline_path: pathlib.Path,
+    fresh_path: pathlib.Path,
+    tolerance: float,
+) -> Tuple[List[str], List[str]]:
+    """Returns (regressions, notes) for one experiment's tracked set."""
+    records = _load_and_evaluate(name, baseline_path, fresh_path, tolerance)
+    notes = [_record_line(record) for record in records]
+    return _regression_lines(records), notes
+
+
+def render_step_summary(
+    records: List[Dict[str, object]], tolerance: float
+) -> str:
+    """A GitHub job-summary markdown table of the gate's verdicts."""
+    regressed = sum(
+        1 for r in records if r["status"] in ("regressed", "missing")
+    )
+    headline = (
+        "all tracked metrics within tolerance"
+        if not regressed
+        else f"{regressed} tracked metric(s) regressed"
+    )
+    lines = [
+        "## Perf-regression gate",
+        "",
+        f"**{headline}** (tolerance {tolerance:.0%})",
+        "",
+        "| metric | fresh | bound | mode | verdict |",
+        "|---|---|---|---|---|",
+    ]
+    icons = {
+        "ok": "✅ ok",
+        "regressed": "❌ regressed",
+        "missing": "❌ missing",
+        "skipped": "⏭ skipped",
+    }
+    for record in records:
+        fresh = (
+            f"{record['fresh']:.3f}" if record.get("fresh") is not None else "—"
+        )
+        bound = (
+            f"{'≥' if record['direction'] == 'higher' else '≤'} "
+            f"{record['bound']:.3f}"
+            if record.get("bound") is not None
+            else "—"
+        )
+        lines.append(
+            f"| `{record['experiment']}:{record['metric']}` | {fresh} "
+            f"| {bound} | {record['mode']} | {icons[str(record['status'])]} |"
+        )
+    return "\n".join(lines) + "\n"
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -162,6 +288,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="allowed relative regression (default 0.30; env override "
         "BENCH_REGRESSION_TOLERANCE, this flag wins)",
+    )
+    parser.add_argument(
+        "--json-out",
+        type=pathlib.Path,
+        default=None,
+        help="write the machine-readable verdicts (one record per "
+        "tracked metric plus the overall outcome) to this path",
     )
     args = parser.parse_args(argv)
 
@@ -185,6 +318,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     all_regressions: List[str] = []
+    all_records: List[Dict[str, object]] = []
     print(f"perf-regression gate (tolerance {tolerance:.0%})")
     for name, fresh_path in jobs:
         baseline_path = EXPERIMENTS[name]
@@ -192,11 +326,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if not path.is_file():
                 print(f"  {name}: {label} JSON missing: {path}")
                 return 2
-        regressions, notes = check_experiment(
-            name, baseline_path, fresh_path, tolerance
+        records = _load_and_evaluate(name, baseline_path, fresh_path, tolerance)
+        all_records.extend(records)
+        print("\n".join(_record_line(record) for record in records))
+        all_regressions.extend(_regression_lines(records))
+
+    if args.json_out is not None:
+        verdict_blob = {
+            "tolerance": tolerance,
+            "ok": not all_regressions,
+            "metrics": all_records,
+            "regressions": all_regressions,
+        }
+        args.json_out.write_text(
+            json.dumps(verdict_blob, indent=2) + "\n", encoding="utf-8"
         )
-        print("\n".join(notes))
-        all_regressions.extend(regressions)
+        print(f"wrote machine-readable verdicts to {args.json_out}")
+
+    # Inside GitHub Actions, post the verdict table into the job
+    # summary so the nightly/CI gate is readable without log digging.
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as summary:
+            summary.write(render_step_summary(all_records, tolerance))
 
     if all_regressions:
         print()

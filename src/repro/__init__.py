@@ -17,7 +17,9 @@ conjunctive-query evaluation, with
   picks the engine per registered view,
 * the live serving layer (:mod:`repro.serve`): resumable cursors with
   parameter binding and snapshot isolation, O(δ) delta subscriptions,
-  and the thread-safe multi-client :class:`Server` dispatcher.
+  the thread-safe multi-client :class:`Server` dispatcher, and the
+  multiprocess :class:`ShardCluster` deployment (one worker process
+  per shard behind a socket transport, same client surface).
 
 Quickstart — the Session API is the recommended front door::
 
@@ -83,10 +85,18 @@ from repro.extensions.ucq import UnionEngine, UnionOfCQs, parse_union
 from repro.api import Batch, Plan, Planner, Session, View, parse_view
 
 # The live serving layer (imported last: it builds on the session).
-from repro.errors import CursorInvalidatedError
-from repro.serve import Cursor, CursorInvalidation, Delta, Server, Subscription
+from repro.errors import ClusterError, CursorInvalidatedError, WorkerCrashedError
+from repro.serve import (
+    ClusterClient,
+    Cursor,
+    CursorInvalidation,
+    Delta,
+    Server,
+    ShardCluster,
+    Subscription,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Atom",
@@ -132,11 +142,15 @@ __all__ = [
     "Session",
     "View",
     "parse_view",
+    "ClusterClient",
+    "ClusterError",
     "Cursor",
     "CursorInvalidation",
     "CursorInvalidatedError",
     "Delta",
     "Server",
+    "ShardCluster",
     "Subscription",
+    "WorkerCrashedError",
     "__version__",
 ]

@@ -107,6 +107,11 @@ class View:
             return probe(row)
         return row in self._engine.result_set()
 
+    def result_digest(self) -> str:
+        """Order-independent fingerprint of the result (see
+        :meth:`repro.interface.DynamicEngine.result_digest`)."""
+        return self._engine.result_digest()
+
     # -- serving surface (repro.serve) ----------------------------------------
 
     @property
@@ -451,6 +456,77 @@ class Session:
     def batch(self) -> Batch:
         """Open a transactional, net-effect-compressed update batch."""
         return Batch(self)
+
+    # ------------------------------------------------------------------
+    # serving backends
+    # ------------------------------------------------------------------
+
+    def serve(
+        self,
+        backend: str = "threads",
+        shards: int = 1,
+        dispatch_workers: int = 0,
+        dispatch_queue: int = 8192,
+        codec: str = "json",
+        start_method: str = "spawn",
+    ):
+        """Put a serving front door on this session.
+
+        ``backend="threads"`` returns the in-process
+        :class:`~repro.serve.server.Server` wrapping *this* session:
+        ``shards`` reader–writer shards, optional async dispatch.  The
+        GIL bounds its CPU-parallel write scaling.
+
+        ``backend="processes"`` spawns a
+        :class:`~repro.serve.cluster.ShardCluster` with one worker
+        process per shard, mirrors this session into it (same views,
+        same engines, same rows — registered and bulk-loaded over the
+        wire) and returns a connected
+        :class:`~repro.serve.cluster.ClusterClient` that owns the
+        cluster (closing the client terminates the workers).  Updates
+        applied to this session afterwards do **not** propagate — the
+        cluster is the authoritative store from then on, exactly like
+        handing the session to a Server.
+
+        Both return values speak the same
+        ``view/insert/apply/batch/open_cursor/fetch/subscribe/poll``
+        surface, so callers pick a backend without changing code.
+        """
+        if backend in ("threads", "inprocess", "server"):
+            from repro.serve.server import Server
+
+            return Server(
+                self,
+                shards=shards,
+                dispatch_workers=dispatch_workers,
+                dispatch_queue=dispatch_queue,
+            )
+        if backend in ("processes", "cluster", "multiprocess"):
+            from repro.serve.cluster import ShardCluster
+
+            cluster = ShardCluster(
+                workers=shards, codec=codec, start_method=start_method
+            )
+            try:
+                client = cluster.client(
+                    dispatch_workers=dispatch_workers,
+                    dispatch_queue=dispatch_queue,
+                )
+            except BaseException:
+                cluster.close()
+                raise
+            try:
+                client.adopt_session(self)
+            except BaseException:
+                client.close()
+                cluster.close()
+                raise
+            client.owns_cluster = True
+            return client
+        raise EngineStateError(
+            f"unknown serving backend {backend!r}; use 'threads' "
+            "(in-process Server) or 'processes' (shard cluster)"
+        )
 
     # -- internals ------------------------------------------------------------
 

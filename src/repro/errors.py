@@ -17,6 +17,10 @@ __all__ = [
     "EngineStateError",
     "CursorInvalidatedError",
     "ReductionError",
+    "TransportError",
+    "ConnectionClosedError",
+    "ClusterError",
+    "WorkerCrashedError",
 ]
 
 
@@ -80,6 +84,40 @@ class CursorInvalidatedError(EngineStateError):
     def __init__(self, message: str, invalidation: object = None):
         super().__init__(message)
         self.invalidation = invalidation
+
+
+class TransportError(ReproError):
+    """Raised on wire-protocol violations in the cluster transport
+    (oversized or truncated frames, undecodable payloads, an
+    unavailable codec)."""
+
+
+class ConnectionClosedError(TransportError):
+    """Raised when the peer of a cluster connection went away — EOF on
+    a frame boundary or mid-frame.  The usual symptom of a crashed
+    shard worker; :class:`repro.serve.cluster.ClusterClient` converts
+    it into a :class:`WorkerCrashedError` naming the shard."""
+
+
+class ClusterError(ReproError):
+    """Raised when a multiprocess shard cluster operation fails as a
+    whole (a two-phase batch that had to roll back, a worker that never
+    came up, a barrier timeout)."""
+
+
+class WorkerCrashedError(ClusterError):
+    """Raised when a shard worker process died (or its connection
+    broke) while the client needed it.
+
+    Carries ``worker`` (the shard index) and ``views`` (the view names
+    that shard was serving) so callers know exactly which handles are
+    lost; cursors and subscriptions on other shards stay valid.
+    """
+
+    def __init__(self, message: str, worker: int = -1, views: object = None):
+        super().__init__(message)
+        self.worker = worker
+        self.views = tuple(views or ())
 
 
 class ReductionError(ReproError):

@@ -177,6 +177,25 @@ class DynamicEngine(ABC):
         """Materialise ``ϕ(D)`` (testing convenience, not O(1))."""
         return set(self.enumerate())
 
+    def result_digest(self) -> str:
+        """Order-independent SHA-256 fingerprint of :meth:`result_set`.
+
+        Two engines agree on this hex digest iff they hold the same
+        result (up to ``repr`` collisions, which the constant types
+        used here — ints and strings — do not produce).  The
+        multiprocess serving layer uses it as a cheap cross-process
+        equality probe: comparing a worker's view against an in-process
+        oracle costs one 64-char string on the wire instead of
+        shipping the materialised result.  O(|result| log |result|).
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for row in sorted(self.result_set(), key=repr):
+            digest.update(repr(row).encode("utf-8"))
+            digest.update(b"\x1e")
+        return digest.hexdigest()
+
     # -- introspection ----------------------------------------------------
 
     def plan_stats(self) -> Dict[str, object]:

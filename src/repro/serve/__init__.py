@@ -14,7 +14,15 @@ clients can hold open connections against:
   delta delivery out of the writer thread (per-subscription FIFO,
   back-pressure, drain barrier);
 * :mod:`repro.serve.server` — a thread-safe sharded reader–writer
-  dispatcher with an id-based request loop for multi-client traffic.
+  dispatcher with an id-based request loop for multi-client traffic;
+* :mod:`repro.serve.transport` — the length-prefixed frame protocol
+  (JSON, optionally msgpack) the multiprocess deployment speaks;
+* :mod:`repro.serve.cluster` — one worker **process** per shard behind
+  that transport: :class:`ShardCluster` spawns and owns the workers,
+  :class:`ClusterClient` speaks the same surface as :class:`Server`
+  while writes burn real cores (the GIL stops at the process
+  boundary), with two-phase cross-shard batches and push-streamed
+  subscription deltas.
 
 Quickstart::
 
@@ -34,18 +42,26 @@ Quickstart::
                                      # it revalidated instead of dying
 """
 
+from repro.serve.cluster import ClusterClient, RemoteView, ShardCluster
 from repro.serve.cursors import Cursor, CursorInvalidation, bound_stream
 from repro.serve.dispatch import DispatchPool
 from repro.serve.server import RWLock, Server
 from repro.serve.subscriptions import Delta, Subscription
+from repro.serve.transport import Connection, available_codecs, get_codec
 
 __all__ = [
+    "ClusterClient",
+    "Connection",
     "Cursor",
     "CursorInvalidation",
+    "available_codecs",
     "bound_stream",
+    "get_codec",
     "Delta",
     "DispatchPool",
+    "RemoteView",
     "RWLock",
     "Server",
+    "ShardCluster",
     "Subscription",
 ]

@@ -1,0 +1,1700 @@
+"""Multiprocess shard cluster: one worker process per shard.
+
+The sharded :class:`~repro.serve.server.Server` of the in-process
+serving layer parallelises disjoint-view writes across reader–writer
+locks, but every shard still shares one interpreter — the GIL caps the
+aggregate curve (~2.2x at 4 shards in ``BENCH_serving.json``).  This
+module lifts that ceiling the way the paper's cost model invites:
+updates are O(poly(ϕ)) and reads O(1)-per-probe, so a shard's whole
+request loop is cheap enough to live behind a socket, and view-affine
+placement means a worker process needs nothing but its own views.
+
+Three pieces:
+
+* :func:`worker_main` / ``_WorkerHost`` — the per-shard process.  Each
+  worker hosts a **single-shard** :class:`Server` over the views placed
+  on it and serves the existing id-based ``Server.handle`` request loop
+  over the frame transport (:mod:`repro.serve.transport`).  Worker-only
+  ops (view registration with relation reporting, push subscriptions,
+  the two-phase batch protocol, row backfill) wrap around that loop
+  without touching it.
+* :class:`ShardCluster` — the deployment handle: spawns the worker
+  processes (``spawn`` start method by default — fork-safe regardless
+  of client threads), hands out :class:`ClusterClient` connections,
+  and terminates workers cleanly (SIGTERM, then SIGKILL stragglers).
+  Workers are daemonic *and* watch a life pipe, so they exit even if
+  the parent is killed -9 — aborted runs do not leak orphans.
+* :class:`ClusterClient` — the client facade speaking the same
+  ``view/insert/delete/apply/batch/open_cursor/fetch/subscribe/poll/
+  count/...`` surface as :class:`Server`, so session-level code and
+  ``benchmarks/bench_serving.py`` run unchanged against either backend.
+
+**Routing.**  The client keeps the PR-4 routing table client-side:
+views place round-robin over workers, and a relation maps to exactly
+the workers whose views mention it (revalidated on every registration —
+registering a view whose relation already lives elsewhere backfills the
+existing rows into the new worker before the view goes live).  Writes
+fan out only to those workers, in ascending worker order.
+
+**Transactions.**  A batch that touches one worker uses that worker's
+local transactional batch.  A cross-shard batch runs two-phase:
+``prepare`` stages the sub-batch on every involved worker *while
+holding that worker's exclusive lock* (so no reader observes the gap),
+``commit`` applies everywhere, and any failure — including a worker
+killed -9 mid-prepare — aborts the staged survivors, so the client
+observes a rollback.  A crash *between* commits is reported as a
+partial commit (the classic 2PC window; the error says exactly which
+shards committed).
+
+**Subscriptions.**  Deltas stream back on a dedicated per-client push
+connection: the worker-side subscription's callback frames each
+:class:`~repro.serve.subscriptions.Delta` onto the push socket inside
+the write path (delivery order = update order), and the client's push
+reader re-canonicalises rows and feeds the delta into a local
+:class:`~repro.serve.subscriptions.Subscription` outbox — through the
+client's own :class:`~repro.serve.dispatch.DispatchPool` when
+``dispatch_workers`` > 0.  ``poll()`` keeps the in-process determinism
+guarantee with a two-stage barrier: it asks the worker how many deltas
+were delivered for the subscription (worker delivery is synchronous,
+so that count covers every write that returned), then waits until the
+local outbox has received that many.
+
+**Crashes.**  A broken worker connection marks the worker dead; every
+handle it served fails from then on with a precise
+:class:`~repro.errors.WorkerCrashedError` naming the worker, its exit
+code and the views lost, while the other shards keep serving.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import tempfile
+import threading
+import time
+import uuid
+from contextlib import ExitStack
+from itertools import count as _counter
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import (
+    ClusterError,
+    ConnectionClosedError,
+    CursorInvalidatedError,
+    EngineStateError,
+    NotQHierarchicalError,
+    QuerySyntaxError,
+    QueryStructureError,
+    ReproError,
+    SchemaError,
+    TransportError,
+    UpdateError,
+    WorkerCrashedError,
+)
+from repro.serve.dispatch import DispatchPool
+from repro.serve.subscriptions import Delta, Subscription
+from repro.serve.transport import (
+    Address,
+    Connection,
+    as_row,
+    as_rows,
+    bind_listener,
+    connect,
+    get_codec,
+)
+from repro.storage.database import Constant, Row
+from repro.storage.updates import (
+    UpdateCommand,
+    delete as delete_command,
+    insert as insert_command,
+)
+
+__all__ = ["ShardCluster", "ClusterClient", "RemoteView", "worker_main", "query_to_text"]
+
+
+def query_to_text(query: object) -> str:
+    """A registered query back to parseable rule text.
+
+    Conjunctive queries round-trip through ``str``; a
+    :class:`~repro.extensions.ucq.UnionOfCQs` renders with the paper's
+    ``∪`` joiner, which the parser does not accept — its disjuncts are
+    re-joined with ``;`` instead.  This is what lets a view cross the
+    process boundary as text.
+    """
+    if isinstance(query, str):
+        return query
+    disjuncts = getattr(query, "disjuncts", None)
+    if disjuncts is not None:
+        return "; ".join(str(disjunct) for disjunct in disjuncts)
+    return str(query)
+
+
+# ---------------------------------------------------------------------------
+# the worker process
+# ---------------------------------------------------------------------------
+
+
+class _WorkerHost:
+    """One shard's process body: a single-shard Server behind sockets."""
+
+    def __init__(self, worker_id: int, codec_name: str, socket_dir: str):
+        # Imported here (not module top) keeps the spawn path light: the
+        # child imports this module before repro.api exists in its
+        # interpreter, and Session's import graph pulls the engines in.
+        from repro.api.session import Session
+        from repro.serve.server import Server
+
+        self.worker_id = worker_id
+        self.codec = get_codec(codec_name)
+        self.server = Server(Session(), shards=1)
+        self.listener, self.address = bind_listener(
+            socket_dir, f"worker-{worker_id}"
+        )
+        self._stop = threading.Event()
+        self._state_lock = threading.Lock()
+        #: client id → push connection (one per connected client).
+        self._push: Dict[str, Connection] = {}
+        #: subscription handle → owning client id (for push cleanup).
+        self._sub_client: Dict[int, str] = {}
+        #: per-handler-thread delta buffering: while a request is being
+        #: handled, push payloads collect here and flush as ONE frame
+        #: per client before the reply is sent — a chunked update can
+        #: move hundreds of deltas without a per-delta syscall + client
+        #: wakeup, and the reply still never overtakes its deltas.
+        self._push_buffer = threading.local()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop accepting; the process unwinds after ``run`` returns."""
+        self._stop.set()
+        try:
+            self.listener.close()
+        except OSError:
+            pass
+
+    def run(self) -> None:
+        """Accept loop: one daemon thread per client connection."""
+        try:
+            while not self._stop.is_set():
+                try:
+                    sock, _peer = self.listener.accept()
+                except OSError:
+                    break
+                threading.Thread(
+                    target=self._serve_connection,
+                    args=(Connection(sock, self.codec),),
+                    daemon=True,
+                    name=f"repro-shard-{self.worker_id}-conn",
+                ).start()
+        finally:
+            self.stop()
+
+    # -- connections ----------------------------------------------------------
+
+    def _serve_connection(self, conn: Connection) -> None:
+        kind = "request"
+        client_id = ""
+        # Per-connection 2PC stage: (txn id, commands, held exclusive lock).
+        staged: List[Tuple[str, List[UpdateCommand], ExitStack]] = []
+        try:
+            hello = conn.recv()
+            if not isinstance(hello, dict) or hello.get("op") != "_hello":
+                conn.send(
+                    {
+                        "ok": False,
+                        "error": "TransportError",
+                        "message": "expected an _hello frame first",
+                    }
+                )
+                return
+            kind = str(hello.get("kind", "request"))
+            client_id = str(hello.get("client", ""))
+            conn.send(
+                {"ok": True, "worker": self.worker_id, "pid": os.getpid()}
+            )
+            if kind == "push":
+                with self._state_lock:
+                    self._push[client_id] = conn
+                # Push channels are worker→client only; block until the
+                # client goes away, then tear its subscriptions down.
+                try:
+                    while True:
+                        conn.recv()
+                except (ConnectionClosedError, TransportError, OSError):
+                    return
+            while not self._stop.is_set():
+                try:
+                    request = conn.recv()
+                except (ConnectionClosedError, TransportError, OSError):
+                    return
+                if not isinstance(request, dict):
+                    conn.send(
+                        {
+                            "ok": False,
+                            "error": "TransportError",
+                            "message": "requests must be dicts",
+                        }
+                    )
+                    continue
+                self._push_buffer.frames = {}
+                try:
+                    reply, shutdown = self._handle(request, client_id, staged)
+                finally:
+                    self._flush_push_buffer()
+                try:
+                    conn.send(reply)
+                except (ConnectionClosedError, TransportError, OSError):
+                    return
+                if shutdown:
+                    self.stop()
+                    return
+        finally:
+            while staged:  # client vanished mid-transaction: roll back
+                _txn, _commands, stack = staged.pop()
+                stack.close()
+            if kind == "push" and client_id:
+                self._drop_push_client(client_id)
+            conn.close()
+
+    def _flush_push_buffer(self) -> None:
+        """Send this thread's buffered delta payloads, one combined
+        frame per client, before the triggering request's reply."""
+        frames = getattr(self._push_buffer, "frames", None)
+        self._push_buffer.frames = None
+        if not frames:
+            return
+        for client_id, items in frames.items():
+            conn = self._push.get(client_id)
+            if conn is None:
+                continue
+            try:
+                conn.send({"kind": "deltas", "items": items})
+            except (TransportError, OSError):
+                self._drop_push_client(client_id)
+
+    def _drop_push_client(self, client_id: str) -> None:
+        with self._state_lock:
+            self._push.pop(client_id, None)
+            orphaned = [
+                handle
+                for handle, owner in self._sub_client.items()
+                if owner == client_id
+            ]
+            for handle in orphaned:
+                self._sub_client.pop(handle, None)
+        for handle in orphaned:
+            try:
+                self.server.unsubscribe(handle)
+            except ReproError:
+                pass
+
+    # -- request handling ------------------------------------------------------
+
+    def _handle(
+        self,
+        request: Dict[str, object],
+        client_id: str,
+        staged: List[Tuple[str, List[UpdateCommand], ExitStack]],
+    ) -> Tuple[Dict[str, object], bool]:
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return (
+                    {"ok": True, "worker": self.worker_id, "pid": os.getpid()},
+                    False,
+                )
+            if op == "shutdown":
+                return {"ok": True}, True
+            if op == "register_view":
+                view = self.server.view(
+                    str(request["name"]),
+                    request["query"],
+                    engine=str(request.get("engine", "auto")),
+                )
+                relations = sorted(view.query.relations)
+                return (
+                    {
+                        "ok": True,
+                        "view": view.name,
+                        "engine": view.engine_name,
+                        "relations": relations,
+                        "arities": {
+                            relation: view.query.arity_of(relation)
+                            for relation in relations
+                        },
+                    },
+                    False,
+                )
+            if op == "rows":
+                rows = self.server.relation_rows(str(request["relation"]))
+                return (
+                    {"ok": True, "rows": [list(row) for row in rows]},
+                    False,
+                )
+            if op == "apply_many":
+                # Chunked wire framing for update streams: every
+                # command still runs the full per-update serving
+                # choreography (fan-out, deltas, cursor revalidation);
+                # the round trip AND the shard-lock acquisition are
+                # amortised over the chunk (Server.apply_all).  Not
+                # transactional — a failing command leaves the applied
+                # prefix in place, exactly like a client-side stream.
+                # (UpdateCommand canonicalises the row itself.)
+                results = self.server.apply_all(
+                    [
+                        insert_command(relation, row)
+                        if kind == "insert"
+                        else delete_command(relation, row)
+                        for kind, relation, row in request["commands"]  # type: ignore[misc]
+                    ]
+                )
+                return {"ok": True, "results": results}, False
+            if op == "subscribe":
+                return self._subscribe(request, client_id), False
+            if op == "push_sync":
+                handle = int(request["subscription"])  # type: ignore[arg-type]
+                sub = self.server.subscription_state(handle)
+                return {"ok": True, "delivered": sub.delivered}, False
+            if op == "batch_prepare":
+                return self._batch_prepare(request, staged), False
+            if op == "batch_commit":
+                return self._batch_commit(request, staged), False
+            if op == "batch_abort":
+                return self._batch_abort(request, staged), False
+        except ReproError as error:
+            return (
+                {
+                    "ok": False,
+                    "error": type(error).__name__,
+                    "message": str(error),
+                },
+                False,
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            return (
+                {
+                    "ok": False,
+                    "error": type(error).__name__,
+                    "message": f"malformed request: {error!r}",
+                },
+                False,
+            )
+        # Everything else is the Server's own request loop, unchanged.
+        return self.server.handle(request), False
+
+    def _subscribe(
+        self, request: Dict[str, object], client_id: str
+    ) -> Dict[str, object]:
+        box: Dict[str, Optional[int]] = {"handle": None}
+
+        def push(delta: Delta) -> None:
+            handle = box["handle"]
+            if handle is None:
+                return
+            # Tuples encode as arrays in both codecs — no copies needed.
+            payload = {
+                "subscription": handle,
+                "view": delta.view,
+                "epoch": delta.epoch,
+                "command": (
+                    delta.command.op,
+                    delta.command.relation,
+                    delta.command.row,
+                ),
+                "added": delta.added,
+                "removed": delta.removed,
+            }
+            frames = getattr(self._push_buffer, "frames", None)
+            if frames is not None:
+                # Inside a request handler: collect, flush-before-reply
+                # sends everything in one frame per client.
+                frames.setdefault(client_id, []).append(payload)
+                return
+            conn = self._push.get(client_id)
+            if conn is None:
+                return
+            try:
+                conn.send(dict(payload, kind="delta"))
+            except (TransportError, OSError):
+                # The client's push channel is gone: stop paying for
+                # the delta capture (reentrant: we're in the writer).
+                try:
+                    self.server.unsubscribe(handle)
+                except ReproError:
+                    pass
+                with self._state_lock:
+                    self._sub_client.pop(handle, None)
+
+        # Worker-side outboxes would never be drained — the wire is the
+        # outbox — so max_pending=0 keeps only the delivery counter.
+        # The exclusive hold covers the gap between the subscription
+        # going live and box["handle"] being set: without it a write on
+        # another connection could fire the callback while the handle
+        # is still None, silently dropping a delta the delivery counter
+        # already recorded (which would wedge the client's poll
+        # barrier).  Server.subscribe's own shard lock is reentrant
+        # under the hold.
+        with self.server.exclusive():
+            handle = self.server.subscribe(
+                str(request["view"]), callback=push, max_pending=0
+            )
+            box["handle"] = handle
+        with self._state_lock:
+            self._sub_client[handle] = client_id
+        return {"ok": True, "subscription": handle}
+
+    # -- two-phase batches -----------------------------------------------------
+
+    def _batch_prepare(
+        self,
+        request: Dict[str, object],
+        staged: List[Tuple[str, List[UpdateCommand], ExitStack]],
+    ) -> Dict[str, object]:
+        if staged:
+            raise EngineStateError(
+                "a transaction is already staged on this connection"
+            )
+        txn = str(request["txn"])
+        commands = [
+            insert_command(relation, as_row(row))
+            if kind == "insert"
+            else delete_command(relation, as_row(row))
+            for kind, relation, row in request["commands"]  # type: ignore[misc]
+        ]
+        stack = ExitStack()
+        stack.enter_context(self.server.exclusive())
+        try:
+            for command in commands:
+                # Validate now so a doomed transaction votes "no" at
+                # prepare time, before anything anywhere is applied.
+                self.server.session._check(command.relation, command.row)
+        except ReproError:
+            stack.close()
+            raise
+        staged.append((txn, commands, stack))
+        return {"ok": True, "txn": txn, "staged": len(commands)}
+
+    def _batch_commit(
+        self,
+        request: Dict[str, object],
+        staged: List[Tuple[str, List[UpdateCommand], ExitStack]],
+    ) -> Dict[str, object]:
+        txn = str(request["txn"])
+        if not staged or staged[0][0] != txn:
+            raise EngineStateError(
+                f"no staged transaction {txn!r} on this connection"
+            )
+        _txn, commands, stack = staged.pop()
+        try:
+            # Reentrant: this thread already holds the exclusive lock
+            # from prepare, so the batch is atomic across the gap.
+            stats = self.server.batch(commands)
+        finally:
+            stack.close()
+        return {"ok": True, "stats": stats}
+
+    def _batch_abort(
+        self,
+        request: Dict[str, object],
+        staged: List[Tuple[str, List[UpdateCommand], ExitStack]],
+    ) -> Dict[str, object]:
+        txn = str(request.get("txn", ""))
+        if staged and (not txn or staged[0][0] == txn):
+            _txn, _commands, stack = staged.pop()
+            stack.close()
+        return {"ok": True}
+
+
+def _watch_parent(life: object, host: _WorkerHost) -> None:
+    """Exit hard when the parent's life-pipe end closes (parent died)."""
+    try:
+        life.recv_bytes()  # type: ignore[attr-defined]
+    except (EOFError, OSError):
+        pass
+    host.stop()
+    os._exit(0)
+
+
+def worker_main(
+    worker_id: int, ready: object, life: object, codec_name: str, socket_dir: str
+) -> None:
+    """Entry point of a shard worker process (importable for spawn)."""
+    host = _WorkerHost(worker_id, codec_name, socket_dir)
+
+    def on_sigterm(_signum: int, _frame: object) -> None:
+        host.stop()
+
+    signal.signal(signal.SIGTERM, on_sigterm)
+    threading.Thread(
+        target=_watch_parent, args=(life, host), daemon=True
+    ).start()
+    try:
+        ready.send(host.address)  # type: ignore[attr-defined]
+    finally:
+        ready.close()  # type: ignore[attr-defined]
+    host.run()
+
+
+# ---------------------------------------------------------------------------
+# the deployment handle
+# ---------------------------------------------------------------------------
+
+
+class WorkerHandle:
+    """One spawned shard worker: process + wire address."""
+
+    def __init__(self, index: int, process: object, address: Address):
+        self.index = index
+        self.process = process
+        self.address = address
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid  # type: ignore[attr-defined]
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        return self.process.exitcode  # type: ignore[attr-defined]
+
+    def alive(self) -> bool:
+        return bool(self.process.is_alive())  # type: ignore[attr-defined]
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive() else f"exit={self.exitcode}"
+        return f"WorkerHandle({self.index}, pid={self.pid}, {state})"
+
+
+class ShardCluster:
+    """Spawn and own one worker process per shard.
+
+    ``start_method`` defaults to ``"spawn"``: workers import the
+    library fresh (~0.1 s each) instead of forking whatever threads the
+    parent holds.  Pass ``"fork"`` on POSIX for faster startup when the
+    parent is single-threaded.  Workers are daemonic and watch a life
+    pipe, so they die with the parent even on SIGKILL.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        codec: str = "json",
+        start_method: str = "spawn",
+        socket_dir: Optional[str] = None,
+        startup_timeout: float = 30.0,
+    ):
+        import multiprocessing
+
+        if workers < 1:
+            raise ClusterError(f"need >= 1 worker, got {workers}")
+        get_codec(codec)  # validate before spawning anything
+        self.codec = codec
+        self._closed = False
+        self._own_dir = socket_dir is None
+        self._socket_dir = socket_dir or tempfile.mkdtemp(
+            prefix="repro-cluster-"
+        )
+        context = multiprocessing.get_context(start_method)
+        life_read, self._life = context.Pipe(duplex=False)
+        self.workers: List[WorkerHandle] = []
+        pending = []
+        try:
+            for index in range(workers):
+                ready_read, ready_write = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=worker_main,
+                    args=(index, ready_write, life_read, codec, self._socket_dir),
+                    daemon=True,
+                    name=f"repro-shard-{index}",
+                )
+                process.start()
+                ready_write.close()
+                pending.append((index, process, ready_read))
+            for index, process, ready_read in pending:
+                if not ready_read.poll(startup_timeout):
+                    raise ClusterError(
+                        f"shard worker {index} did not come up within "
+                        f"{startup_timeout}s"
+                    )
+                address = tuple(ready_read.recv())
+                ready_read.close()
+                self.workers.append(WorkerHandle(index, process, address))
+        except BaseException:
+            for _index, process, _ready in pending:
+                if process.is_alive():
+                    process.terminate()
+            life_read.close()
+            self._life.close()
+            raise
+        life_read.close()
+
+    def client(
+        self, dispatch_workers: int = 0, dispatch_queue: int = 8192
+    ) -> "ClusterClient":
+        """Connect a new client facade to every worker."""
+        return ClusterClient(
+            cluster=self,
+            dispatch_workers=dispatch_workers,
+            dispatch_queue=dispatch_queue,
+        )
+
+    def worker(self, index: int) -> WorkerHandle:
+        return self.workers[index]
+
+    def kill_worker(self, index: int, sig: int = signal.SIGKILL) -> None:
+        """Chaos/testing helper: signal one worker (default SIGKILL)."""
+        pid = self.workers[index].pid
+        if pid is not None:
+            os.kill(pid, sig)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Terminate every worker: SIGTERM, join, SIGKILL stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self.workers:
+            if handle.alive():
+                try:
+                    handle.process.terminate()  # type: ignore[attr-defined]
+                except OSError:
+                    pass
+        for handle in self.workers:
+            handle.process.join(timeout)  # type: ignore[attr-defined]
+        for handle in self.workers:
+            if handle.alive():
+                handle.process.kill()  # type: ignore[attr-defined]
+                handle.process.join(timeout)  # type: ignore[attr-defined]
+        try:
+            self._life.close()
+        except OSError:
+            pass
+        if self._own_dir:
+            try:
+                for name in os.listdir(self._socket_dir):
+                    os.unlink(os.path.join(self._socket_dir, name))
+                os.rmdir(self._socket_dir)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ShardCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        alive = sum(1 for handle in self.workers if handle.alive())
+        return (
+            f"ShardCluster(workers={len(self.workers)}, alive={alive}, "
+            f"codec={self.codec!r})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# the client facade
+# ---------------------------------------------------------------------------
+
+
+class RemoteView:
+    """Registration summary of a view living in a worker process."""
+
+    def __init__(
+        self, name: str, engine_name: str, relations: Tuple[str, ...], worker: int
+    ):
+        self.name = name
+        self.engine_name = engine_name
+        self.relations = relations
+        self.worker = worker
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteView({self.name!r}, engine={self.engine_name!r}, "
+            f"worker={self.worker})"
+        )
+
+
+class _StubView:
+    """The minimal view protocol a client-side Subscription needs."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _register_subscription(self, subscription: object) -> None:
+        pass
+
+    def _drop_subscription(self, subscription: object) -> None:
+        pass
+
+
+class _SubEntry:
+    __slots__ = (
+        "worker",
+        "remote",
+        "view",
+        "local",
+        "received",
+        "lazy",
+        "raw",
+        "poll_lock",
+    )
+
+    def __init__(
+        self,
+        worker: int,
+        remote: int,
+        view: str,
+        local: Subscription,
+        lazy: bool,
+    ):
+        self.worker = worker
+        self.remote = remote
+        self.view = view
+        self.local = local
+        self.received = 0
+        #: pull-only subscriptions (no callback, no pool, unbounded)
+        #: defer payload decoding to poll() — the consumer pays for its
+        #: own decode instead of taxing the push reader's hot loop.
+        self.lazy = lazy
+        self.raw: List[Dict[str, object]] = []
+        self.poll_lock = threading.Lock()
+
+
+#: worker error name → local exception class (reconstructed client-side).
+_ERROR_CLASSES = {
+    "SchemaError": SchemaError,
+    "UpdateError": UpdateError,
+    "EngineStateError": EngineStateError,
+    "CursorInvalidatedError": CursorInvalidatedError,
+    "QuerySyntaxError": QuerySyntaxError,
+    "QueryStructureError": QueryStructureError,
+    "NotQHierarchicalError": NotQHierarchicalError,
+    "TransportError": TransportError,
+    "ClusterError": ClusterError,
+}
+
+
+class ClusterClient:
+    """The :class:`Server`-shaped facade over a shard cluster.
+
+    Construct via :meth:`ShardCluster.client` (or directly from a list
+    of worker ``addresses`` for a cluster deployed elsewhere).  All
+    methods are thread-safe; view registration is the one operation
+    that assumes a single registrar at a time (it edits the routing).
+    """
+
+    def __init__(
+        self,
+        cluster: Optional[ShardCluster] = None,
+        addresses: Optional[Sequence[Address]] = None,
+        codec: Optional[str] = None,
+        dispatch_workers: int = 0,
+        dispatch_queue: int = 8192,
+        connect_timeout: float = 10.0,
+        poll_timeout: float = 30.0,
+    ):
+        if cluster is not None:
+            addresses = [handle.address for handle in cluster.workers]
+            codec = codec or cluster.codec
+        if not addresses:
+            raise ClusterError("a ClusterClient needs a cluster or addresses")
+        self._cluster = cluster
+        self._codec = get_codec(codec or "json")
+        self._poll_timeout = poll_timeout
+        self.client_id = uuid.uuid4().hex
+        #: set by Session.serve so close() tears the workers down too.
+        self.owns_cluster = False
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._conns: List[Connection] = []
+        self._push_conns: List[Connection] = []
+        self._push_threads: List[threading.Thread] = []
+        self._pids: List[Optional[int]] = []
+        self._dead: Dict[int, str] = {}
+        self._view_worker: Dict[str, int] = {}
+        self._view_engine: Dict[str, str] = {}
+        self._view_relations: Dict[str, Tuple[str, ...]] = {}
+        self._routing: Dict[str, Tuple[int, ...]] = {}
+        self._placed = 0
+        self._relation_arity: Dict[str, int] = {}
+        self._cursors: Dict[int, Tuple[int, int, str]] = {}
+        self._subs: Dict[int, _SubEntry] = {}
+        self._by_remote: Dict[Tuple[int, int], int] = {}
+        #: delta payloads that raced a subscribe (frames arriving
+        #: before the local handle registration), in arrival order.
+        self._orphan_deltas: Dict[Tuple[int, int], List[Dict[str, object]]] = {}
+        #: (worker, remote) pairs whose trailing frames must be dropped.
+        self._closed_remotes: Set[Tuple[int, int]] = set()
+        self._ids = _counter(1)
+        self._txn_ids = _counter(1)
+        self._closed = False
+        self._pool: Optional[DispatchPool] = (
+            DispatchPool(dispatch_workers, dispatch_queue)
+            if dispatch_workers > 0
+            else None
+        )
+        #: test hook: called after every prepare succeeded, before the
+        #: commit phase of a cross-shard batch (crash injection point).
+        self._test_pause_after_prepare: Optional[Callable[["ClusterClient"], None]] = None
+        try:
+            for index, address in enumerate(addresses):
+                conn = connect(address, self._codec, timeout=connect_timeout)
+                hello = conn.request(
+                    {"op": "_hello", "kind": "request", "client": self.client_id}
+                )
+                self._pids.append(hello.get("pid"))  # type: ignore[arg-type]
+                push = connect(address, self._codec, timeout=connect_timeout)
+                push.request(
+                    {"op": "_hello", "kind": "push", "client": self.client_id}
+                )
+                self._conns.append(conn)
+                self._push_conns.append(push)
+                thread = threading.Thread(
+                    target=self._push_loop,
+                    args=(index, push),
+                    daemon=True,
+                    name=f"repro-cluster-push-{index}",
+                )
+                thread.start()
+                self._push_threads.append(thread)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- plumbing --------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return len(self._conns)
+
+    @property
+    def dead_workers(self) -> Tuple[int, ...]:
+        with self._lock:
+            return tuple(sorted(self._dead))
+
+    def _views_of(self, worker: int) -> Tuple[str, ...]:
+        return tuple(
+            sorted(
+                name
+                for name, owner in self._view_worker.items()
+                if owner == worker
+            )
+        )
+
+    def _crash_message(self, worker: int, context: str = "") -> str:
+        with self._lock:
+            reason = self._dead.get(worker, "connection lost")
+            views = self._views_of(worker)
+        pid = self._pids[worker] if worker < len(self._pids) else None
+        exitcode = None
+        if self._cluster is not None and worker < len(self._cluster.workers):
+            exitcode = self._cluster.workers[worker].exitcode
+        parts = [
+            f"shard worker {worker}"
+            + (f" (pid {pid})" if pid is not None else "")
+            + " crashed or is unreachable"
+        ]
+        if exitcode is not None:
+            parts.append(f"exit code {exitcode}")
+        parts.append(reason)
+        if views:
+            parts.append(f"views lost: {', '.join(views)}")
+        if context:
+            parts.append(context)
+        return "; ".join(parts)
+
+    def _mark_dead(self, worker: int, error: BaseException) -> None:
+        with self._cond:
+            self._dead.setdefault(worker, f"{type(error).__name__}: {error}")
+            # Wake poll barriers waiting on deltas that will never come.
+            self._cond.notify_all()
+
+    def _crashed(self, worker: int, context: str = "") -> WorkerCrashedError:
+        with self._lock:
+            views = self._views_of(worker)
+        return WorkerCrashedError(
+            self._crash_message(worker, context), worker=worker, views=views
+        )
+
+    def _request(
+        self, worker: int, message: Dict[str, object], context: str = ""
+    ) -> Dict[str, object]:
+        with self._lock:
+            if worker in self._dead:
+                raise self._crashed(worker, context)
+        try:
+            reply = self._conns[worker].request(message)
+        except (ConnectionClosedError, TransportError, OSError) as error:
+            self._mark_dead(worker, error)
+            raise self._crashed(worker, context) from error
+        if reply.get("ok"):
+            return reply
+        raise self._reply_error(reply)
+
+    def _reply_error(self, reply: Dict[str, object]) -> ReproError:
+        name = str(reply.get("error", "ReproError"))
+        message = str(reply.get("message", "remote error"))
+        cls = _ERROR_CLASSES.get(name, ReproError)
+        if cls is CursorInvalidatedError:
+            report = None
+            info = reply.get("invalidation")
+            if isinstance(info, dict):
+                from repro.serve.cursors import CursorInvalidation
+
+                report = CursorInvalidation(
+                    view=str(info.get("view")),
+                    opened_epoch=int(info.get("opened_epoch", 0)),  # type: ignore[arg-type]
+                    invalidated_epoch=int(
+                        info.get("invalidated_epoch", 0)  # type: ignore[arg-type]
+                    ),
+                    command=info.get("command"),  # type: ignore[arg-type]
+                    fetched=int(info.get("fetched", 0)),  # type: ignore[arg-type]
+                )
+            return CursorInvalidatedError(message, report)
+        return cls(message)
+
+    def _worker_of_view(self, view: str) -> int:
+        with self._lock:
+            try:
+                return self._view_worker[view]
+            except KeyError:
+                raise EngineStateError(f"no view named {view!r}") from None
+
+    def _push_loop(self, worker: int, conn: Connection) -> None:
+        while True:
+            try:
+                frame = conn.recv()
+            except (ConnectionClosedError, TransportError, OSError):
+                return
+            if not isinstance(frame, dict):
+                continue
+            kind = frame.get("kind")
+            if kind == "delta":
+                items = [frame]
+            elif kind == "deltas":
+                items = frame["items"]  # type: ignore[assignment]
+            else:
+                continue
+            with self._cond:
+                for item in items:
+                    self._deliver_push_locked(worker, item)
+                self._cond.notify_all()
+
+    @staticmethod
+    def _decode_delta(item: Dict[str, object]) -> Delta:
+        op, relation, row = item["command"]  # type: ignore[misc]
+        return Delta(
+            view=str(item["view"]),
+            epoch=int(item["epoch"]),  # type: ignore[arg-type]
+            command=UpdateCommand(str(op), str(relation), as_row(row)),
+            added=as_rows(item["added"]),
+            removed=as_rows(item["removed"]),
+        )
+
+    def _deliver_push_locked(self, worker: int, item: Dict[str, object]) -> None:
+        """Deliver one pushed delta payload; caller holds the lock."""
+        key = (worker, int(item["subscription"]))  # type: ignore[arg-type]
+        handle = self._by_remote.get(key)
+        entry = self._subs.get(handle) if handle is not None else None
+        if entry is None:
+            # A frame can outrun the subscribe() reply's local
+            # registration; park it (unless the handle was already
+            # closed — then the tail is dropped).
+            if key not in self._closed_remotes:
+                self._orphan_deltas.setdefault(key, []).append(item)
+            return
+        if entry.lazy:
+            entry.raw.append(item)
+        else:
+            entry.local._dispatch(self._decode_delta(item))
+        entry.received += 1
+
+    # -- view registration -----------------------------------------------------
+
+    def view(self, name: str, query: object, engine: str = "auto") -> RemoteView:
+        """Register a live view on the next worker (round-robin).
+
+        The routing table is revalidated: if the view mentions a
+        relation already served by another worker, the routing entry is
+        published first (so concurrent writes fan out to the new worker
+        too — inserts are idempotent under set semantics) and then that
+        worker's existing rows are backfilled before the registration
+        returns, so registration order never changes results — the
+        same guarantee the in-process Session gives.
+
+        Caveats (the in-process Server takes every shard lock here; a
+        cluster cannot): registration assumes a single registrar at a
+        time, reads of the new view before ``view()`` returns may see a
+        partially backfilled result, and a concurrent *delete* on a
+        shared relation can race the backfill's row snapshot — quiesce
+        deletes to shared relations while registering over them.
+        """
+        with self._lock:
+            if name in self._view_worker:
+                raise EngineStateError(f"a view named {name!r} already exists")
+            worker = self._next_alive_worker()
+        text = query_to_text(query)
+        reply = self._request(
+            worker,
+            {"op": "register_view", "name": name, "query": text, "engine": engine},
+            context=f"registering view {name!r}",
+        )
+        relations = [str(relation) for relation in reply["relations"]]  # type: ignore[union-attr]
+        arities = {
+            str(relation): int(arity)
+            for relation, arity in dict(
+                reply.get("arities") or {}  # type: ignore[arg-type]
+            ).items()
+        }
+        with self._lock:
+            for relation, arity in arities.items():
+                declared = self._relation_arity.get(relation, arity)
+                if declared != arity:
+                    conflict = SchemaError(
+                        f"view {name!r} uses {relation}/{arity} but the "
+                        f"cluster already serves {relation}/{declared}"
+                    )
+                    break
+            else:
+                conflict = None
+        if conflict is not None:
+            # Workers only see their own schema; undo the registration
+            # so the cluster stays consistent, then mirror the
+            # session's error.
+            try:
+                self._request(worker, {"op": "drop_view", "name": name})
+            except (WorkerCrashedError, ReproError):
+                pass
+            raise conflict
+        # Publish the routing FIRST: from this point concurrent writes
+        # to the view's relations fan out to the new worker as well, so
+        # the backfill below cannot miss an insert that raced it (the
+        # backfill's inserts are idempotent under set semantics).
+        with self._lock:
+            backfills: List[Tuple[str, int]] = []
+            for relation in relations:
+                owners = self._routing.get(relation, ())
+                source = next(
+                    (o for o in owners if o not in self._dead and o != worker),
+                    None,
+                )
+                if source is not None and worker not in owners:
+                    backfills.append((relation, source))
+            self._view_worker[name] = worker
+            self._view_engine[name] = str(reply["engine"])
+            self._view_relations[name] = tuple(relations)
+            self._relation_arity.update(arities)
+            for relation in relations:
+                known = set(self._routing.get(relation, ()))
+                known.add(worker)
+                self._routing[relation] = tuple(sorted(known))
+            self._placed += 1
+        for relation, source in backfills:
+            rows = self._request(
+                source,
+                {"op": "rows", "relation": relation},
+                context=f"backfilling {relation} into worker {worker}",
+            )["rows"]
+            if rows:
+                self._request(
+                    worker,
+                    {
+                        "op": "batch",
+                        "commands": [
+                            ["insert", relation, list(row)]
+                            for row in rows  # type: ignore[union-attr]
+                        ],
+                    },
+                    context=f"backfilling {relation} into worker {worker}",
+                )
+        return RemoteView(name, str(reply["engine"]), tuple(relations), worker)
+
+    def _next_alive_worker(self) -> int:
+        """Round-robin placement skipping dead workers (lock held)."""
+        total = len(self._conns)
+        for offset in range(total):
+            candidate = (self._placed + offset) % total
+            if candidate not in self._dead:
+                return candidate
+        raise ClusterError("every shard worker is dead")
+
+    def drop_view(self, name: str) -> None:
+        worker = self._worker_of_view(name)
+        self._request(worker, {"op": "drop_view", "name": name})
+        with self._lock:
+            self._view_worker.pop(name, None)
+            self._view_engine.pop(name, None)
+            self._view_relations.pop(name, None)
+            self._rebuild_routing_locked()
+            for handle, (_w, _remote, view) in list(self._cursors.items()):
+                if view == name:
+                    self._cursors.pop(handle, None)
+            for handle, entry in list(self._subs.items()):
+                if entry.view == name:
+                    self._subs.pop(handle, None)
+                    self._by_remote.pop((entry.worker, entry.remote), None)
+                    entry.local.close()
+
+    def _rebuild_routing_locked(self) -> None:
+        """Re-derive relation→workers from the retained per-view
+        relation sets (caller holds the lock)."""
+        fresh: Dict[str, Set[int]] = {}
+        for view_name, worker in self._view_worker.items():
+            for relation in self._view_relations.get(view_name, ()):
+                fresh.setdefault(relation, set()).add(worker)
+        self._routing = {
+            relation: tuple(sorted(owners))
+            for relation, owners in fresh.items()
+        }
+
+    # -- updates ---------------------------------------------------------------
+
+    def insert(self, relation: str, row: Sequence[Constant]) -> bool:
+        return self.apply(insert_command(relation, row))
+
+    def delete(self, relation: str, row: Sequence[Constant]) -> bool:
+        return self.apply(delete_command(relation, row))
+
+    def apply(self, command: UpdateCommand) -> bool:
+        """Fan one update out to the workers whose views mention the
+        relation (ascending worker order), mirroring the sharded
+        Server's routing."""
+        with self._lock:
+            workers = self._routing.get(command.relation)
+            if workers is None:
+                known = ", ".join(sorted(self._routing)) or "(none)"
+                raise SchemaError(
+                    f"no registered view uses relation {command.relation!r}; "
+                    f"known relations: {known}"
+                )
+        message = {
+            "op": command.op,
+            "relation": command.relation,
+            "row": command.row,
+        }
+        changed: Optional[bool] = None
+        for worker in workers:
+            reply = self._request(worker, dict(message))
+            if changed is None:
+                changed = bool(reply["changed"])
+            elif changed != bool(reply["changed"]):
+                raise ClusterError(
+                    f"workers disagree on the effect of {command} — "
+                    "replicated relation state diverged"
+                )
+        return bool(changed)
+
+    def apply_stream(
+        self, commands: Iterable[UpdateCommand], chunk: int = 256
+    ) -> int:
+        """Apply an update stream with chunked wire framing.
+
+        Semantically ``for c in commands: self.apply(c)`` — every
+        command runs the full update choreography on every worker whose
+        views mention its relation, in stream order — but commands ride
+        the wire in chunks of ``chunk`` per worker, so the round trip
+        (the dominant cost of socket-remote single-tuple updates) is
+        paid once per chunk instead of once per command.  Not
+        transactional (use :meth:`batch` for all-or-nothing): an error
+        mid-stream leaves each worker's already-applied prefix in
+        place, and the surviving workers' pending chunks are flushed
+        best-effort before the error surfaces, so replicas of a shared
+        relation stop at the same failing command instead of silently
+        diverging.  Returns the number of effective commands, counted
+        at each command's primary (lowest-id) worker.
+        """
+        if chunk < 1:
+            raise EngineStateError(f"chunk must be >= 1, got {chunk}")
+        buffers: Dict[int, List[Tuple[object, ...]]] = {}
+        primaries: Dict[int, List[bool]] = {}
+        routing_cache: Dict[str, Tuple[int, ...]] = {}
+        changed = 0
+
+        def flush(worker: int) -> int:
+            wire = buffers.pop(worker, None)
+            primary_flags = primaries.pop(worker, [])
+            if not wire:
+                return 0
+            reply = self._request(
+                worker, {"op": "apply_many", "commands": wire}
+            )
+            results = reply["results"]
+            return sum(
+                1
+                for effective, primary in zip(results, primary_flags)  # type: ignore[arg-type]
+                if effective and primary
+            )
+
+        try:
+            for command in commands:
+                workers = routing_cache.get(command.relation)
+                if workers is None:
+                    with self._lock:
+                        workers = self._routing.get(command.relation)
+                    if workers is None:
+                        known = ", ".join(sorted(self._routing)) or "(none)"
+                        raise SchemaError(
+                            f"no registered view uses relation "
+                            f"{command.relation!r}; known relations: {known}"
+                        )
+                    routing_cache[command.relation] = workers
+                wire_command = (command.op, command.relation, command.row)
+                for index, worker in enumerate(workers):
+                    buffers.setdefault(worker, []).append(wire_command)
+                    primaries.setdefault(worker, []).append(index == 0)
+                    if len(buffers[worker]) >= chunk:
+                        changed += flush(worker)
+            for worker in sorted(buffers):
+                changed += flush(worker)
+        except ReproError:
+            # A replicated command may already have landed on one
+            # worker; flush the other workers' pending chunks
+            # best-effort so identical sub-streams stop at the same
+            # failing command (replica convergence), then surface the
+            # original error.
+            for worker in sorted(buffers):
+                try:
+                    flush(worker)
+                except ReproError:
+                    pass
+            raise
+        return changed
+
+    def batch(self, commands: Iterable[UpdateCommand]) -> Dict[str, int]:
+        """A transactional batch across however many shards it touches.
+
+        One worker: that worker's local (compressed, atomic) batch.
+        Several: two-phase — every worker stages and validates its
+        sub-batch under its exclusive lock, then all commit; any
+        prepare failure (including a crashed worker) aborts the staged
+        survivors, so the cluster observes all-or-nothing.
+
+        The returned stats sum the per-worker sub-batches: a command on
+        a relation served by W workers is buffered/applied on each, so
+        it counts W times — per-worker work done, not logical commands
+        (disjoint-view batches, the common case, match the in-process
+        numbers exactly).
+        """
+        commands = list(commands)
+        if not commands:
+            return {"buffered": 0, "net": 0, "applied": 0}
+        groups: Dict[int, List[List[object]]] = {}
+        for command in commands:
+            with self._lock:
+                workers = self._routing.get(command.relation)
+            if workers is None:
+                known = ", ".join(sorted(self._routing)) or "(none)"
+                raise SchemaError(
+                    f"no registered view uses relation "
+                    f"{command.relation!r}; known relations: {known}"
+                )
+            for worker in workers:
+                groups.setdefault(worker, []).append(
+                    [command.op, command.relation, list(command.row)]
+                )
+        order = sorted(groups)
+        if len(order) == 1:
+            worker = order[0]
+            reply = self._request(
+                worker, {"op": "batch", "commands": groups[worker]}
+            )
+            return dict(reply["stats"])  # type: ignore[arg-type]
+        txn = f"{self.client_id}:{next(self._txn_ids)}"
+        prepared: List[int] = []
+        try:
+            for worker in order:
+                self._request(
+                    worker,
+                    {"op": "batch_prepare", "txn": txn, "commands": groups[worker]},
+                    context=f"preparing batch {txn}",
+                )
+                prepared.append(worker)
+            if self._test_pause_after_prepare is not None:
+                self._test_pause_after_prepare(self)
+        except BaseException as error:
+            self._abort_batch(txn, prepared)
+            if isinstance(error, WorkerCrashedError):
+                raise WorkerCrashedError(
+                    f"batch {txn} rolled back: {error}",
+                    worker=error.worker,
+                    views=error.views,
+                ) from error
+            raise
+        # Liveness sweep between prepare and commit: a participant that
+        # died after voting yes (kill -9 mid-prepare) is caught here,
+        # while a full rollback is still possible — shrinking the
+        # partial-commit window to a crash inside the commit phase
+        # itself (which the error below then reports precisely).
+        for worker in order:
+            try:
+                self._request(worker, {"op": "ping"}, context=f"batch {txn}")
+            except WorkerCrashedError as error:
+                self._abort_batch(txn, [w for w in order if w != worker])
+                raise WorkerCrashedError(
+                    f"batch {txn} rolled back: {error}",
+                    worker=error.worker,
+                    views=error.views,
+                ) from error
+        committed: List[int] = []
+        merged = {"buffered": 0, "net": 0, "applied": 0}
+        for worker in order:
+            try:
+                reply = self._request(
+                    worker,
+                    {"op": "batch_commit", "txn": txn},
+                    context=f"committing batch {txn}",
+                )
+            except WorkerCrashedError as error:
+                remaining = [
+                    w for w in order if w not in committed and w != worker
+                ]
+                self._abort_batch(txn, remaining)
+                if not committed:
+                    raise WorkerCrashedError(
+                        f"batch {txn} rolled back: {error}",
+                        worker=error.worker,
+                        views=error.views,
+                    ) from error
+                raise ClusterError(
+                    f"batch {txn} partially committed on workers "
+                    f"{committed} before worker {worker} crashed: {error}"
+                ) from error
+            committed.append(worker)
+            stats = reply["stats"]
+            for key in merged:
+                merged[key] += int(stats.get(key, 0))  # type: ignore[union-attr]
+        return merged
+
+    def _abort_batch(self, txn: str, workers: Sequence[int]) -> None:
+        for worker in workers:
+            try:
+                self._request(worker, {"op": "batch_abort", "txn": txn})
+            except (WorkerCrashedError, ReproError):
+                pass  # the worker died with its stage; nothing applied
+
+    # -- cursors ---------------------------------------------------------------
+
+    def open_cursor(
+        self,
+        view: str,
+        binding: Optional[Dict[str, Constant]] = None,
+        snapshot: bool = False,
+    ) -> int:
+        worker = self._worker_of_view(view)
+        reply = self._request(
+            worker,
+            {
+                "op": "open_cursor",
+                "view": view,
+                "binding": binding,
+                "snapshot": bool(snapshot),
+            },
+        )
+        with self._lock:
+            handle = next(self._ids)
+            self._cursors[handle] = (worker, int(reply["cursor"]), view)  # type: ignore[arg-type]
+        return handle
+
+    def fetch(self, cursor: int, n: int) -> List[Row]:
+        with self._lock:
+            entry = self._cursors.get(cursor)
+        if entry is None:
+            raise EngineStateError(f"unknown cursor handle {cursor}")
+        worker, remote, view = entry
+        reply = self._request(
+            worker,
+            {"op": "fetch", "cursor": remote, "n": int(n)},
+            context=f"cursor {cursor} on view {view!r} is lost — reopen "
+            "once the shard is restarted",
+        )
+        return [as_row(row) for row in reply["rows"]]  # type: ignore[union-attr]
+
+    def close_cursor(self, cursor: int) -> None:
+        with self._lock:
+            entry = self._cursors.pop(cursor, None)
+        if entry is None:
+            return
+        worker, remote, _view = entry
+        try:
+            self._request(worker, {"op": "close_cursor", "cursor": remote})
+        except WorkerCrashedError:
+            pass  # the cursor died with its worker
+
+    # -- subscriptions ---------------------------------------------------------
+
+    def subscribe(
+        self,
+        view: str,
+        callback: Optional[Callable[[Delta], None]] = None,
+        max_pending: Optional[int] = None,
+    ) -> int:
+        """Subscribe to a view's deltas, streamed over the push channel.
+
+        ``callback`` runs client-side — on the push reader thread, or
+        on the client's dispatch pool when ``dispatch_workers`` > 0.
+        """
+        worker = self._worker_of_view(view)
+        reply = self._request(
+            worker,
+            {"op": "subscribe", "view": view, "client": self.client_id},
+        )
+        remote = int(reply["subscription"])  # type: ignore[arg-type]
+        lazy = (
+            callback is None and self._pool is None and max_pending is None
+        )
+        local = Subscription(
+            _StubView(view),
+            callback=callback,
+            max_pending=max_pending,
+            dispatcher=self._pool,
+        )
+        with self._cond:
+            handle = next(self._ids)
+            entry = _SubEntry(worker, remote, view, local, lazy)
+            self._subs[handle] = entry
+            self._by_remote[(worker, remote)] = handle
+            # Payloads that raced this registration parked in the
+            # orphan buffer; drain them first so FIFO order survives.
+            for item in self._orphan_deltas.pop((worker, remote), []):
+                if lazy:
+                    entry.raw.append(item)
+                else:
+                    entry.local._dispatch(self._decode_delta(item))
+                entry.received += 1
+            self._cond.notify_all()
+        return handle
+
+    def subscription_state(self, subscription: int) -> Subscription:
+        """The client-side outbox behind a handle (introspection)."""
+        with self._lock:
+            try:
+                return self._subs[subscription].local
+            except KeyError:
+                raise EngineStateError(
+                    f"unknown subscription handle {subscription}"
+                ) from None
+
+    def poll(
+        self, subscription: int, max_items: Optional[int] = None
+    ) -> List[Delta]:
+        """Drain a subscription's outbox, observing every write that
+        returned before the call (the two-stage barrier: worker
+        delivered-count, then local arrival)."""
+        with self._lock:
+            entry = self._subs.get(subscription)
+        if entry is None:
+            raise EngineStateError(
+                f"unknown subscription handle {subscription}"
+            )
+        with entry.poll_lock:
+            target = int(
+                self._request(
+                    entry.worker,
+                    {"op": "push_sync", "subscription": entry.remote},
+                    context=f"subscription {subscription} on view "
+                    f"{entry.view!r}",
+                )["delivered"]  # type: ignore[arg-type]
+            )
+            deadline = time.monotonic() + self._poll_timeout
+            with self._cond:
+                while (
+                    entry.received < target
+                    and entry.worker not in self._dead
+                ):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ClusterError(
+                            f"poll barrier timed out: subscription "
+                            f"{subscription} received {entry.received} of "
+                            f"{target} deltas within {self._poll_timeout}s"
+                        )
+                    self._cond.wait(timeout=remaining)
+                raw, entry.raw = entry.raw, []
+            # Lazy path: decode the arrived payloads now, on the
+            # consumer's clock, and hand them to the local outbox.
+            for item in raw:
+                entry.local._deliver_now(self._decode_delta(item))
+        return entry.local.poll(max_items)
+
+    def unsubscribe(self, subscription: int) -> None:
+        with self._lock:
+            entry = self._subs.pop(subscription, None)
+            if entry is not None:
+                self._by_remote.pop((entry.worker, entry.remote), None)
+                self._closed_remotes.add((entry.worker, entry.remote))
+                self._orphan_deltas.pop((entry.worker, entry.remote), None)
+        if entry is None:
+            return
+        entry.local.close()
+        try:
+            self._request(
+                entry.worker, {"op": "unsubscribe", "subscription": entry.remote}
+            )
+        except WorkerCrashedError:
+            pass
+
+    # -- reads -----------------------------------------------------------------
+
+    def count(self, view: str) -> int:
+        worker = self._worker_of_view(view)
+        reply = self._request(worker, {"op": "count", "view": view})
+        return int(reply["count"])  # type: ignore[arg-type]
+
+    def answer(self, view: str) -> bool:
+        worker = self._worker_of_view(view)
+        return bool(self._request(worker, {"op": "answer", "view": view})["answer"])
+
+    def contains(self, view: str, row: Sequence[Constant]) -> bool:
+        worker = self._worker_of_view(view)
+        reply = self._request(
+            worker, {"op": "contains", "view": view, "row": list(row)}
+        )
+        return bool(reply["contains"])
+
+    def result_set(self, view: str) -> Set[Row]:
+        worker = self._worker_of_view(view)
+        reply = self._request(worker, {"op": "result_set", "view": view})
+        return set(as_rows(reply["rows"]))
+
+    def result_digest(self, view: str) -> str:
+        """The view's order-independent result fingerprint (cheap
+        cross-process equality probe — compare against an in-process
+        engine's :meth:`~repro.interface.DynamicEngine.result_digest`)."""
+        worker = self._worker_of_view(view)
+        return str(self._request(worker, {"op": "digest", "view": view})["digest"])
+
+    def explain(self, view: str) -> str:
+        worker = self._worker_of_view(view)
+        return str(self._request(worker, {"op": "explain", "view": view})["explain"])
+
+    def epochs(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for worker in range(len(self._conns)):
+            with self._lock:
+                if worker in self._dead:
+                    continue
+            reply = self._request(worker, {"op": "epochs"})
+            merged.update(reply["epochs"])  # type: ignore[arg-type]
+        return merged
+
+    def stats(self) -> Dict[str, object]:
+        per_worker: Dict[int, object] = {}
+        for worker in range(len(self._conns)):
+            with self._lock:
+                if worker in self._dead:
+                    per_worker[worker] = None
+                    continue
+            try:
+                per_worker[worker] = self._request(worker, {"op": "stats"})["stats"]
+            except WorkerCrashedError:
+                per_worker[worker] = None
+        live = [stats for stats in per_worker.values() if isinstance(stats, dict)]
+        report: Dict[str, object] = {
+            "workers": len(self._conns),
+            "dead_workers": list(self.dead_workers),
+            "views": dict(self._view_engine),
+            "view_worker": dict(self._view_worker),
+            "reads": sum(int(stats.get("reads", 0)) for stats in live),
+            "writes": sum(int(stats.get("writes", 0)) for stats in live),
+            "open_cursors": len(self._cursors),
+            "subscriptions": len(self._subs),
+            "per_worker": per_worker,
+        }
+        if self._pool is not None:
+            report["dispatch"] = {
+                "workers": self._pool.workers,
+                "submitted": self._pool.submitted,
+                "delivered": self._pool.delivered,
+                "pending": self._pool.pending,
+            }
+        return report
+
+    def ping(self) -> Dict[int, Optional[int]]:
+        """Liveness probe: worker index → pid (None when dead)."""
+        out: Dict[int, Optional[int]] = {}
+        for worker in range(len(self._conns)):
+            try:
+                reply = self._request(worker, {"op": "ping"})
+                out[worker] = int(reply["pid"])  # type: ignore[arg-type]
+            except WorkerCrashedError:
+                out[worker] = None
+        return out
+
+    # -- session adoption (Session.serve backend="processes") ------------------
+
+    def adopt_session(self, session: object) -> None:
+        """Mirror an in-process session into the cluster: register its
+        views (same engines) and bulk-load its rows, so the cluster
+        serves the same results the session did.
+
+        Rows of relations no longer mentioned by any live view (the
+        session keeps them after ``drop_view``) are skipped — no
+        cluster view could observe them, and the cluster's routing has
+        nowhere to put them.
+        """
+        for view in session.views:  # type: ignore[attr-defined]
+            self.view(
+                view.name, query_to_text(view.query), engine=view.engine_name
+            )
+        commands: List[UpdateCommand] = []
+        for relation in session.relations:  # type: ignore[attr-defined]
+            with self._lock:
+                if relation not in self._routing:
+                    continue  # orphaned by a drop_view; invisible here
+            for row in sorted(session.rows(relation), key=repr):  # type: ignore[attr-defined]
+                commands.append(insert_command(relation, row))
+        if commands:
+            self.batch(commands)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Wait until every delta of every live subscription has landed
+        in its local outbox (and the dispatch pool has settled)."""
+        with self._lock:
+            entries = list(self._subs.items())
+        for handle, entry in entries:
+            with self._lock:
+                if entry.worker in self._dead:
+                    continue
+            target = int(
+                self._request(
+                    entry.worker,
+                    {"op": "push_sync", "subscription": entry.remote},
+                )["delivered"]  # type: ignore[arg-type]
+            )
+            with self._cond:
+                while entry.received < target and entry.worker not in self._dead:
+                    self._cond.wait(timeout=self._poll_timeout)
+        if self._pool is not None:
+            self._pool.drain()
+
+    def close(self) -> None:
+        """Close every connection (idempotent); with ``owns_cluster``,
+        terminate the worker processes too."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+        for conn in self._conns + self._push_conns:
+            conn.close()
+        for thread in self._push_threads:
+            thread.join(timeout=2.0)
+        if self.owns_cluster and self._cluster is not None:
+            self._cluster.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            dead = len(self._dead)
+        return (
+            f"ClusterClient(workers={len(self._conns)}, dead={dead}, "
+            f"views={len(self._view_worker)}, "
+            f"cursors={len(self._cursors)}, "
+            f"subscriptions={len(self._subs)})"
+        )

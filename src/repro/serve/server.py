@@ -288,6 +288,19 @@ class Server:
         with self._write_shards(range(len(self._shards))):
             yield
 
+    @contextmanager
+    def exclusive(self) -> Iterator[None]:
+        """Every shard's write lock, publicly.
+
+        The cluster's two-phase batch protocol holds this across its
+        prepare→commit gap (write-reentrant for the holding thread, so
+        the commit's own :meth:`batch` still works); any caller needing
+        a multi-operation critical section over the whole server can
+        use it the same way.
+        """
+        with self._write_all():
+            yield
+
     def _shards_for_relation(self, relation: str) -> Tuple[int, ...]:
         ids = self._relation_shards.get(relation)
         if ids is None:
@@ -428,6 +441,16 @@ class Server:
             ) from None
         return target.poll(max_items)
 
+    def subscription_state(self, subscription: int) -> Subscription:
+        """The subscription object behind a handle (introspection; the
+        cluster's push-sync barrier reads its delivery counter)."""
+        try:
+            return self._subscriptions[subscription]
+        except KeyError:
+            raise EngineStateError(
+                f"unknown subscription handle {subscription}"
+            ) from None
+
     def unsubscribe(self, subscription: int) -> None:
         shard = self._shard_of_subscription.get(subscription, 0)
         with self._shards[shard].write_locked():
@@ -457,6 +480,39 @@ class Server:
                 if self._shards_for_relation(command.relation) == shard_ids:
                     self._shard_writes[shard_ids[0]] += 1
                     return self._session.apply(command)
+
+    def apply_all(self, commands: Sequence[UpdateCommand]) -> List[bool]:
+        """Apply an update stream under one lock acquisition.
+
+        Takes the union of the touched relations' shards once (in
+        ascending order — the usual deadlock protocol), then applies
+        each command in order with the full per-command fan-out, delta
+        capture and cursor choreography.  This is the serving-layer
+        analogue of wire-level chunking: a remote stream that already
+        arrived as a block should not pay the reader–writer lock dance
+        per tuple.  Readers of the touched shards wait for the whole
+        chunk, so size chunks for milliseconds, not seconds.  Not
+        transactional: a failing command (unknown relation, bad arity)
+        aborts the rest but leaves the applied prefix in place —
+        :meth:`batch` is the all-or-nothing path.
+
+        Returns one effectiveness flag per command.
+        """
+        commands = list(commands)
+        if not commands:
+            return []
+        while True:
+            shard_ids: set = set()
+            for command in commands:
+                shard_ids.update(self._shards_for_relation(command.relation))
+            with self._write_shards(sorted(shard_ids)):
+                fresh: set = set()
+                for command in commands:
+                    fresh.update(self._shards_for_relation(command.relation))
+                if fresh != shard_ids:
+                    continue  # a view() raced our routing read; retry
+                self._shard_writes[min(shard_ids)] += len(commands)
+                return [self._session.apply(command) for command in commands]
 
     def batch(self, commands: Iterable[UpdateCommand]) -> Dict[str, int]:
         """Apply a transactional, net-effect-compressed batch.
@@ -490,6 +546,40 @@ class Server:
     def explain(self, view: str) -> str:
         with self._view_locked(view):
             return self._session[view].explain().render()
+
+    def result_rows(self, view: str) -> List[Row]:
+        """The view's full result, deterministically ordered (by repr —
+        stable across processes, which is what the cluster's replay
+        checks compare).  O(|result|); a verification surface, not a
+        paging one — use cursors for that."""
+        with self._view_locked(view):
+            self.reads += 1
+            return sorted(self._session[view].result_set(), key=repr)
+
+    def result_set(self, view: str) -> set:
+        """The view's materialised result (same surface as
+        :meth:`repro.serve.cluster.ClusterClient.result_set`, so
+        backend-agnostic code can verify against either)."""
+        with self._view_locked(view):
+            self.reads += 1
+            return self._session[view].result_set()
+
+    def digest(self, view: str) -> str:
+        """Order-independent result fingerprint (see
+        :meth:`repro.interface.DynamicEngine.result_digest`)."""
+        with self._view_locked(view):
+            self.reads += 1
+            return self._session[view].engine.result_digest()
+
+    def result_digest(self, view: str) -> str:
+        """Alias of :meth:`digest` matching the cluster client's name."""
+        return self.digest(view)
+
+    def relation_rows(self, relation: str) -> List[Row]:
+        """One relation's stored rows, deterministically ordered (the
+        cluster's registration backfill reads this)."""
+        with self._read_all():
+            return sorted(self._session.rows(relation), key=repr)
 
     def epochs(self) -> Dict[str, int]:
         """Per-view epoch bookkeeping: view name → generation stamp."""
@@ -675,6 +765,23 @@ class Server:
             return {"ok": True, "count": self.count(request["view"])}
         if op == "answer":
             return {"ok": True, "answer": self.answer(request["view"])}
+        if op == "contains":
+            return {
+                "ok": True,
+                "contains": self.contains(
+                    request["view"], tuple(request["row"])
+                ),
+            }
+        if op == "result_set":
+            return {
+                "ok": True,
+                "rows": [list(row) for row in self.result_rows(request["view"])],
+            }
+        if op == "digest":
+            return {"ok": True, "digest": self.digest(request["view"])}
+        if op == "drop_view":
+            self.drop_view(request["name"])
+            return {"ok": True}
         if op == "explain":
             return {"ok": True, "explain": self.explain(request["view"])}
         if op == "epochs":

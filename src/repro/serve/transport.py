@@ -1,0 +1,323 @@
+"""Wire transport for the multiprocess shard cluster.
+
+The cluster (:mod:`repro.serve.cluster`) runs one worker process per
+shard and speaks a deliberately tiny protocol over stream sockets —
+``AF_UNIX`` where available (Linux, the deployment target), loopback
+TCP otherwise.  The unit is a **frame**:
+
+    ``[4-byte big-endian unsigned length][payload]``
+
+where the payload is one request/reply/push *message* encoded by the
+connection's codec.  Two codecs exist:
+
+* ``"json"`` — always available, UTF-8, compact separators.  Tuples
+  flatten to arrays on the wire; the receiving side re-canonicalises
+  rows with :func:`as_row`/:func:`as_rows` so result tuples, delta
+  payloads and replayed subscription logs compare **byte-identical**
+  to their in-process counterparts.
+* ``"msgpack"`` — used when the optional ``msgpack`` package is
+  importable (smaller frames, faster encode); selecting it without the
+  package raises :class:`~repro.errors.TransportError` instead of
+  importing anything at module load.
+
+Messages are plain dicts with string keys — exactly the shape
+:meth:`repro.serve.server.Server.handle` already consumes, which is
+what lets the worker wrap the existing request loop unchanged.  A
+frame longer than :data:`MAX_FRAME` (64 MiB) is rejected before
+allocation: a corrupt length prefix must fail fast, not OOM the
+worker.
+
+:class:`Connection` wraps a connected socket with the codec plus the
+locking that makes it safe to share: ``request()`` (send one message,
+read one reply) holds the connection lock for the whole round trip, so
+any number of client threads can multiplex one request channel; the
+push channel is written by one worker thread and read by one client
+thread, no multiplexing needed.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.errors import ConnectionClosedError, TransportError
+
+__all__ = [
+    "MAX_FRAME",
+    "Codec",
+    "get_codec",
+    "available_codecs",
+    "send_frame",
+    "recv_frame",
+    "Connection",
+    "bind_listener",
+    "connect",
+    "as_row",
+    "as_rows",
+]
+
+#: Hard ceiling on one frame's payload — fail fast on corrupt prefixes.
+MAX_FRAME = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class Codec:
+    """A named message codec: ``encode(dict) -> bytes`` and back."""
+
+    def __init__(
+        self,
+        name: str,
+        encode: Callable[[object], bytes],
+        decode: Callable[[bytes], object],
+    ):
+        self.name = name
+        self._encode = encode
+        self._decode = decode
+
+    def encode(self, message: object) -> bytes:
+        return self._encode(message)
+
+    def decode(self, payload: bytes) -> object:
+        try:
+            return self._decode(payload)
+        except Exception as error:
+            raise TransportError(
+                f"undecodable {self.name} frame ({len(payload)} bytes): {error}"
+            ) from error
+
+    def __repr__(self) -> str:
+        return f"Codec({self.name!r})"
+
+
+def _json_codec() -> Codec:
+    def encode(message: object) -> bytes:
+        return json.dumps(
+            message, separators=(",", ":"), ensure_ascii=False
+        ).encode("utf-8")
+
+    return Codec("json", encode, lambda payload: json.loads(payload))
+
+
+def _msgpack_codec() -> Codec:
+    try:
+        import msgpack  # type: ignore[import-not-found]
+    except ImportError as error:
+        raise TransportError(
+            "codec 'msgpack' requested but the msgpack package is not "
+            "installed; use codec='json' (the default)"
+        ) from error
+    return Codec(
+        "msgpack",
+        lambda message: msgpack.packb(message, use_bin_type=True),
+        lambda payload: msgpack.unpackb(payload, raw=False),
+    )
+
+
+def available_codecs() -> Tuple[str, ...]:
+    """The codec names this interpreter can actually construct."""
+    names = ["json"]
+    try:
+        import msgpack  # type: ignore[import-not-found]  # noqa: F401
+    except ImportError:
+        pass
+    else:
+        names.append("msgpack")
+    return tuple(names)
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a codec by name (``"json"`` or ``"msgpack"``)."""
+    if name == "json":
+        return _json_codec()
+    if name == "msgpack":
+        return _msgpack_codec()
+    raise TransportError(
+        f"unknown codec {name!r}; available: {', '.join(available_codecs())}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+
+
+def _recv_exactly(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`ConnectionClosedError`."""
+    chunks = bytearray()
+    while len(chunks) < n:
+        try:
+            chunk = sock.recv(n - len(chunks))
+        except OSError as error:
+            raise ConnectionClosedError(
+                f"connection lost mid-frame: {error}"
+            ) from error
+        if not chunk:
+            raise ConnectionClosedError(
+                "peer closed the connection"
+                + (" mid-frame" if chunks else "")
+            )
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    """Write one length-prefixed frame."""
+    if len(payload) > MAX_FRAME:
+        raise TransportError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    try:
+        sock.sendall(_LENGTH.pack(len(payload)) + payload)
+    except OSError as error:
+        raise ConnectionClosedError(f"send failed: {error}") from error
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    """Read one length-prefixed frame's payload."""
+    (length,) = _LENGTH.unpack(_recv_exactly(sock, _LENGTH.size))
+    if length > MAX_FRAME:
+        raise TransportError(
+            f"incoming frame claims {length} bytes (> MAX_FRAME "
+            f"{MAX_FRAME}); corrupt stream"
+        )
+    return _recv_exactly(sock, length) if length else b""
+
+
+# ---------------------------------------------------------------------------
+# connections
+# ---------------------------------------------------------------------------
+
+
+class Connection:
+    """A codec-framed socket, safe to share across threads.
+
+    ``request()`` serialises the whole send+receive round trip under
+    one lock — the request channel's multiplexing discipline.  ``send``
+    and ``recv`` take only their own side's lock (the push channel has
+    a single writer and a single reader, on different processes).
+    """
+
+    def __init__(self, sock: socket.socket, codec: Codec):
+        self._sock = sock
+        self._codec = codec
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._request_lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def codec(self) -> Codec:
+        return self._codec
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def send(self, message: object) -> None:
+        payload = self._codec.encode(message)
+        with self._send_lock:
+            if self._closed:
+                raise ConnectionClosedError("connection already closed")
+            send_frame(self._sock, payload)
+
+    def recv(self) -> object:
+        with self._recv_lock:
+            payload = recv_frame(self._sock)
+        return self._codec.decode(payload)
+
+    def request(self, message: Dict[str, object]) -> Dict[str, object]:
+        """One request/reply round trip, atomic w.r.t. other callers."""
+        with self._request_lock:
+            self.send(message)
+            reply = self.recv()
+        if not isinstance(reply, dict):
+            raise TransportError(
+                f"protocol violation: reply is {type(reply).__name__}, "
+                "expected a dict"
+            )
+        return reply
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Connection({self._codec.name}, {state})"
+
+
+# ---------------------------------------------------------------------------
+# addressing: AF_UNIX where it exists, loopback TCP otherwise
+# ---------------------------------------------------------------------------
+
+#: addresses are ("unix", path) or ("tcp", host, port) — plain tuples so
+#: they travel through a multiprocessing pipe under any start method.
+Address = Tuple[object, ...]
+
+
+def bind_listener(
+    socket_dir: Optional[str], name: str
+) -> Tuple[socket.socket, Address]:
+    """Bind a listening socket, returning it plus its wire address."""
+    if socket_dir is not None and hasattr(socket, "AF_UNIX"):
+        path = f"{socket_dir}/{name}.sock"
+        if len(path.encode()) < 100:  # sun_path limit, conservatively
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(path)
+            listener.listen(64)
+            return listener, ("unix", path)
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(64)
+    _host, port = listener.getsockname()
+    return listener, ("tcp", "127.0.0.1", port)
+
+
+def connect(address: Sequence[object], codec: Codec, timeout: float = 10.0) -> Connection:
+    """Connect to a worker's listener and wrap the socket."""
+    kind = address[0]
+    if kind == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(str(address[1]))
+    elif kind == "tcp":
+        sock = socket.create_connection(
+            (str(address[1]), int(address[2])), timeout=timeout  # type: ignore[arg-type]
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    else:
+        raise TransportError(f"unknown address kind {kind!r}")
+    sock.settimeout(None)
+    return Connection(sock, codec)
+
+
+# ---------------------------------------------------------------------------
+# row canonicalisation (JSON flattens tuples to arrays)
+# ---------------------------------------------------------------------------
+
+
+def as_row(value: object) -> Tuple[object, ...]:
+    """One wire row back to the canonical tuple form."""
+    return tuple(value)  # type: ignore[arg-type]
+
+
+def as_rows(values: object) -> Tuple[Tuple[object, ...], ...]:
+    """A wire row list back to a tuple of canonical row tuples."""
+    return tuple(tuple(value) for value in values)  # type: ignore[union-attr]

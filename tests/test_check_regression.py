@@ -21,11 +21,18 @@ def write(path, blob):
     return path
 
 
-def serving_blob(sharded=2.2, async_speedup=10.0, flatness=1.1, delta=20000.0):
+def serving_blob(
+    sharded=2.2,
+    async_speedup=10.0,
+    flatness=1.1,
+    delta=20000.0,
+    multiproc=2.0,
+):
     return {
         "cursor_resume": {"cursor_last_over_first": flatness},
         "subscription_delta": {"speedup": delta},
         "sharded_writes": {"speedup_at_max_shards": sharded},
+        "multiprocess_shards": {"speedup_vs_inprocess_best": multiproc},
         "async_dispatch": {"writer_speedup": async_speedup},
     }
 
@@ -127,7 +134,75 @@ def test_relative_metric_missing_from_baseline_is_skipped(tmp_path):
     assert any("preprocessing_geomean" in line and "ok" in line for line in notes)
 
 
-def test_main_cli_exit_codes(tmp_path):
+def test_multiprocess_guardrail_turns_red(tmp_path):
+    baseline = write(tmp_path / "base.json", serving_blob())
+    fresh = write(tmp_path / "fresh.json", serving_blob(multiproc=0.8))
+    regressions, _ = check_regression.check_experiment(
+        "serving", baseline, fresh, 0.30
+    )
+    assert len(regressions) == 1
+    assert "multiprocess_shards.speedup_vs_inprocess_best" in regressions[0]
+
+
+def test_evaluate_experiment_records_are_machine_readable():
+    records = check_regression.evaluate_experiment(
+        "serving", serving_blob(), serving_blob(async_speedup=0.9), 0.30
+    )
+    by_metric = {record["metric"]: record for record in records}
+    assert by_metric["async_dispatch.writer_speedup"]["status"] == "regressed"
+    assert by_metric["async_dispatch.writer_speedup"]["bound"] == 1.5
+    assert by_metric["sharded_writes.speedup_at_max_shards"]["status"] == "ok"
+    assert all(record["mode"] == "absolute" for record in records)
+    # records survive a JSON round trip (what --json-out relies on)
+    assert json.loads(json.dumps(records)) == records
+
+
+def test_json_out_writes_verdicts(tmp_path, monkeypatch):
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+    fresh = write(tmp_path / "fresh.json", serving_blob())
+    out = tmp_path / "gate.json"
+    assert (
+        check_regression.main(
+            ["--fresh-serving", str(fresh), "--json-out", str(out)]
+        )
+        == 0
+    )
+    blob = json.loads(out.read_text(encoding="utf-8"))
+    assert blob["ok"] is True
+    assert blob["regressions"] == []
+    assert {record["metric"] for record in blob["metrics"]} == {
+        path for path, _d, _m in check_regression.TRACKED["serving"]
+    }
+    # a failing run records its regressions too
+    bad = write(tmp_path / "bad.json", serving_blob(sharded=0.5))
+    assert (
+        check_regression.main(
+            ["--fresh-serving", str(bad), "--json-out", str(out)]
+        )
+        == 1
+    )
+    blob = json.loads(out.read_text(encoding="utf-8"))
+    assert blob["ok"] is False
+    assert len(blob["regressions"]) == 1
+
+
+def test_github_step_summary_is_appended(tmp_path, monkeypatch):
+    fresh = write(tmp_path / "fresh.json", serving_blob(async_speedup=0.9))
+    summary = tmp_path / "summary.md"
+    monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+    assert check_regression.main(["--fresh-serving", str(fresh)]) == 1
+    text = summary.read_text(encoding="utf-8")
+    assert "Perf-regression gate" in text
+    assert "1 tracked metric(s) regressed" in text
+    assert "async_dispatch.writer_speedup" in text
+    assert "❌" in text
+    # appends (job summaries accumulate across steps)
+    assert check_regression.main(["--fresh-serving", str(fresh)]) == 1
+    assert text in summary.read_text(encoding="utf-8")
+
+
+def test_main_cli_exit_codes(tmp_path, monkeypatch):
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
     baseline_dir = check_regression.EXPERIMENTS
     fresh = write(tmp_path / "fresh.json", serving_blob())
     # the real committed baseline is used; all guardrail metrics pass

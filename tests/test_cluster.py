@@ -1,0 +1,566 @@
+"""Multiprocess shard cluster: differential, routing, 2PC and crash tests.
+
+The oracle everywhere is the in-process :class:`repro.serve.Server` fed
+the identical command stream: the cluster must agree on results, deltas
+(byte-identical replay) and error behaviour, while its shards live in
+separate worker processes behind the socket transport.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro import Server, Session
+from repro.errors import (
+    ClusterError,
+    CursorInvalidatedError,
+    EngineStateError,
+    SchemaError,
+    UpdateError,
+    WorkerCrashedError,
+)
+from repro.serve.cluster import ShardCluster, query_to_text
+from repro.storage.updates import delete, insert
+
+pytestmark = pytest.mark.cluster
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with ShardCluster(workers=2) as deployment:
+        yield deployment
+
+
+@pytest.fixture(scope="module")
+def client(cluster):
+    with cluster.client() as facade:
+        yield facade
+
+
+def unique(prefix, _counter=[0]):
+    _counter[0] += 1
+    return f"{prefix}{_counter[0]}"
+
+
+def effective_stream(relation, count, domain, seed):
+    rng = random.Random(seed)
+    live, commands = [], []
+    for step in range(count):
+        if live and rng.random() < 0.35:
+            commands.append(delete(relation, live.pop(rng.randrange(len(live)))))
+        else:
+            row = (step, rng.randrange(domain))
+            live.append(row)
+            commands.append(insert(relation, row))
+    return commands
+
+
+# ---------------------------------------------------------------------------
+# text round-trip (the registration wire format)
+# ---------------------------------------------------------------------------
+
+
+def test_query_to_text_roundtrips_cq_and_ucq():
+    from repro.api.planner import parse_view
+
+    cq = parse_view("Q(x, y) :- E(x, y), T(y)")
+    assert query_to_text(cq) == str(cq)
+    ucq = parse_view("Q(x) :- R(x, y); Q(x) :- S(x)")
+    text = query_to_text(ucq)
+    assert ";" in text and "∪" not in text
+    reparsed = parse_view(text)
+    assert query_to_text(reparsed) == text
+    assert query_to_text("Q(x) :- E(x, x)") == "Q(x) :- E(x, x)"
+
+
+# ---------------------------------------------------------------------------
+# differential: cluster vs in-process server on one command stream
+# ---------------------------------------------------------------------------
+
+
+def test_cluster_matches_inprocess_server(client):
+    va, vb = unique("diff_a"), unique("diff_b")
+    ra, rb, shared = unique("RA"), unique("RB"), unique("RS")
+    qa = f"V(x, y) :- {ra}(x, y), {shared}(y)"
+    qb = f"V(x, y) :- {rb}(x, y), {shared}(y)"
+
+    oracle = Server(Session())
+    for name, query in ((va, qa), (vb, qb)):
+        oracle.view(name, query)
+        client.view(name, query)
+    oracle_subs = {name: oracle.subscribe(name) for name in (va, vb)}
+    cluster_subs = {name: client.subscribe(name) for name in (va, vb)}
+
+    rng = random.Random(11)
+    commands = []
+    for value in range(8):
+        commands.append(insert(shared, (value,)))
+    commands += effective_stream(ra, 120, 8, 7)
+    commands += effective_stream(rb, 120, 8, 9)
+    rng.shuffle(commands)
+
+    for command in commands:
+        assert client.apply(command) == oracle.apply(command)
+
+    for name in (va, vb):
+        assert client.count(name) == oracle.count(name)
+        assert client.answer(name) == oracle.answer(name)
+        expected = oracle.session[name].result_set()
+        assert client.result_set(name) == expected
+        assert (
+            client.result_digest(name)
+            == oracle.session[name].engine.result_digest()
+        )
+        ours = client.poll(cluster_subs[name])
+        theirs = oracle.poll(oracle_subs[name])
+        assert [
+            (d.view, d.epoch, d.command, d.added, d.removed) for d in ours
+        ] == [
+            (d.view, d.epoch, d.command, d.added, d.removed) for d in theirs
+        ]
+        # replaying the cluster's delta log reproduces the result
+        mirror = set()
+        for d in ours:
+            mirror |= set(d.added)
+            mirror -= set(d.removed)
+        assert mirror == expected
+    assert client.epochs()[va] == oracle.epochs()[va]
+
+
+def test_contains_and_explain_round_trip(client):
+    name, rel = unique("probe"), unique("RP")
+    client.view(name, f"V(x) :- {rel}(x)")
+    client.insert(rel, (3,))
+    assert client.contains(name, (3,))
+    assert not client.contains(name, (4,))
+    assert "qhierarchical" in client.explain(name)
+
+
+# ---------------------------------------------------------------------------
+# routing: fan-out, shared relations, backfill, schema mirroring
+# ---------------------------------------------------------------------------
+
+
+def test_shared_relation_fans_out_and_backfills(client):
+    shared = unique("RF")
+    first = unique("fan_a")
+    client.view(first, f"V(x) :- {shared}(x)")
+    client.insert(shared, (1,))
+    client.insert(shared, (2,))
+    # The second view lands on the other worker and must be preloaded
+    # with the shared relation's existing rows (registration backfill).
+    second = unique("fan_b")
+    info = client.view(second, f"W(x) :- {shared}(x)")
+    assert client.result_set(second) == {(1,), (2,)}
+    # Subsequent writes fan out to both workers' views.
+    client.insert(shared, (3,))
+    assert client.result_set(first) == client.result_set(second) == {
+        (1,),
+        (2,),
+        (3,),
+    }
+    assert info.relations == (shared,)
+
+
+def test_unknown_relation_mirrors_session_error(client):
+    with pytest.raises(SchemaError, match="no registered view uses relation"):
+        client.insert(unique("NOPE"), (1,))
+
+
+def test_duplicate_view_name_rejected(client):
+    name, rel = unique("dup"), unique("RD")
+    client.view(name, f"V(x) :- {rel}(x)")
+    with pytest.raises(EngineStateError, match="already exists"):
+        client.view(name, f"V(x) :- {rel}(x)")
+
+
+def test_cross_worker_arity_conflict_rejected(client):
+    rel = unique("RC")
+    client.view(unique("ar_a"), f"V(x) :- {rel}(x)")
+    bad = unique("ar_b")
+    with pytest.raises(SchemaError, match="already serves"):
+        client.view(bad, f"W(x, y) :- {rel}(x, y)")
+    # the doomed registration was rolled back remotely
+    with pytest.raises(EngineStateError, match="no view named"):
+        client.count(bad)
+
+
+def test_unknown_view_and_handles(client):
+    with pytest.raises(EngineStateError, match="no view named"):
+        client.count(unique("ghost"))
+    with pytest.raises(EngineStateError, match="unknown cursor handle"):
+        client.fetch(999_999, 10)
+    with pytest.raises(EngineStateError, match="unknown subscription handle"):
+        client.poll(999_999)
+
+
+def test_drop_view_releases_routing(client):
+    name, rel = unique("dropme"), unique("RX")
+    client.view(name, f"V(x) :- {rel}(x)")
+    client.insert(rel, (1,))
+    client.drop_view(name)
+    with pytest.raises(EngineStateError, match="no view named"):
+        client.count(name)
+    with pytest.raises(SchemaError):
+        client.insert(rel, (2,))
+
+
+# ---------------------------------------------------------------------------
+# cursors over the wire
+# ---------------------------------------------------------------------------
+
+
+def test_cursor_pages_concatenate_to_result(client):
+    name, rel = unique("page"), unique("RG")
+    client.view(name, f"V(x, y) :- {rel}(x, y)")
+    rows = {(i, i % 5) for i in range(57)}
+    client.batch([insert(rel, row) for row in rows])
+    cursor = client.open_cursor(name)
+    seen = []
+    while True:
+        page = client.fetch(cursor, 10)
+        if not page:
+            break
+        seen.extend(page)
+    assert len(seen) == len(rows)
+    assert set(seen) == rows
+    client.close_cursor(cursor)
+    with pytest.raises(EngineStateError, match="unknown cursor handle"):
+        client.fetch(cursor, 1)
+
+
+def test_cursor_binding_and_snapshot(client):
+    name, rel = unique("bind"), unique("RB2")
+    client.view(name, f"V(x, y) :- {rel}(x, y)")
+    client.batch([insert(rel, (i % 3, i)) for i in range(30)])
+    bound = client.open_cursor(name, binding={"x": 1})
+    rows = client.fetch(bound, 100)
+    assert rows and all(row[0] == 1 for row in rows)
+    snap = client.open_cursor(name, snapshot=True)
+    before = client.count(name)
+    client.insert(rel, (1, 999))
+    pinned = []
+    while True:
+        page = client.fetch(snap, 16)
+        if not page:
+            break
+        pinned.extend(page)
+    assert len(pinned) == before  # the snapshot pinned pre-write results
+
+
+def test_cursor_invalidation_report_crosses_the_wire(client):
+    name, rel = unique("inv"), unique("RI")
+    client.view(name, f"V(x, y) :- {rel}(x, y)")
+    client.batch([insert(rel, (i, 0)) for i in range(20)])
+    cursor = client.open_cursor(name)
+    emitted = client.fetch(cursor, 3)
+    client.delete(rel, emitted[0])
+    with pytest.raises(CursorInvalidatedError) as excinfo:
+        client.fetch(cursor, 3)
+    report = excinfo.value.invalidation
+    assert report is not None
+    assert report.view == name
+    assert report.fetched == 3
+    assert "delete" in str(report.command)
+    assert report.invalidated_epoch > report.opened_epoch
+
+
+def test_cursor_revalidates_across_beyond_frontier_writes(client):
+    name, rel = unique("reval"), unique("RV")
+    client.view(name, f"V(x, y) :- {rel}(x, y)")
+    client.batch([insert(rel, (i, 0)) for i in range(10)])
+    cursor = client.open_cursor(name)
+    first = client.fetch(cursor, 2)
+    client.insert(rel, (100, 1))  # beyond the cursor's frontier
+    rest = client.fetch(cursor, 100)
+    assert set(first) | set(rest) == client.result_set(name)
+
+
+# ---------------------------------------------------------------------------
+# subscriptions: ordering, barrier, concurrent writers
+# ---------------------------------------------------------------------------
+
+
+def test_subscription_replay_under_concurrent_writers(client):
+    name, rel = unique("live"), unique("RL")
+    client.view(name, f"V(x, y) :- {rel}(x, y)")
+    handle = client.subscribe(name)
+    streams = [
+        [
+            insert(rel, (1_000 * i + n, n % 4))
+            for n in range(60)
+        ]
+        for i in range(3)
+    ]
+    threads = [
+        threading.Thread(target=lambda s=s: [client.apply(c) for c in s])
+        for s in streams
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    deltas = client.poll(handle)
+    mirror = set()
+    epochs = []
+    for delta in deltas:
+        mirror |= set(delta.added)
+        mirror -= set(delta.removed)
+        epochs.append(delta.epoch)
+    assert epochs == sorted(epochs)
+    assert mirror == client.result_set(name)
+
+
+def test_poll_observes_writes_that_returned(client):
+    name, rel = unique("sync"), unique("RY")
+    client.view(name, f"V(x) :- {rel}(x)")
+    handle = client.subscribe(name)
+    for value in range(25):
+        client.insert(rel, (value,))
+        # the barrier makes every returned write visible to the poll
+        deltas = client.poll(handle)
+        assert deltas and deltas[-1].added == ((value,),)
+
+
+def test_client_side_callback_and_dispatch_pool(cluster):
+    with cluster.client(dispatch_workers=2) as facade:
+        name, rel = unique("cb"), unique("RCB")
+        facade.view(name, f"V(x) :- {rel}(x)")
+        seen = []
+        handle = facade.subscribe(name, callback=lambda d: seen.append(d))
+        for value in range(30):
+            facade.insert(rel, (value,))
+        facade.drain()
+        assert [d.added for d in seen] == [((v,),) for v in range(30)]
+        facade.poll(handle)
+
+
+def test_unsubscribe_stops_the_stream(client):
+    name, rel = unique("unsub"), unique("RU")
+    client.view(name, f"V(x) :- {rel}(x)")
+    handle = client.subscribe(name)
+    client.insert(rel, (1,))
+    assert len(client.poll(handle)) == 1
+    client.unsubscribe(handle)
+    client.insert(rel, (2,))
+    with pytest.raises(EngineStateError, match="unknown subscription"):
+        client.poll(handle)
+
+
+# ---------------------------------------------------------------------------
+# transactional batches across shards
+# ---------------------------------------------------------------------------
+
+
+def test_single_worker_batch_uses_local_transaction(client):
+    name, rel = unique("loc"), unique("RLB")
+    client.view(name, f"V(x) :- {rel}(x)")
+    stats = client.batch(
+        [insert(rel, (1,)), insert(rel, (2,)), delete(rel, (1,))]
+    )
+    assert stats["applied"] == 1  # net effect: only (2,) lands
+    assert client.result_set(name) == {(2,)}
+
+
+def test_cross_shard_batch_commits_atomically(client):
+    va, vb = unique("tx_a"), unique("tx_b")
+    ra, rb = unique("RTA"), unique("RTB")
+    client.view(va, f"V(x) :- {ra}(x)")
+    client.view(vb, f"V(x) :- {rb}(x)")
+    assert client._worker_of_view(va) != client._worker_of_view(vb)
+    stats = client.batch(
+        [insert(ra, (1,)), insert(rb, (2,)), insert(ra, (3,)), delete(ra, (3,))]
+    )
+    assert client.result_set(va) == {(1,)}
+    assert client.result_set(vb) == {(2,)}
+    assert stats["applied"] == 2
+
+
+def test_cross_shard_batch_validation_failure_rolls_back(client):
+    va, vb = unique("rb_a"), unique("rb_b")
+    ra, rb = unique("RRA"), unique("RRB")
+    client.view(va, f"V(x) :- {ra}(x)")
+    client.view(vb, f"V(x) :- {rb}(x)")
+    client.insert(ra, (0,))
+    client.insert(rb, (0,))
+    with pytest.raises(UpdateError, match="arity"):
+        client.batch(
+            [insert(ra, (1,)), insert(rb, (2, "too-wide"))]
+        )
+    # nothing from the doomed batch landed anywhere
+    assert client.result_set(va) == {(0,)}
+    assert client.result_set(vb) == {(0,)}
+    # and both workers still serve (no lock was leaked by the abort)
+    client.insert(ra, (5,))
+    client.insert(rb, (6,))
+    assert client.count(va) == 2
+    assert client.count(vb) == 2
+
+
+# ---------------------------------------------------------------------------
+# worker crashes (kill -9 chaos)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def crashable():
+    with ShardCluster(workers=2) as deployment:
+        with deployment.client() as facade:
+            yield deployment, facade
+
+
+def _await_death(cluster, index, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while cluster.workers[index].alive() and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert not cluster.workers[index].alive()
+
+
+def test_worker_crash_mid_prepare_rolls_back(crashable):
+    cluster, facade = crashable
+    facade.view("a", "V(x) :- RA(x)")
+    facade.view("b", "V(x) :- RB(x)")
+    facade.insert("RA", (0,))
+    facade.insert("RB", (0,))
+    survivor = facade._worker_of_view("a")
+    victim = facade._worker_of_view("b")
+    assert survivor != victim
+
+    def kill_victim(_client):
+        cluster.kill_worker(victim)
+        _await_death(cluster, victim)
+
+    facade._test_pause_after_prepare = kill_victim
+    with pytest.raises(WorkerCrashedError, match="rolled back") as excinfo:
+        facade.batch([insert("RA", (1,)), insert("RB", (1,))])
+    facade._test_pause_after_prepare = None
+    assert excinfo.value.worker == victim
+    assert "b" in excinfo.value.views
+    # the survivor observed a rollback: its staged half never applied
+    assert facade.result_set("a") == {(0,)}
+    # and it keeps serving reads and writes
+    facade.insert("RA", (7,))
+    assert facade.count("a") == 2
+
+
+def test_worker_crash_during_prepare_phase_rolls_back(crashable):
+    cluster, facade = crashable
+    facade.view("a", "V(x) :- RA(x)")
+    facade.view("b", "V(x) :- RB(x)")
+    facade.insert("RA", (0,))
+    facade.insert("RB", (0,))
+    low = min(facade._worker_of_view("a"), facade._worker_of_view("b"))
+    high = max(facade._worker_of_view("a"), facade._worker_of_view("b"))
+    # Kill the higher-id worker first: its prepare (second in ascending
+    # order) fails, and the already-prepared lower worker must abort.
+    cluster.kill_worker(high)
+    _await_death(cluster, high)
+    with pytest.raises(WorkerCrashedError, match="rolled back"):
+        facade.batch([insert("RA", (1,)), insert("RB", (1,))])
+    surviving_view = "a" if facade._worker_of_view("a") == low else "b"
+    relation = "RA" if surviving_view == "a" else "RB"
+    assert facade.result_set(surviving_view) == {(0,)}
+    facade.insert(relation, (9,))
+    assert facade.count(surviving_view) == 2
+
+
+def test_crashed_worker_cursor_raises_precise_error(crashable):
+    cluster, facade = crashable
+    facade.view("a", "V(x) :- RA(x)")
+    facade.view("b", "V(x) :- RB(x)")
+    facade.batch([insert("RB", (i,)) for i in range(10)])
+    cursor = facade.open_cursor("b")
+    assert facade.fetch(cursor, 3)
+    sub = facade.subscribe("b")
+    victim = facade._worker_of_view("b")
+    cluster.kill_worker(victim)
+    _await_death(cluster, victim)
+    with pytest.raises(WorkerCrashedError) as excinfo:
+        facade.fetch(cursor, 3)
+    message = str(excinfo.value)
+    assert f"shard worker {victim}" in message
+    assert "b" in excinfo.value.views
+    assert "cursor" in message  # the precise context: which handle died
+    with pytest.raises(WorkerCrashedError):
+        facade.poll(sub)
+    with pytest.raises(WorkerCrashedError):
+        facade.count("b")
+    # the other shard is untouched
+    assert facade.count("a") == 0
+    assert victim in facade.dead_workers
+
+
+def test_cluster_close_terminates_workers():
+    cluster = ShardCluster(workers=2)
+    pids = [handle.pid for handle in cluster.workers]
+    assert all(pid is not None for pid in pids)
+    cluster.close()
+    cluster.close()  # idempotent
+    for handle in cluster.workers:
+        assert not handle.alive()
+
+
+# ---------------------------------------------------------------------------
+# Session.serve backend selection
+# ---------------------------------------------------------------------------
+
+
+def test_session_serve_threads_backend():
+    session = Session()
+    server = session.serve(backend="threads", shards=2)
+    assert isinstance(server, Server)
+    assert server.session is session
+    assert server.shards == 2
+
+
+def test_session_serve_unknown_backend():
+    with pytest.raises(EngineStateError, match="unknown serving backend"):
+        Session().serve(backend="quantum")
+
+
+def test_session_serve_processes_skips_orphaned_relations():
+    # drop_view keeps the relation's rows in the session's shared
+    # store; migrating must skip them (no cluster view could see them)
+    # instead of raising SchemaError on the unroutable relation.
+    session = Session()
+    session.view("gone", "V(x) :- Orphan(x)")
+    session.insert("Orphan", (1,))
+    session.drop_view("gone")
+    session.view("kept", "W(x) :- Keep(x)")
+    session.insert("Keep", (2,))
+    facade = session.serve(backend="processes", shards=2)
+    try:
+        assert facade.result_set("kept") == {(2,)}
+        with pytest.raises(EngineStateError, match="no view named"):
+            facade.count("gone")
+    finally:
+        facade.close()
+
+
+def test_session_serve_processes_migrates_views_and_rows():
+    session = Session()
+    session.view("feed", "V(x, y) :- E(x, y), T(y)")
+    session.view("tags", "W(x) :- G(x)")
+    for value in range(4):
+        session.insert("T", (value,))
+    session.insert("E", (1, 2))
+    session.insert("E", (9, 3))
+    session.insert("G", ("tag",))
+    facade = session.serve(backend="processes", shards=2)
+    try:
+        assert facade.owns_cluster
+        for name in ("feed", "tags"):
+            assert facade.result_set(name) == session[name].result_set()
+            assert (
+                facade.result_digest(name) == session[name].result_digest()
+            )
+        # the cluster keeps serving updates with the same engines
+        facade.insert("E", (4, 0))
+        assert facade.count("feed") == session["feed"].count() + 1
+        cluster = facade._cluster
+    finally:
+        facade.close()
+    for handle in cluster.workers:
+        assert not handle.alive()

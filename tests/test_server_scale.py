@@ -341,3 +341,69 @@ def test_stats_surface_shards_and_dispatch():
         assert stats["dispatch"]["workers"] == 2
         assert stats["dispatch"]["delivered"] == 1
         assert stats["dispatch"]["pending"] == 0
+
+
+# ---------------------------------------------------------------------------
+# chunked streams: apply_all under one lock acquisition
+# ---------------------------------------------------------------------------
+
+
+def test_apply_all_matches_per_command_apply():
+    from repro.storage.updates import delete as delete_cmd
+
+    chunked = Server(Session(), shards=2)
+    oracle = Server(Session(), shards=2)
+    for server in (chunked, oracle):
+        server.view("a", "V(x) :- RA(x)")
+        server.view("b", "V(x) :- RB(x)")
+    rng = random.Random(3)
+    commands = []
+    for step in range(200):
+        relation = rng.choice(["RA", "RB"])
+        row = (rng.randrange(20),)
+        commands.append(
+            insert(relation, row)
+            if rng.random() < 0.7
+            else delete_cmd(relation, row)
+        )
+    flags = chunked.apply_all(commands)
+    expected = [oracle.apply(command) for command in commands]
+    assert flags == expected
+    for name in ("a", "b"):
+        assert (
+            chunked.session[name].result_set()
+            == oracle.session[name].result_set()
+        )
+    assert chunked.writes == len(commands)
+    assert chunked.apply_all([]) == []
+
+
+def test_apply_all_delivers_deltas_and_choreographs_cursors():
+    server = Server(Session())
+    server.view("a", "V(x) :- RA(x)")
+    handle = server.subscribe("a")
+    server.apply_all([insert("RA", (value,)) for value in range(30)])
+    deltas = server.poll(handle)
+    assert [d.added for d in deltas] == [((v,),) for v in range(30)]
+    cursor = server.open_cursor("a")
+    emitted = server.fetch(cursor, 5)
+    # a chunk deleting an emitted tuple invalidates, same as apply()
+    from repro.errors import CursorInvalidatedError
+    from repro.storage.updates import delete as delete_cmd
+
+    server.apply_all([delete_cmd("RA", emitted[0])])
+    with pytest.raises(CursorInvalidatedError):
+        server.fetch(cursor, 5)
+
+
+def test_apply_all_error_keeps_applied_prefix():
+    from repro.errors import SchemaError
+
+    server = Server(Session())
+    server.view("a", "V(x) :- RA(x)")
+    with pytest.raises(SchemaError):
+        server.apply_all(
+            [insert("RA", (1,)), insert("NOPE", (2,)), insert("RA", (3,))]
+        )
+    # stream semantics: the prefix before the failure is applied
+    assert server.session["a"].result_set() == {(1,)}

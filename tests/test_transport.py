@@ -1,0 +1,191 @@
+"""Wire-transport unit tests: framing, codecs, canonicalisation."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import ConnectionClosedError, TransportError
+from repro.serve.transport import (
+    MAX_FRAME,
+    Connection,
+    as_row,
+    as_rows,
+    available_codecs,
+    bind_listener,
+    connect,
+    get_codec,
+    recv_frame,
+    send_frame,
+)
+
+
+def test_json_codec_roundtrip():
+    codec = get_codec("json")
+    message = {
+        "op": "insert",
+        "relation": "E",
+        "row": [1, "a", 3],
+        "nested": {"added": [[1, 2], [3, 4]]},
+    }
+    assert codec.decode(codec.encode(message)) == message
+
+
+def test_json_codec_unicode():
+    codec = get_codec("json")
+    assert codec.decode(codec.encode({"q": "Δϕ ∪ ψ"})) == {"q": "Δϕ ∪ ψ"}
+
+
+def test_unknown_codec_rejected():
+    with pytest.raises(TransportError, match="unknown codec"):
+        get_codec("pickle")
+
+
+def test_available_codecs_always_has_json():
+    assert "json" in available_codecs()
+
+
+def test_msgpack_codec_matches_availability():
+    if "msgpack" in available_codecs():
+        codec = get_codec("msgpack")
+        assert codec.decode(codec.encode({"a": [1, 2]})) == {"a": [1, 2]}
+    else:
+        with pytest.raises(TransportError, match="msgpack"):
+            get_codec("msgpack")
+
+
+def test_undecodable_frame_reports_codec():
+    codec = get_codec("json")
+    with pytest.raises(TransportError, match="undecodable json frame"):
+        codec.decode(b"\xff\x00not json")
+
+
+def test_frame_roundtrip_over_socketpair():
+    left, right = socket.socketpair()
+    try:
+        for payload in (b"", b"x", b"y" * 70_000):
+            send_frame(left, payload)
+            assert recv_frame(right) == payload
+    finally:
+        left.close()
+        right.close()
+
+
+def test_oversized_send_rejected():
+    left, right = socket.socketpair()
+    try:
+        class Huge(bytes):
+            def __len__(self):
+                return MAX_FRAME + 1
+
+        with pytest.raises(TransportError, match="exceeds MAX_FRAME"):
+            send_frame(left, Huge())
+    finally:
+        left.close()
+        right.close()
+
+
+def test_corrupt_length_prefix_fails_fast():
+    left, right = socket.socketpair()
+    try:
+        left.sendall(struct.pack(">I", MAX_FRAME + 7))
+        with pytest.raises(TransportError, match="corrupt stream"):
+            recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_eof_mid_frame_is_connection_closed():
+    left, right = socket.socketpair()
+    try:
+        left.sendall(struct.pack(">I", 100) + b"only-a-prefix")
+        left.close()
+        with pytest.raises(ConnectionClosedError, match="mid-frame"):
+            recv_frame(right)
+    finally:
+        right.close()
+
+
+def test_eof_on_boundary_is_connection_closed():
+    left, right = socket.socketpair()
+    left.close()
+    try:
+        with pytest.raises(ConnectionClosedError):
+            recv_frame(right)
+    finally:
+        right.close()
+
+
+def test_connection_request_roundtrip():
+    left, right = socket.socketpair()
+    codec = get_codec("json")
+    client = Connection(left, codec)
+    server = Connection(right, codec)
+
+    def serve_one():
+        request = server.recv()
+        server.send({"ok": True, "echo": request})
+
+    thread = threading.Thread(target=serve_one)
+    thread.start()
+    reply = client.request({"op": "ping"})
+    thread.join()
+    assert reply == {"ok": True, "echo": {"op": "ping"}}
+    client.close()
+    server.close()
+    with pytest.raises(ConnectionClosedError):
+        client.send({"op": "ping"})
+
+
+def test_connection_rejects_non_dict_reply():
+    left, right = socket.socketpair()
+    codec = get_codec("json")
+    client = Connection(left, codec)
+    server = Connection(right, codec)
+
+    def serve_one():
+        server.recv()
+        server.send([1, 2, 3])
+
+    thread = threading.Thread(target=serve_one)
+    thread.start()
+    with pytest.raises(TransportError, match="protocol violation"):
+        client.request({"op": "ping"})
+    thread.join()
+    client.close()
+    server.close()
+
+
+def test_bind_listener_and_connect(tmp_path):
+    listener, address = bind_listener(str(tmp_path), "t")
+    accepted = []
+
+    def accept_one():
+        sock, _peer = listener.accept()
+        accepted.append(Connection(sock, get_codec("json")))
+        accepted[0].send({"ok": True})
+
+    thread = threading.Thread(target=accept_one)
+    thread.start()
+    conn = connect(address, get_codec("json"))
+    assert conn.recv() == {"ok": True}
+    thread.join()
+    conn.close()
+    accepted[0].close()
+    listener.close()
+
+
+def test_tcp_fallback_when_no_socket_dir():
+    listener, address = bind_listener(None, "t")
+    try:
+        assert address[0] == "tcp"
+    finally:
+        listener.close()
+
+
+def test_row_canonicalisation():
+    assert as_row([1, "a", 2]) == (1, "a", 2)
+    assert as_rows([[1, 2], ["x", "y"]]) == ((1, 2), ("x", "y"))
+    assert as_rows([]) == ()
