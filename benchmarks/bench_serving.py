@@ -1,6 +1,6 @@
 """Serving-layer benchmark: cursors, subscriptions, sharding, dispatch.
 
-Five experiments over the ``repro.serve`` subsystem:
+Seven experiments over the ``repro.serve`` subsystem:
 
 * ``cursor_resume`` — a cursor pages through a large view result;
   per-page cost must be flat from the first page to the last (resume
@@ -54,6 +54,17 @@ Five experiments over the ``repro.serve`` subsystem:
   cluster curve plus the speedup of its best point over the best
   in-process ``sharded_writes`` point, with the same byte-identical
   replay check (now across the process boundary).
+
+* ``failover`` — a supervised 2-worker cluster loses a worker to
+  SIGKILL a third of the way through a write stream.  The supervisor
+  respawns it and replays its views and rows from the command journal
+  while the writer stalls (bounded) and retries; reported as writes/s
+  before/during/after the kill, the recovery time, and the
+  byte-identical replay check against a threads-backend oracle fed
+  the identical commands.  A second half measures head-of-line
+  blocking on the shared connection: point counts racing a bulk
+  snapshot reader, serial channel vs multiplexed channel, including
+  the in-flight high-water mark.
 
 Aborting a run with Ctrl-C is safe: the cluster context managers
 SIGTERM their worker processes on unwind (workers also watch a life
@@ -619,7 +630,156 @@ def bench_multiprocess_shards(
 
 
 # ---------------------------------------------------------------------------
-# experiment 6: async subscription dispatch — offloading slow consumers
+# experiment 6: supervised failover — kill -9 becomes a bounded stall
+# ---------------------------------------------------------------------------
+
+
+def bench_failover(
+    writer_ops: int,
+    mux_threads: int,
+    mux_requests: int,
+) -> Dict[str, object]:
+    """Kill a shard worker mid-write-stream under supervision.
+
+    One writer streams effective updates through a supervised
+    2-worker cluster; a third of the way in, the view's worker gets
+    SIGKILL.  The stream must complete without a client-visible error
+    (the supervised retry stalls through the recovery), replay
+    byte-identical to a threads-backend oracle fed the same commands,
+    and the recovery itself must be bounded (seconds, not a hung
+    deployment).  Reported: writes/s before/during/after the kill, the
+    supervisor-measured recovery time, and the longest single apply
+    (the client-observed stall ceiling).
+
+    The second half measures what the multiplexed transport buys: the
+    same read workload (``count`` round trips from ``mux_threads``
+    concurrent threads) against a serial one-in-flight channel versus
+    the mux channel, plus the mux's in-flight high-water mark — proof
+    the pipelining is real, not just configured.
+    """
+    from repro.serve.cluster import ShardCluster
+    from repro.serve.journal import CommandJournal
+    from repro.serve.supervisor import Supervisor
+
+    domain = 64
+    stream = disjoint_write_stream(0, writer_ops, domain, 700)
+    third = len(stream) // 3
+
+    oracle = Server()
+    oracle.view("v0", "V(x, y) :- E0(x, y), T0(y)")
+    with ShardCluster(workers=2) as cluster:
+        journal = CommandJournal()
+        with cluster.client(journal=journal) as client:
+            supervisor = Supervisor(
+                cluster, client, journal=journal, heartbeat=0.1
+            ).start()
+            client.view("v0", "V(x, y) :- E0(x, y), T0(y)")
+            for value in range(domain):
+                client.insert("T0", (value,))
+                oracle.insert("T0", (value,))
+            victim = client._worker_of_view("v0")
+
+            def run_phase(commands: Sequence[UpdateCommand]) -> Tuple[float, float]:
+                slowest = 0.0
+                start = time.perf_counter()
+                for command in commands:
+                    t0 = time.perf_counter()
+                    client.apply(command)
+                    oracle.apply(command)
+                    slowest = max(slowest, time.perf_counter() - t0)
+                return time.perf_counter() - start, slowest
+
+            before_s, _ = run_phase(stream[:third])
+            cluster.kill_worker(victim)  # SIGKILL, stream keeps flowing
+            during_s, stall_s = run_phase(stream[third : 2 * third])
+            after_s, _ = run_phase(stream[2 * third :])
+
+            recovery = supervisor.recoveries[0] if supervisor.recoveries else {}
+            replay_ok = client.result_digest("v0") == oracle.session[
+                "v0"
+            ].engine.result_digest()
+            restarts = cluster.restarts[victim]
+            supervisor.stop()
+
+    # -- multiplexed vs serial transport: head-of-line blocking --
+    # One bulk reader drags full 4096-row snapshots over the shared
+    # connection while eight interactive readers issue point counts.
+    # The serial channel queues every count behind the multi-ms scan in
+    # front of it; the mux channel tags frames so counts overtake the
+    # scan on the worker's read lanes and return in microseconds.
+    mux_stats: Dict[str, Dict[str, object]] = {}
+    with ShardCluster(workers=1) as cluster:
+        for mode, multiplex in (("serial", False), ("mux", True)):
+            with cluster.client(multiplex=multiplex) as client:
+                client.view(f"m_{mode}", "V(x, y) :- ME(x, y)")
+                client.batch(
+                    [insert("ME", (i, i % domain)) for i in range(4096)]
+                )
+                done = threading.Event()
+                scans = [0]
+
+                def bulk() -> None:
+                    while not done.is_set():
+                        client.result_set(f"m_{mode}")
+                        scans[0] += 1
+
+                def reader() -> None:
+                    for _ in range(mux_requests):
+                        client.count(f"m_{mode}")
+
+                bulk_thread = threading.Thread(target=bulk)
+                threads = [
+                    threading.Thread(target=reader)
+                    for _ in range(mux_threads)
+                ]
+                gc.collect()
+                start = time.perf_counter()
+                bulk_thread.start()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                elapsed = time.perf_counter() - start
+                done.set()
+                bulk_thread.join()
+                total = mux_requests * mux_threads
+                mux_stats[mode] = {
+                    "interactive_requests": total,
+                    "requests_per_s": round(total / elapsed),
+                    "bulk_scans": scans[0],
+                    "elapsed_s": round(elapsed, 4),
+                }
+                if multiplex:
+                    mux_stats[mode]["max_in_flight_seen"] = client._conns[
+                        0
+                    ].max_in_flight_seen
+
+    speedup = (
+        mux_stats["mux"]["requests_per_s"]
+        / max(1, mux_stats["serial"]["requests_per_s"])
+    )
+    return {
+        "writes": len(stream),
+        "workers": 2,
+        "recovery_seconds": round(float(recovery.get("seconds", -1.0)), 4),
+        "recovered_views": list(recovery.get("views", ())),
+        "worker_restarts": restarts,
+        "writes_per_s_before_kill": round(third / before_s),
+        "writes_per_s_during_recovery": round(third / during_s),
+        "writes_per_s_after_recovery": round(
+            (len(stream) - 2 * third) / after_s
+        ),
+        "longest_apply_s": round(stall_s, 4),
+        "replay_byte_identical": replay_ok,
+        "mux_threads": mux_threads,
+        "serial": mux_stats["serial"],
+        "mux": mux_stats["mux"],
+        "mux_speedup": round(speedup, 3),
+    }
+
+
+# ---------------------------------------------------------------------------
+# experiment 7: async subscription dispatch — offloading slow consumers
 # ---------------------------------------------------------------------------
 
 
@@ -788,6 +948,38 @@ def render(report: Dict[str, object]) -> str:
     lines.append(
         f"  replay byte-identical: {asyncd['subscription_replay_ok']}"
     )
+    failover = report["failover"]
+    lines.append("")
+    lines.append(
+        f"supervised failover (SIGKILL one of {failover['workers']} workers "
+        f"mid-stream, {failover['writes']} writes):"
+    )
+    lines.append(
+        f"  writes/s before  {failover['writes_per_s_before_kill']:>10}"
+    )
+    lines.append(
+        f"  writes/s during  {failover['writes_per_s_during_recovery']:>10} "
+        "(includes the bounded stall)"
+    )
+    lines.append(
+        f"  writes/s after   {failover['writes_per_s_after_recovery']:>10}"
+    )
+    lines.append(
+        f"  recovery         {failover['recovery_seconds']:>10.3f}s "
+        f"(longest single apply {failover['longest_apply_s']:.3f}s; "
+        f"views replayed: {', '.join(failover['recovered_views'])})"
+    )
+    lines.append(
+        f"  replay byte-identical vs threads oracle: "
+        f"{failover['replay_byte_identical']}"
+    )
+    lines.append(
+        f"  transport ({failover['mux_threads']} point readers behind a "
+        f"bulk scan): serial {failover['serial']['requests_per_s']} req/s, "
+        f"mux {failover['mux']['requests_per_s']} req/s "
+        f"({failover['mux_speedup']:.2f}x, high-water "
+        f"{failover['mux']['max_in_flight_seen']} in flight)"
+    )
     return "\n".join(lines)
 
 
@@ -878,6 +1070,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         async_dispatch = bench_async_dispatch(
             async_updates, subscribers, callback_ms, args.dispatch_workers
         )
+        failover = bench_failover(
+            writer_ops if args.quick else writer_ops * 2,
+            mux_threads=8,
+            mux_requests=40 if args.quick else 250,
+        )
     except KeyboardInterrupt:
         # The cluster context managers already unwound: every shard
         # worker got SIGTERM (and watches the life pipe besides), so an
@@ -949,6 +1146,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "on the worker pool vs inline synchronous fan-out, replay "
             "still byte-identical" + quick_note,
         },
+        "failover_recovery_bounded_5s": {
+            "metric": "failover.recovery_seconds",
+            "value": failover["recovery_seconds"],
+            "met": 0 <= failover["recovery_seconds"] <= 5.0
+            and bool(failover["replay_byte_identical"]),
+            "note": "kill -9 of a shard worker mid-write-stream under "
+            "supervision: respawn + journal replay completes in bounded "
+            "time, the stream finishes without a client-visible error, "
+            "and the result digest matches the threads-backend oracle",
+        },
+        "mux_pipelines_8_in_flight": {
+            "metric": "failover.mux.max_in_flight_seen",
+            "value": failover["mux"]["max_in_flight_seen"],
+            "met": failover["mux"]["max_in_flight_seen"] >= 8
+            and failover["mux_speedup"] > 1.0,
+            "note": "the multiplexed channel sustains >= 8 concurrent "
+            "in-flight requests (measured high-water mark) and beats "
+            "the serial one-in-flight channel on the same concurrent "
+            "read workload" + quick_note,
+        },
     }
 
     report = {
@@ -969,6 +1186,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sharded_writes": sharded_writes,
         "multiprocess_shards": multiprocess_shards,
         "async_dispatch": async_dispatch,
+        "failover": failover,
         "targets": targets,
     }
 

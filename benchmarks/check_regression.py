@@ -90,6 +90,13 @@ TRACKED: Dict[str, List[Tuple[str, str, object]]] = {
         # towards or below 1) trips it.
         ("multiprocess_shards.speedup_vs_inprocess_best", "higher", 1.1),
         ("async_dispatch.writer_speedup", "higher", 1.5),
+        # Supervised failover: recovery of a SIGKILLed worker (respawn
+        # + journal replay) must stay a bounded stall.  Absolute bound:
+        # recovery time is dominated by process spawn + replay, not by
+        # the --quick workload sizing, and 5s is an order of magnitude
+        # above a healthy runner while a hung/broken recovery path
+        # (blocked replay, lost notify) blows straight past it.
+        ("failover.recovery_seconds", "lower", 5.0),
     ],
 }
 

@@ -469,6 +469,8 @@ class Session:
         dispatch_queue: int = 8192,
         codec: str = "json",
         start_method: str = "spawn",
+        supervise: bool = False,
+        multiplex: bool = True,
     ):
         """Put a serving front door on this session.
 
@@ -488,6 +490,21 @@ class Session:
         cluster is the authoritative store from then on, exactly like
         handing the session to a Server.
 
+        With ``supervise=True`` (processes backend) the cluster runs
+        under a :class:`~repro.serve.supervisor.Supervisor`: a
+        :class:`~repro.serve.journal.CommandJournal` records every
+        registration and update, heartbeat sweeps detect dead workers,
+        and a ``kill -9`` degrades to a bounded stall — the worker is
+        respawned, its views and rows replayed from the journal, and
+        blocked callers retry on the fresh channel.  Closing the
+        client stops the supervisor too.  The threads backend ignores
+        the flag (an in-process server has no processes to lose).
+
+        ``multiplex`` keeps request pipelining on (the default): each
+        worker channel tags frames with request ids so many requests
+        ride in flight at once; pass ``False`` for the serial
+        one-request-at-a-time protocol.
+
         Both return values speak the same
         ``view/insert/apply/batch/open_cursor/fetch/subscribe/poll``
         surface, so callers pick a backend without changing code.
@@ -504,6 +521,11 @@ class Session:
         if backend in ("processes", "cluster", "multiprocess"):
             from repro.serve.cluster import ShardCluster
 
+            journal = None
+            if supervise:
+                from repro.serve.journal import CommandJournal
+
+                journal = CommandJournal()
             cluster = ShardCluster(
                 workers=shards, codec=codec, start_method=start_method
             )
@@ -511,12 +533,20 @@ class Session:
                 client = cluster.client(
                     dispatch_workers=dispatch_workers,
                     dispatch_queue=dispatch_queue,
+                    multiplex=multiplex,
+                    journal=journal,
                 )
             except BaseException:
                 cluster.close()
                 raise
             try:
+                # The journal is attached *before* the mirror below, so
+                # every adopted view and row is replayable from day one.
                 client.adopt_session(self)
+                if supervise:
+                    from repro.serve.supervisor import Supervisor
+
+                    Supervisor(cluster, client, journal=journal).start()
             except BaseException:
                 client.close()
                 cluster.close()

@@ -19,8 +19,10 @@ __all__ = [
     "ReductionError",
     "TransportError",
     "ConnectionClosedError",
+    "FrameTooLargeError",
     "ClusterError",
     "WorkerCrashedError",
+    "WorkerRecoveredError",
 ]
 
 
@@ -99,6 +101,13 @@ class ConnectionClosedError(TransportError):
     it into a :class:`WorkerCrashedError` naming the shard."""
 
 
+class FrameTooLargeError(TransportError):
+    """Raised when an *outgoing* payload exceeds the frame cap.  The
+    check runs before any byte hits the wire, so the connection — and
+    the worker behind it — is still healthy: the client reports this
+    to the caller instead of condemning the channel."""
+
+
 class ClusterError(ReproError):
     """Raised when a multiprocess shard cluster operation fails as a
     whole (a two-phase batch that had to roll back, a worker that never
@@ -118,6 +127,33 @@ class WorkerCrashedError(ClusterError):
         super().__init__(message)
         self.worker = worker
         self.views = tuple(views or ())
+
+
+class WorkerRecoveredError(ClusterError):
+    """Raised when a handle (cursor, subscription) is used after its
+    shard worker died and was **recovered** by the supervisor.
+
+    The worker is alive again and its views were re-registered and
+    backfilled from the command journal, but server-side handle state
+    (cursor positions, subscription outboxes) did not survive the
+    crash.  Carries ``worker`` (the shard index), ``views`` (the view
+    names re-registered on the recovered worker) and ``journal_epoch``
+    (the journal's recovery epoch) so clients can re-open through the
+    existing revalidation path: reopen the cursor / resubscribe, then
+    rematerialise anything the lost deltas covered.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        worker: int = -1,
+        views: object = None,
+        journal_epoch: int = 0,
+    ):
+        super().__init__(message)
+        self.worker = worker
+        self.views = tuple(views or ())
+        self.journal_epoch = journal_epoch
 
 
 class ReductionError(ReproError):

@@ -22,7 +22,13 @@ clients can hold open connections against:
   :class:`ClusterClient` speaks the same surface as :class:`Server`
   while writes burn real cores (the GIL stops at the process
   boundary), with two-phase cross-shard batches and push-streamed
-  subscription deltas.
+  subscription deltas;
+* :mod:`repro.serve.journal` — the net-effect command journal
+  (:class:`CommandJournal`) a recovery replays from;
+* :mod:`repro.serve.supervisor` — :class:`Supervisor`: heartbeat
+  health sweeps, automatic respawn-and-replay of crashed workers
+  (``kill -9`` degrades to a bounded stall), load-aware placement
+  with live view migration.
 
 Quickstart::
 
@@ -45,12 +51,20 @@ Quickstart::
 from repro.serve.cluster import ClusterClient, RemoteView, ShardCluster
 from repro.serve.cursors import Cursor, CursorInvalidation, bound_stream
 from repro.serve.dispatch import DispatchPool
+from repro.serve.journal import CommandJournal, ViewRecord
 from repro.serve.server import RWLock, Server
 from repro.serve.subscriptions import Delta, Subscription
-from repro.serve.transport import Connection, available_codecs, get_codec
+from repro.serve.supervisor import Supervisor
+from repro.serve.transport import (
+    Connection,
+    MuxConnection,
+    available_codecs,
+    get_codec,
+)
 
 __all__ = [
     "ClusterClient",
+    "CommandJournal",
     "Connection",
     "Cursor",
     "CursorInvalidation",
@@ -59,9 +73,12 @@ __all__ = [
     "get_codec",
     "Delta",
     "DispatchPool",
+    "MuxConnection",
     "RemoteView",
     "RWLock",
     "Server",
     "ShardCluster",
     "Subscription",
+    "Supervisor",
+    "ViewRecord",
 ]

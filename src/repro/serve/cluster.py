@@ -63,11 +63,46 @@ local outbox has received that many.
 handle it served fails from then on with a precise
 :class:`~repro.errors.WorkerCrashedError` naming the worker, its exit
 code and the views lost, while the other shards keep serving.
+
+**Supervision.**  Attach a :class:`~repro.serve.supervisor.Supervisor`
+(or pass ``supervise=True`` to :meth:`repro.api.session.Session.serve`)
+and a dead worker is no longer permanent: the client records every
+registration and applied update in a
+:class:`~repro.serve.journal.CommandJournal`, the supervisor respawns
+the worker, replays its views and rows from the journal, and swaps the
+fresh connections in.  Requests that hit the dead worker *block* on a
+recovery condition (a bounded stall, ``recovery_timeout``) and then
+retry — safe because updates are idempotent under set semantics —
+instead of raising :class:`~repro.errors.WorkerCrashedError`.  Handles
+opened against the previous incarnation (cursors, subscriptions) raise
+:class:`~repro.errors.WorkerRecoveredError` on next use: worker-side
+handle state did not survive, but re-opening is O(1).
+
+**Multiplexing.**  With ``multiplex=True`` (the default) the request
+channel is a :class:`~repro.serve.transport.MuxConnection`: requests
+carry a ``mux_id`` tag, N caller threads keep N requests in flight on
+one socket, and the worker executes them on a small per-connection
+thread pool — except the two-phase-batch ops, which run on one
+dedicated serial lane per connection because the server's write lock is
+reentrant *per thread* across the prepare→commit gap.  The supervisor's
+heartbeat probes share the client's request channels without
+head-of-line blocking behind slow fetches.
+
+**Migration.**  :meth:`ClusterClient.migrate_view` moves a live view
+between workers without losing a write: writers hold the shared side of
+a client-wide write gate per update/chunk/batch, the migration takes
+the exclusive side (a full drain), snapshots the view's relations via
+the ``rows`` op, re-registers on the target (same query text, same
+pinned engine), flips the routing table atomically and re-homes the
+view's subscriptions.  Placement is load-aware: new views land on the
+alive worker serving the fewest views.
 """
 
 from __future__ import annotations
 
+import functools
 import os
+import queue
 import signal
 import tempfile
 import threading
@@ -82,6 +117,7 @@ from repro.errors import (
     ConnectionClosedError,
     CursorInvalidatedError,
     EngineStateError,
+    FrameTooLargeError,
     NotQHierarchicalError,
     QuerySyntaxError,
     QueryStructureError,
@@ -90,12 +126,15 @@ from repro.errors import (
     TransportError,
     UpdateError,
     WorkerCrashedError,
+    WorkerRecoveredError,
 )
 from repro.serve.dispatch import DispatchPool
+from repro.serve.journal import CommandJournal
 from repro.serve.subscriptions import Delta, Subscription
 from repro.serve.transport import (
     Address,
     Connection,
+    MuxConnection,
     as_row,
     as_rows,
     bind_listener,
@@ -134,10 +173,90 @@ def query_to_text(query: object) -> str:
 # ---------------------------------------------------------------------------
 
 
+class _RequestLanes:
+    """Per-connection execution lanes for multiplexed requests.
+
+    Reads ride a small shared thread pool — that is the multiplexing
+    payoff (a slow ``fetch`` no longer head-of-line-blocks a heartbeat
+    ``ping``) — while two classes of op run on one dedicated serial
+    thread:
+
+    * the two-phase-batch ops: ``batch_prepare`` holds the server's
+      exclusive lock across the prepare→commit gap, and the
+      :class:`~repro.serve.server.RWLock` write side is reentrant per
+      *thread*, so the commit must land on the thread that prepared;
+    * the delta-producing writes (``insert``/``delete``/``batch``/
+      ``apply_many``): the server assigns delta epochs under its write
+      lock, and flushing the resulting push frames from the same serial
+      lane keeps the push stream in epoch order.  This costs no
+      parallelism — writes serialize on the server's write lock
+      anyway — and preserves the ordering guarantee subscriptions
+      document.
+    """
+
+    _SERIAL_OPS = frozenset(
+        (
+            "batch_prepare",
+            "batch_commit",
+            "batch_abort",
+            "insert",
+            "delete",
+            "batch",
+            "apply_many",
+        )
+    )
+
+    def __init__(self, name: str, workers: int = 8):
+        self._serial: "queue.Queue[Optional[Callable[[], None]]]" = queue.Queue()
+        self._shared: "queue.Queue[Optional[Callable[[], None]]]" = queue.Queue()
+        self._pool_size = workers
+        threading.Thread(
+            target=self._drain, args=(self._serial,), daemon=True,
+            name=f"{name}-2pc",
+        ).start()
+        for index in range(workers):
+            threading.Thread(
+                target=self._drain, args=(self._shared,), daemon=True,
+                name=f"{name}-{index}",
+            ).start()
+
+    def submit(self, op: str, task: Callable[[], None]) -> None:
+        lane = self._serial if op in self._SERIAL_OPS else self._shared
+        lane.put(task)
+
+    @property
+    def pending(self) -> int:
+        """Queued-but-unstarted requests (the ``cluster_stats`` depth)."""
+        return self._serial.qsize() + self._shared.qsize()
+
+    def close(self) -> None:
+        """Stop the lanes once already-queued tasks have drained."""
+        self._serial.put(None)
+        for _ in range(self._pool_size):
+            self._shared.put(None)
+
+    @staticmethod
+    def _drain(lane: "queue.Queue[Optional[Callable[[], None]]]") -> None:
+        while True:
+            task = lane.get()
+            if task is None:
+                return
+            try:
+                task()
+            except BaseException:
+                pass  # the task replies (or its connection died); serve on
+
+
 class _WorkerHost:
     """One shard's process body: a single-shard Server behind sockets."""
 
-    def __init__(self, worker_id: int, codec_name: str, socket_dir: str):
+    def __init__(
+        self,
+        worker_id: int,
+        codec_name: str,
+        socket_dir: str,
+        socket_name: Optional[str] = None,
+    ):
         # Imported here (not module top) keeps the spawn path light: the
         # child imports this module before repro.api exists in its
         # interpreter, and Session's import graph pulls the engines in.
@@ -147,8 +266,11 @@ class _WorkerHost:
         self.worker_id = worker_id
         self.codec = get_codec(codec_name)
         self.server = Server(Session(), shards=1)
+        # A respawned incarnation binds a fresh socket name: the old
+        # AF_UNIX path may linger on disk after a kill -9, and binding
+        # over it would fail.
         self.listener, self.address = bind_listener(
-            socket_dir, f"worker-{worker_id}"
+            socket_dir, socket_name or f"worker-{worker_id}"
         )
         self._stop = threading.Event()
         self._state_lock = threading.Lock()
@@ -162,6 +284,8 @@ class _WorkerHost:
         #: move hundreds of deltas without a per-delta syscall + client
         #: wakeup, and the reply still never overtakes its deltas.
         self._push_buffer = threading.local()
+        #: live per-connection lane sets (mux mode), for queue-depth stats.
+        self._lanes: Set[_RequestLanes] = set()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -195,7 +319,9 @@ class _WorkerHost:
     def _serve_connection(self, conn: Connection) -> None:
         kind = "request"
         client_id = ""
+        lanes: Optional[_RequestLanes] = None
         # Per-connection 2PC stage: (txn id, commands, held exclusive lock).
+        # In mux mode only the serial lane thread touches it.
         staged: List[Tuple[str, List[UpdateCommand], ExitStack]] = []
         try:
             hello = conn.recv()
@@ -237,6 +363,28 @@ class _WorkerHost:
                         }
                     )
                     continue
+                mux_id = request.pop("mux_id", None)
+                if mux_id is not None:
+                    # Multiplexed: hand off to the lanes and go straight
+                    # back to recv() — concurrency is the whole point.
+                    if lanes is None:
+                        lanes = _RequestLanes(
+                            f"repro-shard-{self.worker_id}-lane"
+                        )
+                        with self._state_lock:
+                            self._lanes.add(lanes)
+                    lanes.submit(
+                        str(request.get("op", "")),
+                        functools.partial(
+                            self._handle_mux,
+                            conn,
+                            request,
+                            client_id,
+                            staged,
+                            int(mux_id),
+                        ),
+                    )
+                    continue
                 self._push_buffer.frames = {}
                 try:
                     reply, shutdown = self._handle(request, client_id, staged)
@@ -244,18 +392,80 @@ class _WorkerHost:
                     self._flush_push_buffer()
                 try:
                     conn.send(reply)
+                except FrameTooLargeError as error:
+                    # The reply outgrew the frame cap; the channel is
+                    # untouched, so report it instead of dropping the
+                    # connection (which would read as a worker crash).
+                    try:
+                        conn.send(self._oversize_reply(error))
+                    except (ConnectionClosedError, TransportError, OSError):
+                        return
                 except (ConnectionClosedError, TransportError, OSError):
                     return
                 if shutdown:
                     self.stop()
                     return
         finally:
-            while staged:  # client vanished mid-transaction: roll back
-                _txn, _commands, stack = staged.pop()
-                stack.close()
+            if lanes is not None:
+                # Roll back any staged transaction on its owning thread
+                # (the serial lane holds the exclusive lock), then stop
+                # the lanes once the queue drains.
+                lanes.submit(
+                    "batch_abort",
+                    functools.partial(self._rollback_staged, staged),
+                )
+                lanes.close()
+                with self._state_lock:
+                    self._lanes.discard(lanes)
+            else:
+                self._rollback_staged(staged)
             if kind == "push" and client_id:
                 self._drop_push_client(client_id)
             conn.close()
+
+    def _handle_mux(
+        self,
+        conn: Connection,
+        request: Dict[str, object],
+        client_id: str,
+        staged: List[Tuple[str, List[UpdateCommand], ExitStack]],
+        mux_id: int,
+    ) -> None:
+        """One multiplexed request on a lane thread: handle, flush the
+        thread's buffered deltas, then send the tagged reply."""
+        self._push_buffer.frames = {}
+        try:
+            reply, shutdown = self._handle(request, client_id, staged)
+        finally:
+            self._flush_push_buffer()
+        try:
+            conn.send(dict(reply, mux_id=mux_id))
+        except FrameTooLargeError as error:
+            try:
+                conn.send(dict(self._oversize_reply(error), mux_id=mux_id))
+            except (ConnectionClosedError, TransportError, OSError):
+                return
+        except (ConnectionClosedError, TransportError, OSError):
+            return
+        if shutdown:
+            self.stop()
+            conn.close()
+
+    @staticmethod
+    def _oversize_reply(error: FrameTooLargeError) -> Dict[str, object]:
+        return {
+            "ok": False,
+            "error": "FrameTooLargeError",
+            "message": str(error),
+        }
+
+    @staticmethod
+    def _rollback_staged(
+        staged: List[Tuple[str, List[UpdateCommand], ExitStack]],
+    ) -> None:
+        while staged:  # client vanished mid-transaction: roll back
+            _txn, _commands, stack = staged.pop()
+            stack.close()
 
     def _flush_push_buffer(self) -> None:
         """Send this thread's buffered delta payloads, one combined
@@ -306,6 +516,22 @@ class _WorkerHost:
                 )
             if op == "shutdown":
                 return {"ok": True}, True
+            if op == "cluster_stats":
+                with self._state_lock:
+                    lanes_pending = sum(
+                        lanes.pending for lanes in self._lanes
+                    )
+                load = self.server.load_stats()
+                load["pending"] = int(load.get("pending", 0)) + lanes_pending
+                return (
+                    {
+                        "ok": True,
+                        "worker": self.worker_id,
+                        "pid": os.getpid(),
+                        "load": load,
+                    },
+                    False,
+                )
             if op == "register_view":
                 view = self.server.view(
                     str(request["name"]),
@@ -517,10 +743,15 @@ def _watch_parent(life: object, host: _WorkerHost) -> None:
 
 
 def worker_main(
-    worker_id: int, ready: object, life: object, codec_name: str, socket_dir: str
+    worker_id: int,
+    ready: object,
+    life: object,
+    codec_name: str,
+    socket_dir: str,
+    socket_name: Optional[str] = None,
 ) -> None:
     """Entry point of a shard worker process (importable for spawn)."""
-    host = _WorkerHost(worker_id, codec_name, socket_dir)
+    host = _WorkerHost(worker_id, codec_name, socket_dir, socket_name)
 
     def on_sigterm(_signum: int, _frame: object) -> None:
         host.stop()
@@ -594,16 +825,30 @@ class ShardCluster:
         self._socket_dir = socket_dir or tempfile.mkdtemp(
             prefix="repro-cluster-"
         )
-        context = multiprocessing.get_context(start_method)
-        life_read, self._life = context.Pipe(duplex=False)
+        self._context = multiprocessing.get_context(start_method)
+        # The read end is retained (not closed after spawning, as a
+        # spawn-once cluster could): respawned workers need it too.
+        # EOF fires for workers only when every *write* end closes, so
+        # the parent keeping its read copy open changes nothing.
+        self._life_read, self._life = self._context.Pipe(duplex=False)
         self.workers: List[WorkerHandle] = []
+        #: per-worker respawn counters (the ``cluster_stats`` surface).
+        self.restarts: List[int] = [0] * workers
+        self._respawn_seq = _counter(1)
         pending = []
         try:
             for index in range(workers):
-                ready_read, ready_write = context.Pipe(duplex=False)
-                process = context.Process(
+                ready_read, ready_write = self._context.Pipe(duplex=False)
+                process = self._context.Process(
                     target=worker_main,
-                    args=(index, ready_write, life_read, codec, self._socket_dir),
+                    args=(
+                        index,
+                        ready_write,
+                        self._life_read,
+                        codec,
+                        self._socket_dir,
+                        f"worker-{index}",
+                    ),
                     daemon=True,
                     name=f"repro-shard-{index}",
                 )
@@ -623,20 +868,80 @@ class ShardCluster:
             for _index, process, _ready in pending:
                 if process.is_alive():
                     process.terminate()
-            life_read.close()
+            self._life_read.close()
             self._life.close()
             raise
-        life_read.close()
 
     def client(
-        self, dispatch_workers: int = 0, dispatch_queue: int = 8192
+        self,
+        dispatch_workers: int = 0,
+        dispatch_queue: int = 8192,
+        multiplex: bool = True,
+        journal: Optional[CommandJournal] = None,
     ) -> "ClusterClient":
         """Connect a new client facade to every worker."""
         return ClusterClient(
             cluster=self,
             dispatch_workers=dispatch_workers,
             dispatch_queue=dispatch_queue,
+            multiplex=multiplex,
+            journal=journal,
         )
+
+    def respawn_worker(
+        self, index: int, startup_timeout: float = 30.0
+    ) -> WorkerHandle:
+        """Replace one worker with a fresh process at the same index.
+
+        The replacement starts with an **empty** session — replaying the
+        dead worker's views and rows is the supervisor's job (via the
+        command journal).  A still-running old process is killed first:
+        the caller declaring the worker dead (broken channel, wedged
+        heartbeat) outranks a zombie that still answers ``is_alive``.
+        """
+        if self._closed:
+            raise ClusterError("the cluster is closed")
+        old = self.workers[index]
+        if old.alive():
+            try:
+                old.process.kill()  # type: ignore[attr-defined]
+            except OSError:
+                pass
+        old.process.join(5.0)  # type: ignore[attr-defined]
+        seq = next(self._respawn_seq)
+        ready_read, ready_write = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=worker_main,
+            args=(
+                index,
+                ready_write,
+                self._life_read,
+                self.codec,
+                self._socket_dir,
+                f"worker-{index}-r{seq}",  # never rebind a stale path
+            ),
+            daemon=True,
+            name=f"repro-shard-{index}-r{seq}",
+        )
+        process.start()
+        ready_write.close()
+        try:
+            if not ready_read.poll(startup_timeout):
+                raise ClusterError(
+                    f"respawned shard worker {index} did not come up "
+                    f"within {startup_timeout}s"
+                )
+            address = tuple(ready_read.recv())
+        except BaseException:
+            if process.is_alive():
+                process.terminate()
+            ready_read.close()
+            raise
+        ready_read.close()
+        handle = WorkerHandle(index, process, address)
+        self.workers[index] = handle
+        self.restarts[index] += 1
+        return handle
 
     def worker(self, index: int) -> WorkerHandle:
         return self.workers[index]
@@ -666,6 +971,10 @@ class ShardCluster:
                 handle.process.join(timeout)  # type: ignore[attr-defined]
         try:
             self._life.close()
+        except OSError:
+            pass
+        try:
+            self._life_read.close()
         except OSError:
             pass
         if self._own_dir:
@@ -736,6 +1045,7 @@ class _SubEntry:
         "lazy",
         "raw",
         "poll_lock",
+        "inc",
     )
 
     def __init__(
@@ -745,12 +1055,16 @@ class _SubEntry:
         view: str,
         local: Subscription,
         lazy: bool,
+        inc: int = 0,
     ):
         self.worker = worker
         self.remote = remote
         self.view = view
         self.local = local
         self.received = 0
+        #: the worker incarnation this subscription was opened against;
+        #: a mismatch after supervisor recovery → WorkerRecoveredError.
+        self.inc = inc
         #: pull-only subscriptions (no callback, no pool, unbounded)
         #: defer payload decoding to poll() — the consumer pays for its
         #: own decode instead of taxing the push reader's hot loop.
@@ -769,6 +1083,7 @@ _ERROR_CLASSES = {
     "QueryStructureError": QueryStructureError,
     "NotQHierarchicalError": NotQHierarchicalError,
     "TransportError": TransportError,
+    "FrameTooLargeError": FrameTooLargeError,
     "ClusterError": ClusterError,
 }
 
@@ -791,6 +1106,9 @@ class ClusterClient:
         dispatch_queue: int = 8192,
         connect_timeout: float = 10.0,
         poll_timeout: float = 30.0,
+        multiplex: bool = True,
+        journal: Optional[CommandJournal] = None,
+        recovery_timeout: float = 30.0,
     ):
         if cluster is not None:
             addresses = [handle.address for handle in cluster.workers]
@@ -800,23 +1118,50 @@ class ClusterClient:
         self._cluster = cluster
         self._codec = get_codec(codec or "json")
         self._poll_timeout = poll_timeout
+        self._connect_timeout = connect_timeout
+        self._multiplex = bool(multiplex)
+        #: command journal (recovery replay source); set at construction
+        #: so registrations are never missed.
+        self._journal = journal
+        #: how long a supervised request may stall waiting for recovery.
+        self._recovery_timeout = recovery_timeout
+        #: True once a Supervisor attached: dead-worker requests then
+        #: block for recovery instead of raising WorkerCrashedError.
+        self.supervised = False
+        self._supervisor: Optional[object] = None
         self.client_id = uuid.uuid4().hex
         #: set by Session.serve so close() tears the workers down too.
         self.owns_cluster = False
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
-        self._conns: List[Connection] = []
+        self._conns: List[object] = []
         self._push_conns: List[Connection] = []
         self._push_threads: List[threading.Thread] = []
         self._pids: List[Optional[int]] = []
+        self._addresses: List[Address] = []
         self._dead: Dict[int, str] = {}
+        #: workers the supervisor gave up on (reason text).
+        self._unrecoverable: Dict[int, str] = {}
+        #: per-worker incarnation counter, bumped on every recovery;
+        #: handles remember the incarnation they were opened against.
+        self._incarnation: List[int] = []
+        #: worker → (views re-registered, journal epoch) of the most
+        #: recent recovery, for precise WorkerRecoveredError reports.
+        self._recovered_info: Dict[int, Tuple[Tuple[str, ...], int]] = {}
         self._view_worker: Dict[str, int] = {}
         self._view_engine: Dict[str, str] = {}
         self._view_relations: Dict[str, Tuple[str, ...]] = {}
+        #: view → wire-form query text (migration re-registers from it).
+        self._view_text: Dict[str, str] = {}
         self._routing: Dict[str, Tuple[int, ...]] = {}
-        self._placed = 0
+        #: bumped on every routing flip (migration) so stream-level
+        #: caches know to re-route.
+        self._routing_version = 0
         self._relation_arity: Dict[str, int] = {}
-        self._cursors: Dict[int, Tuple[int, int, str]] = {}
+        self._cursors: Dict[int, Tuple[int, int, str, int]] = {}
+        #: cursor handle → the error a later fetch must raise (the
+        #: cursor was invalidated by a migration).
+        self._cursor_tombstones: Dict[int, ReproError] = {}
         self._subs: Dict[int, _SubEntry] = {}
         self._by_remote: Dict[Tuple[int, int], int] = {}
         #: delta payloads that raced a subscribe (frames arriving
@@ -832,22 +1177,22 @@ class ClusterClient:
             if dispatch_workers > 0
             else None
         )
+        # Writers hold the shared side per update/chunk/batch; a live
+        # view migration takes the exclusive side — a full write drain.
+        from repro.serve.server import RWLock
+
+        self._write_gate = RWLock()
         #: test hook: called after every prepare succeeded, before the
         #: commit phase of a cross-shard batch (crash injection point).
         self._test_pause_after_prepare: Optional[Callable[["ClusterClient"], None]] = None
         try:
             for index, address in enumerate(addresses):
-                conn = connect(address, self._codec, timeout=connect_timeout)
-                hello = conn.request(
-                    {"op": "_hello", "kind": "request", "client": self.client_id}
-                )
-                self._pids.append(hello.get("pid"))  # type: ignore[arg-type]
-                push = connect(address, self._codec, timeout=connect_timeout)
-                push.request(
-                    {"op": "_hello", "kind": "push", "client": self.client_id}
-                )
+                self._addresses.append(tuple(address))
+                self._incarnation.append(0)
+                conn, push, pid = self._connect_worker(tuple(address))
                 self._conns.append(conn)
                 self._push_conns.append(push)
+                self._pids.append(pid)
                 thread = threading.Thread(
                     target=self._push_loop,
                     args=(index, push),
@@ -859,6 +1204,27 @@ class ClusterClient:
         except BaseException:
             self.close()
             raise
+
+    def _connect_worker(
+        self, address: Address
+    ) -> Tuple[object, Connection, Optional[int]]:
+        """Dial one worker: the request channel (mux-wrapped when
+        ``multiplex``) plus the push channel.  Returns
+        ``(request_conn, push_conn, worker_pid)``."""
+        raw = connect(address, self._codec, timeout=self._connect_timeout)
+        hello = {"op": "_hello", "kind": "request", "client": self.client_id}
+        conn: object
+        if self._multiplex:
+            mux = MuxConnection(raw)
+            reply = mux.handshake(hello)
+            mux.start()
+            conn = mux
+        else:
+            reply = raw.request(hello)
+            conn = raw
+        push = connect(address, self._codec, timeout=self._connect_timeout)
+        push.request({"op": "_hello", "kind": "push", "client": self.client_id})
+        return conn, push, reply.get("pid")  # type: ignore[return-value]
 
     # -- plumbing --------------------------------------------------------------
 
@@ -903,10 +1269,13 @@ class ClusterClient:
         return "; ".join(parts)
 
     def _mark_dead(self, worker: int, error: BaseException) -> None:
+        supervisor = self._supervisor
         with self._cond:
             self._dead.setdefault(worker, f"{type(error).__name__}: {error}")
             # Wake poll barriers waiting on deltas that will never come.
             self._cond.notify_all()
+        if supervisor is not None:
+            supervisor.notify(worker)  # type: ignore[attr-defined]
 
     def _crashed(self, worker: int, context: str = "") -> WorkerCrashedError:
         with self._lock:
@@ -915,20 +1284,215 @@ class ClusterClient:
             self._crash_message(worker, context), worker=worker, views=views
         )
 
+    def _await_alive(self, worker: int, context: str = "") -> None:
+        """Supervised: block (bounded) until the worker is recovered.
+        Unsupervised: raise the precise crash error immediately."""
+        with self._cond:
+            if worker not in self._dead:
+                return
+            if worker in self._unrecoverable:
+                raise self._crashed(worker, self._unrecoverable[worker])
+            if not self.supervised:
+                raise self._crashed(worker, context)
+            deadline = time.monotonic() + self._recovery_timeout
+            while worker in self._dead:
+                if worker in self._unrecoverable:
+                    raise self._crashed(worker, self._unrecoverable[worker])
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise self._crashed(
+                        worker,
+                        f"recovery did not complete within "
+                        f"{self._recovery_timeout}s"
+                        + (f"; {context}" if context else ""),
+                    )
+                self._cond.wait(timeout=min(remaining, 0.25))
+
     def _request(
         self, worker: int, message: Dict[str, object], context: str = ""
     ) -> Dict[str, object]:
+        while True:
+            self._await_alive(worker, context)
+            with self._lock:
+                conn = self._conns[worker]
+            try:
+                reply = conn.request(message)  # type: ignore[attr-defined]
+            except FrameTooLargeError:
+                # The oversize check fired before any byte hit the
+                # wire: the worker is fine, the *payload* is the
+                # problem — report it without condemning the channel.
+                raise
+            except (ConnectionClosedError, TransportError, OSError) as error:
+                self._mark_dead(worker, error)
+                if self.supervised:
+                    # Bounded stall: wait for the supervisor's recovery,
+                    # then re-send on the fresh channel.  Safe because
+                    # every cluster op is idempotent under set semantics
+                    # (and a lost 2PC stage surfaces precisely at
+                    # commit, see batch()).
+                    continue
+                raise self._crashed(worker, context) from error
+            if reply.get("ok"):
+                return reply
+            raise self._reply_error(reply)
+
+    def probe_worker(
+        self, worker: int, timeout: Optional[float] = None
+    ) -> bool:
+        """One heartbeat ``ping``; marks the worker dead (and returns
+        False) when the channel fails or the reply times out.  The
+        supervisor's health sweep calls this — on a multiplexed channel
+        the probe rides alongside client traffic without queueing
+        behind it."""
         with self._lock:
             if worker in self._dead:
-                raise self._crashed(worker, context)
+                return False
+            conn = self._conns[worker]
         try:
-            reply = self._conns[worker].request(message)
+            if isinstance(conn, MuxConnection):
+                reply = conn.request({"op": "ping"}, timeout=timeout)
+            else:
+                reply = conn.request(  # type: ignore[attr-defined]
+                    {"op": "ping"}
+                )
+            return bool(reply.get("ok"))
         except (ConnectionClosedError, TransportError, OSError) as error:
             self._mark_dead(worker, error)
-            raise self._crashed(worker, context) from error
-        if reply.get("ok"):
-            return reply
-        raise self._reply_error(reply)
+            return False
+
+    # -- supervision hooks -----------------------------------------------------
+
+    def attach_supervisor(self, supervisor: object) -> None:
+        """Switch dead-worker requests from fail-fast to bounded-stall
+        (called by :class:`~repro.serve.supervisor.Supervisor`)."""
+        with self._lock:
+            self.supervised = True
+            self._supervisor = supervisor
+
+    def _mark_unrecoverable(self, worker: int, reason: str) -> None:
+        with self._cond:
+            self._unrecoverable[worker] = reason
+            self._dead.setdefault(worker, reason)
+            self._cond.notify_all()
+
+    def _check_incarnation(self, worker: int, inc: int, what: str) -> None:
+        with self._lock:
+            if worker < len(self._incarnation) and self._incarnation[worker] == inc:
+                return
+            views, epoch = self._recovered_info.get(worker, ((), 0))
+        raise WorkerRecoveredError(
+            f"{what} was opened against a previous incarnation of shard "
+            f"worker {worker}: the worker crashed and was recovered "
+            f"(journal epoch {epoch}); its views "
+            f"({', '.join(views) or 'none'}) were re-registered and "
+            "backfilled, but server-side cursor/subscription state does "
+            "not survive a crash — re-open the handle",
+            worker=worker,
+            views=views,
+            journal_epoch=epoch,
+        )
+
+    def _recover_worker(
+        self, index: int, handle: WorkerHandle, epoch: int
+    ) -> Tuple[str, ...]:
+        """Rebuild a respawned worker from the journal and swap its
+        channels in (the supervisor calls this; the worker is still
+        marked dead, so nothing else is sending to it).
+
+        Replays the worker's view registrations (stored query text,
+        pinned engine) in journal order, then backfills the live rows
+        of every relation those views read — one bulk ``batch`` per
+        relation, the fastest recovery path.  Only then is the worker
+        published: the dead flag clears, blocked writers retry, and the
+        incarnation counter bumps so stale handles report precisely.
+        """
+        journal = self._journal
+        address = tuple(handle.address)
+        conn, push, pid = self._connect_worker(address)
+        views: List[str] = []
+        try:
+            if journal is not None:
+                relations: Set[str] = set()
+                for record in journal.views_on(index):
+                    self._raw_ok(
+                        conn,
+                        {
+                            "op": "register_view",
+                            "name": record.name,
+                            "query": record.text,
+                            "engine": record.engine,
+                        },
+                    )
+                    views.append(record.name)
+                    with self._lock:
+                        relations.update(
+                            self._view_relations.get(record.name, ())
+                        )
+                for relation in sorted(relations):
+                    rows = journal.rows(relation)
+                    if rows:
+                        self._raw_ok(
+                            conn,
+                            {
+                                "op": "batch",
+                                "commands": [
+                                    ["insert", relation, list(row)]
+                                    for row in rows
+                                ],
+                            },
+                        )
+        except BaseException:
+            conn.close()  # type: ignore[attr-defined]
+            push.close()
+            raise
+        with self._cond:
+            old_conn = self._conns[index]
+            old_push = self._push_conns[index]
+            self._conns[index] = conn
+            self._push_conns[index] = push
+            self._pids[index] = pid
+            self._addresses[index] = address
+            self._incarnation[index] += 1
+            self._recovered_info[index] = (tuple(views), epoch)
+            # Remote handle ids restart from 1 on the new incarnation;
+            # drop the old incarnation's push routing so they cannot
+            # collide with stale keys.
+            for key in [k for k in self._by_remote if k[0] == index]:
+                self._by_remote.pop(key, None)
+            self._closed_remotes = {
+                key for key in self._closed_remotes if key[0] != index
+            }
+            for key in [k for k in self._orphan_deltas if k[0] == index]:
+                self._orphan_deltas.pop(key, None)
+            self._dead.pop(index, None)
+            self._cond.notify_all()
+        thread = threading.Thread(
+            target=self._push_loop,
+            args=(index, push),
+            daemon=True,
+            name=f"repro-cluster-push-{index}",
+        )
+        thread.start()
+        self._push_threads.append(thread)
+        try:
+            old_conn.close()  # type: ignore[attr-defined]
+            old_push.close()
+        except OSError:
+            pass
+        return tuple(views)
+
+    @staticmethod
+    def _raw_ok(
+        conn: object, message: Dict[str, object]
+    ) -> Dict[str, object]:
+        """One request on a not-yet-published channel, ok-checked."""
+        reply = conn.request(message)  # type: ignore[attr-defined]
+        if not reply.get("ok"):
+            raise ClusterError(
+                f"recovery request {message.get('op')!r} failed: "
+                f"{reply.get('error')}: {reply.get('message')}"
+            )
+        return reply
 
     def _reply_error(self, reply: Dict[str, object]) -> ReproError:
         name = str(reply.get("error", "ReproError"))
@@ -1082,12 +1646,18 @@ class ClusterClient:
             self._view_worker[name] = worker
             self._view_engine[name] = str(reply["engine"])
             self._view_relations[name] = tuple(relations)
+            self._view_text[name] = text
             self._relation_arity.update(arities)
             for relation in relations:
                 known = set(self._routing.get(relation, ()))
                 known.add(worker)
                 self._routing[relation] = tuple(sorted(known))
-            self._placed += 1
+        if self._journal is not None:
+            # The *resolved* engine is journaled, so a recovery replay
+            # pins the engine the planner originally chose.
+            self._journal.record_view(
+                name, text, str(reply["engine"]), worker
+            )
         for relation, source in backfills:
             rows = self._request(
                 source,
@@ -1109,23 +1679,38 @@ class ClusterClient:
         return RemoteView(name, str(reply["engine"]), tuple(relations), worker)
 
     def _next_alive_worker(self) -> int:
-        """Round-robin placement skipping dead workers (lock held)."""
-        total = len(self._conns)
-        for offset in range(total):
-            candidate = (self._placed + offset) % total
-            if candidate not in self._dead:
-                return candidate
-        raise ClusterError("every shard worker is dead")
+        """Load-aware placement (lock held): the alive worker serving
+        the fewest views, ties broken by the lowest index — an empty
+        cluster fills 0, 1, 2, … exactly like the old round-robin, but
+        a cluster skewed by drops, crashes or migrations levels out."""
+        return self._least_loaded_worker()
+
+    def _least_loaded_worker(self, exclude: Sequence[int] = ()) -> int:
+        """The alive worker with the fewest views (lock held)."""
+        counts = {
+            worker: 0
+            for worker in range(len(self._conns))
+            if worker not in self._dead and worker not in exclude
+        }
+        if not counts:
+            raise ClusterError("every shard worker is dead")
+        for owner in self._view_worker.values():
+            if owner in counts:
+                counts[owner] += 1
+        return min(counts, key=lambda worker: (counts[worker], worker))
 
     def drop_view(self, name: str) -> None:
         worker = self._worker_of_view(name)
         self._request(worker, {"op": "drop_view", "name": name})
+        if self._journal is not None:
+            self._journal.drop_view(name)
         with self._lock:
             self._view_worker.pop(name, None)
             self._view_engine.pop(name, None)
             self._view_relations.pop(name, None)
+            self._view_text.pop(name, None)
             self._rebuild_routing_locked()
-            for handle, (_w, _remote, view) in list(self._cursors.items()):
+            for handle, (_w, _remote, view, _inc) in list(self._cursors.items()):
                 if view == name:
                     self._cursors.pop(handle, None)
             for handle, entry in list(self._subs.items()):
@@ -1146,6 +1731,189 @@ class ClusterClient:
             for relation, owners in fresh.items()
         }
 
+    # -- live view migration ---------------------------------------------------
+
+    def migrate_view(self, name: str, target: Optional[int] = None) -> int:
+        """Move a live view to another worker without losing a write.
+
+        The write gate's exclusive side drains in-flight writers (each
+        update/chunk/batch holds the shared side), then: the view's
+        subscriptions are barrier-drained, the view is re-registered on
+        the target with its stored query text and **pinned** engine,
+        the source's relation rows are snapshotted via the ``rows`` op
+        and backfilled, the client routing table flips atomically (the
+        routing version bumps so stream-level caches re-route), the
+        subscriptions re-home onto the target (their local outboxes —
+        including undelivered deltas — survive; delivery counters
+        restart with the fresh worker-side subscription), and finally
+        the view drops from the source.  Open cursors on the migrated
+        view are invalidated — they page worker-side state that does
+        not move — and report :class:`~repro.errors.CursorInvalidatedError`
+        on the next fetch.
+
+        ``target`` defaults to the least-loaded other alive worker.
+        Returns the target worker index (== source when there is
+        nowhere better to go).
+        """
+        with self._lock:
+            source = self._view_worker.get(name)
+            if source is None:
+                raise EngineStateError(f"no view named {name!r}")
+            if target is None:
+                target = self._least_loaded_worker(exclude=(source,))
+            if target == source:
+                return target
+            if not 0 <= target < len(self._conns):
+                raise ClusterError(
+                    f"no worker {target} in a {len(self._conns)}-worker "
+                    "cluster"
+                )
+            if target in self._dead:
+                raise self._crashed(
+                    target, f"cannot migrate view {name!r} to a dead worker"
+                )
+            text = self._view_text.get(name)
+            engine = self._view_engine.get(name, "auto")
+            relations = self._view_relations.get(name, ())
+            # Stale-incarnation entries died with a previous worker
+            # incarnation: there is nothing to drain or re-home on the
+            # respawned process, and resurrecting them would hide the
+            # delta gap — leave them to report WorkerRecoveredError.
+            subs = [
+                (handle, entry)
+                for handle, entry in self._subs.items()
+                if entry.view == name
+                and entry.inc == self._incarnation[entry.worker]
+            ]
+        if text is None:
+            raise EngineStateError(
+                f"view {name!r} has no stored query text to re-register "
+                "from"
+            )
+        with self._write_gate.write_locked():
+            # 1. Barrier-drain the view's subscriptions: every delta the
+            #    source delivered must land locally before the
+            #    worker-side subscription dies with the drop below.
+            for handle, entry in subs:
+                delivered = int(
+                    self._request(
+                        entry.worker,
+                        {"op": "push_sync", "subscription": entry.remote},
+                        context=f"migrating view {name!r}",
+                    )["delivered"]  # type: ignore[arg-type]
+                )
+                deadline = time.monotonic() + self._poll_timeout
+                with self._cond:
+                    while (
+                        entry.received < delivered
+                        and entry.worker not in self._dead
+                    ):
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise ClusterError(
+                                f"migration of {name!r} timed out draining "
+                                f"subscription {handle} ({entry.received} of "
+                                f"{delivered} deltas)"
+                            )
+                        self._cond.wait(timeout=remaining)
+            # 2. Re-register on the target (same text, pinned engine)
+            #    and *reconcile* the target's relation state against
+            #    the source's snapshot — not insert-only backfill: a
+            #    worker that hosted this relation before (an earlier
+            #    migration away, a dropped view) still holds rows that
+            #    were deleted elsewhere since, and the registration
+            #    just computed the view over them.
+            self._request(
+                target,
+                {
+                    "op": "register_view",
+                    "name": name,
+                    "query": text,
+                    "engine": engine,
+                },
+                context=f"migrating view {name!r} to worker {target}",
+            )
+            for relation in relations:
+                truth = {
+                    as_row(row)
+                    for row in self._request(
+                        source,
+                        {"op": "rows", "relation": relation},
+                        context=f"migrating view {name!r}",
+                    )["rows"]  # type: ignore[union-attr]
+                }
+                stale = {
+                    as_row(row)
+                    for row in self._request(
+                        target,
+                        {"op": "rows", "relation": relation},
+                        context=f"migrating view {name!r}",
+                    )["rows"]  # type: ignore[union-attr]
+                }
+                repairs = [
+                    ["delete", relation, list(row)]
+                    for row in sorted(stale - truth, key=repr)
+                ] + [
+                    ["insert", relation, list(row)]
+                    for row in sorted(truth - stale, key=repr)
+                ]
+                if repairs:
+                    self._request(
+                        target,
+                        {"op": "batch", "commands": repairs},
+                        context=f"migrating view {name!r}",
+                    )
+            # 3. Re-home the subscriptions onto the target.  No write
+            #    can interleave (the gate is held), so no delta is lost
+            #    between the old subscription and the new one.
+            for handle, entry in subs:
+                reply = self._request(
+                    target,
+                    {"op": "subscribe", "view": name, "client": self.client_id},
+                    context=f"migrating view {name!r}",
+                )
+                with self._cond:
+                    self._by_remote.pop((entry.worker, entry.remote), None)
+                    self._closed_remotes.add((entry.worker, entry.remote))
+                    entry.worker = target
+                    entry.remote = int(reply["subscription"])  # type: ignore[arg-type]
+                    entry.received = 0
+                    entry.inc = self._incarnation[target]
+                    self._by_remote[(target, entry.remote)] = handle
+                    self._cond.notify_all()
+            # 4. Flip the routing atomically; invalidate the view's
+            #    cursors (worker-side paging state does not move).
+            with self._lock:
+                self._view_worker[name] = target
+                self._rebuild_routing_locked()
+                self._routing_version += 1
+                for handle, (
+                    _w,
+                    _remote,
+                    view,
+                    _inc,
+                ) in list(self._cursors.items()):
+                    if view == name:
+                        self._cursors.pop(handle, None)
+                        self._cursor_tombstones[handle] = (
+                            CursorInvalidatedError(
+                                f"cursor {handle} on view {name!r} was "
+                                f"invalidated: the view migrated from "
+                                f"worker {source} to worker {target} — "
+                                "reopen it"
+                            )
+                        )
+            if self._journal is not None:
+                self._journal.move_view(name, target)
+            # 5. Drop from the source — best-effort: if the source dies
+            #    right here, the journal already says the view lives on
+            #    the target, so a recovery will not resurrect it.
+            try:
+                self._request(source, {"op": "drop_view", "name": name})
+            except (WorkerCrashedError, ReproError):
+                pass
+        return target
+
     # -- updates ---------------------------------------------------------------
 
     def insert(self, relation: str, row: Sequence[Constant]) -> bool:
@@ -1158,30 +1926,47 @@ class ClusterClient:
         """Fan one update out to the workers whose views mention the
         relation (ascending worker order), mirroring the sharded
         Server's routing."""
-        with self._lock:
-            workers = self._routing.get(command.relation)
-            if workers is None:
-                known = ", ".join(sorted(self._routing)) or "(none)"
-                raise SchemaError(
-                    f"no registered view uses relation {command.relation!r}; "
-                    f"known relations: {known}"
-                )
-        message = {
-            "op": command.op,
-            "relation": command.relation,
-            "row": command.row,
-        }
-        changed: Optional[bool] = None
-        for worker in workers:
-            reply = self._request(worker, dict(message))
-            if changed is None:
-                changed = bool(reply["changed"])
-            elif changed != bool(reply["changed"]):
-                raise ClusterError(
-                    f"workers disagree on the effect of {command} — "
-                    "replicated relation state diverged"
-                )
-        return bool(changed)
+        with self._write_gate.read_locked():
+            with self._lock:
+                workers = self._routing.get(command.relation)
+                if workers is None:
+                    known = ", ".join(sorted(self._routing)) or "(none)"
+                    raise SchemaError(
+                        f"no registered view uses relation "
+                        f"{command.relation!r}; known relations: {known}"
+                    )
+            # Journal FIRST: if a worker applies the command and dies
+            # before a journal-after-success record could land, the
+            # recovery replay would silently drop the row.  Journal-
+            # first plus the supervised retry is at-least-once, which
+            # set semantics make exactly-once.  The journal's fold
+            # verdict is then the authoritative ``changed`` flag: a
+            # retried command whose first attempt already landed on a
+            # worker (and got backfilled into its replacement) reports
+            # what the *stream* did, not what the retry saw.
+            effective: Optional[bool] = None
+            if self._journal is not None:
+                effective = self._journal.record(command)
+            message = {
+                "op": command.op,
+                "relation": command.relation,
+                "row": command.row,
+            }
+            changed: Optional[bool] = None
+            for worker in workers:
+                reply = self._request(worker, dict(message))
+                if changed is None:
+                    changed = bool(reply["changed"])
+                elif changed != bool(reply["changed"]) and effective is None:
+                    # Unjournaled clients have no recovery retries, so a
+                    # disagreement is real replica divergence.  (Under a
+                    # journal a retry after mid-fan-out recovery makes
+                    # replicas *legitimately* disagree with each other.)
+                    raise ClusterError(
+                        f"workers disagree on the effect of {command} — "
+                        "replicated relation state diverged"
+                    )
+            return bool(changed) if effective is None else effective
 
     def apply_stream(
         self, commands: Iterable[UpdateCommand], chunk: int = 256
@@ -1191,73 +1976,89 @@ class ClusterClient:
         Semantically ``for c in commands: self.apply(c)`` — every
         command runs the full update choreography on every worker whose
         views mention its relation, in stream order — but commands ride
-        the wire in chunks of ``chunk`` per worker, so the round trip
-        (the dominant cost of socket-remote single-tuple updates) is
-        paid once per chunk instead of once per command.  Not
+        the wire in chunks of up to ``chunk``, so the round trip (the
+        dominant cost of socket-remote single-tuple updates) is paid
+        per chunk instead of per command.  Each chunk routes and
+        applies under the write gate's shared side, so a live
+        :meth:`migrate_view` drains at a chunk boundary and the tail of
+        the stream re-routes to the view's new worker.  Not
         transactional (use :meth:`batch` for all-or-nothing): an error
         mid-stream leaves each worker's already-applied prefix in
-        place, and the surviving workers' pending chunks are flushed
+        place, and the chunk's other workers are still flushed
         best-effort before the error surfaces, so replicas of a shared
-        relation stop at the same failing command instead of silently
-        diverging.  Returns the number of effective commands, counted
-        at each command's primary (lowest-id) worker.
+        relation converge instead of silently diverging.  Returns the
+        number of effective commands, counted at each command's primary
+        (lowest-id) worker.
         """
         if chunk < 1:
             raise EngineStateError(f"chunk must be >= 1, got {chunk}")
-        buffers: Dict[int, List[Tuple[object, ...]]] = {}
-        primaries: Dict[int, List[bool]] = {}
-        routing_cache: Dict[str, Tuple[int, ...]] = {}
+        pending: List[UpdateCommand] = []
         changed = 0
+        for command in commands:
+            pending.append(command)
+            if len(pending) >= chunk:
+                changed += self._flush_chunk(pending)
+                pending = []
+        if pending:
+            changed += self._flush_chunk(pending)
+        return changed
 
-        def flush(worker: int) -> int:
-            wire = buffers.pop(worker, None)
-            primary_flags = primaries.pop(worker, [])
-            if not wire:
-                return 0
-            reply = self._request(
-                worker, {"op": "apply_many", "commands": wire}
-            )
-            results = reply["results"]
-            return sum(
-                1
-                for effective, primary in zip(results, primary_flags)  # type: ignore[arg-type]
-                if effective and primary
-            )
-
-        try:
-            for command in commands:
-                workers = routing_cache.get(command.relation)
-                if workers is None:
-                    with self._lock:
-                        workers = self._routing.get(command.relation)
+    def _flush_chunk(self, chunk_commands: List[UpdateCommand]) -> int:
+        """Route and apply one stream chunk under the write gate."""
+        with self._write_gate.read_locked():
+            with self._lock:
+                routing: Dict[str, Tuple[int, ...]] = {}
+                for command in chunk_commands:
+                    if command.relation in routing:
+                        continue
+                    workers = self._routing.get(command.relation)
                     if workers is None:
                         known = ", ".join(sorted(self._routing)) or "(none)"
                         raise SchemaError(
                             f"no registered view uses relation "
                             f"{command.relation!r}; known relations: {known}"
                         )
-                    routing_cache[command.relation] = workers
-                wire_command = (command.op, command.relation, command.row)
-                for index, worker in enumerate(workers):
-                    buffers.setdefault(worker, []).append(wire_command)
+                    routing[command.relation] = workers
+            groups: Dict[int, List[Tuple[object, ...]]] = {}
+            primaries: Dict[int, List[bool]] = {}
+            for command in chunk_commands:
+                wire = (command.op, command.relation, command.row)
+                for index, worker in enumerate(routing[command.relation]):
+                    groups.setdefault(worker, []).append(wire)
                     primaries.setdefault(worker, []).append(index == 0)
-                    if len(buffers[worker]) >= chunk:
-                        changed += flush(worker)
-            for worker in sorted(buffers):
-                changed += flush(worker)
-        except ReproError:
-            # A replicated command may already have landed on one
-            # worker; flush the other workers' pending chunks
-            # best-effort so identical sub-streams stop at the same
-            # failing command (replica convergence), then surface the
-            # original error.
-            for worker in sorted(buffers):
+            # Journal before the wire (see apply()): a worker killed
+            # between applying the chunk and the journal record would
+            # otherwise lose the chunk on recovery replay.  As in
+            # apply(), the journal's fold verdicts are the changed
+            # count for journaled clients — immune to recovery
+            # retries double-counting or zeroing a chunk.
+            journaled: Optional[int] = None
+            if self._journal is not None:
+                journaled = sum(self._journal.record_many(chunk_commands))
+            changed = 0
+            failure: Optional[ReproError] = None
+            for worker in sorted(groups):
                 try:
-                    flush(worker)
-                except ReproError:
-                    pass
-            raise
-        return changed
+                    reply = self._request(
+                        worker, {"op": "apply_many", "commands": groups[worker]}
+                    )
+                except ReproError as error:
+                    # Keep flushing the chunk's other workers so
+                    # replicas of a shared relation stop at the same
+                    # point (convergence), then surface the first error.
+                    if failure is None:
+                        failure = error
+                    continue
+                changed += sum(
+                    1
+                    for effective, primary in zip(
+                        reply["results"], primaries[worker]  # type: ignore[arg-type]
+                    )
+                    if effective and primary
+                )
+            if failure is not None:
+                raise failure
+            return changed if journaled is None else journaled
 
     def batch(self, commands: Iterable[UpdateCommand]) -> Dict[str, int]:
         """A transactional batch across however many shards it touches.
@@ -1277,6 +2078,15 @@ class ClusterClient:
         commands = list(commands)
         if not commands:
             return {"buffered": 0, "net": 0, "applied": 0}
+        with self._write_gate.read_locked():
+            if self._journal is not None:
+                # Journal-first, like apply(): at-least-once plus set
+                # semantics beats silently losing a committed batch to
+                # a crash in the record window.
+                self._journal.record_many(commands)
+            return self._batch_routed(commands)
+
+    def _batch_routed(self, commands: List[UpdateCommand]) -> Dict[str, int]:
         groups: Dict[int, List[List[object]]] = {}
         for command in commands:
             with self._lock:
@@ -1343,6 +2153,27 @@ class ClusterClient:
                     {"op": "batch_commit", "txn": txn},
                     context=f"committing batch {txn}",
                 )
+            except EngineStateError as error:
+                # Under supervision a participant can crash after
+                # voting yes and be *recovered* before we commit — the
+                # fresh worker has no staged transaction.  Roll back
+                # the survivors; report a partial commit if some
+                # already applied (the classic 2PC window, now named).
+                self._abort_batch(
+                    txn, [w for w in order if w not in committed and w != worker]
+                )
+                if not committed:
+                    raise ClusterError(
+                        f"batch {txn} rolled back: worker {worker} lost "
+                        f"its staged transaction (recovered "
+                        f"mid-transaction): {error}"
+                    ) from error
+                raise ClusterError(
+                    f"batch {txn} partially committed on workers "
+                    f"{committed} before worker {worker} lost its "
+                    f"staged transaction (recovered mid-transaction): "
+                    f"{error}"
+                ) from error
             except WorkerCrashedError as error:
                 remaining = [
                     w for w in order if w not in committed and w != worker
@@ -1391,15 +2222,30 @@ class ClusterClient:
         )
         with self._lock:
             handle = next(self._ids)
-            self._cursors[handle] = (worker, int(reply["cursor"]), view)  # type: ignore[arg-type]
+            # Stamp the worker incarnation the remote handle lives on;
+            # a later mismatch (supervisor recovery) turns fetches into
+            # a precise WorkerRecoveredError instead of a dangling
+            # unknown-handle failure on the fresh worker.
+            self._cursors[handle] = (
+                worker,
+                int(reply["cursor"]),  # type: ignore[arg-type]
+                view,
+                self._incarnation[worker],
+            )
         return handle
 
     def fetch(self, cursor: int, n: int) -> List[Row]:
         with self._lock:
+            tombstone = self._cursor_tombstones.get(cursor)
             entry = self._cursors.get(cursor)
+        if tombstone is not None:
+            raise tombstone
         if entry is None:
             raise EngineStateError(f"unknown cursor handle {cursor}")
-        worker, remote, view = entry
+        worker, remote, view, inc = entry
+        self._check_incarnation(
+            worker, inc, f"cursor {cursor} on view {view!r}"
+        )
         reply = self._request(
             worker,
             {"op": "fetch", "cursor": remote, "n": int(n)},
@@ -1410,10 +2256,18 @@ class ClusterClient:
 
     def close_cursor(self, cursor: int) -> None:
         with self._lock:
+            self._cursor_tombstones.pop(cursor, None)
             entry = self._cursors.pop(cursor, None)
+            if entry is not None:
+                worker, remote, _view, inc = entry
+                stale = (
+                    worker in self._dead
+                    or inc != self._incarnation[worker]
+                )
         if entry is None:
             return
-        worker, remote, _view = entry
+        if stale:
+            return  # the remote handle died with its incarnation
         try:
             self._request(worker, {"op": "close_cursor", "cursor": remote})
         except WorkerCrashedError:
@@ -1449,7 +2303,10 @@ class ClusterClient:
         )
         with self._cond:
             handle = next(self._ids)
-            entry = _SubEntry(worker, remote, view, local, lazy)
+            entry = _SubEntry(
+                worker, remote, view, local, lazy,
+                inc=self._incarnation[worker],
+            )
             self._subs[handle] = entry
             self._by_remote[(worker, remote)] = handle
             # Payloads that raced this registration parked in the
@@ -1485,6 +2342,11 @@ class ClusterClient:
             raise EngineStateError(
                 f"unknown subscription handle {subscription}"
             )
+        self._check_incarnation(
+            entry.worker,
+            entry.inc,
+            f"subscription {subscription} on view {entry.view!r}",
+        )
         with entry.poll_lock:
             target = int(
                 self._request(
@@ -1518,13 +2380,20 @@ class ClusterClient:
     def unsubscribe(self, subscription: int) -> None:
         with self._lock:
             entry = self._subs.pop(subscription, None)
+            stale = False
             if entry is not None:
                 self._by_remote.pop((entry.worker, entry.remote), None)
                 self._closed_remotes.add((entry.worker, entry.remote))
                 self._orphan_deltas.pop((entry.worker, entry.remote), None)
+                stale = (
+                    entry.worker in self._dead
+                    or entry.inc != self._incarnation[entry.worker]
+                )
         if entry is None:
             return
         entry.local.close()
+        if stale:
+            return  # the remote subscription died with its incarnation
         try:
             self._request(
                 entry.worker, {"op": "unsubscribe", "subscription": entry.remote}
@@ -1598,6 +2467,8 @@ class ClusterClient:
             "open_cursors": len(self._cursors),
             "subscriptions": len(self._subs),
             "per_worker": per_worker,
+            "routing_version": self._routing_version,
+            "cluster": self.cluster_stats(),
         }
         if self._pool is not None:
             report["dispatch"] = {
@@ -1607,6 +2478,35 @@ class ClusterClient:
                 "pending": self._pool.pending,
             }
         return report
+
+    def cluster_stats(self) -> Dict[int, Optional[Dict[str, object]]]:
+        """Per-worker operational load: pid, view count, row count,
+        pending queue depth, restart count — the observability surface
+        the supervisor's placement decisions (and :meth:`stats`) read.
+        A dead worker reports ``None``."""
+        out: Dict[int, Optional[Dict[str, object]]] = {}
+        for worker in range(len(self._conns)):
+            with self._lock:
+                if worker in self._dead:
+                    out[worker] = None
+                    continue
+                restarts = (
+                    self._cluster.restarts[worker]
+                    if self._cluster is not None
+                    and worker < len(self._cluster.restarts)
+                    else self._incarnation[worker]
+                )
+            try:
+                reply = self._request(worker, {"op": "cluster_stats"})
+            except (WorkerCrashedError, ReproError):
+                out[worker] = None
+                continue
+            info = dict(reply.get("load") or {})  # type: ignore[arg-type]
+            info["pid"] = reply.get("pid")
+            info["restarts"] = restarts
+            info["incarnation"] = self._incarnation[worker]
+            out[worker] = info
+        return out
 
     def ping(self) -> Dict[int, Optional[int]]:
         """Liveness probe: worker index → pid (None when dead)."""
@@ -1654,8 +2554,11 @@ class ClusterClient:
             entries = list(self._subs.items())
         for handle, entry in entries:
             with self._lock:
-                if entry.worker in self._dead:
-                    continue
+                if (
+                    entry.worker in self._dead
+                    or entry.inc != self._incarnation[entry.worker]
+                ):
+                    continue  # dead or stale: no more deltas will come
             target = int(
                 self._request(
                     entry.worker,
@@ -1674,6 +2577,12 @@ class ClusterClient:
         if self._closed:
             return
         self._closed = True
+        supervisor = self._supervisor
+        if supervisor is not None:
+            self._supervisor = None
+            stop = getattr(supervisor, "stop", None)
+            if callable(stop):
+                stop()
         if self._pool is not None:
             self._pool.close()
         for conn in self._conns + self._push_conns:

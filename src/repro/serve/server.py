@@ -616,6 +616,25 @@ class Server:
                 }
             return report
 
+    def load_stats(self) -> Dict[str, object]:
+        """The placement-relevant load summary of this server — what the
+        cluster's ``cluster_stats`` op reports per worker and the
+        supervisor's placement decisions read.  Cheaper than
+        :meth:`stats`: counts only, no per-view maps."""
+        with self._read_all():
+            return {
+                "views": len(self._session.views),
+                "rows": sum(
+                    len(self._session.rows(relation))
+                    for relation in self._session.relations
+                ),
+                "open_cursors": len(self._cursors),
+                "subscriptions": len(self._subscriptions),
+                "pending": self._pool.pending if self._pool is not None else 0,
+                "reads": self.reads,
+                "writes": self.writes,
+            }
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -788,6 +807,8 @@ class Server:
             return {"ok": True, "epochs": self.epochs()}
         if op == "stats":
             return {"ok": True, "stats": self.stats()}
+        if op == "load_stats":
+            return {"ok": True, "load": self.load_stats()}
         raise EngineStateError(f"unknown request op {op!r}")
 
     def __repr__(self) -> str:

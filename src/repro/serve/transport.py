@@ -23,46 +23,90 @@ connection's codec.  Two codecs exist:
 Messages are plain dicts with string keys — exactly the shape
 :meth:`repro.serve.server.Server.handle` already consumes, which is
 what lets the worker wrap the existing request loop unchanged.  A
-frame longer than :data:`MAX_FRAME` (64 MiB) is rejected before
-allocation: a corrupt length prefix must fail fast, not OOM the
-worker.
+frame longer than the connection's frame cap (:data:`MAX_FRAME` =
+64 MiB by default; override per connection with ``max_frame=`` or
+process-wide with the ``REPRO_MAX_FRAME`` environment variable) is
+rejected before allocation — the :class:`~repro.errors.TransportError`
+reports the observed frame size and the active cap in both directions,
+so a corrupt length prefix (or a legitimately huge batch) fails fast
+with a diagnosable message instead of OOMing the worker.
 
-:class:`Connection` wraps a connected socket with the codec plus the
-locking that makes it safe to share: ``request()`` (send one message,
-read one reply) holds the connection lock for the whole round trip, so
-any number of client threads can multiplex one request channel; the
-push channel is written by one worker thread and read by one client
-thread, no multiplexing needed.
+Two connection disciplines share the framing:
+
+* :class:`Connection` — the serial channel.  ``request()`` (send one
+  message, read one reply) holds the connection lock for the whole
+  round trip, so any number of client threads can share one request
+  channel at one-in-flight; the push channel is written by one worker
+  thread and read by one client thread, no multiplexing needed.
+* :class:`MuxConnection` — the multiplexed channel.  Every request is
+  tagged with a connection-unique id (the ``"mux_id"`` field), a
+  background reader thread matches out-of-order replies back to their
+  waiting callers, and any number of requests ride the socket
+  concurrently — a slow ``fetch`` no longer head-of-line-blocks a
+  supervisor health probe sharing the connection.  Frames without a
+  ``mux_id`` are handed to the optional ``on_push`` callback.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import socket
 import struct
 import threading
+from itertools import count as _counter
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
-from repro.errors import ConnectionClosedError, TransportError
+from repro.errors import (
+    ConnectionClosedError,
+    FrameTooLargeError,
+    TransportError,
+)
 
 __all__ = [
     "MAX_FRAME",
+    "default_max_frame",
     "Codec",
     "get_codec",
     "available_codecs",
     "send_frame",
     "recv_frame",
     "Connection",
+    "MuxConnection",
     "bind_listener",
     "connect",
     "as_row",
     "as_rows",
 ]
 
-#: Hard ceiling on one frame's payload — fail fast on corrupt prefixes.
+#: Built-in ceiling on one frame's payload — fail fast on corrupt
+#: prefixes.  The effective cap is :func:`default_max_frame` (env
+#: override) unless a connection passes its own ``max_frame``.
 MAX_FRAME = 64 * 1024 * 1024
 
 _LENGTH = struct.Struct(">I")
+
+
+def default_max_frame() -> int:
+    """The process-wide frame cap: ``REPRO_MAX_FRAME`` or 64 MiB.
+
+    Read per call (not cached at import) so tests and operators can
+    retune a running deployment's spawned workers via the environment.
+    """
+    raw = os.environ.get("REPRO_MAX_FRAME")
+    if not raw:
+        return MAX_FRAME
+    try:
+        value = int(raw)
+    except ValueError as error:
+        raise TransportError(
+            f"REPRO_MAX_FRAME must be an integer byte count, got {raw!r}"
+        ) from error
+    if value < 1:
+        raise TransportError(
+            f"REPRO_MAX_FRAME must be >= 1 byte, got {value}"
+        )
+    return value
 
 
 class Codec:
@@ -164,11 +208,19 @@ def _recv_exactly(sock: socket.socket, n: int) -> bytes:
     return bytes(chunks)
 
 
-def send_frame(sock: socket.socket, payload: bytes) -> None:
-    """Write one length-prefixed frame."""
-    if len(payload) > MAX_FRAME:
-        raise TransportError(
-            f"frame of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+def send_frame(
+    sock: socket.socket, payload: bytes, max_frame: Optional[int] = None
+) -> None:
+    """Write one length-prefixed frame (``max_frame`` overrides the cap)."""
+    cap = default_max_frame() if max_frame is None else max_frame
+    if len(payload) > cap:
+        # Nothing has been written: the channel stays healthy, so the
+        # caller gets the dedicated subclass instead of a dead-peer
+        # diagnosis.
+        raise FrameTooLargeError(
+            f"outgoing frame of {len(payload)} bytes exceeds the frame "
+            f"cap ({cap} bytes); raise max_frame= / REPRO_MAX_FRAME or "
+            "chunk the payload"
         )
     try:
         sock.sendall(_LENGTH.pack(len(payload)) + payload)
@@ -176,13 +228,18 @@ def send_frame(sock: socket.socket, payload: bytes) -> None:
         raise ConnectionClosedError(f"send failed: {error}") from error
 
 
-def recv_frame(sock: socket.socket) -> bytes:
-    """Read one length-prefixed frame's payload."""
+def recv_frame(
+    sock: socket.socket, max_frame: Optional[int] = None
+) -> bytes:
+    """Read one length-prefixed frame's payload (cap as in
+    :func:`send_frame`)."""
+    cap = default_max_frame() if max_frame is None else max_frame
     (length,) = _LENGTH.unpack(_recv_exactly(sock, _LENGTH.size))
-    if length > MAX_FRAME:
+    if length > cap:
         raise TransportError(
-            f"incoming frame claims {length} bytes (> MAX_FRAME "
-            f"{MAX_FRAME}); corrupt stream"
+            f"incoming frame claims {length} bytes, over the frame cap "
+            f"({cap} bytes) — corrupt stream, or a peer with a larger "
+            "max_frame / REPRO_MAX_FRAME"
         )
     return _recv_exactly(sock, length) if length else b""
 
@@ -201,9 +258,17 @@ class Connection:
     a single writer and a single reader, on different processes).
     """
 
-    def __init__(self, sock: socket.socket, codec: Codec):
+    def __init__(
+        self,
+        sock: socket.socket,
+        codec: Codec,
+        max_frame: Optional[int] = None,
+    ):
         self._sock = sock
         self._codec = codec
+        self.max_frame = (
+            default_max_frame() if max_frame is None else max_frame
+        )
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
         self._request_lock = threading.Lock()
@@ -222,11 +287,11 @@ class Connection:
         with self._send_lock:
             if self._closed:
                 raise ConnectionClosedError("connection already closed")
-            send_frame(self._sock, payload)
+            send_frame(self._sock, payload, self.max_frame)
 
     def recv(self) -> object:
         with self._recv_lock:
-            payload = recv_frame(self._sock)
+            payload = recv_frame(self._sock, self.max_frame)
         return self._codec.decode(payload)
 
     def request(self, message: Dict[str, object]) -> Dict[str, object]:
@@ -262,6 +327,193 @@ class Connection:
         return f"Connection({self._codec.name}, {state})"
 
 
+class _Waiter:
+    """One in-flight multiplexed request's parking slot."""
+
+    __slots__ = ("event", "reply", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.reply: Optional[Dict[str, object]] = None
+        self.error: Optional[BaseException] = None
+
+
+class MuxConnection:
+    """A multiplexed request channel over one codec-framed socket.
+
+    Requests are tagged with a connection-unique integer (the
+    ``"mux_id"`` message field); the peer echoes the tag on the reply.
+    A background reader thread (started by :meth:`start`, usually right
+    after the hello handshake) is the sole ``recv`` caller: it matches
+    each tagged reply to its parked waiter, so **any number of caller
+    threads hold requests in flight concurrently** and replies may
+    return in any order.  Untagged frames go to ``on_push`` (server
+    pushes sharing the channel), or are dropped when no handler is set.
+
+    When the socket dies, every parked waiter — and every later caller
+    — fails with :class:`~repro.errors.ConnectionClosedError` carrying
+    the reader's original failure; nobody hangs on a dead channel.
+
+    :attr:`max_in_flight_seen` records the high-water mark of
+    concurrently outstanding requests — the observability hook the
+    failover benchmark reads to prove the pipelining is real.
+    """
+
+    def __init__(self, conn: Connection):
+        self._conn = conn
+        self._ids = _counter(1)
+        self._lock = threading.Lock()
+        self._waiters: Dict[int, _Waiter] = {}
+        self._reader: Optional[threading.Thread] = None
+        self._failure: Optional[BaseException] = None
+        #: untagged (push) frames land here when set.
+        self.on_push: Optional[Callable[[Dict[str, object]], None]] = None
+        #: high-water mark of concurrently in-flight requests.
+        self.max_in_flight_seen = 0
+
+    @property
+    def codec(self) -> Codec:
+        return self._conn.codec
+
+    @property
+    def closed(self) -> bool:
+        return self._conn.closed
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._waiters)
+
+    # -- the serial-compat handshake surface ------------------------------
+
+    def send(self, message: object) -> None:
+        """Raw one-way send (the hello handshake, before :meth:`start`)."""
+        self._conn.send(message)
+
+    def recv(self) -> object:
+        """Raw receive — only valid before :meth:`start` takes over."""
+        if self._reader is not None:
+            raise TransportError(
+                "recv() after start(): the reader thread owns this socket"
+            )
+        return self._conn.recv()
+
+    def handshake(self, message: Dict[str, object]) -> Dict[str, object]:
+        """One serial round trip (the ``_hello`` exchange), then the
+        caller should :meth:`start` the reader."""
+        self._conn.send(message)
+        reply = self._conn.recv()
+        if not isinstance(reply, dict):
+            raise TransportError(
+                f"protocol violation: handshake reply is "
+                f"{type(reply).__name__}, expected a dict"
+            )
+        return reply
+
+    def start(self) -> None:
+        """Start the reader thread; from now on only :meth:`request`."""
+        if self._reader is not None:
+            return
+        self._reader = threading.Thread(
+            target=self._read_loop, daemon=True, name="repro-mux-reader"
+        )
+        self._reader.start()
+
+    # -- multiplexed requests --------------------------------------------
+
+    def request(
+        self, message: Dict[str, object], timeout: Optional[float] = None
+    ) -> Dict[str, object]:
+        """One tagged request; blocks this caller only.
+
+        ``timeout`` (seconds) bounds the wait for the reply — the
+        supervisor's heartbeat probes use it so a wedged-but-alive
+        worker is detected, not just a dead socket.
+        """
+        if self._reader is None:
+            self.start()
+        waiter = _Waiter()
+        with self._lock:
+            if self._failure is not None:
+                raise ConnectionClosedError(
+                    f"multiplexed connection is down: {self._failure}"
+                ) from self._failure
+            mux_id = next(self._ids)
+            self._waiters[mux_id] = waiter
+            if len(self._waiters) > self.max_in_flight_seen:
+                self.max_in_flight_seen = len(self._waiters)
+        try:
+            self._conn.send(dict(message, mux_id=mux_id))
+        except BaseException:
+            with self._lock:
+                self._waiters.pop(mux_id, None)
+            raise
+        if not waiter.event.wait(timeout):
+            with self._lock:
+                self._waiters.pop(mux_id, None)
+            raise TransportError(
+                f"multiplexed request {mux_id} ({message.get('op')!r}) "
+                f"timed out after {timeout}s"
+            )
+        if waiter.error is not None:
+            raise ConnectionClosedError(
+                f"multiplexed connection is down: {waiter.error}"
+            ) from waiter.error
+        reply = waiter.reply
+        if not isinstance(reply, dict):
+            raise TransportError(
+                f"protocol violation: reply is {type(reply).__name__}, "
+                "expected a dict"
+            )
+        return reply
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = self._conn.recv()
+                if not isinstance(frame, dict):
+                    continue
+                mux_id = frame.pop("mux_id", None)
+                if mux_id is None:
+                    handler = self.on_push
+                    if handler is not None:
+                        handler(frame)
+                    continue
+                with self._lock:
+                    waiter = self._waiters.pop(int(mux_id), None)  # type: ignore[arg-type]
+                if waiter is not None:
+                    waiter.reply = frame
+                    waiter.event.set()
+        except BaseException as error:  # socket died: fail everyone
+            with self._lock:
+                self._failure = error
+                parked = list(self._waiters.values())
+                self._waiters.clear()
+            for waiter in parked:
+                waiter.error = error
+                waiter.event.set()
+
+    def close(self) -> None:
+        self._conn.close()
+        reader = self._reader
+        if reader is not None and reader is not threading.current_thread():
+            reader.join(timeout=2.0)
+
+    def __enter__(self) -> "MuxConnection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (
+            f"MuxConnection({self.codec.name}, {state}, "
+            f"in_flight={self.in_flight}, "
+            f"high_water={self.max_in_flight_seen})"
+        )
+
+
 # ---------------------------------------------------------------------------
 # addressing: AF_UNIX where it exists, loopback TCP otherwise
 # ---------------------------------------------------------------------------
@@ -290,7 +542,12 @@ def bind_listener(
     return listener, ("tcp", "127.0.0.1", port)
 
 
-def connect(address: Sequence[object], codec: Codec, timeout: float = 10.0) -> Connection:
+def connect(
+    address: Sequence[object],
+    codec: Codec,
+    timeout: float = 10.0,
+    max_frame: Optional[int] = None,
+) -> Connection:
     """Connect to a worker's listener and wrap the socket."""
     kind = address[0]
     if kind == "unix":
@@ -305,7 +562,7 @@ def connect(address: Sequence[object], codec: Codec, timeout: float = 10.0) -> C
     else:
         raise TransportError(f"unknown address kind {kind!r}")
     sock.settimeout(None)
-    return Connection(sock, codec)
+    return Connection(sock, codec, max_frame=max_frame)
 
 
 # ---------------------------------------------------------------------------

@@ -27,6 +27,7 @@ def serving_blob(
     flatness=1.1,
     delta=20000.0,
     multiproc=2.0,
+    recovery=0.3,
 ):
     return {
         "cursor_resume": {"cursor_last_over_first": flatness},
@@ -34,6 +35,7 @@ def serving_blob(
         "sharded_writes": {"speedup_at_max_shards": sharded},
         "multiprocess_shards": {"speedup_vs_inprocess_best": multiproc},
         "async_dispatch": {"writer_speedup": async_speedup},
+        "failover": {"recovery_seconds": recovery},
     }
 
 
@@ -142,6 +144,16 @@ def test_multiprocess_guardrail_turns_red(tmp_path):
     )
     assert len(regressions) == 1
     assert "multiprocess_shards.speedup_vs_inprocess_best" in regressions[0]
+
+
+def test_failover_recovery_guardrail_turns_red(tmp_path):
+    baseline = write(tmp_path / "base.json", serving_blob())
+    fresh = write(tmp_path / "fresh.json", serving_blob(recovery=7.5))
+    regressions, _ = check_regression.check_experiment(
+        "serving", baseline, fresh, 0.30
+    )
+    assert len(regressions) == 1
+    assert "failover.recovery_seconds" in regressions[0]
 
 
 def test_evaluate_experiment_records_are_machine_readable():

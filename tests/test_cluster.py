@@ -564,3 +564,337 @@ def test_session_serve_processes_migrates_views_and_rows():
         facade.close()
     for handle in cluster.workers:
         assert not handle.alive()
+
+
+# ---------------------------------------------------------------------------
+# supervision chaos: kill -9 under a supervisor degrades to a bounded stall
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def supervised():
+    from repro.serve.journal import CommandJournal
+    from repro.serve.supervisor import Supervisor
+
+    with ShardCluster(workers=2) as deployment:
+        journal = CommandJournal()
+        with deployment.client(journal=journal) as facade:
+            supervisor = Supervisor(
+                deployment, facade, journal=journal, heartbeat=0.1
+            ).start()
+            try:
+                yield deployment, facade, supervisor
+            finally:
+                supervisor.stop()
+
+
+def _await_recovery(facade, supervisor, count=1, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not facade.dead_workers and len(supervisor.recoveries) >= count:
+            return
+        time.sleep(0.02)
+    raise AssertionError(
+        f"no recovery after {timeout}s: dead={facade.dead_workers}, "
+        f"recoveries={supervisor.recoveries}"
+    )
+
+
+def test_kill9_mid_stream_recovers_byte_identical(supervised):
+    cluster, facade, supervisor = supervised
+    oracle = Server(Session())
+    views = {"sup_a": "V(x, y) :- SA(x, y)", "sup_b": "W(x, y) :- SB(x, y)"}
+    for name, query in views.items():
+        facade.view(name, query)
+        oracle.view(name, query)
+    victim = facade._worker_of_view("sup_b")
+    commands = effective_stream("SA", 150, 9, 21) + effective_stream(
+        "SB", 150, 9, 22
+    )
+    random.Random(5).shuffle(commands)
+    for step, command in enumerate(commands):
+        if step == 90:
+            cluster.kill_worker(victim)  # SIGKILL, mid-write-stream
+        # Supervised: the apply stalls while the supervisor respawns
+        # and replays, then retries — never a WorkerCrashedError.
+        assert facade.apply(command) == oracle.apply(command)
+    _await_recovery(facade, supervisor)
+    for name in views:
+        assert facade.result_set(name) == oracle.session[name].result_set()
+        assert (
+            facade.result_digest(name)
+            == oracle.session[name].engine.result_digest()
+        )
+    assert supervisor.recoveries[0]["worker"] == victim
+    assert cluster.restarts[victim] >= 1
+    assert facade.dead_workers == ()
+
+
+def test_repeated_kills_of_same_worker(supervised):
+    cluster, facade, supervisor = supervised
+    oracle = Server(Session())
+    facade.view("rk", "V(x) :- RK(x)")
+    oracle.view("rk", "V(x) :- RK(x)")
+    victim = facade._worker_of_view("rk")
+    value = 0
+    for round_no in range(1, 4):
+        for _ in range(10):
+            facade.insert("RK", (value,))
+            oracle.insert("RK", (value,))
+            value += 1
+        cluster.kill_worker(victim)
+        facade.insert("RK", (value,))  # stalls through the recovery
+        oracle.insert("RK", (value,))
+        value += 1
+        _await_recovery(facade, supervisor, count=round_no)
+    assert facade.result_digest("rk") == oracle.session[
+        "rk"
+    ].engine.result_digest()
+    assert cluster.restarts[victim] == 3
+    assert supervisor.journal.epoch == 3
+    stats = facade.cluster_stats()
+    assert stats[victim]["restarts"] == 3
+    assert stats[victim]["incarnation"] == 3
+
+
+def test_recovered_worker_handles_report_precisely(supervised):
+    from repro.errors import WorkerRecoveredError
+
+    cluster, facade, supervisor = supervised
+    facade.view("wr", "V(x) :- WR(x)")
+    facade.batch([insert("WR", (i,)) for i in range(20)])
+    victim = facade._worker_of_view("wr")
+    cursor = facade.open_cursor("wr")
+    assert facade.fetch(cursor, 5)
+    sub = facade.subscribe("wr")
+    cluster.kill_worker(victim)
+    _await_death(cluster, victim)
+    _await_recovery(facade, supervisor)
+    # Result state survived the crash; per-handle state did not, and
+    # says so precisely instead of pretending or crashing permanently.
+    with pytest.raises(WorkerRecoveredError) as excinfo:
+        facade.fetch(cursor, 5)
+    assert excinfo.value.worker == victim
+    assert "wr" in excinfo.value.views
+    assert excinfo.value.journal_epoch == supervisor.journal.epoch
+    with pytest.raises(WorkerRecoveredError):
+        facade.poll(sub)
+    facade.unsubscribe(sub)  # stale: cleans up locally without error
+    reopened = facade.open_cursor("wr")
+    assert set(facade.fetch(reopened, 100)) == facade.result_set("wr")
+    assert set(facade.fetch(reopened, 100)) == set()  # exhausted
+    fresh = facade.subscribe("wr")
+    facade.insert("WR", (99,))
+    deltas = facade.poll(fresh)
+    assert deltas and deltas[-1].added == ((99,),)
+
+
+def test_unsupervised_client_still_fails_fast(crashable):
+    cluster, facade = crashable
+    facade.view("ff", "V(x) :- FF(x)")
+    victim = facade._worker_of_view("ff")
+    cluster.kill_worker(victim)
+    _await_death(cluster, victim)
+    with pytest.raises(WorkerCrashedError):
+        facade.insert("FF", (1,))
+
+
+def test_max_restarts_declares_unrecoverable():
+    from repro.serve.journal import CommandJournal
+    from repro.serve.supervisor import Supervisor
+
+    with ShardCluster(workers=2) as cluster:
+        journal = CommandJournal()
+        with cluster.client(journal=journal) as facade:
+            facade.view("mr", "V(x) :- MR(x)")
+            facade.insert("MR", (1,))
+            victim = facade._worker_of_view("mr")
+            supervisor = Supervisor(
+                cluster, facade, journal=journal, max_restarts=2
+            )
+            # Attach without start(): the test drives sweeps manually,
+            # so no background thread races the assertions.
+            facade.attach_supervisor(supervisor)
+            try:
+                for _ in range(2):
+                    cluster.kill_worker(victim)
+                    _await_death(cluster, victim)
+                    facade._mark_dead(victim, ClusterError("chaos"))
+                    assert supervisor.sweep() == [victim]
+                cluster.kill_worker(victim)
+                _await_death(cluster, victim)
+                facade._mark_dead(victim, ClusterError("chaos"))
+                assert supervisor.sweep() == []
+                with pytest.raises(WorkerCrashedError, match="gave up"):
+                    facade.insert("MR", (2,))
+                # the untouched worker keeps serving
+                other = 1 - victim
+                facade.view("mr2", "W(x) :- MR2(x)")
+                assert facade._worker_of_view("mr2") == other
+            finally:
+                supervisor.stop()
+
+
+# ---------------------------------------------------------------------------
+# live view migration
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def fresh():
+    with ShardCluster(workers=2) as deployment:
+        with deployment.client() as facade:
+            yield deployment, facade
+
+
+def test_migrate_view_moves_rows_subs_and_routing(fresh):
+    _cluster, facade = fresh
+    facade.view("mg", "V(x, y) :- MG(x, y)")
+    facade.batch([insert("MG", (i, i % 3)) for i in range(12)])
+    sub = facade.subscribe("mg")
+    cursor = facade.open_cursor("mg")
+    assert facade.fetch(cursor, 4)
+    source = facade._worker_of_view("mg")
+    before = facade.result_digest("mg")
+    version = facade.stats()["routing_version"]
+
+    target = facade.migrate_view("mg")
+    assert target != source
+    assert facade._worker_of_view("mg") == target
+    assert facade.stats()["routing_version"] == version + 1
+    assert facade.result_digest("mg") == before
+    # writes route to the new home and deltas still flow
+    facade.insert("MG", (50, 0))
+    deltas = facade.poll(sub)
+    assert deltas and deltas[-1].added == ((50, 0),)
+    # the cursor pages worker-side state that did not move: precise error
+    with pytest.raises(CursorInvalidatedError, match="migrated"):
+        facade.fetch(cursor, 4)
+    reopened = facade.open_cursor("mg")
+    assert set(facade.fetch(reopened, 100)) == facade.result_set("mg")
+
+
+def test_migrate_view_under_concurrent_write_stream(fresh):
+    _cluster, facade = fresh
+    oracle = Server(Session())
+    for api in (facade, oracle):
+        api.view("mw", "V(x, y) :- MW(x, y)")
+    commands = effective_stream("MW", 240, 7, 33)
+    sub = facade.subscribe("mw")
+    errors = []
+
+    def writer():
+        try:
+            for command in commands:
+                facade.apply(command)
+        except Exception as error:  # pragma: no cover - surfaced below
+            errors.append(error)
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    moves = 0
+    while thread.is_alive():
+        facade.migrate_view("mw")
+        moves += 1
+        time.sleep(0.005)
+    thread.join()
+    assert not errors
+    for command in commands:
+        oracle.apply(command)
+    assert moves >= 2
+    assert facade.result_digest("mw") == oracle.session[
+        "mw"
+    ].engine.result_digest()
+    # no delta was lost across any hop: the replayed log converges
+    mirror = set()
+    for delta in facade.poll(sub):
+        mirror |= set(delta.added)
+        mirror -= set(delta.removed)
+    assert mirror == facade.result_set("mw")
+
+
+def test_migrate_view_to_same_worker_is_noop(fresh):
+    _cluster, facade = fresh
+    facade.view("ms", "V(x) :- MS(x)")
+    source = facade._worker_of_view("ms")
+    assert facade.migrate_view("ms", target=source) == source
+    with pytest.raises(EngineStateError, match="no view named"):
+        facade.migrate_view("nope")
+
+
+# ---------------------------------------------------------------------------
+# cluster_stats: the operational load surface
+# ---------------------------------------------------------------------------
+
+
+def test_cluster_stats_reports_load(fresh):
+    _cluster, facade = fresh
+    facade.view("cs_a", "V(x) :- CSA(x)")
+    facade.view("cs_b", "W(x) :- CSB(x)")
+    facade.batch([insert("CSA", (i,)) for i in range(5)])
+    stats = facade.cluster_stats()
+    assert set(stats) == {0, 1}
+    total_views = total_rows = 0
+    for worker, info in stats.items():
+        assert info["pid"] == facade.ping()[worker]
+        assert info["restarts"] == 0
+        assert info["pending"] >= 0
+        total_views += info["views"]
+        total_rows += info["rows"]
+    assert total_views == 2
+    assert total_rows == 5
+    assert facade.stats()["cluster"] == stats
+
+
+# ---------------------------------------------------------------------------
+# interactions the chaos drive surfaced: stale handles vs migration,
+# oversize frames vs worker liveness
+# ---------------------------------------------------------------------------
+
+
+def test_migrate_view_skips_stale_incarnation_subs(supervised):
+    from repro.errors import WorkerRecoveredError
+
+    cluster, facade, supervisor = supervised
+    facade.view("sm", "V(x) :- SM(x)")
+    facade.insert("SM", (1,))
+    victim = facade._worker_of_view("sm")
+    stale = facade.subscribe("sm")
+    cluster.kill_worker(victim)
+    _await_death(cluster, victim)
+    _await_recovery(facade, supervisor)
+    # The stale subscription died with the old incarnation; migration
+    # must neither drain nor resurrect it — and must not trip over it.
+    target = facade.migrate_view("sm")
+    assert target != victim
+    assert facade.result_set("sm") == {(1,)}
+    with pytest.raises(WorkerRecoveredError):
+        facade.poll(stale)
+    live = facade.subscribe("sm")
+    facade.insert("SM", (2,))
+    deltas = facade.poll(live)
+    assert deltas and deltas[-1].added == ((2,),)
+
+
+@pytest.mark.parametrize("multiplex", [False, True])
+def test_oversize_frames_do_not_condemn_the_worker(monkeypatch, multiplex):
+    from repro.errors import FrameTooLargeError
+
+    monkeypatch.setenv("REPRO_MAX_FRAME", "4096")
+    with ShardCluster(workers=1) as deployment:
+        with deployment.client(multiplex=multiplex) as facade:
+            facade.view("of", "V(x, y) :- OF(x, y)")
+            # Outgoing direction: the request never hits the wire, the
+            # caller hears about the payload, the channel stays up.
+            with pytest.raises(FrameTooLargeError, match="frame cap"):
+                facade.insert("OF", (1, "x" * 8000))
+            assert facade.dead_workers == ()
+            for i in range(400):
+                assert facade.insert("OF", (i, "y" * 16))
+            # Reply direction: the worker converts the oversize reply
+            # into an error instead of dropping the connection (which
+            # would be diagnosed as a crash).
+            with pytest.raises(FrameTooLargeError, match="frame cap"):
+                facade.result_set("of")
+            assert facade.dead_workers == ()
+            assert facade.count("of") == 400

@@ -1,0 +1,257 @@
+"""Supervision subsystem: journal folding, recovery, placement, serve().
+
+The chaos scenarios (kill -9 mid-stream, repeated kills, migration
+under writers) live in ``test_cluster.py``; this file unit-tests the
+journal's net-effect semantics and the supervisor's own machinery —
+seeding, sweep bookkeeping, rebalancing, and the ``Session.serve``
+wiring.
+"""
+
+import time
+
+import pytest
+
+from repro import Session
+from repro.errors import ClusterError
+from repro.serve.cluster import ShardCluster
+from repro.serve.journal import CommandJournal
+from repro.serve.supervisor import Supervisor
+from repro.storage.updates import delete, insert
+
+pytestmark = pytest.mark.cluster
+
+
+# ---------------------------------------------------------------------------
+# CommandJournal: net-effect folding
+# ---------------------------------------------------------------------------
+
+
+def test_journal_folds_to_net_effect():
+    journal = CommandJournal()
+    assert journal.record(insert("R", (1,))) is True
+    assert journal.record(insert("R", (1,))) is False  # already present
+    assert journal.record(insert("R", (2,))) is True
+    assert journal.record(delete("R", (1,))) is True
+    assert journal.record(delete("R", (1,))) is False  # already gone
+    assert journal.rows("R") == [(2,)]
+    assert journal.commands_seen == 5
+    assert journal.relations() == ("R",)
+    assert journal.rows("unknown") == []
+
+
+def test_journal_record_many_reports_per_command():
+    journal = CommandJournal()
+    effective = journal.record_many(
+        [insert("R", (1,)), insert("R", (1,)), delete("R", (9,))]
+    )
+    assert effective == [True, False, False]
+
+
+def test_journal_views_on_preserves_registration_order():
+    journal = CommandJournal()
+    journal.record_view("b", "V(x) :- R(x)", "qhierarchical", 0)
+    journal.record_view("a", "W(x) :- S(x)", "qhierarchical", 0)
+    journal.record_view("c", "U(x) :- T(x)", "counting", 1)
+    assert [r.name for r in journal.views_on(0)] == ["b", "a"]
+    assert [r.name for r in journal.views_on(1)] == ["c"]
+    journal.move_view("a", 1)
+    assert [r.name for r in journal.views_on(1)] == ["a", "c"]
+    journal.drop_view("b")
+    assert journal.views_on(0) == []
+    assert journal.view("c").engine == "counting"
+    assert journal.view("b") is None
+
+
+def test_journal_epoch_and_forget():
+    journal = CommandJournal()
+    assert journal.bump_epoch() == 1
+    assert journal.bump_epoch() == 2
+    journal.record(insert("R", (1,)))
+    journal.forget_relation("R")
+    assert journal.rows("R") == []
+    assert "epoch=2" in repr(journal)
+
+
+# ---------------------------------------------------------------------------
+# Supervisor machinery (thread-free: sweeps driven manually)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def rig():
+    with ShardCluster(workers=2) as cluster:
+        journal = CommandJournal()
+        with cluster.client(journal=journal) as facade:
+            yield cluster, facade, journal
+
+
+def _kill_and_flag(cluster, facade, victim):
+    cluster.kill_worker(victim)
+    deadline = time.monotonic() + 5.0
+    while cluster.workers[victim].alive() and time.monotonic() < deadline:
+        time.sleep(0.02)
+    facade._mark_dead(victim, ClusterError("chaos"))
+
+
+def test_sweep_detects_exited_process_without_a_request(rig):
+    cluster, facade, journal = rig
+    facade.view("sw", "V(x) :- SW(x)")
+    facade.insert("SW", (1,))
+    victim = facade._worker_of_view("sw")
+    supervisor = Supervisor(cluster, facade, journal=journal)
+    facade.attach_supervisor(supervisor)
+    cluster.kill_worker(victim)
+    deadline = time.monotonic() + 5.0
+    while cluster.workers[victim].alive() and time.monotonic() < deadline:
+        time.sleep(0.02)
+    # No client request ever touched the dead socket: the sweep's
+    # process-liveness check alone must find and recover it.
+    assert supervisor.sweep() == [victim]
+    assert facade.dead_workers == ()
+    assert facade.result_set("sw") == {(1,)}
+    recovery = supervisor.recoveries[0]
+    assert recovery["worker"] == victim
+    assert recovery["views"] == ("sw",)
+    assert recovery["epoch"] == 1
+    assert recovery["seconds"] > 0
+    stats = supervisor.stats()
+    assert stats["attempts"] == {victim: 1}
+    assert stats["journal_epoch"] == 1
+
+
+def test_recovery_replays_views_and_rows(rig):
+    cluster, facade, journal = rig
+    facade.view("ra", "V(x, y) :- RA(x, y)")
+    facade.view("rb", "W(x) :- RB(x)")
+    facade.batch([insert("RA", (i, 0)) for i in range(8)])
+    facade.insert("RB", (5,))
+    facade.delete("RA", (3, 0))
+    supervisor = Supervisor(cluster, facade, journal=journal)
+    facade.attach_supervisor(supervisor)
+    before = {name: facade.result_digest(name) for name in ("ra", "rb")}
+    for victim in (0, 1):
+        _kill_and_flag(cluster, facade, victim)
+        assert supervisor.sweep() == [victim]
+    for name, digest in before.items():
+        assert facade.result_digest(name) == digest
+
+
+def test_supervisor_seeds_journal_from_preexisting_views():
+    with ShardCluster(workers=2) as cluster:
+        with cluster.client() as facade:  # no journal: nothing recorded
+            facade.view("pre", "V(x) :- PRE(x)")
+            supervisor = Supervisor(cluster, facade)
+            # Seeding registered the view so a recovery can re-register
+            # it, and attached the journal so rows record from now on.
+            assert supervisor.journal.view("pre").worker == (
+                facade._worker_of_view("pre")
+            )
+            assert facade._journal is supervisor.journal
+            facade.attach_supervisor(supervisor)
+            facade.insert("PRE", (1,))
+            victim = facade._worker_of_view("pre")
+            _kill_and_flag(cluster, facade, victim)
+            assert supervisor.sweep() == [victim]
+            assert facade.result_set("pre") == {(1,)}
+
+
+def test_supervisor_rejects_a_second_journal(rig):
+    cluster, facade, _journal = rig
+    with pytest.raises(ClusterError, match="different journal"):
+        Supervisor(cluster, facade, journal=CommandJournal())
+
+
+def test_start_stop_lifecycle(rig):
+    cluster, facade, journal = rig
+    supervisor = Supervisor(cluster, facade, journal=journal, heartbeat=0.05)
+    assert not supervisor.running
+    with supervisor:
+        assert supervisor.running
+        assert facade.supervised
+        assert supervisor.start() is supervisor  # idempotent
+    assert not supervisor.running
+    supervisor.stop()  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# placement: least-loaded registration and rebalancing
+# ---------------------------------------------------------------------------
+
+
+def test_views_spread_to_least_loaded_worker():
+    with ShardCluster(workers=3) as cluster:
+        with cluster.client() as facade:
+            for index in range(6):
+                facade.view(f"pl{index}", f"V(x) :- PL{index}(x)")
+            owners = [facade._worker_of_view(f"pl{index}") for index in range(6)]
+            # Fresh cluster: least-loaded with lowest-index tie-break
+            # walks the workers round-robin.
+            assert owners == [0, 1, 2, 0, 1, 2]
+
+
+def test_rebalance_levels_skewed_placement(rig):
+    cluster, facade, journal = rig
+    for index in range(4):
+        facade.view(f"rb{index}", f"V(x) :- RB{index}(x)")
+        facade.insert(f"RB{index}", (index,))
+    # Skew everything onto worker 0.
+    for index in range(4):
+        if facade._worker_of_view(f"rb{index}") != 0:
+            facade.migrate_view(f"rb{index}", target=0)
+    supervisor = Supervisor(cluster, facade, journal=journal)
+    facade.attach_supervisor(supervisor)
+    moves = supervisor.rebalance()
+    counts = {0: 0, 1: 0}
+    for index in range(4):
+        counts[facade._worker_of_view(f"rb{index}")] += 1
+    assert counts == {0: 2, 1: 2}
+    assert len(moves) == 2  # 4–0 → 3–1 → 2–2
+    assert all(m["source"] == 0 and m["target"] == 1 for m in moves)
+    for index in range(4):
+        assert facade.result_set(f"rb{index}") == {(index,)}
+    assert supervisor.rebalance() == []  # already level
+
+
+# ---------------------------------------------------------------------------
+# Session.serve(supervise=True)
+# ---------------------------------------------------------------------------
+
+
+def test_session_serve_supervised_end_to_end():
+    session = Session()
+    session.view("feed", "V(x, y) :- E(x, y)")
+    session.insert("E", (1, 2))
+    facade = session.serve(backend="processes", shards=2, supervise=True)
+    try:
+        assert facade.supervised
+        assert facade._journal is not None
+        # The adopted state was journaled, so it survives a kill.
+        assert facade._journal.rows("E") == [(1, 2)]
+        victim = facade._worker_of_view("feed")
+        facade._cluster.kill_worker(victim)
+        deadline = time.monotonic() + 5.0
+        while (
+            facade._cluster.workers[victim].alive()
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.02)
+        # The next write stalls through the recovery instead of dying.
+        assert facade.insert("E", (3, 4))
+        assert facade.result_set("feed") == {(1, 2), (3, 4)}
+        assert facade._cluster.restarts[victim] == 1
+        supervisor = facade._supervisor
+        assert supervisor.running
+    finally:
+        facade.close()
+    assert not supervisor.running  # close() stopped the supervisor
+
+
+def test_session_serve_unsupervised_has_no_journal():
+    session = Session()
+    session.view("plain", "V(x) :- P(x)")
+    facade = session.serve(backend="processes", shards=2)
+    try:
+        assert not facade.supervised
+        assert facade._journal is None
+    finally:
+        facade.close()

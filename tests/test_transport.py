@@ -3,6 +3,7 @@
 import socket
 import struct
 import threading
+import time
 
 import pytest
 
@@ -10,11 +11,13 @@ from repro.errors import ConnectionClosedError, TransportError
 from repro.serve.transport import (
     MAX_FRAME,
     Connection,
+    MuxConnection,
     as_row,
     as_rows,
     available_codecs,
     bind_listener,
     connect,
+    default_max_frame,
     get_codec,
     recv_frame,
     send_frame,
@@ -79,7 +82,9 @@ def test_oversized_send_rejected():
             def __len__(self):
                 return MAX_FRAME + 1
 
-        with pytest.raises(TransportError, match="exceeds MAX_FRAME"):
+        with pytest.raises(
+            TransportError, match=r"67108865 bytes exceeds the frame cap"
+        ):
             send_frame(left, Huge())
     finally:
         left.close()
@@ -189,3 +194,234 @@ def test_row_canonicalisation():
     assert as_row([1, "a", 2]) == (1, "a", 2)
     assert as_rows([[1, 2], ["x", "y"]]) == ((1, 2), ("x", "y"))
     assert as_rows([]) == ()
+
+
+# ---------------------------------------------------------------------------
+# configurable frame cap: max_frame= and REPRO_MAX_FRAME
+# ---------------------------------------------------------------------------
+
+
+def test_send_frame_respects_explicit_cap():
+    left, right = socket.socketpair()
+    try:
+        send_frame(left, b"x" * 64, max_frame=64)  # at the cap: fine
+        assert recv_frame(right, max_frame=64) == b"x" * 64
+        with pytest.raises(
+            TransportError, match=r"65 bytes exceeds the frame cap \(64"
+        ):
+            send_frame(left, b"x" * 65, max_frame=64)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_recv_frame_reports_observed_size_over_cap():
+    left, right = socket.socketpair()
+    try:
+        send_frame(left, b"y" * 100)  # sender has the default cap
+        with pytest.raises(
+            TransportError, match=r"claims 100 bytes, over the frame cap \(32"
+        ):
+            recv_frame(right, max_frame=32)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_env_cap_applies_both_directions(monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_FRAME", "48")
+    assert default_max_frame() == 48
+    left, right = socket.socketpair()
+    try:
+        with pytest.raises(TransportError, match="REPRO_MAX_FRAME"):
+            send_frame(left, b"z" * 49)
+        monkeypatch.setenv("REPRO_MAX_FRAME", str(MAX_FRAME))
+        send_frame(left, b"z" * 49)
+        monkeypatch.setenv("REPRO_MAX_FRAME", "48")
+        with pytest.raises(TransportError, match="over the frame cap"):
+            recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_env_cap_rejects_garbage(monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_FRAME", "lots")
+    with pytest.raises(TransportError, match="integer byte count"):
+        default_max_frame()
+    monkeypatch.setenv("REPRO_MAX_FRAME", "0")
+    with pytest.raises(TransportError, match=">= 1"):
+        default_max_frame()
+    monkeypatch.setenv("REPRO_MAX_FRAME", "")
+    assert default_max_frame() == MAX_FRAME
+
+
+def test_connection_pins_cap_at_construction(monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_FRAME", "32")
+    left, right = socket.socketpair()
+    sender = Connection(left, get_codec("json"))
+    receiver = Connection(right, get_codec("json"), max_frame=MAX_FRAME)
+    try:
+        assert sender.max_frame == 32
+        monkeypatch.delenv("REPRO_MAX_FRAME")
+        with pytest.raises(TransportError, match="exceeds the frame cap"):
+            sender.send({"pad": "x" * 64})
+    finally:
+        sender.close()
+        receiver.close()
+
+
+# ---------------------------------------------------------------------------
+# MuxConnection: out-of-order replies, concurrency, failure fan-out
+# ---------------------------------------------------------------------------
+
+
+class _MuxEcho:
+    """A scriptable mux peer over a socketpair, for unit tests."""
+
+    def __init__(self):
+        left, right = socket.socketpair()
+        codec = get_codec("json")
+        self.mux = MuxConnection(Connection(left, codec))
+        self.peer = Connection(right, codec)
+        self.threads = []
+
+    def serve(self, count, reorder=False, delay_key="delay"):
+        def run():
+            pending = []
+            for _ in range(count):
+                request = self.peer.recv()
+                pending.append(request)
+                if not reorder:
+                    self._reply(request, delay_key)
+                    pending.clear()
+            if reorder:
+                for request in reversed(pending):
+                    self._reply(request, delay_key)
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        self.threads.append(thread)
+
+    def _reply(self, request, delay_key):
+        delay = request.get(delay_key, 0)
+        if delay:
+            time.sleep(delay)
+        self.peer.send(
+            {"ok": True, "echo": request.get("n"), "mux_id": request["mux_id"]}
+        )
+
+    def close(self):
+        for thread in self.threads:
+            thread.join(timeout=5.0)
+        self.mux.close()
+        self.peer.close()
+
+
+def test_mux_out_of_order_replies_reach_their_callers():
+    harness = _MuxEcho()
+    try:
+        harness.serve(count=3, reorder=True)
+        results = {}
+
+        def ask(n):
+            results[n] = harness.mux.request({"op": "echo", "n": n})["echo"]
+
+        threads = [threading.Thread(target=ask, args=(n,)) for n in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Replies came back in reverse send order, yet each caller got
+        # its own: the mux_id matching is what the protocol rides on.
+        assert results == {0: 0, 1: 1, 2: 2}
+        assert harness.mux.max_in_flight_seen == 3
+        assert harness.mux.in_flight == 0
+    finally:
+        harness.close()
+
+
+def test_mux_sustains_many_concurrent_in_flight():
+    harness = _MuxEcho()
+    try:
+        harness.serve(count=12, reorder=True)
+        threads = [
+            threading.Thread(
+                target=lambda n=n: harness.mux.request({"op": "echo", "n": n})
+            )
+            for n in range(12)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert harness.mux.max_in_flight_seen >= 8
+    finally:
+        harness.close()
+
+
+def test_mux_routes_untagged_frames_to_on_push():
+    harness = _MuxEcho()
+    try:
+        pushes = []
+        harness.mux.on_push = pushes.append
+        harness.serve(count=1)
+        harness.peer.send({"kind": "delta", "epoch": 7})  # untagged
+        assert harness.mux.request({"op": "echo", "n": 9})["echo"] == 9
+        deadline = time.monotonic() + 5.0
+        while not pushes and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert pushes == [{"kind": "delta", "epoch": 7}]
+    finally:
+        harness.close()
+
+
+def test_mux_request_timeout_is_precise():
+    harness = _MuxEcho()
+    try:
+        harness.mux.start()
+        with pytest.raises(TransportError, match=r"'echo'.*timed out"):
+            harness.mux.request({"op": "echo", "n": 1}, timeout=0.05)
+        assert harness.mux.in_flight == 0  # the waiter was reaped
+    finally:
+        harness.peer.close()
+        harness.mux.close()
+
+
+def test_mux_failure_fans_out_to_parked_waiters():
+    harness = _MuxEcho()
+    errors = []
+
+    def ask():
+        try:
+            harness.mux.request({"op": "echo", "n": 1})
+        except ConnectionClosedError as error:
+            errors.append(error)
+
+    try:
+        harness.mux.start()
+        threads = [threading.Thread(target=ask) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 5.0
+        while harness.mux.in_flight < 3 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        harness.peer.close()  # kill the channel under the parked waiters
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert len(errors) == 3
+        with pytest.raises(ConnectionClosedError, match="down"):
+            harness.mux.request({"op": "echo", "n": 2})
+    finally:
+        harness.mux.close()
+
+
+def test_mux_recv_after_start_is_rejected():
+    harness = _MuxEcho()
+    try:
+        harness.mux.start()
+        with pytest.raises(TransportError, match="reader thread owns"):
+            harness.mux.recv()
+    finally:
+        harness.peer.close()
+        harness.mux.close()
