@@ -97,6 +97,14 @@ TRACKED: Dict[str, List[Tuple[str, str, object]]] = {
         # above a healthy runner while a hung/broken recovery path
         # (blocked replay, lost notify) blows straight past it.
         ("failover.recovery_seconds", "lower", 5.0),
+        # Snapshot-consistent cross-shard reads: the double-collect pin
+        # must stay cheap next to moving the same rows (absolute ratio,
+        # scale-robust: both sides transfer identical volume), and the
+        # pin-retry loop must converge under a concurrent writer within
+        # its budget (8 = the escalated write-gated final attempt) —
+        # max_pin_attempts blowing past it means the escape hatch broke.
+        ("snapshot_reads.overhead_vs_plain", "lower", 1.5),
+        ("snapshot_reads.max_pin_attempts", "lower", 8.0),
     ],
 }
 

@@ -471,6 +471,13 @@ class Session:
         start_method: str = "spawn",
         supervise: bool = False,
         multiplex: bool = True,
+        request_timeout: Optional[float] = None,
+        retry_budget: Optional[int] = None,
+        heartbeat: Optional[float] = None,
+        heartbeat_timeout: Optional[float] = None,
+        restart_backoff: Optional[float] = None,
+        max_restarts: Optional[int] = None,
+        faults: Optional[object] = None,
     ):
         """Put a serving front door on this session.
 
@@ -505,6 +512,21 @@ class Session:
         ride in flight at once; pass ``False`` for the serial
         one-request-at-a-time protocol.
 
+        Robustness knobs (processes backend; each falls back to an
+        environment variable, then a default, when ``None``):
+        ``request_timeout`` bounds every cluster RPC
+        (``REPRO_REQUEST_TIMEOUT``, 30s; ``<= 0`` disables) and
+        ``retry_budget`` sets the re-sends a clean deadline on an
+        idempotent read may spend (``REPRO_RETRY_BUDGET``, 2) — see
+        :class:`~repro.errors.DeadlineExceededError`.  ``heartbeat`` /
+        ``heartbeat_timeout`` / ``restart_backoff`` / ``max_restarts``
+        tune the supervisor (``REPRO_SUP_HEARTBEAT`` /
+        ``REPRO_SUP_PING_TIMEOUT`` / ``REPRO_SUP_RESTART_BACKOFF`` /
+        ``REPRO_SUP_MAX_RESTARTS``); ``cluster_stats()`` reports the
+        effective values.  ``faults`` installs a deterministic
+        :class:`~repro.serve.faults.FaultPlan` on the client's worker
+        channels for chaos testing.
+
         Both return values speak the same
         ``view/insert/apply/batch/open_cursor/fetch/subscribe/poll``
         surface, so callers pick a backend without changing code.
@@ -535,6 +557,9 @@ class Session:
                     dispatch_queue=dispatch_queue,
                     multiplex=multiplex,
                     journal=journal,
+                    request_timeout=request_timeout,
+                    retry_budget=retry_budget,
+                    faults=faults,  # type: ignore[arg-type]
                 )
             except BaseException:
                 cluster.close()
@@ -546,7 +571,15 @@ class Session:
                 if supervise:
                     from repro.serve.supervisor import Supervisor
 
-                    Supervisor(cluster, client, journal=journal).start()
+                    Supervisor(
+                        cluster,
+                        client,
+                        journal=journal,
+                        heartbeat=heartbeat,
+                        heartbeat_timeout=heartbeat_timeout,
+                        restart_backoff=restart_backoff,
+                        max_restarts=max_restarts,
+                    ).start()
             except BaseException:
                 client.close()
                 cluster.close()

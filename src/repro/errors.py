@@ -7,6 +7,8 @@ All exceptions raised deliberately by this library derive from
 
 from __future__ import annotations
 
+from typing import Dict, Mapping, Optional
+
 __all__ = [
     "ReproError",
     "QuerySyntaxError",
@@ -23,11 +25,34 @@ __all__ = [
     "ClusterError",
     "WorkerCrashedError",
     "WorkerRecoveredError",
+    "DeadlineExceededError",
+    "SnapshotInvalidatedError",
 ]
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Every subclass exposes :attr:`details` — a plain dict of the
+    error's structured context (worker index, epochs, elapsed time,
+    …) — so supervised-retry logs and test assertions can inspect
+    fields instead of string-parsing messages.  ``repr()`` renders the
+    message plus the same fields.
+    """
+
+    @property
+    def details(self) -> Dict[str, object]:
+        """Structured context for this error as a plain dict."""
+        return dict(self._details())
+
+    def _details(self) -> Dict[str, object]:
+        return {}
+
+    def __repr__(self) -> str:
+        extras = "".join(
+            f", {key}={value!r}" for key, value in self._details().items()
+        )
+        return f"{type(self).__name__}({str(self)!r}{extras})"
 
 
 class QuerySyntaxError(ReproError):
@@ -61,6 +86,9 @@ class NotQHierarchicalError(ReproError):
         super().__init__(message)
         self.violation = violation
 
+    def _details(self) -> Dict[str, object]:
+        return {"violation": self.violation}
+
 
 class UpdateError(ReproError):
     """Raised when an update command is malformed (bad arity, unknown
@@ -86,6 +114,22 @@ class CursorInvalidatedError(EngineStateError):
     def __init__(self, message: str, invalidation: object = None):
         super().__init__(message)
         self.invalidation = invalidation
+
+    def _details(self) -> Dict[str, object]:
+        report = self.invalidation
+        if report is None:
+            return {}
+        out: Dict[str, object] = {}
+        fields = ("view", "opened_epoch", "invalidated_epoch", "fetched", "command")
+        if isinstance(report, Mapping):
+            for field in fields:
+                if field in report:
+                    out[field] = report[field]
+        else:
+            for field in fields:
+                if hasattr(report, field):
+                    out[field] = getattr(report, field)
+        return out
 
 
 class TransportError(ReproError):
@@ -128,6 +172,9 @@ class WorkerCrashedError(ClusterError):
         self.worker = worker
         self.views = tuple(views or ())
 
+    def _details(self) -> Dict[str, object]:
+        return {"worker": self.worker, "views": self.views}
+
 
 class WorkerRecoveredError(ClusterError):
     """Raised when a handle (cursor, subscription) is used after its
@@ -154,6 +201,87 @@ class WorkerRecoveredError(ClusterError):
         self.worker = worker
         self.views = tuple(views or ())
         self.journal_epoch = journal_epoch
+
+    def _details(self) -> Dict[str, object]:
+        return {
+            "worker": self.worker,
+            "views": self.views,
+            "journal_epoch": self.journal_epoch,
+        }
+
+
+class DeadlineExceededError(ClusterError):
+    """Raised when a cluster RPC did not complete within its deadline.
+
+    A *clean* deadline on the multiplexed channel (the waiter is
+    unparked and any late reply is dropped) is retry-safe for
+    idempotent reads — :class:`repro.serve.cluster.ClusterClient`
+    retries those with jittered backoff up to its ``retry_budget``
+    before surfacing this error.  On the serial channel a timeout
+    loses the request/reply pairing, so the connection condemns
+    itself first.
+
+    Carries ``op`` (the request op that missed its deadline),
+    ``worker`` (the shard index, ``-1`` below the cluster layer),
+    ``elapsed`` (seconds spent, including any retries) and
+    ``attempts`` (send attempts made).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        op: Optional[str] = None,
+        worker: int = -1,
+        elapsed: float = 0.0,
+        attempts: int = 1,
+    ):
+        super().__init__(message)
+        self.op = op
+        self.worker = worker
+        self.elapsed = elapsed
+        self.attempts = attempts
+
+    def _details(self) -> Dict[str, object]:
+        return {
+            "op": self.op,
+            "worker": self.worker,
+            "elapsed": self.elapsed,
+            "attempts": self.attempts,
+        }
+
+
+class SnapshotInvalidatedError(ClusterError):
+    """Raised when a cross-shard snapshot could not be pinned, or a
+    worker involved in one died without a supervisor to recover it.
+
+    Carries ``worker`` (the shard whose state broke the cut, ``-1``
+    when no single shard is to blame), ``expected_epochs`` (the
+    per-view epochs the cut was pinned at) and ``observed_epochs``
+    (the epochs seen on the validation probe) so callers can tell a
+    lost worker from a write-rate the pin budget could not outrun.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        worker: int = -1,
+        expected_epochs: Optional[Mapping[str, int]] = None,
+        observed_epochs: Optional[Mapping[str, int]] = None,
+        attempts: int = 0,
+    ):
+        super().__init__(message)
+        self.worker = worker
+        self.expected_epochs = dict(expected_epochs or {})
+        self.observed_epochs = dict(observed_epochs or {})
+        self.attempts = attempts
+
+    def _details(self) -> Dict[str, object]:
+        return {
+            "worker": self.worker,
+            "expected_epochs": self.expected_epochs,
+            "observed_epochs": self.observed_epochs,
+            "attempts": self.attempts,
+        }
 
 
 class ReductionError(ReproError):

@@ -28,7 +28,14 @@ clients can hold open connections against:
 * :mod:`repro.serve.supervisor` — :class:`Supervisor`: heartbeat
   health sweeps, automatic respawn-and-replay of crashed workers
   (``kill -9`` degrades to a bounded stall), load-aware placement
-  with live view migration.
+  with live view migration;
+* :mod:`repro.serve.snapshot` — :class:`Snapshot`: the mutually
+  consistent cross-shard cut ``ClusterClient.snapshot()`` pins with
+  its epoch-validated double-collect protocol (and
+  ``Server.snapshot()`` serves trivially under one read-all lock);
+* :mod:`repro.serve.faults` — :class:`FaultPlan`: deterministic,
+  seeded fault injection (drop/delay/duplicate/truncate frame N,
+  freeze worker for T) wrapped around the client's worker channels.
 
 Quickstart::
 
@@ -51,8 +58,10 @@ Quickstart::
 from repro.serve.cluster import ClusterClient, RemoteView, ShardCluster
 from repro.serve.cursors import Cursor, CursorInvalidation, bound_stream
 from repro.serve.dispatch import DispatchPool
+from repro.serve.faults import Fault, FaultPlan, FaultyConnection
 from repro.serve.journal import CommandJournal, ViewRecord
 from repro.serve.server import RWLock, Server
+from repro.serve.snapshot import Snapshot
 from repro.serve.subscriptions import Delta, Subscription
 from repro.serve.supervisor import Supervisor
 from repro.serve.transport import (
@@ -73,11 +82,15 @@ __all__ = [
     "get_codec",
     "Delta",
     "DispatchPool",
+    "Fault",
+    "FaultPlan",
+    "FaultyConnection",
     "MuxConnection",
     "RemoteView",
     "RWLock",
     "Server",
     "ShardCluster",
+    "Snapshot",
     "Subscription",
     "Supervisor",
     "ViewRecord",

@@ -103,6 +103,7 @@ from __future__ import annotations
 import functools
 import os
 import queue
+import random
 import signal
 import tempfile
 import threading
@@ -116,6 +117,7 @@ from repro.errors import (
     ClusterError,
     ConnectionClosedError,
     CursorInvalidatedError,
+    DeadlineExceededError,
     EngineStateError,
     FrameTooLargeError,
     NotQHierarchicalError,
@@ -123,13 +125,16 @@ from repro.errors import (
     QueryStructureError,
     ReproError,
     SchemaError,
+    SnapshotInvalidatedError,
     TransportError,
     UpdateError,
     WorkerCrashedError,
     WorkerRecoveredError,
 )
 from repro.serve.dispatch import DispatchPool
+from repro.serve.faults import FaultPlan
 from repro.serve.journal import CommandJournal
+from repro.serve.snapshot import Snapshot
 from repro.serve.subscriptions import Delta, Subscription
 from repro.serve.transport import (
     Address,
@@ -166,6 +171,32 @@ def query_to_text(query: object) -> str:
     if disjuncts is not None:
         return "; ".join(str(disjunct) for disjunct in disjuncts)
     return str(query)
+
+
+def _env_float(name: str, default: float) -> float:
+    """A float knob from the environment (empty/missing → default)."""
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError as error:
+        raise ClusterError(
+            f"{name} must be a number of seconds, got {raw!r}"
+        ) from error
+
+
+def _env_int(name: str, default: int) -> int:
+    """An integer knob from the environment (empty/missing → default)."""
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError as error:
+        raise ClusterError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from error
 
 
 # ---------------------------------------------------------------------------
@@ -878,6 +909,9 @@ class ShardCluster:
         dispatch_queue: int = 8192,
         multiplex: bool = True,
         journal: Optional[CommandJournal] = None,
+        request_timeout: Optional[float] = None,
+        retry_budget: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> "ClusterClient":
         """Connect a new client facade to every worker."""
         return ClusterClient(
@@ -886,6 +920,9 @@ class ShardCluster:
             dispatch_queue=dispatch_queue,
             multiplex=multiplex,
             journal=journal,
+            request_timeout=request_timeout,
+            retry_budget=retry_budget,
+            faults=faults,
         )
 
     def respawn_worker(
@@ -1109,6 +1146,10 @@ class ClusterClient:
         multiplex: bool = True,
         journal: Optional[CommandJournal] = None,
         recovery_timeout: float = 30.0,
+        request_timeout: Optional[float] = None,
+        retry_budget: Optional[int] = None,
+        retry_backoff: float = 0.05,
+        faults: Optional[FaultPlan] = None,
     ):
         if cluster is not None:
             addresses = [handle.address for handle in cluster.workers]
@@ -1120,6 +1161,26 @@ class ClusterClient:
         self._poll_timeout = poll_timeout
         self._connect_timeout = connect_timeout
         self._multiplex = bool(multiplex)
+        #: per-RPC deadline in seconds (env REPRO_REQUEST_TIMEOUT,
+        #: default 30); <= 0 disables deadlines entirely.
+        resolved_timeout = (
+            _env_float("REPRO_REQUEST_TIMEOUT", 30.0)
+            if request_timeout is None
+            else request_timeout
+        )
+        self._request_timeout: Optional[float] = (
+            resolved_timeout if resolved_timeout > 0 else None
+        )
+        #: extra send attempts after a clean deadline on an idempotent
+        #: read (env REPRO_RETRY_BUDGET, default 2).
+        self._retry_budget = (
+            _env_int("REPRO_RETRY_BUDGET", 2)
+            if retry_budget is None
+            else int(retry_budget)
+        )
+        self._retry_backoff = retry_backoff
+        self._retry_rng = random.Random()
+        self._faults = faults
         #: command journal (recovery replay source); set at construction
         #: so registrations are never missed.
         self._journal = journal
@@ -1189,7 +1250,7 @@ class ClusterClient:
             for index, address in enumerate(addresses):
                 self._addresses.append(tuple(address))
                 self._incarnation.append(0)
-                conn, push, pid = self._connect_worker(tuple(address))
+                conn, push, pid = self._connect_worker(tuple(address), index)
                 self._conns.append(conn)
                 self._push_conns.append(push)
                 self._pids.append(pid)
@@ -1206,25 +1267,48 @@ class ClusterClient:
             raise
 
     def _connect_worker(
-        self, address: Address
+        self, address: Address, worker: int
     ) -> Tuple[object, Connection, Optional[int]]:
         """Dial one worker: the request channel (mux-wrapped when
         ``multiplex``) plus the push channel.  Returns
-        ``(request_conn, push_conn, worker_pid)``."""
+        ``(request_conn, push_conn, worker_pid)``.
+
+        When a :class:`~repro.serve.faults.FaultPlan` is installed,
+        each channel is wrapped in a fault-applying connection before
+        the multiplexer sees it, so scripted faults hit the raw frame
+        stream exactly as a flaky network would.
+        """
         raw = connect(address, self._codec, timeout=self._connect_timeout)
+        if self._faults is not None:
+            raw = self._faults.wrap(
+                raw, worker, "request", lambda w=worker: self._worker_pid(w)
+            )
         hello = {"op": "_hello", "kind": "request", "client": self.client_id}
         conn: object
         if self._multiplex:
-            mux = MuxConnection(raw)
+            mux = MuxConnection(raw, default_timeout=self._request_timeout)
             reply = mux.handshake(hello)
             mux.start()
             conn = mux
         else:
-            reply = raw.request(hello)
+            reply = raw.request(hello, timeout=self._connect_timeout)
             conn = raw
         push = connect(address, self._codec, timeout=self._connect_timeout)
-        push.request({"op": "_hello", "kind": "push", "client": self.client_id})
+        if self._faults is not None:
+            push = self._faults.wrap(
+                push, worker, "push", lambda w=worker: self._worker_pid(w)
+            )
+        push.request(
+            {"op": "_hello", "kind": "push", "client": self.client_id},
+            timeout=self._connect_timeout,
+        )
         return conn, push, reply.get("pid")  # type: ignore[return-value]
+
+    def _worker_pid(self, worker: int) -> Optional[int]:
+        with self._lock:
+            if worker < len(self._pids):
+                return self._pids[worker]
+        return None
 
     # -- plumbing --------------------------------------------------------------
 
@@ -1308,20 +1392,94 @@ class ClusterClient:
                     )
                 self._cond.wait(timeout=min(remaining, 0.25))
 
+    #: ops a clean mux deadline may blindly re-send: reads with no
+    #: server-side state change.  Writes are excluded (a late first
+    #: attempt could still land, making ``changed`` flags lie), cursor
+    #: ``fetch`` is excluded (it advances the server-side position),
+    #: and the 2PC ops are excluded (retry decisions belong to
+    #: ``batch()``'s prepare/commit bookkeeping, never to the wire).
+    _RETRY_SAFE_OPS = frozenset(
+        (
+            "ping",
+            "count",
+            "answer",
+            "contains",
+            "result_set",
+            "digest",
+            "explain",
+            "epochs",
+            "snapshot_read",
+            "stats",
+            "load_stats",
+            "rows",
+            "push_sync",
+            "cluster_stats",
+        )
+    )
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Jittered exponential backoff for attempt N (1-based)."""
+        base = self._retry_backoff * (2 ** max(0, attempt - 1))
+        return min(base, 1.0) * (0.5 + self._retry_rng.random())
+
     def _request(
         self, worker: int, message: Dict[str, object], context: str = ""
     ) -> Dict[str, object]:
+        op = str(message.get("op", ""))
+        attempts = 0
+        started = time.monotonic()
         while True:
             self._await_alive(worker, context)
             with self._lock:
                 conn = self._conns[worker]
+            attempts += 1
             try:
-                reply = conn.request(message)  # type: ignore[attr-defined]
+                reply = conn.request(  # type: ignore[attr-defined]
+                    message, timeout=self._request_timeout
+                )
             except FrameTooLargeError:
                 # The oversize check fired before any byte hit the
                 # wire: the worker is fine, the *payload* is the
                 # problem — report it without condemning the channel.
                 raise
+            except DeadlineExceededError as stall:
+                elapsed = time.monotonic() - started
+                if not isinstance(conn, MuxConnection):
+                    # A serial-channel deadline lost the request/reply
+                    # pairing; the connection condemned itself, so the
+                    # worker is unreachable until reconnected — same
+                    # handling as a broken channel.
+                    self._mark_dead(worker, stall)
+                    if self.supervised:
+                        continue
+                    raise DeadlineExceededError(
+                        f"{op!r} on shard worker {worker} got no reply "
+                        f"within {self._request_timeout}s (serial channel "
+                        f"condemned; elapsed {elapsed:.3f}s)",
+                        op=op or None,
+                        worker=worker,
+                        elapsed=elapsed,
+                        attempts=attempts,
+                    ) from stall
+                retries_left = self._retry_budget - (attempts - 1)
+                if op in self._RETRY_SAFE_OPS and retries_left > 0:
+                    time.sleep(self._backoff_delay(attempts))
+                    continue
+                raise DeadlineExceededError(
+                    f"{op!r} on shard worker {worker} exceeded its "
+                    f"{self._request_timeout}s deadline after {attempts} "
+                    f"attempt(s) ({elapsed:.3f}s elapsed"
+                    + (
+                        ""
+                        if op in self._RETRY_SAFE_OPS
+                        else "; not retry-safe, no blind re-send"
+                    )
+                    + ")",
+                    op=op or None,
+                    worker=worker,
+                    elapsed=elapsed,
+                    attempts=attempts,
+                ) from stall
             except (ConnectionClosedError, TransportError, OSError) as error:
                 self._mark_dead(worker, error)
                 if self.supervised:
@@ -1349,14 +1507,19 @@ class ClusterClient:
                 return False
             conn = self._conns[worker]
         try:
-            if isinstance(conn, MuxConnection):
-                reply = conn.request({"op": "ping"}, timeout=timeout)
-            else:
-                reply = conn.request(  # type: ignore[attr-defined]
-                    {"op": "ping"}
-                )
+            reply = conn.request(  # type: ignore[attr-defined]
+                {"op": "ping"},
+                timeout=timeout if timeout is not None else self._request_timeout,
+            )
             return bool(reply.get("ok"))
-        except (ConnectionClosedError, TransportError, OSError) as error:
+        except (
+            DeadlineExceededError,
+            ConnectionClosedError,
+            TransportError,
+            OSError,
+        ) as error:
+            # A probe deadline is the wedged-but-alive signature — for
+            # heartbeat purposes that IS dead.
             self._mark_dead(worker, error)
             return False
 
@@ -1408,7 +1571,7 @@ class ClusterClient:
         """
         journal = self._journal
         address = tuple(handle.address)
-        conn, push, pid = self._connect_worker(address)
+        conn, push, pid = self._connect_worker(address, index)
         views: List[str] = []
         try:
             if journal is not None:
@@ -1481,12 +1644,15 @@ class ClusterClient:
             pass
         return tuple(views)
 
-    @staticmethod
     def _raw_ok(
-        conn: object, message: Dict[str, object]
+        self, conn: object, message: Dict[str, object]
     ) -> Dict[str, object]:
-        """One request on a not-yet-published channel, ok-checked."""
-        reply = conn.request(message)  # type: ignore[attr-defined]
+        """One request on a not-yet-published channel, ok-checked.
+        Bounded by the recovery timeout — a wedged replacement worker
+        must fail the recovery attempt, not hang the supervisor."""
+        reply = conn.request(  # type: ignore[attr-defined]
+            message, timeout=self._recovery_timeout
+        )
         if not reply.get("ok"):
             raise ClusterError(
                 f"recovery request {message.get('op')!r} failed: "
@@ -1526,7 +1692,14 @@ class ClusterClient:
     def _push_loop(self, worker: int, conn: Connection) -> None:
         while True:
             try:
-                frame = conn.recv()
+                # Bounded read: a clean frame-boundary deadline just
+                # re-checks liveness — the push reader never blocks
+                # unboundedly on a silent socket.
+                frame = conn.recv(timeout=1.0)
+            except DeadlineExceededError:
+                if self._closed or conn.closed:
+                    return
+                continue
             except (ConnectionClosedError, TransportError, OSError):
                 return
             if not isinstance(frame, dict):
@@ -2445,6 +2618,187 @@ class ClusterClient:
             merged.update(reply["epochs"])  # type: ignore[arg-type]
         return merged
 
+    # -- snapshot-consistent cross-shard reads ---------------------------------
+
+    def _snapshot_read_worker(
+        self, worker: int, names: Sequence[str]
+    ) -> Tuple[Dict[str, Tuple[Tuple[Row, ...], int]], int]:
+        """One worker's internally consistent read of its pinned views
+        (rows + epoch per view, all under the worker's all-shard read
+        lock) plus the worker incarnation captured *before* the read —
+        the low-water mark the validation probe compares against."""
+        with self._lock:
+            inc_before = self._incarnation[worker]
+        reply = self._request(
+            worker,
+            {"op": "snapshot_read", "views": list(names)},
+            context="snapshot read",
+        )
+        payload = reply["views"]
+        data: Dict[str, Tuple[Tuple[Row, ...], int]] = {}
+        for name in names:
+            entry = payload[name]  # type: ignore[index]
+            data[name] = (
+                as_rows(entry["rows"]),
+                int(entry["epoch"]),
+            )
+        return data, inc_before
+
+    def _snapshot_probe(
+        self,
+        reads: Dict[int, Tuple[Dict[str, Tuple[Tuple[Row, ...], int]], int]],
+    ) -> Tuple[List[int], Dict[str, int], Dict[str, int]]:
+        """The double-collect validation round: re-probe every involved
+        worker's epochs (and incarnation) *after* all reads completed.
+        Returns the stale workers plus expected/observed epoch maps.
+
+        A worker is **stale** when any pinned view's epoch moved, or
+        the worker was recovered (incarnation bump) since its read —
+        recovery replays the journal, so even an epoch that happens to
+        match again must be re-read rather than trusted.
+        """
+        stale: List[int] = []
+        expected: Dict[str, int] = {}
+        observed: Dict[str, int] = {}
+        for worker in sorted(reads):
+            data, inc_before = reads[worker]
+            reply = self._request(
+                worker, {"op": "epochs"}, context="snapshot probe"
+            )
+            epochs_now: Dict[str, int] = dict(reply["epochs"])  # type: ignore[arg-type]
+            with self._lock:
+                inc_after = self._incarnation[worker]
+            moved = inc_after != inc_before
+            for name, (_rows, epoch) in data.items():
+                expected[name] = epoch
+                now = int(epochs_now.get(name, -1))
+                observed[name] = now
+                if now != epoch:
+                    moved = True
+            if moved:
+                stale.append(worker)
+        return stale, expected, observed
+
+    def snapshot(
+        self,
+        views: Optional[Sequence[str]] = None,
+        max_pins: int = 8,
+    ) -> Snapshot:
+        """Pin a mutually consistent cut across shards and return the
+        materialised :class:`~repro.serve.snapshot.Snapshot`.
+
+        The protocol is a double-collect: (1) each involved worker
+        serves all its views under one read-all lock, tagging every
+        view with its epoch; (2) once *all* reads completed, every
+        worker's epochs are probed again.  Unchanged epochs (and
+        incarnations) mean all per-worker states coexisted at one
+        instant — a consistent cut.  A worker whose epoch moved is
+        re-read with jittered exponential backoff up to the client's
+        ``retry_budget``; if the cut still will not settle, the whole
+        snapshot is re-pinned from scratch, up to ``max_pins`` times.
+        Results are **never silently mixed** across epochs.
+
+        The optimistic protocol can livelock under a writer that never
+        pauses, so the *final* pin attempt escalates: it runs under the
+        client's exclusive write gate, holding this client's own
+        writers at the fan-out boundary for one cut.  Only writes from
+        *other* clients (or a concurrent migration) can invalidate the
+        escalated attempt and raise
+        :class:`~repro.errors.SnapshotInvalidatedError`.
+
+        Failover: a mid-snapshot ``kill -9`` under supervision stalls
+        the read until the journal replay completes and the fresh
+        incarnation is re-read — the cut then reflects the replayed
+        state.  Without a supervisor (or when recovery fails), the
+        snapshot raises :class:`~repro.errors.SnapshotInvalidatedError`
+        naming the worker and the epochs it was pinned at.
+        """
+        with self._lock:
+            names = (
+                sorted(self._view_worker) if views is None else list(views)
+            )
+            by_worker: Dict[int, List[str]] = {}
+            for name in names:
+                owner = self._view_worker.get(name)
+                if owner is None:
+                    raise EngineStateError(f"no view named {name!r}")
+                by_worker.setdefault(owner, []).append(name)
+        if not names:
+            return Snapshot({}, {}, pin_attempts=0)
+        rereads = 0
+        expected: Dict[str, int] = {}
+        observed: Dict[str, int] = {}
+
+        def pin_once(attempt: int) -> Optional[Snapshot]:
+            nonlocal rereads, expected, observed
+            reads: Dict[
+                int, Tuple[Dict[str, Tuple[Tuple[Row, ...], int]], int]
+            ] = {}
+            for worker in sorted(by_worker):
+                reads[worker] = self._snapshot_read_worker(
+                    worker, by_worker[worker]
+                )
+            for probe_round in range(self._retry_budget + 1):
+                stale, expected, observed = self._snapshot_probe(reads)
+                if not stale:
+                    rows: Dict[str, Tuple[Row, ...]] = {}
+                    epochs: Dict[str, int] = {}
+                    workers: Dict[str, int] = {}
+                    for worker, (data, _inc) in reads.items():
+                        for name, (view_rows, epoch) in data.items():
+                            rows[name] = view_rows
+                            epochs[name] = epoch
+                            workers[name] = worker
+                    return Snapshot(
+                        rows,
+                        epochs,
+                        workers=workers,
+                        pin_attempts=attempt,
+                        rereads=rereads,
+                    )
+                if probe_round == self._retry_budget:
+                    return None  # out of re-reads: re-pin from scratch
+                time.sleep(self._backoff_delay(probe_round + 1))
+                for worker in stale:
+                    rereads += 1
+                    reads[worker] = self._snapshot_read_worker(
+                        worker, by_worker[worker]
+                    )
+            return None
+
+        for attempt in range(1, max_pins + 1):
+            try:
+                if attempt == max_pins:
+                    # Last chance: hold this client's writers at the
+                    # fan-out gate so the optimistic protocol cannot be
+                    # livelocked by our own write stream.
+                    with self._write_gate.write_locked():
+                        snap = pin_once(attempt)
+                else:
+                    snap = pin_once(attempt)
+                if snap is not None:
+                    return snap
+            except WorkerCrashedError as crash:
+                raise SnapshotInvalidatedError(
+                    f"snapshot over {', '.join(names)} lost shard worker "
+                    f"{crash.worker} mid-cut and no recovery completed: "
+                    f"{crash}",
+                    worker=crash.worker,
+                    expected_epochs=expected,
+                    observed_epochs=observed,
+                    attempts=attempt,
+                ) from crash
+        raise SnapshotInvalidatedError(
+            f"could not pin a consistent cut over {', '.join(names)} in "
+            f"{max_pins} attempt(s) ({rereads} re-read(s)): concurrent "
+            "writers kept moving epochs "
+            f"{ {k: v for k, v in observed.items() if expected.get(k) != v} }",
+            worker=-1,
+            expected_epochs=expected,
+            observed_epochs=observed,
+            attempts=max_pins,
+        )
+
     def stats(self) -> Dict[str, object]:
         per_worker: Dict[int, object] = {}
         for worker in range(len(self._conns)):
@@ -2479,12 +2833,15 @@ class ClusterClient:
             }
         return report
 
-    def cluster_stats(self) -> Dict[int, Optional[Dict[str, object]]]:
+    def cluster_stats(self) -> Dict[object, Optional[Dict[str, object]]]:
         """Per-worker operational load: pid, view count, row count,
         pending queue depth, restart count — the observability surface
         the supervisor's placement decisions (and :meth:`stats`) read.
-        A dead worker reports ``None``."""
-        out: Dict[int, Optional[Dict[str, object]]] = {}
+        A dead worker reports ``None``.  The extra ``"supervisor"`` key
+        carries the attached supervisor's effective knobs (heartbeat,
+        ping timeout, restart backoff, max restarts) or ``None`` when
+        the cluster runs unsupervised."""
+        out: Dict[object, Optional[Dict[str, object]]] = {}
         for worker in range(len(self._conns)):
             with self._lock:
                 if worker in self._dead:
@@ -2506,6 +2863,12 @@ class ClusterClient:
             info["restarts"] = restarts
             info["incarnation"] = self._incarnation[worker]
             out[worker] = info
+        supervisor = self._supervisor
+        out["supervisor"] = (
+            supervisor.config()  # type: ignore[attr-defined]
+            if supervisor is not None and hasattr(supervisor, "config")
+            else None
+        )
         return out
 
     def ping(self) -> Dict[int, Optional[int]]:

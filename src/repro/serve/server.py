@@ -66,6 +66,7 @@ from repro.errors import (
 )
 from repro.serve.cursors import Cursor
 from repro.serve.dispatch import DispatchPool
+from repro.serve.snapshot import Snapshot
 from repro.serve.subscriptions import Delta, Subscription
 from repro.storage.database import Constant, Row
 from repro.storage.updates import (
@@ -586,6 +587,52 @@ class Server:
         with self._read_all():
             return {v.name: v.epoch for v in self._session.views}
 
+    def snapshot_read(
+        self, views: Sequence[str]
+    ) -> Dict[str, Tuple[List[Row], int]]:
+        """One *internally consistent* read of several views: rows (in
+        the deterministic ``result_rows`` order) plus the epoch each
+        view was read at, all under a single all-shard read lock so no
+        write interleaves between the views.  The worker op behind the
+        cluster's snapshot protocol."""
+        with self._read_all():
+            out: Dict[str, Tuple[List[Row], int]] = {}
+            for name in views:
+                view = self._session[name]
+                self.reads += 1
+                out[name] = (
+                    sorted(view.result_set(), key=repr),
+                    view.epoch,
+                )
+            return out
+
+    def snapshot(self, views: Optional[Sequence[str]] = None) -> Snapshot:
+        """Pin a consistent cut over ``views`` (default: every view).
+
+        On the in-process backend a single all-shard read lock *is* a
+        consistent cut, so this always pins on the first attempt; the
+        cluster client's ``snapshot()`` offers the same surface over
+        the epoch-validated double-collect protocol.
+        """
+        with self._read_all():
+            if views is None:
+                names = sorted(v.name for v in self._session.views)
+            else:
+                names = list(views)
+            rows: Dict[str, List[Row]] = {}
+            epochs: Dict[str, int] = {}
+            for name in names:
+                view = self._session[name]
+                self.reads += 1
+                rows[name] = sorted(view.result_set(), key=repr)
+                epochs[name] = view.epoch
+        return Snapshot(
+            rows,
+            epochs,
+            workers={name: -1 for name in names},
+            pin_attempts=1,
+        )
+
     @contextmanager
     def _read_all(self) -> Iterator[None]:
         with ExitStack() as stack:
@@ -805,6 +852,18 @@ class Server:
             return {"ok": True, "explain": self.explain(request["view"])}
         if op == "epochs":
             return {"ok": True, "epochs": self.epochs()}
+        if op == "snapshot_read":
+            pinned = self.snapshot_read(list(request["views"]))  # type: ignore[arg-type]
+            return {
+                "ok": True,
+                "views": {
+                    name: {
+                        "rows": [list(row) for row in rows],
+                        "epoch": epoch,
+                    }
+                    for name, (rows, epoch) in pinned.items()
+                },
+            }
         if op == "stats":
             return {"ok": True, "stats": self.stats()}
         if op == "load_stats":

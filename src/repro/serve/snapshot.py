@@ -1,0 +1,133 @@
+"""Snapshot handles for consistent cross-shard reads.
+
+A :class:`Snapshot` is the value returned by
+``ClusterClient.snapshot(views=[...])`` and ``Server.snapshot(...)``:
+the full materialised contents of a set of views **as of one instant**,
+pinned client-side.  Every accessor answers from the pinned rows, so
+``result_set`` / ``count`` / ``contains`` / ``fetch`` are mutually
+consistent by construction, keep working after the source workers
+move on — or die — and paging with ``fetch`` never re-contacts the
+cluster.
+
+Rows are stored in the engine's deterministic enumeration order
+(sorted by ``repr``, the same order ``Server.result_rows`` uses), so
+two snapshots of equal cuts page **byte-identically** — the property
+the differential chaos suite asserts against the threads-backend
+oracle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import EngineStateError
+
+Row = Tuple[object, ...]
+
+__all__ = ["Snapshot"]
+
+
+class Snapshot:
+    """An immutable, mutually consistent cut over a set of views.
+
+    ``epochs`` maps each view to the engine epoch the cut was pinned
+    at, ``workers`` to the shard index that served it (``-1`` for the
+    in-process backend).  ``pin_attempts`` counts full pin rounds the
+    protocol needed (1 = first try), ``rereads`` the single-worker
+    re-reads spent outrunning concurrent writers.
+    """
+
+    def __init__(
+        self,
+        rows: Mapping[str, Sequence[Row]],
+        epochs: Mapping[str, int],
+        workers: Optional[Mapping[str, int]] = None,
+        pin_attempts: int = 1,
+        rereads: int = 0,
+    ):
+        self._rows: Dict[str, Tuple[Row, ...]] = {
+            name: tuple(view_rows) for name, view_rows in rows.items()
+        }
+        self._sets: Dict[str, frozenset] = {
+            name: frozenset(view_rows)
+            for name, view_rows in self._rows.items()
+        }
+        self.epochs: Dict[str, int] = dict(epochs)
+        self.workers: Dict[str, int] = dict(workers or {})
+        self.pin_attempts = pin_attempts
+        self.rereads = rereads
+        self._positions: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def views(self) -> Tuple[str, ...]:
+        """The pinned view names, sorted."""
+        return tuple(sorted(self._rows))
+
+    def _pinned(self, view: str) -> Tuple[Row, ...]:
+        try:
+            return self._rows[view]
+        except KeyError:
+            raise EngineStateError(
+                f"view {view!r} is not part of this snapshot; pinned: "
+                f"{', '.join(sorted(self._rows)) or '(none)'}"
+            ) from None
+
+    def result_set(self, view: str) -> frozenset:
+        """The pinned result set of ``view``."""
+        self._pinned(view)
+        return self._sets[view]
+
+    def count(self, view: str) -> int:
+        """How many result tuples ``view`` held at the cut."""
+        return len(self._pinned(view))
+
+    def contains(self, view: str, row: Iterable[object]) -> bool:
+        """Membership of ``row`` in the pinned result of ``view``."""
+        self._pinned(view)
+        return tuple(row) in self._sets[view]
+
+    def rows(self, view: str) -> Tuple[Row, ...]:
+        """All pinned rows of ``view`` in deterministic order."""
+        return self._pinned(view)
+
+    def fetch(self, view: str, n: int, offset: Optional[int] = None) -> List[Row]:
+        """Page through ``view``'s pinned rows in deterministic order.
+
+        Stateful like a cursor: each call resumes where the previous
+        one stopped (``offset=`` rewinds to an absolute position
+        first).  Pages answer from the pinned rows, so a worker crash
+        mid-paging changes nothing.
+        """
+        if n < 0:
+            raise EngineStateError(f"fetch size must be >= 0, got {n}")
+        pinned = self._pinned(view)
+        with self._lock:
+            position = (
+                self._positions.get(view, 0) if offset is None else offset
+            )
+            if position < 0:
+                raise EngineStateError(
+                    f"fetch offset must be >= 0, got {position}"
+                )
+            page = list(pinned[position : position + n])
+            self._positions[view] = position + len(page)
+        return page
+
+    def rewind(self, view: str) -> None:
+        """Reset ``view``'s fetch position to the start."""
+        self._pinned(view)
+        with self._lock:
+            self._positions[view] = 0
+
+    def __contains__(self, view: object) -> bool:
+        return view in self._rows
+
+    def __repr__(self) -> str:
+        total = sum(len(view_rows) for view_rows in self._rows.values())
+        return (
+            f"Snapshot({len(self._rows)} views, {total} rows, "
+            f"epochs={self.epochs!r}, pin_attempts={self.pin_attempts}, "
+            f"rereads={self.rereads})"
+        )

@@ -52,7 +52,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.errors import ClusterError
-from repro.serve.cluster import ClusterClient, ShardCluster
+from repro.serve.cluster import ClusterClient, ShardCluster, _env_float, _env_int
 from repro.serve.journal import CommandJournal
 
 __all__ = ["Supervisor"]
@@ -77,13 +77,23 @@ class Supervisor:
         began are not retroactively journaled — start supervision
         before writing, as ``Session.serve(supervise=True)`` does.
     heartbeat:
-        Seconds between health sweeps.
+        Seconds between health sweeps.  ``None`` reads the
+        ``REPRO_SUP_HEARTBEAT`` environment variable (default 1.0).
     heartbeat_timeout:
         Per-probe reply timeout — a worker that is alive but silent for
         this long is treated as dead (multiplexed channels only; serial
-        channels detect only closed connections).
+        channels detect only closed connections).  ``None`` reads
+        ``REPRO_SUP_PING_TIMEOUT`` (default 5.0).
     max_restarts:
         Recoveries per worker before it is declared unrecoverable.
+        ``None`` reads ``REPRO_SUP_MAX_RESTARTS`` (default 5).
+    restart_backoff:
+        Base delay before recovery attempt N of the *same* worker:
+        attempt 1 is immediate, attempt N waits
+        ``restart_backoff * 2**(N-2)`` seconds (capped at 30) — a
+        crash-looping worker stops hot-spinning respawns.  ``None``
+        reads ``REPRO_SUP_RESTART_BACKOFF`` (default 0.0, the
+        pre-existing immediate-retry behaviour).
     startup_timeout:
         Seconds to wait for a respawned worker's ready handshake.
     """
@@ -93,9 +103,10 @@ class Supervisor:
         cluster: ShardCluster,
         client: ClusterClient,
         journal: Optional[CommandJournal] = None,
-        heartbeat: float = 1.0,
-        heartbeat_timeout: float = 5.0,
-        max_restarts: int = 5,
+        heartbeat: Optional[float] = None,
+        heartbeat_timeout: Optional[float] = None,
+        max_restarts: Optional[int] = None,
+        restart_backoff: Optional[float] = None,
         startup_timeout: float = 30.0,
     ) -> None:
         self.cluster = cluster
@@ -103,9 +114,26 @@ class Supervisor:
         if journal is None:
             journal = client._journal or CommandJournal()
         self.journal = journal
-        self.heartbeat = float(heartbeat)
-        self.heartbeat_timeout = float(heartbeat_timeout)
-        self.max_restarts = int(max_restarts)
+        self.heartbeat = (
+            _env_float("REPRO_SUP_HEARTBEAT", 1.0)
+            if heartbeat is None
+            else float(heartbeat)
+        )
+        self.heartbeat_timeout = (
+            _env_float("REPRO_SUP_PING_TIMEOUT", 5.0)
+            if heartbeat_timeout is None
+            else float(heartbeat_timeout)
+        )
+        self.max_restarts = (
+            _env_int("REPRO_SUP_MAX_RESTARTS", 5)
+            if max_restarts is None
+            else int(max_restarts)
+        )
+        self.restart_backoff = (
+            _env_float("REPRO_SUP_RESTART_BACKOFF", 0.0)
+            if restart_backoff is None
+            else float(restart_backoff)
+        )
         self.startup_timeout = float(startup_timeout)
         #: completed recoveries, oldest first:
         #: ``{"worker", "pid", "views", "epoch", "seconds", "attempt"}``.
@@ -210,6 +238,10 @@ class Supervisor:
             )
             return False
         self._attempts[index] = attempt
+        if attempt > 1 and self.restart_backoff > 0:
+            # A worker that just failed a recovery gets breathing room
+            # before the next respawn instead of a hot respawn loop.
+            time.sleep(min(self.restart_backoff * 2 ** (attempt - 2), 30.0))
         started = time.monotonic()
         try:
             handle = self.cluster.respawn_worker(
@@ -277,12 +309,27 @@ class Supervisor:
 
     # -- observability --------------------------------------------------------
 
+    def config(self) -> Dict[str, object]:
+        """The effective supervision knobs — what
+        :meth:`ClusterClient.cluster_stats` surfaces under its
+        ``"supervisor"`` key."""
+        return {
+            "running": self.running,
+            "heartbeat": self.heartbeat,
+            "heartbeat_timeout": self.heartbeat_timeout,
+            "restart_backoff": self.restart_backoff,
+            "max_restarts": self.max_restarts,
+            "recoveries": len(self.recoveries),
+        }
+
     def stats(self) -> Dict[str, object]:
         with self._lock:
             attempts = dict(self._attempts)
         return {
             "running": self.running,
             "heartbeat": self.heartbeat,
+            "heartbeat_timeout": self.heartbeat_timeout,
+            "restart_backoff": self.restart_backoff,
             "max_restarts": self.max_restarts,
             "recoveries": [dict(r) for r in self.recoveries],
             "attempts": attempts,

@@ -59,6 +59,7 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.errors import (
     ConnectionClosedError,
+    DeadlineExceededError,
     FrameTooLargeError,
     TransportError,
 )
@@ -189,12 +190,25 @@ def get_codec(name: str) -> Codec:
 # ---------------------------------------------------------------------------
 
 
+class _RecvTimeout(Exception):
+    """Internal: a socket timeout fired while reading; ``partial`` is
+    how many bytes of the current read had already arrived."""
+
+    def __init__(self, partial: int):
+        super().__init__(partial)
+        self.partial = partial
+
+
 def _recv_exactly(sock: socket.socket, n: int) -> bytes:
     """Read exactly ``n`` bytes or raise :class:`ConnectionClosedError`."""
     chunks = bytearray()
     while len(chunks) < n:
         try:
             chunk = sock.recv(n - len(chunks))
+        except socket.timeout:
+            # socket.timeout IS an OSError: distinguish it before the
+            # generic clause or deadlines would read as dead peers.
+            raise _RecvTimeout(len(chunks)) from None
         except OSError as error:
             raise ConnectionClosedError(
                 f"connection lost mid-frame: {error}"
@@ -229,19 +243,60 @@ def send_frame(
 
 
 def recv_frame(
-    sock: socket.socket, max_frame: Optional[int] = None
+    sock: socket.socket,
+    max_frame: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> bytes:
     """Read one length-prefixed frame's payload (cap as in
-    :func:`send_frame`)."""
+    :func:`send_frame`).
+
+    ``timeout`` bounds each blocking read.  A timeout on a frame
+    boundary — zero bytes of the next frame seen — is *clean*: the
+    stream is still aligned, so it raises
+    :class:`~repro.errors.DeadlineExceededError` and the caller may
+    simply call again.  A timeout mid-frame means the stream can no
+    longer be realigned and raises
+    :class:`~repro.errors.ConnectionClosedError` instead.
+    """
     cap = default_max_frame() if max_frame is None else max_frame
-    (length,) = _LENGTH.unpack(_recv_exactly(sock, _LENGTH.size))
-    if length > cap:
-        raise TransportError(
-            f"incoming frame claims {length} bytes, over the frame cap "
-            f"({cap} bytes) — corrupt stream, or a peer with a larger "
-            "max_frame / REPRO_MAX_FRAME"
-        )
-    return _recv_exactly(sock, length) if length else b""
+    if timeout is not None:
+        sock.settimeout(timeout)
+    try:
+        try:
+            header = _recv_exactly(sock, _LENGTH.size)
+        except _RecvTimeout as stall:
+            if stall.partial == 0:
+                raise DeadlineExceededError(
+                    f"no frame arrived within {timeout}s",
+                    op="recv",
+                    elapsed=timeout or 0.0,
+                ) from None
+            raise ConnectionClosedError(
+                f"read timed out {stall.partial} byte(s) into a frame "
+                f"header after {timeout}s — stream desynced"
+            ) from None
+        (length,) = _LENGTH.unpack(header)
+        if length > cap:
+            raise TransportError(
+                f"incoming frame claims {length} bytes, over the frame cap "
+                f"({cap} bytes) — corrupt stream, or a peer with a larger "
+                "max_frame / REPRO_MAX_FRAME"
+            )
+        if not length:
+            return b""
+        try:
+            return _recv_exactly(sock, length)
+        except _RecvTimeout as stall:
+            raise ConnectionClosedError(
+                f"read timed out {stall.partial}/{length} bytes into a "
+                f"frame payload after {timeout}s — stream desynced"
+            ) from None
+    finally:
+        if timeout is not None:
+            try:
+                sock.settimeout(None)
+            except OSError:
+                pass
 
 
 # ---------------------------------------------------------------------------
@@ -289,16 +344,42 @@ class Connection:
                 raise ConnectionClosedError("connection already closed")
             send_frame(self._sock, payload, self.max_frame)
 
-    def recv(self) -> object:
+    def recv(self, timeout: Optional[float] = None) -> object:
+        """Read one message.  ``timeout`` bounds the wait: a clean
+        frame-boundary stall raises
+        :class:`~repro.errors.DeadlineExceededError` and leaves the
+        stream aligned (call again); a mid-frame stall condemns the
+        stream with :class:`~repro.errors.ConnectionClosedError`."""
         with self._recv_lock:
-            payload = recv_frame(self._sock, self.max_frame)
+            if self._closed:
+                raise ConnectionClosedError("connection already closed")
+            payload = recv_frame(self._sock, self.max_frame, timeout=timeout)
         return self._codec.decode(payload)
 
-    def request(self, message: Dict[str, object]) -> Dict[str, object]:
-        """One request/reply round trip, atomic w.r.t. other callers."""
+    def request(
+        self, message: Dict[str, object], timeout: Optional[float] = None
+    ) -> Dict[str, object]:
+        """One request/reply round trip, atomic w.r.t. other callers.
+
+        When ``timeout`` expires before the reply lands, the serial
+        request/reply pairing is lost (a late reply would be matched to
+        the *next* request), so the connection condemns itself — it is
+        closed and every later call raises
+        :class:`~repro.errors.ConnectionClosedError` — and the timeout
+        surfaces as :class:`~repro.errors.DeadlineExceededError`.
+        """
         with self._request_lock:
             self.send(message)
-            reply = self.recv()
+            try:
+                reply = self.recv(timeout=timeout)
+            except DeadlineExceededError as stall:
+                self.close()
+                raise DeadlineExceededError(
+                    f"request {message.get('op')!r} got no reply within "
+                    f"{timeout}s; serial channel condemned",
+                    op=str(message.get("op", "")) or None,
+                    elapsed=timeout or 0.0,
+                ) from stall
         if not isinstance(reply, dict):
             raise TransportError(
                 f"protocol violation: reply is {type(reply).__name__}, "
@@ -359,8 +440,14 @@ class MuxConnection:
     failover benchmark reads to prove the pipelining is real.
     """
 
-    def __init__(self, conn: Connection):
+    def __init__(
+        self, conn: Connection, default_timeout: Optional[float] = None
+    ):
         self._conn = conn
+        #: deadline applied to every request that does not pass its own
+        #: ``timeout`` — the knob :class:`repro.serve.cluster.ClusterClient`
+        #: sets from ``request_timeout=`` so no RPC blocks unboundedly.
+        self.default_timeout = default_timeout
         self._ids = _counter(1)
         self._lock = threading.Lock()
         self._waiters: Dict[int, _Waiter] = {}
@@ -428,8 +515,14 @@ class MuxConnection:
 
         ``timeout`` (seconds) bounds the wait for the reply — the
         supervisor's heartbeat probes use it so a wedged-but-alive
-        worker is detected, not just a dead socket.
+        worker is detected, not just a dead socket.  Omitted, the
+        connection's ``default_timeout`` applies.  A deadline here is
+        *clean*: the waiter is unparked, a late reply is dropped by the
+        reader, and the channel stays healthy — so the caller may
+        safely retry idempotent requests.
         """
+        if timeout is None:
+            timeout = self.default_timeout
         if self._reader is None:
             self.start()
         waiter = _Waiter()
@@ -451,9 +544,11 @@ class MuxConnection:
         if not waiter.event.wait(timeout):
             with self._lock:
                 self._waiters.pop(mux_id, None)
-            raise TransportError(
+            raise DeadlineExceededError(
                 f"multiplexed request {mux_id} ({message.get('op')!r}) "
-                f"timed out after {timeout}s"
+                f"timed out after {timeout}s",
+                op=str(message.get("op", "")) or None,
+                elapsed=timeout or 0.0,
             )
         if waiter.error is not None:
             raise ConnectionClosedError(

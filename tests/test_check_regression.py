@@ -28,6 +28,8 @@ def serving_blob(
     delta=20000.0,
     multiproc=2.0,
     recovery=0.3,
+    snapshot_overhead=1.1,
+    snapshot_pins=2,
 ):
     return {
         "cursor_resume": {"cursor_last_over_first": flatness},
@@ -36,6 +38,10 @@ def serving_blob(
         "multiprocess_shards": {"speedup_vs_inprocess_best": multiproc},
         "async_dispatch": {"writer_speedup": async_speedup},
         "failover": {"recovery_seconds": recovery},
+        "snapshot_reads": {
+            "overhead_vs_plain": snapshot_overhead,
+            "max_pin_attempts": snapshot_pins,
+        },
     }
 
 

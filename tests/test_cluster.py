@@ -833,9 +833,12 @@ def test_cluster_stats_reports_load(fresh):
     facade.view("cs_b", "W(x) :- CSB(x)")
     facade.batch([insert("CSA", (i,)) for i in range(5)])
     stats = facade.cluster_stats()
-    assert set(stats) == {0, 1}
+    assert set(stats) == {0, 1, "supervisor"}
+    assert stats["supervisor"] is None  # the fresh rig runs unsupervised
     total_views = total_rows = 0
     for worker, info in stats.items():
+        if worker == "supervisor":
+            continue
         assert info["pid"] == facade.ping()[worker]
         assert info["restarts"] == 0
         assert info["pending"] >= 0

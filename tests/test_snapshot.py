@@ -1,0 +1,328 @@
+"""Snapshot-consistent cross-shard reads.
+
+The contract under test: ``snapshot()`` pins a *mutually consistent*
+cut — every accessor answers from the same epoch per view, a cut taken
+under concurrent writes is byte-identical to some prefix of the
+single-writer history, and a mid-snapshot ``kill -9`` either completes
+the cut from the respawned worker's journal replay (supervised) or
+raises :class:`~repro.errors.SnapshotInvalidatedError` naming the
+worker (unsupervised) — never a silently mixed result.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro import Server
+from repro.errors import (
+    DeadlineExceededError,
+    EngineStateError,
+    SnapshotInvalidatedError,
+)
+from repro.serve.cluster import ShardCluster
+from repro.serve.journal import CommandJournal
+from repro.serve.snapshot import Snapshot
+from repro.serve.supervisor import Supervisor
+from repro.storage.updates import delete, insert
+
+pytestmark = pytest.mark.cluster
+
+
+# ---------------------------------------------------------------------------
+# threads backend: Server.snapshot under one read-all lock
+# ---------------------------------------------------------------------------
+
+
+def test_server_snapshot_is_consistent_and_pageable():
+    server = Server(shards=2)
+    try:
+        server.view("sa", "V(x) :- SA(x)")
+        server.view("sb", "W(x, y) :- SB(x, y)")
+        for i in range(5):
+            server.insert("SA", (i,))
+        server.insert("SB", (1, 2))
+        snap = server.snapshot()
+        assert isinstance(snap, Snapshot)
+        assert snap.views == ("sa", "sb")
+        assert snap.count("sa") == 5
+        assert snap.result_set("sb") == frozenset({(1, 2)})
+        assert snap.contains("sa", (3,)) and (3,) in snap.rows("sa")
+        # a later write never leaks into the pinned cut
+        server.insert("SA", (99,))
+        assert snap.count("sa") == 5
+        assert not snap.contains("sa", (99,))
+        # fetch pages statefully over the repr-sorted pinned rows
+        first = snap.fetch("sa", 2)
+        second = snap.fetch("sa", 2)
+        rest = snap.fetch("sa", 10)
+        assert first + second + rest == list(snap.rows("sa"))
+        assert snap.fetch("sa", 10) == []
+        snap.rewind("sa")
+        assert snap.fetch("sa", 3) == first + second[:1]
+        # explicit offsets reposition the cursor
+        assert snap.fetch("sa", 2, offset=3) == list(snap.rows("sa"))[3:5]
+    finally:
+        server.close()
+
+
+def test_server_snapshot_rejects_unknown_view_and_bad_paging():
+    server = Server(shards=1)
+    try:
+        server.view("known", "V(x) :- KS(x)")
+        snap = server.snapshot(views=["known"])
+        with pytest.raises(EngineStateError, match="not part of this snapshot"):
+            snap.result_set("mystery")
+        with pytest.raises(EngineStateError, match="fetch size"):
+            snap.fetch("known", -1)
+        with pytest.raises(EngineStateError, match="offset"):
+            snap.fetch("known", 1, offset=-2)
+        with pytest.raises(EngineStateError, match="no view named"):
+            server.snapshot(views=["mystery"])
+    finally:
+        server.close()
+
+
+# ---------------------------------------------------------------------------
+# cluster backend: the double-collect pin
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def rig():
+    with ShardCluster(workers=2) as deployment:
+        with deployment.client() as facade:
+            yield deployment, facade
+
+
+@pytest.fixture
+def supervised_rig():
+    with ShardCluster(workers=2) as deployment:
+        journal = CommandJournal()
+        with deployment.client(journal=journal) as facade:
+            supervisor = Supervisor(
+                deployment, facade, journal=journal, heartbeat=0.1
+            ).start()
+            try:
+                yield deployment, facade, supervisor
+            finally:
+                supervisor.stop()
+
+
+def test_cluster_snapshot_spans_workers_quiescent(rig):
+    _deployment, facade = rig
+    facade.view("qa", "V(x) :- QA(x)")
+    facade.view("qb", "W(x) :- QB(x)")
+    for i in range(4):
+        facade.insert("QA", (i,))
+    facade.insert("QB", (9,))
+    snap = facade.snapshot()
+    # the cut spans both shard workers and pinned on the first attempt
+    assert set(snap.workers.values()) == {0, 1}
+    assert snap.pin_attempts == 1 and snap.rereads == 0
+    assert snap.count("qa") == 4 and snap.result_set("qb") == frozenset({(9,)})
+    assert snap.epochs == {"qa": 4, "qb": 1}
+    assert "2 views" in repr(snap)
+    # empty pin is a degenerate but valid snapshot
+    empty = facade.snapshot(views=[])
+    assert empty.views == () and empty.pin_attempts == 0
+    with pytest.raises(EngineStateError, match="no view named"):
+        facade.snapshot(views=["mystery"])
+
+
+def _history_states(commands, views):
+    """The single-writer oracle: replay ``commands`` on an in-process
+    Server and record every intermediate (and the initial) state as a
+    tuple of per-view frozensets."""
+    oracle = Server(shards=1)
+    try:
+        for name, text in views:
+            oracle.view(name, text)
+
+        def state():
+            return tuple(
+                frozenset(oracle.result_set(name)) for name, _ in views
+            )
+
+        states = [state()]
+        for command in commands:
+            if command.op == "insert":
+                oracle.insert(command.relation, command.row)
+            else:
+                oracle.delete(command.relation, command.row)
+            states.append(state())
+        return states
+    finally:
+        oracle.close()
+
+
+def test_cluster_snapshot_is_a_prefix_of_the_writer_history(rig):
+    _deployment, facade = rig
+    views = [("ha", "V(x) :- HA(x)"), ("hb", "W(x) :- HB(x)")]
+    for name, text in views:
+        facade.view(name, text)
+    # Alternate relations so any mixed cut (view A from step i, view B
+    # from step j covering an intervening write) is a state pair that
+    # never coexisted in the linear history.
+    commands = []
+    for i in range(60):
+        commands.append(insert("HA" if i % 2 == 0 else "HB", (i,)))
+        if i % 7 == 6:
+            commands.append(delete("HA" if i % 2 == 0 else "HB", (i,)))
+    history = set(_history_states(commands, views))
+
+    errors = []
+
+    def writer():
+        try:
+            for command in commands:
+                if command.op == "insert":
+                    facade.insert(command.relation, command.row)
+                else:
+                    facade.delete(command.relation, command.row)
+                time.sleep(0.001)
+        except Exception as error:  # pragma: no cover - surfaced below
+            errors.append(error)
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    cuts = 0
+    try:
+        while thread.is_alive():
+            snap = facade.snapshot(views=["ha", "hb"])
+            observed = (snap.result_set("ha"), snap.result_set("hb"))
+            assert observed in history, (
+                f"snapshot {observed} matches no prefix of the writer "
+                f"history (epochs {snap.epochs})"
+            )
+            cuts += 1
+    finally:
+        thread.join()
+    assert not errors, errors
+    assert cuts > 0
+    # the settled end state is the last history entry
+    final = facade.snapshot(views=["ha", "hb"])
+    assert (final.result_set("ha"), final.result_set("hb")) in history
+
+
+def test_cluster_snapshot_converges_against_a_hot_writer(rig):
+    _deployment, facade = rig
+    facade.view("hwa", "V(x) :- HWA(x)")
+    facade.view("hwb", "W(x) :- HWB(x)")
+    facade.insert("HWB", (0,))
+    stop = threading.Event()
+
+    def writer():
+        n = 0
+        while not stop.is_set():
+            facade.insert("HWA", (n,))
+            n += 1
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        # A writer that never pauses can livelock the optimistic pin;
+        # the final escalated attempt holds the client's write gate and
+        # must converge instead of raising.
+        snap = facade.snapshot(views=["hwa", "hwb"])
+        assert snap.count("hwa") == snap.epochs["hwa"]
+        assert snap.count("hwb") == 1
+    finally:
+        stop.set()
+        thread.join()
+
+
+def test_supervised_kill_mid_snapshot_completes_from_replay(supervised_rig):
+    _deployment, facade, _supervisor = supervised_rig
+    facade.view("ka", "V(x) :- KA(x)")
+    facade.view("kb", "W(x) :- KB(x)")
+    for i in range(10):
+        facade.insert("KA", (i,))
+    facade.insert("KB", (1,))
+    victim = facade._worker_of_view("ka")
+    pid = facade.ping()[victim]
+
+    def killer():
+        time.sleep(0.01)
+        os.kill(pid, signal.SIGKILL)
+
+    thread = threading.Thread(target=killer)
+    thread.start()
+    try:
+        snap = facade.snapshot()
+    finally:
+        thread.join()
+    # the journal replay restored the killed shard; the cut is complete
+    assert snap.count("ka") == 10
+    assert snap.result_set("kb") == frozenset({(1,)})
+    # the snapshot stays readable even if pinned across the failover
+    assert snap.fetch("ka", 100) == list(snap.rows("ka"))
+
+
+def test_unsupervised_kill_mid_snapshot_raises_named_invalidation(rig):
+    _deployment, facade = rig
+    facade.view("ua", "V(x) :- UA(x)")
+    facade.view("ub", "W(x) :- UB(x)")
+    facade.insert("UA", (1,))
+    facade.insert("UB", (2,))
+    victim = facade._worker_of_view("ua")
+    os.kill(facade.ping()[victim], signal.SIGKILL)
+    time.sleep(0.2)
+    with pytest.raises(SnapshotInvalidatedError) as info:
+        facade.snapshot()
+    error = info.value
+    assert error.details["worker"] == victim
+    assert f"worker {victim}" in str(error)
+    assert "SnapshotInvalidatedError(" in repr(error)
+
+
+def test_snapshot_survives_worker_death_after_pinning(supervised_rig):
+    _deployment, facade, supervisor = supervised_rig
+    facade.view("pa", "V(x) :- PA(x)")
+    for i in range(8):
+        facade.insert("PA", (i,))
+    snap = facade.snapshot(views=["pa"])
+    first = snap.fetch("pa", 3)
+    # the worker dies between two fetch pages; rows are pinned
+    # client-side so paging continues, byte-identical
+    os.kill(facade.ping()[snap.workers["pa"]], signal.SIGKILL)
+    rest = snap.fetch("pa", 100)
+    assert first + rest == list(snap.rows("pa"))
+    assert len(first + rest) == 8
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if not facade.dead_workers and supervisor.recoveries:
+            break
+        time.sleep(0.02)
+    assert facade.count("pa") == 8
+
+
+# ---------------------------------------------------------------------------
+# error surface
+# ---------------------------------------------------------------------------
+
+
+def test_deadline_and_invalidation_errors_carry_details():
+    deadline = DeadlineExceededError(
+        "op timed out", op="count", worker=1, elapsed=0.25, attempts=3
+    )
+    assert deadline.details == {
+        "op": "count",
+        "worker": 1,
+        "elapsed": 0.25,
+        "attempts": 3,
+    }
+    assert "op='count'" in repr(deadline)
+    invalid = SnapshotInvalidatedError(
+        "cut lost",
+        worker=0,
+        expected_epochs={"v": 3},
+        observed_epochs={"v": 5},
+        attempts=2,
+    )
+    assert invalid.details["worker"] == 0
+    assert invalid.details["expected_epochs"] == {"v": 3}
+    assert invalid.details["observed_epochs"] == {"v": 5}
+    assert "attempts=2" in repr(invalid)

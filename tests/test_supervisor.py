@@ -255,3 +255,84 @@ def test_session_serve_unsupervised_has_no_journal():
         assert facade._journal is None
     finally:
         facade.close()
+
+
+# ---------------------------------------------------------------------------
+# configurable supervision knobs (args, env vars, cluster_stats surface)
+# ---------------------------------------------------------------------------
+
+
+def test_supervisor_knobs_resolve_from_env(rig, monkeypatch):
+    cluster, facade, journal = rig
+    monkeypatch.setenv("REPRO_SUP_HEARTBEAT", "0.25")
+    monkeypatch.setenv("REPRO_SUP_PING_TIMEOUT", "2.5")
+    monkeypatch.setenv("REPRO_SUP_RESTART_BACKOFF", "0.125")
+    monkeypatch.setenv("REPRO_SUP_MAX_RESTARTS", "9")
+    supervisor = Supervisor(cluster, facade, journal=journal)
+    assert supervisor.heartbeat == 0.25
+    assert supervisor.heartbeat_timeout == 2.5
+    assert supervisor.restart_backoff == 0.125
+    assert supervisor.max_restarts == 9
+    assert supervisor.config() == {
+        "running": False,
+        "heartbeat": 0.25,
+        "heartbeat_timeout": 2.5,
+        "restart_backoff": 0.125,
+        "max_restarts": 9,
+        "recoveries": 0,
+    }
+    stats = supervisor.stats()
+    assert stats["heartbeat_timeout"] == 2.5
+    assert stats["restart_backoff"] == 0.125
+    # explicit arguments beat the environment
+    override = Supervisor(cluster, facade, heartbeat=0.5, max_restarts=2)
+    assert override.heartbeat == 0.5 and override.max_restarts == 2
+
+
+def test_supervisor_knobs_reject_bad_env(rig, monkeypatch):
+    cluster, facade, journal = rig
+    monkeypatch.setenv("REPRO_SUP_HEARTBEAT", "not-a-number")
+    with pytest.raises(ClusterError, match="REPRO_SUP_HEARTBEAT"):
+        Supervisor(cluster, facade, journal=journal)
+
+
+def test_client_deadline_knobs_resolve_from_env(rig, monkeypatch):
+    cluster, _facade, _journal = rig
+    monkeypatch.setenv("REPRO_REQUEST_TIMEOUT", "12.5")
+    monkeypatch.setenv("REPRO_RETRY_BUDGET", "7")
+    with cluster.client() as tuned:
+        assert tuned._request_timeout == 12.5
+        assert tuned._retry_budget == 7
+    # a non-positive timeout disables the deadline entirely
+    monkeypatch.setenv("REPRO_REQUEST_TIMEOUT", "0")
+    with cluster.client() as unbounded:
+        assert unbounded._request_timeout is None
+
+
+def test_session_serve_surfaces_supervision_knobs():
+    session = Session()
+    session.view("kv", "V(x) :- KV(x)")
+    facade = session.serve(
+        backend="processes",
+        shards=2,
+        supervise=True,
+        request_timeout=5.0,
+        retry_budget=1,
+        heartbeat=0.2,
+        heartbeat_timeout=2.0,
+        restart_backoff=0.01,
+        max_restarts=3,
+    )
+    try:
+        assert facade._request_timeout == 5.0
+        assert facade._retry_budget == 1
+        supervisor = facade._supervisor
+        assert supervisor.heartbeat == 0.2
+        assert supervisor.heartbeat_timeout == 2.0
+        assert supervisor.restart_backoff == 0.01
+        assert supervisor.max_restarts == 3
+        surfaced = facade.cluster_stats()["supervisor"]
+        assert surfaced == supervisor.config()
+        assert surfaced["running"] is True
+    finally:
+        facade.close()

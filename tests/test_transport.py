@@ -7,7 +7,11 @@ import time
 
 import pytest
 
-from repro.errors import ConnectionClosedError, TransportError
+from repro.errors import (
+    ConnectionClosedError,
+    DeadlineExceededError,
+    TransportError,
+)
 from repro.serve.transport import (
     MAX_FRAME,
     Connection,
@@ -380,9 +384,13 @@ def test_mux_request_timeout_is_precise():
     harness = _MuxEcho()
     try:
         harness.mux.start()
-        with pytest.raises(TransportError, match=r"'echo'.*timed out"):
+        with pytest.raises(DeadlineExceededError, match=r"'echo'.*timed out") as info:
             harness.mux.request({"op": "echo", "n": 1}, timeout=0.05)
+        assert info.value.details["op"] == "echo"
+        assert info.value.details["elapsed"] == pytest.approx(0.05)
         assert harness.mux.in_flight == 0  # the waiter was reaped
+        # A clean mux deadline does NOT condemn the connection.
+        assert not harness.mux.closed
     finally:
         harness.peer.close()
         harness.mux.close()
