@@ -105,6 +105,12 @@ TRACKED: Dict[str, List[Tuple[str, str, object]]] = {
         # max_pin_attempts blowing past it means the escape hatch broke.
         ("snapshot_reads.overhead_vs_plain", "lower", 1.5),
         ("snapshot_reads.max_pin_attempts", "lower", 8.0),
+        # Observability must stay near-free on the write path: the
+        # instrumented server (registry counters, sampled guarantee
+        # probes, engine series) may cost at most 5% over the
+        # observe=False no-op fast path.  Absolute ratio, scale-robust:
+        # both sides run the identical stream in the same process.
+        ("observability_overhead.overhead_ratio", "lower", 1.05),
     ],
 }
 

@@ -118,6 +118,27 @@ def main() -> None:
 
     print(f"\nserver stats: {server.stats()}")
 
+    # The observability layer saw all of the above: per-view update
+    # cost and page delay distributions, delta-dispatch lag, cursor
+    # lifecycle counters — one registry, one scrape.
+    from repro.obs.registry import snapshot_quantile
+
+    snapshot = server.session.metrics.snapshot()
+    print("\n=== metrics summary (repro.obs) ===")
+    for key, value in sorted(snapshot["counters"].items()):
+        if value:
+            print(f"  {key} = {value}")
+    for key, state in sorted(snapshot["histograms"].items()):
+        if state["count"]:
+            p50 = snapshot_quantile(state, 0.50)
+            p95 = snapshot_quantile(state, 0.95)
+            print(
+                f"  {key}: n={state['count']} "
+                f"p50={p50 * 1e6:.3g}µs p95={p95 * 1e6:.3g}µs"
+            )
+    print("\n=== observed vs promised (explain) ===")
+    print(server.explain("feed"))
+
 
 if __name__ == "__main__":
     main()

@@ -18,6 +18,14 @@ plan "Q(x, y) :- R(x, y), S(y)"
 demo
     Run a 30-second self-contained demonstration: builds the Example
     6.1 database, prints the structure and enumerates Table 1.
+
+metrics unix:/tmp/repro-w0.sock 127.0.0.1:9001 ...
+    Scrape a running shard cluster's ``metrics`` op and print the
+    merged registry snapshot (``--format prom`` for Prometheus text
+    exposition, ``json`` for the full dump with spans and drift).
+    ``--watch N`` re-scrapes every N seconds; ``--demo`` spins up a
+    throwaway two-worker cluster, runs a scripted workload against it
+    and scrapes that instead of needing addresses.
 """
 
 from __future__ import annotations
@@ -89,6 +97,82 @@ def cmd_plan(text: str, engine: str) -> int:
     return 0
 
 
+def _parse_address(text: str):
+    """``unix:/path.sock`` | ``tcp:host:port`` | ``host:port`` → wire tuple."""
+    if text.startswith("unix:"):
+        return ("unix", text[len("unix:"):])
+    if text.startswith("tcp:"):
+        text = text[len("tcp:"):]
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"bad address {text!r}: expected unix:/path.sock or host:port"
+        )
+    return ("tcp", host or "127.0.0.1", int(port))
+
+
+def _metrics_report(client) -> dict:
+    return client.metrics()
+
+
+def _print_metrics(report: dict, fmt: str) -> None:
+    if fmt == "prom":
+        from repro.obs.registry import render_prometheus
+
+        print(render_prometheus(report["merged"]), end="")
+    else:
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+
+
+def cmd_metrics(addresses, fmt: str, watch: float, demo: bool) -> int:
+    import time
+
+    from repro.serve.cluster import ClusterClient, ShardCluster
+
+    cluster = None
+    if demo:
+        # A throwaway cluster with a scripted workload, so the command
+        # demonstrates the exposition formats without a deployment.
+        cluster = ShardCluster(workers=2)
+        client = cluster.client()
+        client.view("pairs", "Q(x, y) :- R(x, y), S(y)")
+        for i in range(32):
+            client.insert("R", (f"a{i % 8}", f"b{i % 4}"))
+            client.insert("S", (f"b{i % 4}",))
+        for _ in range(8):
+            client.count("pairs")
+        client.fetch(client.open_cursor("pairs"), 16)
+    else:
+        if not addresses:
+            print(
+                "error: metrics needs worker addresses (or --demo)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            wire = [_parse_address(text) for text in addresses]
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        # The scrape client itself runs observe=False so the dump shows
+        # only the cluster's own traffic, not the scraper's.
+        client = ClusterClient(addresses=wire, observe=False)
+    try:
+        while True:
+            _print_metrics(_metrics_report(client), fmt)
+            if not watch:
+                return 0
+            time.sleep(watch)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
+        if cluster is not None:
+            cluster.close()
+
+
 def _demo() -> int:
     from repro.core.engine import QHierarchicalEngine
     from repro.core.render import render_structure
@@ -157,6 +241,34 @@ def main(argv=None) -> int:
 
     subparsers.add_parser("demo", help="run the Example 6.1 walkthrough")
 
+    metrics_parser = subparsers.add_parser(
+        "metrics", help="scrape a running cluster's merged metrics"
+    )
+    metrics_parser.add_argument(
+        "addresses",
+        nargs="*",
+        help="worker addresses: unix:/path.sock or host:port",
+    )
+    metrics_parser.add_argument(
+        "--format",
+        dest="format",
+        choices=("prom", "json"),
+        default="prom",
+        help="Prometheus text exposition (default) or full JSON dump",
+    )
+    metrics_parser.add_argument(
+        "--watch",
+        type=float,
+        default=0.0,
+        metavar="N",
+        help="re-scrape every N seconds until interrupted",
+    )
+    metrics_parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="spin up a scripted two-worker cluster and scrape that",
+    )
+
     args = parser.parse_args(argv)
     try:
         if args.command == "classify":
@@ -165,6 +277,10 @@ def main(argv=None) -> int:
             return cmd_qtree(args.query)
         if args.command == "plan":
             return cmd_plan(args.query, args.engine)
+        if args.command == "metrics":
+            return cmd_metrics(
+                args.addresses, args.format, args.watch, args.demo
+            )
         return _demo()
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -167,6 +167,11 @@ class Plan:
         (compiled atom plans, dispatch width, delta arms, ...).  None
         on a plan that has not been attached to an engine yet;
         :meth:`repro.api.session.View.explain` fills it in.
+    observed:
+        Measured update-cost and per-tuple delay percentiles from the
+        view's guarantee probe (:mod:`repro.obs.probes`), rendered next
+        to the promised classes.  None before any traffic, or when the
+        session runs with ``observe=False``.
     """
 
     query: QueryLike
@@ -181,6 +186,7 @@ class Plan:
         default=None, repr=False
     )
     stats: Optional[Dict[str, object]] = field(default=None, repr=False)
+    observed: Optional[Dict[str, object]] = field(default=None, repr=False)
 
     def build(self, database: Optional[Database] = None) -> DynamicEngine:
         """Instantiate the planned engine (preprocessing phase)."""
@@ -195,8 +201,21 @@ class Plan:
             f"reason: {self.reason}",
             "guarantees:",
         ]
+        observed = self.observed or {}
         for aspect in ("preprocessing", "update", "delay", "count", "answer", "delta"):
-            lines.append(f"  {aspect:<14} {self.guarantees.get(aspect, _UNSTATED)}")
+            line = f"  {aspect:<14} {self.guarantees.get(aspect, _UNSTATED)}"
+            cell = _format_observed_cell(observed.get(aspect))
+            if cell:
+                line += f"  | observed: {cell}"
+            lines.append(line)
+        drift = observed.get("drift")
+        if drift:
+            lines.append(
+                f"  DRIFT          measured delay grew "
+                f"{drift['delay_ratio']}x over a {drift['size_spread']}x "
+                "result-size spread although the plan promised constant "
+                "delay — investigate this view's serving path"
+            )
         if self.binding_orders:
             orders = " × ".join(
                 "(" + ", ".join(order) + ")" for order in self.binding_orders
@@ -221,6 +240,22 @@ class Plan:
         if not stats:
             return self
         return replace(self, stats=stats)
+
+    def with_observed(self, observed: Optional[Dict[str, object]]) -> "Plan":
+        """A copy carrying a guarantee probe's measured percentiles."""
+        if not observed:
+            return self
+        return replace(self, observed=observed)
+
+
+def _format_observed_cell(cell: Optional[Dict[str, object]]) -> Optional[str]:
+    """``p50=2.1µs p95=5.0µs p99=9.8µs (n=123)`` or None when unmeasured."""
+    if not cell:
+        return None
+    return (
+        f"p50={cell['p50_us']}µs p95={cell['p95_us']}µs "
+        f"p99={cell['p99_us']}µs (n={cell['n']})"
+    )
 
 
 class Planner:

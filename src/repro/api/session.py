@@ -29,6 +29,7 @@ and subscribers are notified last.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.api.planner import Plan, Planner, QueryLike
@@ -62,6 +63,18 @@ class View:
         # delta subscribers to fan changes out to (repro.serve).
         self._cursors: List[object] = []
         self._subscriptions: List[object] = []
+        # Guarantee probe (repro.obs): observed update-cost and
+        # enumeration-delay distributions next to the plan's promises.
+        # None when the session runs with observe=False — the hot paths
+        # below guard on it, which is the whole no-op fast path.
+        self._probe = None
+        if session._observe:
+            from repro.obs.probes import ViewProbe
+
+            self._probe = ViewProbe(name, plan.engine, session.metrics)
+            # Engine-level series: effective updates per relation/op
+            # plus the static plan-shape gauges (repro.core.plans).
+            engine.instrument(session.metrics, view=name)
 
     # -- plan introspection ---------------------------------------------------
 
@@ -82,8 +95,13 @@ class View:
     def explain(self) -> Plan:
         """The planner's report: chosen engine, reason, guarantees —
         plus the built engine's execution-plan statistics (compiled
-        atom plans, dispatch width, delta arms)."""
-        return self._plan.with_stats(self._engine.plan_stats())
+        atom plans, dispatch width, delta arms) and, when the session
+        observes, the measured update/delay percentiles next to the
+        promised classes (see :mod:`repro.obs.probes`)."""
+        plan = self._plan.with_stats(self._engine.plan_stats())
+        if self._probe is not None:
+            plan = plan.with_observed(self._probe.observed())
+        return plan
 
     # -- query surface --------------------------------------------------------
 
@@ -217,10 +235,26 @@ class View:
             want_delta = getattr(
                 self._engine, "supports_cheap_delta", False
             ) and any(not cursor.snapshot for cursor in self._cursors)
+        # Sampled update timing: every update decrements the countdown,
+        # only the one driving it below zero pays the two clock reads
+        # and the histogram observe (see ViewProbe.update_stride) — the
+        # <= 1.05x overhead budget does not fit exhaustive timing.
+        probe = self._probe
+        timed = False
+        if probe is not None:
+            probe.update_countdown -= 1
+            if probe.update_countdown < 0:
+                probe.update_countdown = probe.update_stride - 1
+                timed = True
         if want_delta:
             from repro.serve.subscriptions import Delta
 
-            added, removed = self._engine.apply_with_delta(command)
+            if timed:
+                started = perf_counter()
+                added, removed = self._engine.apply_with_delta(command)
+                probe.record_update(perf_counter() - started)
+            else:
+                added, removed = self._engine.apply_with_delta(command)
             delta = Delta(
                 view=self.name,
                 epoch=self._engine.epoch,
@@ -229,7 +263,12 @@ class View:
                 removed=tuple(removed),
             )
         else:
-            self._engine.apply(command)
+            if timed:
+                started = perf_counter()
+                self._engine.apply(command)
+                probe.record_update(perf_counter() - started)
+            else:
+                self._engine.apply(command)
             delta = None
         pair = (delta.added, delta.removed) if delta is not None else None
         for cursor in list(self._cursors):
@@ -337,13 +376,54 @@ class Session:
     results.
     """
 
-    def __init__(self, planner: Optional[Planner] = None):
+    def __init__(
+        self, planner: Optional[Planner] = None, observe: bool = True
+    ):
         self._planner = planner or Planner()
         self._arities: Dict[str, int] = {}
         self._rows: Dict[str, Set[Row]] = {}
         self._views: Dict[str, View] = {}
         self._views_by_relation: Dict[str, List[View]] = {}
         self._active_batch: Optional[Batch] = None
+        # Observability (repro.obs): one registry + span log per
+        # session.  observe=False swaps in the shared no-op registry —
+        # hot paths additionally guard on self._observe so disabling
+        # observability costs a single flag check per update.
+        self._observe = bool(observe)
+        if observe:
+            from repro.obs import MetricsRegistry, SpanLog
+
+            self.metrics = MetricsRegistry()
+            self.spans = SpanLog()
+        else:
+            from repro.obs import NULL_REGISTRY, NULL_SPANLOG
+
+            self.metrics = NULL_REGISTRY
+            self.spans = NULL_SPANLOG
+
+    @property
+    def observe(self) -> bool:
+        """Whether this session records metrics/spans (``repro.obs``)."""
+        return self._observe
+
+    def drift_report(self) -> List[Dict[str, object]]:
+        """Guarantee-probe drift verdicts across all observed views.
+
+        One entry per view whose *measured* per-tuple enumeration delay
+        scales with the result size although its plan promised constant
+        delay (see :meth:`repro.obs.probes.ViewProbe.drift`).  Empty
+        while every promise holds — or when the session does not
+        observe.
+        """
+        out: List[Dict[str, object]] = []
+        for view in self._views.values():
+            probe = view._probe
+            if probe is None:
+                continue
+            drift = probe.drift()
+            if drift is not None:
+                out.append(drift)
+        return out
 
     # ------------------------------------------------------------------
     # view registration
@@ -478,6 +558,7 @@ class Session:
         restart_backoff: Optional[float] = None,
         max_restarts: Optional[int] = None,
         faults: Optional[object] = None,
+        observe: Optional[bool] = None,
     ):
         """Put a serving front door on this session.
 
@@ -527,10 +608,20 @@ class Session:
         :class:`~repro.serve.faults.FaultPlan` on the client's worker
         channels for chaos testing.
 
+        ``observe`` keeps or drops the observability layer
+        (:mod:`repro.obs`) on the serving side: ``None`` inherits this
+        session's setting, ``False`` serves with the no-op registry
+        (the write path then pays only a flag check — what the
+        ``observability_overhead`` benchmark gates).  On the processes
+        backend the flag rides into every worker, whose registries
+        ``ClusterClient.metrics()`` merges back.
+
         Both return values speak the same
         ``view/insert/apply/batch/open_cursor/fetch/subscribe/poll``
         surface, so callers pick a backend without changing code.
         """
+        if observe is None:
+            observe = self._observe
         if backend in ("threads", "inprocess", "server"):
             from repro.serve.server import Server
 
@@ -549,7 +640,10 @@ class Session:
 
                 journal = CommandJournal()
             cluster = ShardCluster(
-                workers=shards, codec=codec, start_method=start_method
+                workers=shards,
+                codec=codec,
+                start_method=start_method,
+                observe=observe,
             )
             try:
                 client = cluster.client(
@@ -560,6 +654,7 @@ class Session:
                     request_timeout=request_timeout,
                     retry_budget=retry_budget,
                     faults=faults,  # type: ignore[arg-type]
+                    observe=observe,
                 )
             except BaseException:
                 cluster.close()

@@ -190,6 +190,10 @@ class QHierarchicalEngine(DynamicEngine):
                 return (), ()
             is_insert = False
         self._epoch += 1
+        if self._obs_registry is not None:
+            # This path bypasses insert()/delete(), so the effective
+            # update is counted here to keep the series complete.
+            self._count_update(relation, "insert" if is_insert else "delete")
         component_delta: Dict[int, Tuple[Tuple[Row, ...], Tuple[Row, ...]]] = {}
         for structure in self._by_relation.get(relation, ()):
             component_delta[id(structure)] = structure.apply_with_delta(

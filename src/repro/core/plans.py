@@ -987,3 +987,24 @@ def plan_summary(plans: List[AtomPlan]) -> Dict[str, object]:
         "eq_checks": sum(len(p.eq) for p in plans),
         "plans_per_relation": per_relation,
     }
+
+
+#: plan_stats keys worth publishing as metrics — the static shape of
+#: the compiled update procedure, i.e. the ``poly(ϕ)`` factor of the
+#: paper's O(poly(ϕ)) update bound made scrapeable next to the
+#: observed per-update latency it predicts.
+_GAUGE_KEYS = ("atom_plans", "max_path_depth", "eq_checks", "components")
+
+
+def publish_plan_gauges(registry, stats: Dict[str, object], **labels) -> None:
+    """Publish an engine's plan-shape statistics as registry gauges.
+
+    Called once from :meth:`repro.interface.DynamicEngine.instrument`
+    with the engine's ``plan_stats()``; only numeric, known-static keys
+    become ``repro_engine_plan_<key>`` gauges, so engine-specific
+    extras (dispatch tables, nested dicts) stay JSON-only.
+    """
+    for key in _GAUGE_KEYS:
+        value = stats.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            registry.gauge(f"repro_engine_plan_{key}", **labels).set(value)

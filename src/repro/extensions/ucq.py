@@ -313,6 +313,12 @@ class UnionEngine(DynamicEngine):
             if not self._db.delete(relation, row):
                 return (), ()
         self._epoch += 1
+        if self._obs_registry is not None:
+            # Bypasses insert()/delete() — count the effective update
+            # here to keep the series complete.
+            self._count_update(
+                relation, "insert" if command.is_insert else "delete"
+            )
         disjunct_ids = {id(engine) for engine in self._engines}
         added_by: Dict[int, Tuple[Row, ...]] = {}
         removed_by: Dict[int, Tuple[Row, ...]] = {}

@@ -59,6 +59,15 @@ class DynamicEngine(ABC):
         self._query = query
         self._db = Database.empty_like(query)
         self._epoch = 0
+        # Observability (repro.obs): attached post-construction via
+        # :meth:`instrument`; None keeps the update hot path at a
+        # single falsy check.  The per-relation counters are
+        # pre-registered there, so counting an update is one string-key
+        # dict probe plus an unlocked ``+=``.
+        self._obs_registry = None
+        self._obs_labels: Dict[str, str] = {}
+        self._obs_insert: Optional[Dict[str, object]] = None
+        self._obs_delete: Optional[Dict[str, object]] = None
         self._setup()
         if database is not None:
             self._preload(database)
@@ -91,6 +100,59 @@ class DynamicEngine(ABC):
 
     # -- update API -----------------------------------------------------------
 
+    def instrument(self, registry, **labels) -> None:
+        """Attach a :class:`repro.obs.registry.MetricsRegistry`.
+
+        Effective updates are then counted per relation and operation
+        as ``repro_engine_updates_total{engine=..., relation=...,
+        op=...}`` (plus any extra ``labels``, e.g. the owning view),
+        and the engine's static plan shape is published once as gauges
+        (see :func:`repro.core.plans.publish_plan_gauges`).  Without a
+        registry — or with a disabled one — the update hot path pays a
+        single ``None`` check and nothing else.
+        """
+        if registry is None or not getattr(registry, "enabled", False):
+            return
+        self._obs_registry = registry
+        self._obs_labels = {key: str(value) for key, value in labels.items()}
+        self._obs_insert = {
+            relation: registry.counter(
+                "repro_engine_updates_total",
+                engine=self.name,
+                relation=relation,
+                op="insert",
+                **self._obs_labels,
+            )
+            for relation in self._query.relations
+        }
+        self._obs_delete = {
+            relation: registry.counter(
+                "repro_engine_updates_total",
+                engine=self.name,
+                relation=relation,
+                op="delete",
+                **self._obs_labels,
+            )
+            for relation in self._query.relations
+        }
+        stats = self.plan_stats()
+        if stats:
+            from repro.core.plans import publish_plan_gauges
+
+            publish_plan_gauges(
+                registry, stats, engine=self.name, **self._obs_labels
+            )
+
+    def _count_update(self, relation: str, op: str) -> None:
+        """Count one effective update on the attached registry.
+
+        For subclasses whose ``apply_with_delta`` bypasses
+        :meth:`insert`/:meth:`delete`; only call when
+        ``self._obs_registry is not None``.
+        """
+        table = self._obs_insert if op == "insert" else self._obs_delete
+        table[relation].inc()
+
     def insert(self, relation: str, row: Sequence[Constant]) -> bool:
         """``insert R(ā)``; returns True iff the database changed."""
         row = tuple(row)
@@ -98,6 +160,9 @@ class DynamicEngine(ABC):
             return False
         self._epoch += 1
         self._on_insert(relation, row)
+        counters = self._obs_insert
+        if counters is not None:
+            counters[relation].value += 1
         return True
 
     def delete(self, relation: str, row: Sequence[Constant]) -> bool:
@@ -107,6 +172,9 @@ class DynamicEngine(ABC):
             return False
         self._epoch += 1
         self._on_delete(relation, row)
+        counters = self._obs_delete
+        if counters is not None:
+            counters[relation].value += 1
         return True
 
     def apply(self, command: UpdateCommand) -> bool:

@@ -131,6 +131,14 @@ from repro.errors import (
     WorkerCrashedError,
     WorkerRecoveredError,
 )
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY, merge_snapshots
+from repro.obs.tracing import (
+    NULL_SPANLOG,
+    SpanLog,
+    extract as extract_trace,
+    inject as inject_trace,
+    new_trace_id,
+)
 from repro.serve.dispatch import DispatchPool
 from repro.serve.faults import FaultPlan
 from repro.serve.journal import CommandJournal
@@ -287,6 +295,7 @@ class _WorkerHost:
         codec_name: str,
         socket_dir: str,
         socket_name: Optional[str] = None,
+        observe: bool = True,
     ):
         # Imported here (not module top) keeps the spawn path light: the
         # child imports this module before repro.api exists in its
@@ -296,7 +305,14 @@ class _WorkerHost:
 
         self.worker_id = worker_id
         self.codec = get_codec(codec_name)
-        self.server = Server(Session(), shards=1)
+        self.server = Server(Session(observe=observe), shards=1)
+        # Worker-side observability handles.  The registry/span log live
+        # on the worker's session, so the ``metrics`` op (served by the
+        # Server's own request loop) returns everything in one scrape;
+        # with observe=False both are the shared no-op singletons and
+        # the per-request overhead is two attribute checks.
+        self._registry = self.server.session.metrics
+        self._spans = self.server.session.spans
         # A respawned incarnation binds a fresh socket name: the old
         # AF_UNIX path may linger on disk after a kill -9, and binding
         # over it would fail.
@@ -338,7 +354,9 @@ class _WorkerHost:
                     break
                 threading.Thread(
                     target=self._serve_connection,
-                    args=(Connection(sock, self.codec),),
+                    args=(
+                        Connection(sock, self.codec, registry=self._registry),
+                    ),
                     daemon=True,
                     name=f"repro-shard-{self.worker_id}-conn",
                 ).start()
@@ -538,11 +556,68 @@ class _WorkerHost:
         client_id: str,
         staged: List[Tuple[str, List[UpdateCommand], ExitStack]],
     ) -> Tuple[Dict[str, object], bool]:
+        """Trace + time one request, then dispatch to :meth:`_handle_op`.
+
+        The client's per-attempt span context travels inside the
+        request dict (the ``_trace`` key, popped here); the worker opens
+        a **child** span under it — same trace id, new span id, parent
+        id = the client attempt's span id — so one logical RPC shows up
+        as a cross-process parent/child pair.  Per-op wall time lands in
+        ``repro_worker_op_seconds{op=...}``.
+        """
+        context = extract_trace(request)
+        spans = self._spans
+        registry = self._registry
+        if not spans.enabled and not registry.enabled:
+            return self._handle_op(request, client_id, staged)
+        op = str(request.get("op", ""))
+        span = None
+        if spans.enabled:
+            span = spans.child(
+                f"worker:{op}",
+                context,
+                op=op,
+                worker=self.worker_id,
+                pid=os.getpid(),
+            )
+        started = time.perf_counter()
+        try:
+            reply, shutdown = self._handle_op(request, client_id, staged)
+        except BaseException as error:
+            if span is not None:
+                spans.finish(span, error=f"{type(error).__name__}: {error}")
+            raise
+        if registry.enabled:
+            registry.histogram("repro_worker_op_seconds", op=op).observe(
+                time.perf_counter() - started
+            )
+        if span is not None:
+            spans.finish(
+                span,
+                error=None if reply.get("ok") else str(reply.get("error")),
+            )
+        return reply, shutdown
+
+    def _handle_op(
+        self,
+        request: Dict[str, object],
+        client_id: str,
+        staged: List[Tuple[str, List[UpdateCommand], ExitStack]],
+    ) -> Tuple[Dict[str, object], bool]:
         op = request.get("op")
         try:
             if op == "ping":
+                # Reads/writes ride the heartbeat: the client caches
+                # them per worker so a later kill -9 still has a
+                # last-known traffic figure to fold into merged stats.
                 return (
-                    {"ok": True, "worker": self.worker_id, "pid": os.getpid()},
+                    {
+                        "ok": True,
+                        "worker": self.worker_id,
+                        "pid": os.getpid(),
+                        "reads": self.server.reads,
+                        "writes": self.server.writes,
+                    },
                     False,
                 )
             if op == "shutdown":
@@ -780,9 +855,12 @@ def worker_main(
     codec_name: str,
     socket_dir: str,
     socket_name: Optional[str] = None,
+    observe: bool = True,
 ) -> None:
     """Entry point of a shard worker process (importable for spawn)."""
-    host = _WorkerHost(worker_id, codec_name, socket_dir, socket_name)
+    host = _WorkerHost(
+        worker_id, codec_name, socket_dir, socket_name, observe=observe
+    )
 
     def on_sigterm(_signum: int, _frame: object) -> None:
         host.stop()
@@ -844,6 +922,7 @@ class ShardCluster:
         start_method: str = "spawn",
         socket_dir: Optional[str] = None,
         startup_timeout: float = 30.0,
+        observe: bool = True,
     ):
         import multiprocessing
 
@@ -851,6 +930,9 @@ class ShardCluster:
             raise ClusterError(f"need >= 1 worker, got {workers}")
         get_codec(codec)  # validate before spawning anything
         self.codec = codec
+        #: whether worker sessions run instrumented (metrics registry,
+        #: span log, guarantee probes); respawned workers inherit it.
+        self.observe = bool(observe)
         self._closed = False
         self._own_dir = socket_dir is None
         self._socket_dir = socket_dir or tempfile.mkdtemp(
@@ -879,6 +961,7 @@ class ShardCluster:
                         codec,
                         self._socket_dir,
                         f"worker-{index}",
+                        self.observe,
                     ),
                     daemon=True,
                     name=f"repro-shard-{index}",
@@ -912,8 +995,11 @@ class ShardCluster:
         request_timeout: Optional[float] = None,
         retry_budget: Optional[int] = None,
         faults: Optional[FaultPlan] = None,
+        observe: Optional[bool] = None,
     ) -> "ClusterClient":
-        """Connect a new client facade to every worker."""
+        """Connect a new client facade to every worker.  ``observe``
+        defaults to the cluster's own flag so client- and worker-side
+        instrumentation switch together."""
         return ClusterClient(
             cluster=self,
             dispatch_workers=dispatch_workers,
@@ -923,6 +1009,7 @@ class ShardCluster:
             request_timeout=request_timeout,
             retry_budget=retry_budget,
             faults=faults,
+            observe=self.observe if observe is None else bool(observe),
         )
 
     def respawn_worker(
@@ -956,6 +1043,7 @@ class ShardCluster:
                 self.codec,
                 self._socket_dir,
                 f"worker-{index}-r{seq}",  # never rebind a stale path
+                self.observe,
             ),
             daemon=True,
             name=f"repro-shard-{index}-r{seq}",
@@ -1150,6 +1238,7 @@ class ClusterClient:
         retry_budget: Optional[int] = None,
         retry_backoff: float = 0.05,
         faults: Optional[FaultPlan] = None,
+        observe: bool = True,
     ):
         if cluster is not None:
             addresses = [handle.address for handle in cluster.workers]
@@ -1233,8 +1322,25 @@ class ClusterClient:
         self._ids = _counter(1)
         self._txn_ids = _counter(1)
         self._closed = False
+        #: client-side observability: per-op RPC latency + frame bytes
+        #: land here; `metrics()` merges this with every worker's
+        #: registry (fixed buckets make the merge elementwise).
+        self._observe = bool(observe)
+        self.metrics_registry = MetricsRegistry() if observe else NULL_REGISTRY
+        self.spans = SpanLog() if observe else NULL_SPANLOG
+        #: last-known per-worker traffic counters (refreshed by every
+        #: heartbeat ping and stats scrape) and the retired totals of
+        #: dead incarnations — what keeps merged stats/metrics monotone
+        #: across a kill -9 + respawn instead of silently shrinking.
+        self._last_stats: Dict[int, Dict[str, int]] = {}
+        self._last_metrics: Dict[int, Dict[str, object]] = {}
+        self._retired_stats: Dict[str, int] = {"reads": 0, "writes": 0}
+        self._retired_metrics: List[Dict[str, object]] = []
+        #: worker → monotonic time the channel was first marked dead
+        #: (feeds the detection→recovered histogram on recovery).
+        self._dead_since: Dict[int, float] = {}
         self._pool: Optional[DispatchPool] = (
-            DispatchPool(dispatch_workers, dispatch_queue)
+            DispatchPool(dispatch_workers, dispatch_queue, registry=self.metrics_registry)
             if dispatch_workers > 0
             else None
         )
@@ -1279,6 +1385,7 @@ class ClusterClient:
         stream exactly as a flaky network would.
         """
         raw = connect(address, self._codec, timeout=self._connect_timeout)
+        raw.instrument(self.metrics_registry)
         if self._faults is not None:
             raw = self._faults.wrap(
                 raw, worker, "request", lambda w=worker: self._worker_pid(w)
@@ -1294,6 +1401,7 @@ class ClusterClient:
             reply = raw.request(hello, timeout=self._connect_timeout)
             conn = raw
         push = connect(address, self._codec, timeout=self._connect_timeout)
+        push.instrument(self.metrics_registry)
         if self._faults is not None:
             push = self._faults.wrap(
                 push, worker, "push", lambda w=worker: self._worker_pid(w)
@@ -1355,6 +1463,10 @@ class ClusterClient:
     def _mark_dead(self, worker: int, error: BaseException) -> None:
         supervisor = self._supervisor
         with self._cond:
+            if worker not in self._dead:
+                # First detection wins: the detection→recovered
+                # histogram measures from here.
+                self._dead_since[worker] = time.monotonic()
             self._dead.setdefault(worker, f"{type(error).__name__}: {error}")
             # Wake poll barriers waiting on deltas that will never come.
             self._cond.notify_all()
@@ -1414,6 +1526,7 @@ class ClusterClient:
             "rows",
             "push_sync",
             "cluster_stats",
+            "metrics",
         )
     )
 
@@ -1422,27 +1535,81 @@ class ClusterClient:
         base = self._retry_backoff * (2 ** max(0, attempt - 1))
         return min(base, 1.0) * (0.5 + self._retry_rng.random())
 
+    def _finish_attempt(
+        self,
+        span: Optional[object],
+        hist: Optional[object],
+        started: float,
+        error: Optional[str] = None,
+    ) -> None:
+        """Close one RPC attempt's span and record its wall time."""
+        if hist is not None:
+            hist.observe(time.perf_counter() - started)  # type: ignore[attr-defined]
+        if span is not None:
+            self.spans.finish(span, error=error)
+
     def _request(
-        self, worker: int, message: Dict[str, object], context: str = ""
+        self,
+        worker: int,
+        message: Dict[str, object],
+        context: str = "",
+        trace_id: Optional[str] = None,
     ) -> Dict[str, object]:
+        """One ok-checked RPC with retries, deadlines — and tracing.
+
+        Every *attempt* gets its own client span (``rpc:<op>``) whose
+        context rides inside the request frame, so the worker's child
+        span links back to exactly the attempt that carried it.  All
+        attempts of one logical request share a trace id; callers
+        composing multi-leg protocols (the 2PC ops, apply fan-out) pass
+        their own ``trace_id`` so the legs share a trace too.
+        """
         op = str(message.get("op", ""))
         attempts = 0
         started = time.monotonic()
+        spans = self.spans
+        tracing = spans.enabled
+        if tracing and trace_id is None:
+            trace_id = new_trace_id()
+        hist = (
+            self.metrics_registry.histogram("repro_rpc_seconds", op=op)
+            if self.metrics_registry.enabled
+            else None
+        )
         while True:
             self._await_alive(worker, context)
             with self._lock:
                 conn = self._conns[worker]
             attempts += 1
+            span = None
+            wire = message
+            if tracing:
+                span = spans.start(
+                    f"rpc:{op}",
+                    trace_id=trace_id,
+                    op=op,
+                    worker=worker,
+                    attempt=attempts,
+                )
+                wire = inject_trace(message, span.context())
+            attempt_started = time.perf_counter()
             try:
                 reply = conn.request(  # type: ignore[attr-defined]
-                    message, timeout=self._request_timeout
+                    wire, timeout=self._request_timeout
                 )
-            except FrameTooLargeError:
+            except FrameTooLargeError as oversize:
                 # The oversize check fired before any byte hit the
                 # wire: the worker is fine, the *payload* is the
                 # problem — report it without condemning the channel.
+                self._finish_attempt(
+                    span, hist, attempt_started, error=str(oversize)
+                )
                 raise
             except DeadlineExceededError as stall:
+                self._finish_attempt(
+                    span, hist, attempt_started,
+                    error=f"DeadlineExceededError: {stall}",
+                )
                 elapsed = time.monotonic() - started
                 if not isinstance(conn, MuxConnection):
                     # A serial-channel deadline lost the request/reply
@@ -1481,6 +1648,10 @@ class ClusterClient:
                     attempts=attempts,
                 ) from stall
             except (ConnectionClosedError, TransportError, OSError) as error:
+                self._finish_attempt(
+                    span, hist, attempt_started,
+                    error=f"{type(error).__name__}: {error}",
+                )
                 self._mark_dead(worker, error)
                 if self.supervised:
                     # Bounded stall: wait for the supervisor's recovery,
@@ -1491,7 +1662,11 @@ class ClusterClient:
                     continue
                 raise self._crashed(worker, context) from error
             if reply.get("ok"):
+                self._finish_attempt(span, hist, attempt_started)
                 return reply
+            self._finish_attempt(
+                span, hist, attempt_started, error=str(reply.get("error"))
+            )
             raise self._reply_error(reply)
 
     def probe_worker(
@@ -1511,6 +1686,15 @@ class ClusterClient:
                 {"op": "ping"},
                 timeout=timeout if timeout is not None else self._request_timeout,
             )
+            if reply.get("ok") and "reads" in reply:
+                # Heartbeat piggyback: remember the worker's traffic
+                # counters so stats() can fold a later crash's last
+                # known figures into the merged totals.
+                with self._lock:
+                    self._last_stats[worker] = {
+                        "reads": int(reply.get("reads", 0)),  # type: ignore[arg-type]
+                        "writes": int(reply.get("writes", 0)),  # type: ignore[arg-type]
+                    }
             return bool(reply.get("ok"))
         except (
             DeadlineExceededError,
@@ -1571,7 +1755,22 @@ class ClusterClient:
         """
         journal = self._journal
         address = tuple(handle.address)
-        conn, push, pid = self._connect_worker(address, index)
+        span = None
+        if self.spans.enabled:
+            span = self.spans.start(
+                "recovery",
+                worker=index,
+                journal_epoch=epoch,
+                pid=handle.pid,
+            )
+        try:
+            conn, push, pid = self._connect_worker(address, index)
+        except BaseException as error:
+            if span is not None:
+                self.spans.finish(
+                    span, error=f"{type(error).__name__}: {error}"
+                )
+            raise
         views: List[str] = []
         try:
             if journal is not None:
@@ -1604,7 +1803,11 @@ class ClusterClient:
                                 ],
                             },
                         )
-        except BaseException:
+        except BaseException as error:
+            if span is not None:
+                self.spans.finish(
+                    span, error=f"{type(error).__name__}: {error}"
+                )
             conn.close()  # type: ignore[attr-defined]
             push.close()
             raise
@@ -1617,6 +1820,18 @@ class ClusterClient:
             self._addresses[index] = address
             self._incarnation[index] += 1
             self._recovered_info[index] = (tuple(views), epoch)
+            # Retire the dead incarnation's last-known figures: the
+            # respawned worker restarts its counters at zero, so the
+            # merged stats/metrics would silently shrink without this
+            # fold (the journal-style survival guarantee).
+            last = self._last_stats.pop(index, None)
+            if last is not None:
+                self._retired_stats["reads"] += int(last.get("reads", 0))
+                self._retired_stats["writes"] += int(last.get("writes", 0))
+            last_snap = self._last_metrics.pop(index, None)
+            if last_snap is not None:
+                self._retired_metrics.append(last_snap)
+            detected_at = self._dead_since.pop(index, None)
             # Remote handle ids restart from 1 on the new incarnation;
             # drop the old incarnation's push routing so they cannot
             # collide with stale keys.
@@ -1637,6 +1852,19 @@ class ClusterClient:
         )
         thread.start()
         self._push_threads.append(thread)
+        if detected_at is not None and self.metrics_registry.enabled:
+            # Detection→recovered: the whole outage window as requests
+            # experienced it, not just the respawn+replay cost.
+            self.metrics_registry.histogram("repro_supervisor_recovery_seconds").observe(
+                time.monotonic() - detected_at
+            )
+        if self.metrics_registry.enabled:
+            self.metrics_registry.counter(
+                "repro_supervisor_recoveries_total", worker=index
+            ).inc()
+        if span is not None:
+            span.attrs["views"] = ",".join(views)
+            self.spans.finish(span)
         try:
             old_conn.close()  # type: ignore[attr-defined]
             old_push.close()
@@ -2126,8 +2354,11 @@ class ClusterClient:
                 "row": command.row,
             }
             changed: Optional[bool] = None
+            # One trace for the whole fan-out: each worker's RPC is a
+            # sibling span under the same trace id.
+            trace = new_trace_id() if self.spans.enabled else None
             for worker in workers:
-                reply = self._request(worker, dict(message))
+                reply = self._request(worker, dict(message), trace_id=trace)
                 if changed is None:
                     changed = bool(reply["changed"])
                 elif changed != bool(reply["changed"]) and effective is None:
@@ -2282,6 +2513,9 @@ class ClusterClient:
             )
             return dict(reply["stats"])  # type: ignore[arg-type]
         txn = f"{self.client_id}:{next(self._txn_ids)}"
+        # All 2PC legs — every prepare, the liveness pings, every
+        # commit, any abort — share one trace; each leg is its own span.
+        trace = new_trace_id() if self.spans.enabled else None
         prepared: List[int] = []
         try:
             for worker in order:
@@ -2289,12 +2523,13 @@ class ClusterClient:
                     worker,
                     {"op": "batch_prepare", "txn": txn, "commands": groups[worker]},
                     context=f"preparing batch {txn}",
+                    trace_id=trace,
                 )
                 prepared.append(worker)
             if self._test_pause_after_prepare is not None:
                 self._test_pause_after_prepare(self)
         except BaseException as error:
-            self._abort_batch(txn, prepared)
+            self._abort_batch(txn, prepared, trace_id=trace)
             if isinstance(error, WorkerCrashedError):
                 raise WorkerCrashedError(
                     f"batch {txn} rolled back: {error}",
@@ -2309,9 +2544,16 @@ class ClusterClient:
         # itself (which the error below then reports precisely).
         for worker in order:
             try:
-                self._request(worker, {"op": "ping"}, context=f"batch {txn}")
+                self._request(
+                    worker,
+                    {"op": "ping"},
+                    context=f"batch {txn}",
+                    trace_id=trace,
+                )
             except WorkerCrashedError as error:
-                self._abort_batch(txn, [w for w in order if w != worker])
+                self._abort_batch(
+                    txn, [w for w in order if w != worker], trace_id=trace
+                )
                 raise WorkerCrashedError(
                     f"batch {txn} rolled back: {error}",
                     worker=error.worker,
@@ -2325,6 +2567,7 @@ class ClusterClient:
                     worker,
                     {"op": "batch_commit", "txn": txn},
                     context=f"committing batch {txn}",
+                    trace_id=trace,
                 )
             except EngineStateError as error:
                 # Under supervision a participant can crash after
@@ -2333,7 +2576,9 @@ class ClusterClient:
                 # the survivors; report a partial commit if some
                 # already applied (the classic 2PC window, now named).
                 self._abort_batch(
-                    txn, [w for w in order if w not in committed and w != worker]
+                    txn,
+                    [w for w in order if w not in committed and w != worker],
+                    trace_id=trace,
                 )
                 if not committed:
                     raise ClusterError(
@@ -2351,7 +2596,7 @@ class ClusterClient:
                 remaining = [
                     w for w in order if w not in committed and w != worker
                 ]
-                self._abort_batch(txn, remaining)
+                self._abort_batch(txn, remaining, trace_id=trace)
                 if not committed:
                     raise WorkerCrashedError(
                         f"batch {txn} rolled back: {error}",
@@ -2368,10 +2613,19 @@ class ClusterClient:
                 merged[key] += int(stats.get(key, 0))  # type: ignore[union-attr]
         return merged
 
-    def _abort_batch(self, txn: str, workers: Sequence[int]) -> None:
+    def _abort_batch(
+        self,
+        txn: str,
+        workers: Sequence[int],
+        trace_id: Optional[str] = None,
+    ) -> None:
         for worker in workers:
             try:
-                self._request(worker, {"op": "batch_abort", "txn": txn})
+                self._request(
+                    worker,
+                    {"op": "batch_abort", "txn": txn},
+                    trace_id=trace_id,
+                )
             except (WorkerCrashedError, ReproError):
                 pass  # the worker died with its stage; nothing applied
 
@@ -2800,6 +3054,15 @@ class ClusterClient:
         )
 
     def stats(self) -> Dict[str, object]:
+        """Cluster-wide structural + traffic summary.
+
+        The merged ``reads``/``writes`` totals are **crash-consistent**:
+        they sum the live workers' counters, the retired totals of
+        recovered incarnations, and the last-known figures of workers
+        that are currently dead (cached from heartbeat pings and prior
+        scrapes) — so a kill -9 never makes the cluster's cumulative
+        traffic appear to shrink.
+        """
         per_worker: Dict[int, object] = {}
         for worker in range(len(self._conns)):
             with self._lock:
@@ -2808,16 +3071,35 @@ class ClusterClient:
                     continue
             try:
                 per_worker[worker] = self._request(worker, {"op": "stats"})["stats"]
-            except WorkerCrashedError:
+            except (WorkerCrashedError, DeadlineExceededError):
                 per_worker[worker] = None
         live = [stats for stats in per_worker.values() if isinstance(stats, dict)]
+        reads = sum(int(stats.get("reads", 0)) for stats in live)
+        writes = sum(int(stats.get("writes", 0)) for stats in live)
+        with self._lock:
+            # Cache the live figures for a future crash...
+            for worker, stats in per_worker.items():
+                if isinstance(stats, dict):
+                    self._last_stats[worker] = {
+                        "reads": int(stats.get("reads", 0)),
+                        "writes": int(stats.get("writes", 0)),
+                    }
+            # ...and fold the dead: retired incarnations plus the
+            # last-known counters of currently-dead workers.
+            reads += self._retired_stats["reads"]
+            writes += self._retired_stats["writes"]
+            for worker in self._dead:
+                cached = self._last_stats.get(worker)
+                if cached is not None:
+                    reads += cached["reads"]
+                    writes += cached["writes"]
         report: Dict[str, object] = {
             "workers": len(self._conns),
             "dead_workers": list(self.dead_workers),
             "views": dict(self._view_engine),
             "view_worker": dict(self._view_worker),
-            "reads": sum(int(stats.get("reads", 0)) for stats in live),
-            "writes": sum(int(stats.get("writes", 0)) for stats in live),
+            "reads": reads,
+            "writes": writes,
             "open_cursors": len(self._cursors),
             "subscriptions": len(self._subs),
             "per_worker": per_worker,
@@ -2830,8 +3112,74 @@ class ClusterClient:
                 "submitted": self._pool.submitted,
                 "delivered": self._pool.delivered,
                 "pending": self._pool.pending,
+                "high_water": self._pool.high_water,
             }
         return report
+
+    def metrics(self) -> Dict[str, object]:
+        """The cluster-wide observability dump.
+
+        Scrapes every live worker's ``metrics`` op and merges the
+        registry snapshots with this client's own (fixed histogram
+        buckets merge elementwise, counters and gauges add — see
+        :func:`repro.obs.registry.merge_snapshots`).  Like the journal
+        makes updates survive a respawn, the merge is **monotone across
+        crashes**: a recovered worker's dead incarnation contributes
+        its last scraped snapshot (retired at recovery), and a
+        currently-dead worker contributes its last-known snapshot — so
+        cumulative series never move backwards.
+
+        Returns ``{"merged": <snapshot>, "client": <snapshot>,
+        "per_worker": {index: {...} | None}, "spans": [...],
+        "slow": [...], "drift": [...], "retired_snapshots": int}``.
+        """
+        per_worker: Dict[int, Optional[Dict[str, object]]] = {}
+        for worker in range(len(self._conns)):
+            with self._lock:
+                if worker in self._dead:
+                    per_worker[worker] = None
+                    continue
+            try:
+                reply = self._request(worker, {"op": "metrics"})
+            except (WorkerCrashedError, DeadlineExceededError, ReproError):
+                per_worker[worker] = None
+                continue
+            snap = reply.get("metrics")
+            if isinstance(snap, dict):
+                with self._lock:
+                    self._last_metrics[worker] = snap
+            per_worker[worker] = {
+                "metrics": snap,
+                "spans": reply.get("spans") or [],
+                "slow": reply.get("slow") or [],
+                "drift": reply.get("drift") or [],
+            }
+        client_snap = self.metrics_registry.snapshot()
+        with self._lock:
+            parts: List[Dict[str, object]] = [client_snap]
+            parts.extend(self._retired_metrics)
+            retired = len(self._retired_metrics)
+            for worker in self._dead:
+                cached = self._last_metrics.get(worker)
+                if cached is not None:
+                    parts.append(cached)
+                    retired += 1
+        drift: List[Dict[str, object]] = []
+        for entry in per_worker.values():
+            if entry is not None:
+                parts.append(entry["metrics"])  # type: ignore[arg-type]
+                drift.extend(entry["drift"])  # type: ignore[arg-type]
+        return {
+            "merged": merge_snapshots(
+                part for part in parts if isinstance(part, dict)
+            ),
+            "client": client_snap,
+            "per_worker": per_worker,
+            "spans": self.spans.snapshot(),
+            "slow": self.spans.slow_snapshot(),
+            "drift": drift,
+            "retired_snapshots": retired,
+        }
 
     def cluster_stats(self) -> Dict[object, Optional[Dict[str, object]]]:
         """Per-worker operational load: pid, view count, row count,
@@ -2840,7 +3188,13 @@ class ClusterClient:
         A dead worker reports ``None``.  The extra ``"supervisor"`` key
         carries the attached supervisor's effective knobs (heartbeat,
         ping timeout, restart backoff, max restarts) or ``None`` when
-        the cluster runs unsupervised."""
+        the cluster runs unsupervised.
+
+        This is the *cheap counts-only* sweep (one ``cluster_stats``
+        RPC per worker, each served by the worker's allocation-light
+        ``load_stats``).  For latency distributions, span logs and
+        guarantee-probe drift reports use :meth:`metrics`, which
+        scrapes and merges the full per-process registries instead."""
         out: Dict[object, Optional[Dict[str, object]]] = {}
         for worker in range(len(self._conns)):
             with self._lock:

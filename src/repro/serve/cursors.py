@@ -56,6 +56,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import islice
+from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import CursorInvalidatedError, EngineStateError, QueryStructureError
@@ -155,10 +156,36 @@ class Cursor:
         #: the rebuilt walk to skip the consumed prefix in O(1) probes.
         self._emitted: Set[Row] = set()
         self._needs_rebuild = False
+        #: survivals of beyond-frontier writes — kept as a plain per-
+        #: cursor attribute (the public accessor) and mirrored into the
+        #: session registry's per-view revalidation counter.
         self.revalidations = 0
         self._exhausted = False
         self._closed = False
         self._invalidation: Optional[CursorInvalidation] = None
+        # Observability (repro.obs): the view's guarantee probe feeds
+        # per-tuple delay from served pages; the registry counts pages,
+        # revalidations and invalidations per view.  All None/no-op
+        # when the owning session runs observe=False.
+        self._probe = getattr(view, "_probe", None)
+        metrics = getattr(getattr(view, "_session", None), "metrics", None)
+        if metrics is not None and metrics.enabled:
+            self._page_hist = metrics.histogram(
+                "repro_cursor_page_seconds", view=view.name
+            )
+            self._reval_counter = metrics.counter(
+                "repro_cursor_revalidations_total", view=view.name
+            )
+            self._invalid_counter = metrics.counter(
+                "repro_cursor_invalidations_total", view=view.name
+            )
+            metrics.counter(
+                "repro_cursor_opened_total", view=view.name
+            ).inc()
+        else:
+            self._page_hist = None
+            self._reval_counter = None
+            self._invalid_counter = None
         view._register_cursor(self)
 
     # -- state ----------------------------------------------------------------
@@ -200,6 +227,7 @@ class Cursor:
         self._check_valid()
         if self._exhausted or n == 0:
             return []
+        started = perf_counter() if self._page_hist is not None else 0.0
         if self._buffer is not None:
             page = self._buffer[self._buffer_pos : self._buffer_pos + n]
             self._buffer_pos += len(page)
@@ -225,6 +253,17 @@ class Cursor:
                 self._finish()
         self._fetched += len(page)
         self._emitted.update(page)
+        if self._page_hist is not None and page:
+            elapsed = perf_counter() - started
+            self._page_hist.observe(elapsed)
+            probe = self._probe
+            if probe is not None:
+                # Result size feeds the drift check; count() is O(1)
+                # precisely for the engines that promise constant delay
+                # (the only ones drift judges), so the probe never
+                # pays a recompute-style full evaluation here.
+                size = self._view.count() if probe.constant_delay else 0
+                probe.record_page(elapsed, len(page), size)
         return page
 
     def fetch_all(self) -> List[Row]:
@@ -314,9 +353,13 @@ class Cursor:
                 # The consumed prefix is intact and every delta tuple
                 # sits at/after the frontier: survive in place.
                 self.revalidations += 1
+                if self._reval_counter is not None:
+                    self._reval_counter.inc()
                 self._needs_rebuild = True
                 self._stream = None
                 return
+        if self._invalid_counter is not None:
+            self._invalid_counter.inc()
         self._invalidation = CursorInvalidation(
             view=self._view.name,
             opened_epoch=self.opened_epoch,

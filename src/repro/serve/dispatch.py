@@ -45,7 +45,10 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+from time import perf_counter
 from typing import TYPE_CHECKING, Deque, Optional
+
+from repro.obs.registry import Counter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.serve.subscriptions import Delta, Subscription
@@ -56,7 +59,12 @@ __all__ = ["DispatchPool"]
 class DispatchPool:
     """A bounded pool of delivery workers with per-subscription FIFO."""
 
-    def __init__(self, workers: int = 2, max_queue: int = 8192):
+    def __init__(
+        self,
+        workers: int = 2,
+        max_queue: int = 8192,
+        registry: Optional[object] = None,
+    ):
         if workers < 1:
             raise ValueError(f"dispatch pool needs >= 1 worker, got {workers}")
         if max_queue < 1:
@@ -68,8 +76,21 @@ class DispatchPool:
         self._runnable: Deque["Subscription"] = deque()
         self._pending_total = 0  # submitted, not yet delivered
         self._stopped = False
-        self.submitted = 0
-        self.delivered = 0
+        # Submitted/delivered live on the metrics registry when one is
+        # attached (one scrape sees the queue next to everything else);
+        # without one they fall back to standalone counters so the
+        # public accessors below keep working unchanged.
+        observed = registry is not None and getattr(registry, "enabled", False)
+        if observed:
+            self._submitted = registry.counter("repro_dispatch_submitted_total")
+            self._delivered = registry.counter("repro_dispatch_delivered_total")
+            self._depth = registry.gauge("repro_dispatch_queue_depth")
+            self._lag_hist = registry.histogram("repro_dispatch_lag_seconds")
+        else:
+            self._submitted = Counter()
+            self._delivered = Counter()
+            self._depth = None
+            self._lag_hist = None
         self._threads = [
             threading.Thread(
                 target=self._run, name=f"repro-dispatch-{i}", daemon=True
@@ -105,8 +126,12 @@ class DispatchPool:
                     self._cond.wait()
             if not self._stopped:
                 self._pending_total += 1
-                self.submitted += 1
-                subscription._async_pending.append(delta)
+                self._submitted.inc()
+                if self._depth is not None:
+                    self._depth.set(self._pending_total)
+                    subscription._async_pending.append((delta, perf_counter()))
+                else:
+                    subscription._async_pending.append((delta, 0.0))
                 if not subscription._async_scheduled:
                     subscription._async_scheduled = True
                     self._runnable.append(subscription)
@@ -138,7 +163,7 @@ class DispatchPool:
         if not self._runnable:
             return False
         subscription = self._runnable.popleft()
-        delta = subscription._async_pending.popleft()
+        delta, submitted_at = subscription._async_pending.popleft()
         self._cond.release()
         # Deliver outside the pool lock: callbacks may be slow or
         # re-enter the server's read side.  The marker lets a callback
@@ -151,7 +176,13 @@ class DispatchPool:
             subscription._delivering_thread = None
             self._cond.acquire()
             self._pending_total -= 1
-            self.delivered += 1
+            self._delivered.inc()
+            if self._lag_hist is not None:
+                # Submit→landed lag: queue wait plus the delivery
+                # itself — what a subscriber actually experiences
+                # behind the async pool.
+                self._lag_hist.observe(perf_counter() - submitted_at)
+                self._depth.set(self._pending_total)
             subscription._async_done += 1
             if subscription._async_pending:
                 self._runnable.append(subscription)
@@ -181,6 +212,23 @@ class DispatchPool:
         with self._cond:
             while self._pending_total and not self._stopped:
                 self._cond.wait()
+
+    @property
+    def submitted(self) -> int:
+        """Total deliveries ever enqueued (thin view over the registry
+        counter ``repro_dispatch_submitted_total``)."""
+        return self._submitted.value
+
+    @property
+    def delivered(self) -> int:
+        """Total deliveries completed (thin view over the registry
+        counter ``repro_dispatch_delivered_total``)."""
+        return self._delivered.value
+
+    @property
+    def high_water(self) -> int:
+        """Deepest undelivered backlog observed (0 without a registry)."""
+        return self._depth.high_water if self._depth is not None else 0
 
     @property
     def pending(self) -> int:

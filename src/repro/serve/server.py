@@ -179,8 +179,28 @@ class Server:
         self._shard_of_subscription: Dict[int, int] = {}
         self._relation_shards: Dict[str, Tuple[int, ...]] = {}
         self._placed = 0  # round-robin view placement counter
+        # Observability: the server's read/write totals live on the
+        # session's metrics registry (one scrape sees them next to the
+        # engine and cursor distributions); with observe=False they
+        # fall back to standalone counters so the accessors below — and
+        # stats() — keep reporting.  Either way the update is the same
+        # unlocked += the ad-hoc integers used to be.
+        registry = self._session.metrics
+        if registry.enabled:
+            self.metrics_registry = registry
+            self._reads = registry.counter("repro_server_reads_total")
+            self._shard_writes = [
+                registry.counter("repro_server_writes_total", shard=i)
+                for i in range(shards)
+            ]
+        else:
+            from repro.obs.registry import Counter, NULL_REGISTRY
+
+            self.metrics_registry = NULL_REGISTRY
+            self._reads = Counter()
+            self._shard_writes = [Counter() for _ in range(shards)]
         self._pool: Optional[DispatchPool] = (
-            DispatchPool(dispatch_workers, dispatch_queue)
+            DispatchPool(dispatch_workers, dispatch_queue, registry=registry)
             if dispatch_workers > 0
             else None
         )
@@ -189,12 +209,6 @@ class Server:
         self._subscriptions: Dict[int, Subscription] = {}
         self._next_id = 1
         self._id_lock = threading.Lock()
-        #: total reads served; approximate under concurrency (readers
-        #: deliberately do not serialise on a shared counter).
-        self.reads = 0
-        #: exact per-shard write counters, bumped under the write lock
-        #: of the view's / first touched shard.
-        self._shard_writes = [0] * shards
         for view in self._session.views:
             self._place_view(view)
 
@@ -208,8 +222,18 @@ class Server:
         return len(self._shards)
 
     @property
+    def reads(self) -> int:
+        """Total reads served — thin view over the registry counter
+        ``repro_server_reads_total``; approximate under concurrency
+        (readers deliberately do not serialise on a shared counter)."""
+        return self._reads.value
+
+    @property
     def writes(self) -> int:
-        return sum(self._shard_writes)
+        """Total writes applied — sum of the per-shard registry
+        counters ``repro_server_writes_total{shard=...}``, each bumped
+        under its shard's write lock (exact)."""
+        return sum(c.value for c in self._shard_writes)
 
     @property
     def dispatcher(self) -> Optional[DispatchPool]:
@@ -364,7 +388,7 @@ class Server:
         """The cursor's next ``n`` tuples (see :meth:`Cursor.fetch`)."""
         shard = self._shard_of_cursor.get(cursor, 0)
         with self._shards[shard].read_locked():
-            self.reads += 1
+            self._reads.inc()
             handle_lock = self._cursor_locks.get(cursor)
             if handle_lock is None:
                 raise EngineStateError(f"unknown cursor handle {cursor}")
@@ -479,7 +503,7 @@ class Server:
             shard_ids = self._shards_for_relation(command.relation)
             with self._write_shards(shard_ids):
                 if self._shards_for_relation(command.relation) == shard_ids:
-                    self._shard_writes[shard_ids[0]] += 1
+                    self._shard_writes[shard_ids[0]].inc()
                     return self._session.apply(command)
 
     def apply_all(self, commands: Sequence[UpdateCommand]) -> List[bool]:
@@ -512,7 +536,7 @@ class Server:
                     fresh.update(self._shards_for_relation(command.relation))
                 if fresh != shard_ids:
                     continue  # a view() raced our routing read; retry
-                self._shard_writes[min(shard_ids)] += len(commands)
+                self._shard_writes[min(shard_ids)].inc(len(commands))
                 return [self._session.apply(command) for command in commands]
 
     def batch(self, commands: Iterable[UpdateCommand]) -> Dict[str, int]:
@@ -520,7 +544,7 @@ class Server:
 
         Takes every shard: the batch must look atomic to all views."""
         with self._write_all():
-            self._shard_writes[0] += 1
+            self._shard_writes[0].inc()
             with self._session.batch() as batch:
                 batch.apply_all(commands)
             return dict(batch.stats or {})
@@ -531,17 +555,17 @@ class Server:
 
     def count(self, view: str) -> int:
         with self._view_locked(view):
-            self.reads += 1
+            self._reads.inc()
             return self._session[view].count()
 
     def answer(self, view: str) -> bool:
         with self._view_locked(view):
-            self.reads += 1
+            self._reads.inc()
             return self._session[view].answer()
 
     def contains(self, view: str, row: Sequence[Constant]) -> bool:
         with self._view_locked(view):
-            self.reads += 1
+            self._reads.inc()
             return self._session[view].contains(row)
 
     def explain(self, view: str) -> str:
@@ -554,7 +578,7 @@ class Server:
         checks compare).  O(|result|); a verification surface, not a
         paging one — use cursors for that."""
         with self._view_locked(view):
-            self.reads += 1
+            self._reads.inc()
             return sorted(self._session[view].result_set(), key=repr)
 
     def result_set(self, view: str) -> set:
@@ -562,14 +586,14 @@ class Server:
         :meth:`repro.serve.cluster.ClusterClient.result_set`, so
         backend-agnostic code can verify against either)."""
         with self._view_locked(view):
-            self.reads += 1
+            self._reads.inc()
             return self._session[view].result_set()
 
     def digest(self, view: str) -> str:
         """Order-independent result fingerprint (see
         :meth:`repro.interface.DynamicEngine.result_digest`)."""
         with self._view_locked(view):
-            self.reads += 1
+            self._reads.inc()
             return self._session[view].engine.result_digest()
 
     def result_digest(self, view: str) -> str:
@@ -599,7 +623,7 @@ class Server:
             out: Dict[str, Tuple[List[Row], int]] = {}
             for name in views:
                 view = self._session[name]
-                self.reads += 1
+                self._reads.inc()
                 out[name] = (
                     sorted(view.result_set(), key=repr),
                     view.epoch,
@@ -623,7 +647,7 @@ class Server:
             epochs: Dict[str, int] = {}
             for name in names:
                 view = self._session[name]
-                self.reads += 1
+                self._reads.inc()
                 rows[name] = sorted(view.result_set(), key=repr)
                 epochs[name] = view.epoch
         return Snapshot(
@@ -641,6 +665,13 @@ class Server:
             yield
 
     def stats(self) -> Dict[str, object]:
+        """A structural + traffic summary of this server.
+
+        The read/write totals are thin views over the metrics registry
+        (``repro_server_reads_total`` / ``repro_server_writes_total``);
+        :meth:`metrics` exposes the full registry snapshot with latency
+        distributions next to these counts.
+        """
         with self._read_all():
             report: Dict[str, object] = {
                 "views": {v.name: v.engine_name for v in self._session.views},
@@ -652,7 +683,7 @@ class Server:
                 "writes": self.writes,
                 "shards": len(self._shards),
                 "shard_of_view": dict(self._shard_of_view),
-                "shard_writes": list(self._shard_writes),
+                "shard_writes": [c.value for c in self._shard_writes],
             }
             if self._pool is not None:
                 report["dispatch"] = {
@@ -660,6 +691,7 @@ class Server:
                     "submitted": self._pool.submitted,
                     "delivered": self._pool.delivered,
                     "pending": self._pool.pending,
+                    "high_water": self._pool.high_water,
                 }
             return report
 
@@ -667,7 +699,14 @@ class Server:
         """The placement-relevant load summary of this server — what the
         cluster's ``cluster_stats`` op reports per worker and the
         supervisor's placement decisions read.  Cheaper than
-        :meth:`stats`: counts only, no per-view maps."""
+        :meth:`stats`: counts only, no per-view maps and no lock-order
+        surprises (a single all-shards read acquisition, like every
+        other read).  ``reads``/``writes`` are the same registry-backed
+        totals :meth:`stats` reports; ``pending`` is the async dispatch
+        backlog (0 under synchronous dispatch).  For distributions
+        (latency percentiles, queue lag) use :meth:`metrics` — this
+        method intentionally stays allocation-light so supervisors can
+        poll it every heartbeat."""
         with self._read_all():
             return {
                 "views": len(self._session.views),
@@ -681,6 +720,27 @@ class Server:
                 "reads": self.reads,
                 "writes": self.writes,
             }
+
+    def metrics(self) -> Dict[str, object]:
+        """The full observability dump of this server's process.
+
+        Returns ``{"metrics": <registry snapshot>, "spans": [...],
+        "slow": [...], "drift": [...]}``.  The registry snapshot is the
+        mergeable form (fixed-bucket histograms merge elementwise — see
+        :func:`repro.obs.registry.merge_snapshots`), ``spans`` is the
+        recent span ring, ``slow`` the over-threshold ring, and
+        ``drift`` the guarantee-probe report: views whose observed
+        enumeration delay scales with result size despite a
+        constant-delay promise.  With ``observe=False`` everything is
+        empty but the shape is stable.
+        """
+        session = self._session
+        return {
+            "metrics": session.metrics.snapshot(),
+            "spans": session.spans.snapshot(),
+            "slow": session.spans.slow_snapshot(),
+            "drift": session.drift_report(),
+        }
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -868,6 +928,8 @@ class Server:
             return {"ok": True, "stats": self.stats()}
         if op == "load_stats":
             return {"ok": True, "load": self.load_stats()}
+        if op == "metrics":
+            return {"ok": True, **self.metrics()}
         raise EngineStateError(f"unknown request op {op!r}")
 
     def __repr__(self) -> str:

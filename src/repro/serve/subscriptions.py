@@ -112,9 +112,11 @@ class Subscription:
         self.last_callback_error: Optional[BaseException] = None
         self._closed = False
         # Async-dispatch state, owned by the DispatchPool's lock: the
-        # per-subscription FIFO queue, the "some worker holds me"
-        # flag, and the submitted/done counters behind poll's barrier.
-        self._async_pending: Deque[Delta] = deque()
+        # per-subscription FIFO queue of (delta, submit-time) pairs —
+        # the timestamp feeds the pool's delivery-lag histogram — the
+        # "some worker holds me" flag, and the submitted/done counters
+        # behind poll's barrier.
+        self._async_pending: Deque[tuple] = deque()
         self._async_scheduled = False
         self._async_submitted = 0
         self._async_done = 0

@@ -318,6 +318,7 @@ class Connection:
         sock: socket.socket,
         codec: Codec,
         max_frame: Optional[int] = None,
+        registry: Optional[object] = None,
     ):
         self._sock = sock
         self._codec = codec
@@ -328,6 +329,25 @@ class Connection:
         self._recv_lock = threading.Lock()
         self._request_lock = threading.Lock()
         self._closed = False
+        # Frame-byte accounting (payload + 4-byte header per frame).
+        # Attached lazily via `instrument()` or the registry= kwarg so
+        # the default construction stays dependency-free; None means
+        # no accounting — the hot path pays one `is not None` check.
+        self._bytes_sent = None
+        self._bytes_received = None
+        if registry is not None and getattr(registry, "enabled", False):
+            self.instrument(registry)
+
+    def instrument(self, registry) -> None:
+        """Attach frame-byte counters (``repro_rpc_bytes_sent_total`` /
+        ``repro_rpc_bytes_received_total``) from a
+        :class:`~repro.obs.registry.MetricsRegistry`."""
+        if not getattr(registry, "enabled", False):
+            return
+        self._bytes_sent = registry.counter("repro_rpc_bytes_sent_total")
+        self._bytes_received = registry.counter(
+            "repro_rpc_bytes_received_total"
+        )
 
     @property
     def codec(self) -> Codec:
@@ -343,6 +363,8 @@ class Connection:
             if self._closed:
                 raise ConnectionClosedError("connection already closed")
             send_frame(self._sock, payload, self.max_frame)
+        if self._bytes_sent is not None:
+            self._bytes_sent.inc(len(payload) + _LENGTH.size)
 
     def recv(self, timeout: Optional[float] = None) -> object:
         """Read one message.  ``timeout`` bounds the wait: a clean
@@ -354,6 +376,8 @@ class Connection:
             if self._closed:
                 raise ConnectionClosedError("connection already closed")
             payload = recv_frame(self._sock, self.max_frame, timeout=timeout)
+        if self._bytes_received is not None:
+            self._bytes_received.inc(len(payload) + _LENGTH.size)
         return self._codec.decode(payload)
 
     def request(
@@ -465,6 +489,10 @@ class MuxConnection:
     @property
     def closed(self) -> bool:
         return self._conn.closed
+
+    def instrument(self, registry) -> None:
+        """Attach frame-byte counters to the underlying connection."""
+        self._conn.instrument(registry)
 
     @property
     def in_flight(self) -> int:

@@ -30,6 +30,7 @@ def serving_blob(
     recovery=0.3,
     snapshot_overhead=1.1,
     snapshot_pins=2,
+    obs_overhead=1.01,
 ):
     return {
         "cursor_resume": {"cursor_last_over_first": flatness},
@@ -42,6 +43,7 @@ def serving_blob(
             "overhead_vs_plain": snapshot_overhead,
             "max_pin_attempts": snapshot_pins,
         },
+        "observability_overhead": {"overhead_ratio": obs_overhead},
     }
 
 
