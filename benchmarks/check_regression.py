@@ -111,6 +111,18 @@ TRACKED: Dict[str, List[Tuple[str, str, object]]] = {
         # observe=False no-op fast path.  Absolute ratio, scale-robust:
         # both sides run the identical stream in the same process.
         ("observability_overhead.overhead_ratio", "lower", 1.05),
+        # Parameterized views: one view + binding index vs a registered
+        # view copy per binding.  Both guardrails are absolute ratios
+        # and scale-robust: memory_ratio divides two measurements of
+        # the same workload (one-view bytes over extrapolated
+        # per-binding bytes — 5% is the headline guarantee, real runs
+        # sit orders of magnitude below), and fanout_flatness divides
+        # the per-update cost with thousands of bound subscribers by
+        # the cost with four — the single O(δ) fan-out pass keeps it
+        # near 1, so 5.0 only trips when fan-out degenerates to
+        # per-subscriber re-evaluation.
+        ("parameterized_views.memory_ratio", "lower", 0.05),
+        ("parameterized_views.fanout_flatness", "lower", 5.0),
     ],
 }
 

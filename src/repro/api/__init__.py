@@ -17,6 +17,11 @@ API:
 * :class:`Session.batch` — a transactional :class:`Batch` context that
   buffers commands and applies only their *net effect* (insert/delete
   pairs cancelled, no-ops against the current state dropped).
+* :mod:`repro.api.access` — parameterized views: bindings normalized
+  once (:func:`normalize_binding`) and classified per
+  ``(query, access pattern)`` pair (:class:`AccessPattern`), so
+  ``view.cursor(u=3)`` / ``view.subscribe(u=3)`` ride an O(1) pinned
+  or indexed path whenever the pattern is tractable under updates.
 
 Quickstart::
 
@@ -33,7 +38,22 @@ Quickstart::
     print(feed.count())
 """
 
+from repro.api.access import (
+    AccessPattern,
+    classify_access_pattern,
+    normalize_binding,
+)
 from repro.api.planner import Plan, Planner, parse_view
 from repro.api.session import Batch, Session, View
 
-__all__ = ["Plan", "Planner", "parse_view", "Session", "View", "Batch"]
+__all__ = [
+    "AccessPattern",
+    "Plan",
+    "Planner",
+    "parse_view",
+    "Session",
+    "View",
+    "Batch",
+    "classify_access_pattern",
+    "normalize_binding",
+]

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple, Union
 
+from repro.api.access import AccessPattern
 from repro.core.qtree import try_build_q_tree
 from repro.cq.analysis import QueryClassification, classify, find_violation
 from repro.cq.parser import parse_many
@@ -40,7 +41,7 @@ from repro.extensions.ucq import UnionOfCQs, supports_exact_counting
 from repro.interface import ENGINE_REGISTRY, DynamicEngine
 from repro.storage.database import Database
 
-__all__ = ["Plan", "Planner", "parse_view"]
+__all__ = ["Plan", "Planner", "parse_view", "AccessPattern"]
 
 QueryLike = Union[ConjunctiveQuery, UnionOfCQs]
 
@@ -172,6 +173,14 @@ class Plan:
         view's guarantee probe (:mod:`repro.obs.probes`), rendered next
         to the promised classes.  None before any traffic, or when the
         session runs with ``observe=False``.
+    access_patterns:
+        Classified ``(query, access pattern)`` pairs
+        (:class:`repro.api.access.AccessPattern`) — declared via
+        ``Session.view(..., access=...)`` or inferred from the first
+        bound cursor/subscription.  Each renders as its own guarantee
+        row: serving mode (pinned / indexed / filter), the promised
+        lookup/delay/update classes, and — when the session observes —
+        the measured per-pattern delay percentiles.
     """
 
     query: QueryLike
@@ -187,6 +196,9 @@ class Plan:
     )
     stats: Optional[Dict[str, object]] = field(default=None, repr=False)
     observed: Optional[Dict[str, object]] = field(default=None, repr=False)
+    access_patterns: Tuple[AccessPattern, ...] = field(
+        default=(), repr=False
+    )
 
     def build(self, database: Optional[Database] = None) -> DynamicEngine:
         """Instantiate the planned engine (preprocessing phase)."""
@@ -224,6 +236,20 @@ class Plan:
                 f"cursor bindings: ancestor-closed prefixes of {orders} "
                 "pin in O(1)"
             )
+        if self.access_patterns:
+            lines.append("access patterns:")
+            bound_observed = observed.get("access_patterns", {})
+            for pattern in self.access_patterns:
+                label = "(" + ", ".join(pattern.variables) + ")"
+                origin = "declared" if pattern.declared else "inferred"
+                line = (
+                    f"  {label:<14} {pattern.mode} ({origin}) — "
+                    f"lookup {pattern.lookup}, update {pattern.update}"
+                )
+                cell = _format_observed_cell(bound_observed.get(pattern.key))
+                if cell:
+                    line += f"  | observed delay: {cell}"
+                lines.append(line)
         if not self.counting_exact:
             lines.append(
                 "  note           exact counting degrades to enumeration "
@@ -246,6 +272,14 @@ class Plan:
         if not observed:
             return self
         return replace(self, observed=observed)
+
+    def with_access_patterns(
+        self, patterns: Tuple[AccessPattern, ...]
+    ) -> "Plan":
+        """A copy carrying the view's classified access patterns."""
+        if not patterns:
+            return self
+        return replace(self, access_patterns=tuple(patterns))
 
 
 def _format_observed_cell(cell: Optional[Dict[str, object]]) -> Optional[str]:

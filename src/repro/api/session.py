@@ -29,9 +29,16 @@ and subscribers are notified last.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from time import perf_counter
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.api.access import (
+    AccessPattern,
+    classify_access_pattern,
+    normalize_access_declaration,
+    normalize_binding,
+)
 from repro.api.planner import Plan, Planner, QueryLike
 from repro.errors import EngineStateError, SchemaError, UpdateError
 from repro.interface import DynamicEngine
@@ -63,6 +70,16 @@ class View:
         # delta subscribers to fan changes out to (repro.serve).
         self._cursors: List[object] = []
         self._subscriptions: List[object] = []
+        # Access-pattern state: classified (query, pattern) pairs —
+        # declared via Session.view(access=...) or inferred from the
+        # first bound use — plus the bound-subscriber index
+        # pattern key → bound-value tuple → subscriptions, served by
+        # one O(δ) grouping pass per update (View._fan_out_bound).
+        self._access_patterns: Dict[Tuple[str, ...], AccessPattern] = {}
+        self._bound_positions: Dict[Tuple[str, ...], Tuple[int, ...]] = {}
+        self._bound_subs: Dict[
+            Tuple[str, ...], Dict[Tuple, List[object]]
+        ] = {}
         # Guarantee probe (repro.obs): observed update-cost and
         # enumeration-delay distributions next to the plan's promises.
         # None when the session runs with observe=False — the hot paths
@@ -99,9 +116,46 @@ class View:
         observes, the measured update/delay percentiles next to the
         promised classes (see :mod:`repro.obs.probes`)."""
         plan = self._plan.with_stats(self._engine.plan_stats())
+        plan = plan.with_access_patterns(tuple(self._access_patterns.values()))
         if self._probe is not None:
             plan = plan.with_observed(self._probe.observed())
         return plan
+
+    @property
+    def access_patterns(self) -> Tuple[AccessPattern, ...]:
+        """The view's classified access patterns (declared + inferred)."""
+        return tuple(self._access_patterns.values())
+
+    def _ensure_access_pattern(
+        self, variables: Sequence[str], declared: bool = False
+    ) -> AccessPattern:
+        """Classify (once) the access pattern binding ``variables``.
+
+        ``pinned`` patterns need no state; ``indexed`` ones register a
+        maintained binding index with the engine (built O(|result|)
+        once, patched O(δ) per update); ``filter`` records the honest
+        degradation.  The pattern lands on :meth:`explain`'s report
+        either way.
+        """
+        free = tuple(self.query.free)
+        chosen = set(variables)
+        key = tuple(v for v in free if v in chosen)
+        existing = self._access_patterns.get(key)
+        if existing is not None:
+            if declared and not existing.declared:
+                existing = replace(existing, declared=True)
+                self._access_patterns[key] = existing
+            return existing
+        pattern = classify_access_pattern(
+            self.query, self.engine_name, variables, declared=declared
+        )
+        if pattern.mode == "indexed":
+            self._engine.register_access_pattern(pattern.variables)
+        self._access_patterns[pattern.variables] = pattern
+        self._bound_positions[pattern.variables] = tuple(
+            free.index(v) for v in pattern.variables
+        )
+        return pattern
 
     # -- query surface --------------------------------------------------------
 
@@ -149,22 +203,56 @@ class View:
         Output variables bind to constants either as keyword sugar
         (``view.cursor(x=3)``) or through the explicit ``binding`` dict
         — use the dict for variables whose names collide with the
-        ``binding``/``snapshot`` parameters.  Bindings forming a
-        q-tree-order prefix are pinned in O(1), see
-        :class:`repro.serve.cursors.Cursor`.  ``snapshot=True`` pins
-        the pre-update result if a write interleaves.
+        ``binding``/``snapshot`` parameters.  The bound set is
+        classified as an access pattern on first use
+        (:func:`repro.api.access.classify_access_pattern`):
+        ancestor-closed patterns pin in O(1), other tractable patterns
+        get a maintained binding index, and only the baseline falls
+        back to filtering.  ``snapshot=True`` pins the pre-update
+        result if a write interleaves.
         """
         from repro.serve.cursors import Cursor  # avoid an import cycle
 
-        merged = dict(binding or {})
-        merged.update(variables)
-        return Cursor(self, binding=merged or None, snapshot=snapshot)
+        merged = normalize_binding(
+            binding,
+            variables,
+            free=tuple(self.query.free),
+            context=f"cursor() on view {self.name!r}",
+            parameters=("binding", "snapshot"),
+            flags={"snapshot": snapshot},
+        )
+        pattern = None
+        if merged:
+            pattern = self._ensure_access_pattern(tuple(merged))
+        return Cursor(self, binding=merged, snapshot=snapshot, pattern=pattern)
+
+    def enumerate_bound(
+        self,
+        binding: Optional[Dict[str, Constant]] = None,
+        **variables,
+    ) -> Iterator[Row]:
+        """Stream the result restricted to an output-variable binding,
+        through the engine's index-backed bound path when one applies
+        (see :meth:`repro.interface.DynamicEngine.enumerate_bound`)."""
+        merged = normalize_binding(
+            binding,
+            variables,
+            free=tuple(self.query.free),
+            context=f"enumerate_bound() on view {self.name!r}",
+            parameters=("binding",),
+        )
+        if not merged:
+            return self._engine.enumerate()
+        self._ensure_access_pattern(tuple(merged))
+        return self._engine.enumerate_bound(merged)
 
     def subscribe(
         self,
         callback=None,
         max_pending: Optional[int] = None,
         dispatcher: Optional[object] = None,
+        binding: Optional[Dict[str, Constant]] = None,
+        **variables,
     ) -> "object":
         """Register a delta subscriber on this view.
 
@@ -176,19 +264,52 @@ class View:
         moves the delivery out of the writer thread: the update only
         submits, a pool worker appends/invokes (per-subscription FIFO,
         see :meth:`repro.serve.server.Server.subscribe`).
+
+        A *parameterized* subscription binds output variables —
+        ``view.subscribe(u=3)`` or ``binding={"u": 3}`` — and then
+        receives only the O(δ)-restricted per-binding delta, fanned out
+        server-side from the single ``apply_with_delta`` pass over a
+        binding index (never per-subscriber re-evaluation); the
+        delivered deltas carry ``delta.binding``.
         """
         from repro.serve.subscriptions import Subscription
 
+        flags = {
+            name: value
+            for name, value in (
+                ("callback", callback),
+                ("max_pending", max_pending),
+                ("dispatcher", dispatcher),
+            )
+            if value is not None
+        }
+        merged = normalize_binding(
+            binding,
+            variables,
+            free=tuple(self.query.free),
+            context=f"subscribe() on view {self.name!r}",
+            parameters=("callback", "max_pending", "dispatcher", "binding"),
+            flags=flags,
+        )
+        if merged:
+            self._ensure_access_pattern(tuple(merged))
         return Subscription(
             self,
             callback=callback,
             max_pending=max_pending,
             dispatcher=dispatcher,
+            binding=merged,
         )
 
     @property
     def subscriptions(self) -> Tuple[object, ...]:
-        return tuple(self._subscriptions)
+        bound = [
+            subscription
+            for by_values in self._bound_subs.values()
+            for subscribers in by_values.values()
+            for subscription in subscribers
+        ]
+        return tuple(self._subscriptions) + tuple(bound)
 
     @property
     def open_cursors(self) -> Tuple[object, ...]:
@@ -205,10 +326,41 @@ class View:
         except ValueError:
             pass  # already deregistered (exhausted, closed, invalidated)
 
+    def _bound_key(self, binding: Dict[str, Constant]) -> Tuple[Tuple[str, ...], Tuple]:
+        """(pattern key, bound-value tuple) in output-variable order."""
+        free = tuple(self.query.free)
+        key = tuple(v for v in free if v in binding)
+        return key, tuple(binding[v] for v in key)
+
     def _register_subscription(self, subscription) -> None:
-        self._subscriptions.append(subscription)
+        binding = getattr(subscription, "binding", None)
+        if binding:
+            key, values = self._bound_key(binding)
+            self._bound_subs.setdefault(key, {}).setdefault(
+                values, []
+            ).append(subscription)
+        else:
+            self._subscriptions.append(subscription)
 
     def _drop_subscription(self, subscription) -> None:
+        binding = getattr(subscription, "binding", None)
+        if binding:
+            key, values = self._bound_key(binding)
+            by_values = self._bound_subs.get(key)
+            if by_values is None:
+                return
+            subscribers = by_values.get(values)
+            if subscribers is None:
+                return
+            try:
+                subscribers.remove(subscription)
+            except ValueError:
+                return
+            if not subscribers:
+                del by_values[values]
+            if not by_values:
+                del self._bound_subs[key]
+            return
         try:
             self._subscriptions.remove(subscription)
         except ValueError:
@@ -230,7 +382,7 @@ class View:
         """
         for cursor in list(self._cursors):
             cursor._before_view_update(command)
-        want_delta = bool(self._subscriptions)
+        want_delta = bool(self._subscriptions) or bool(self._bound_subs)
         if not want_delta and self._cursors:
             want_delta = getattr(
                 self._engine, "supports_cheap_delta", False
@@ -276,12 +428,53 @@ class View:
         if delta is not None and delta.size:
             for subscription in list(self._subscriptions):
                 subscription._dispatch(delta)
+            if self._bound_subs:
+                self._fan_out_bound(delta)
+
+    def _fan_out_bound(self, delta) -> None:
+        """Fan one view delta out to the parameterized subscribers.
+
+        One O(δ) grouping pass per registered pattern: each delta row
+        is projected onto the pattern's bound positions and appended to
+        its bound-value group — but only for values someone actually
+        subscribed to, so untouched bindings cost nothing.  Each
+        touched group then dispatches a single restricted
+        :class:`~repro.serve.subscriptions.Delta` (carrying
+        ``binding``) to exactly its subscribers.  Total cost is
+        O(patterns · δ), independent of the number of bound
+        subscribers — the one-pass fan-out the paper's O(δ) delta
+        enables.
+        """
+        from repro.serve.subscriptions import Delta
+
+        for key, by_values in list(self._bound_subs.items()):
+            positions = self._bound_positions[key]
+            touched: Dict[Tuple, Tuple[List[Row], List[Row]]] = {}
+            for row in delta.added:
+                values = tuple(row[p] for p in positions)
+                if values in by_values:
+                    touched.setdefault(values, ([], []))[0].append(row)
+            for row in delta.removed:
+                values = tuple(row[p] for p in positions)
+                if values in by_values:
+                    touched.setdefault(values, ([], []))[1].append(row)
+            for values, (added, removed) in touched.items():
+                restricted = Delta(
+                    view=self.name,
+                    epoch=delta.epoch,
+                    command=delta.command,
+                    added=tuple(added),
+                    removed=tuple(removed),
+                    binding=dict(zip(key, values)),
+                )
+                for subscription in list(by_values.get(values, ())):
+                    subscription._dispatch(restricted)
 
     def _close_serving(self) -> None:
         """Release cursors and subscriptions (on ``drop_view``)."""
         for cursor in list(self._cursors):
             cursor.close()
-        for subscription in list(self._subscriptions):
+        for subscription in self.subscriptions:
             subscription.close()
 
     def __repr__(self) -> str:
@@ -429,15 +622,35 @@ class Session:
     # view registration
     # ------------------------------------------------------------------
 
-    def view(self, name: str, query: object, engine: str = "auto") -> View:
+    def view(
+        self,
+        name: str,
+        query: object,
+        engine: str = "auto",
+        access: Optional[object] = None,
+    ) -> View:
         """Register a live view from query text (CQ or UCQ) or a query
-        object; ``engine="auto"`` lets the dichotomy choose."""
+        object; ``engine="auto"`` lets the dichotomy choose.
+
+        ``access`` declares the expected access patterns up front — one
+        pattern (``access={"u"}``) or several (``access=[{"u"},
+        {"u", "x"}]``).  Each is classified immediately
+        (:func:`repro.api.access.classify_access_pattern`) and, when it
+        needs one, its binding index is built during registration
+        instead of on the first bound read.  Patterns not declared here
+        are still inferred from the first bound cursor / subscription.
+        """
         if name in self._views:
             raise EngineStateError(f"a view named {name!r} already exists")
         if self._active_batch is not None:
             raise EngineStateError("cannot register a view inside an open batch")
         plan = self._planner.plan(query, engine=engine)
         parsed = plan.query
+        declared_patterns: Tuple[Tuple[str, ...], ...] = ()
+        if access is not None:
+            declared_patterns = normalize_access_declaration(
+                access, tuple(parsed.free), context=f"view {name!r}"
+            )
 
         # Check schema compatibility before any state changes.
         arities = {r: parsed.arity_of(r) for r in parsed.relations}
@@ -467,6 +680,8 @@ class Session:
         for relation in arities:
             self._rows.setdefault(relation, set())
             self._views_by_relation.setdefault(relation, []).append(view)
+        for pattern in declared_patterns:
+            view._ensure_access_pattern(pattern, declared=True)
         return view
 
     def drop_view(self, name: str) -> None:

@@ -36,13 +36,13 @@ the honest behaviour.
 from __future__ import annotations
 
 from itertools import chain
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.qtree import QTree, try_build_q_tree
 from repro.core.structure import ComponentStructure
 from repro.cq.analysis import find_violation
 from repro.cq.query import ConjunctiveQuery
-from repro.errors import NotQHierarchicalError, QueryStructureError
+from repro.errors import NotQHierarchicalError
 from repro.interface import DynamicEngine, register_engine
 from repro.storage.database import Constant, Database, Row
 
@@ -201,7 +201,11 @@ class QHierarchicalEngine(DynamicEngine):
             )
         pick = 0 if is_insert else 1
         expanded = self._expand_delta(component_delta, pick)
-        return (expanded, ()) if is_insert else ((), expanded)
+        added, removed = (
+            (expanded, ()) if is_insert else ((), expanded)
+        )
+        self._maintain_binding_indexes(added, removed)
+        return added, removed
 
     def _expand_delta(
         self,
@@ -325,26 +329,21 @@ class QHierarchicalEngine(DynamicEngine):
 
         yield from product(0)
 
-    def enumerate_bound(self, binding: Mapping[str, Constant]) -> Iterator[Row]:
+    def _enumerate_bound_fallback(
+        self, binding: Dict[str, Constant]
+    ) -> Iterator[Row]:
         """Enumeration with some output variables bound to constants.
 
-        Splits the binding across components and delegates to
+        The structural bound path behind
+        :meth:`repro.interface.DynamicEngine.enumerate_bound` (which
+        validates the names and consults registered binding indexes
+        first).  Splits the binding across components and delegates to
         :meth:`ComponentStructure.enumerate_bound`: bound variables
         forming an ancestor-closed set in their component's q-tree are
         pinned with O(1) item probes (constant delay per tuple); the
         rest degrade to fit-list filters.  Output tuples carry the
         bound values in place, over the query's full output arity.
         """
-        binding = dict(binding)
-        if not binding:
-            return self.enumerate()
-        free_set = set(self._query.free)
-        unknown = [v for v in binding if v not in free_set]
-        if unknown:
-            raise QueryStructureError(
-                f"cannot bind {sorted(unknown)}: not output variables of "
-                f"{self._query.name!r} (free: {self._query.free})"
-            )
         factories = []
         for structure in self._free_structures:
             sub = {

@@ -362,7 +362,9 @@ class UnionEngine(DynamicEngine):
                 seen.add(candidate)
                 if not self.contains(candidate):
                     removed.append(candidate)
-        return tuple(added), tuple(removed)
+        delta = tuple(added), tuple(removed)
+        self._maintain_binding_indexes(*delta)
+        return delta
 
     # ------------------------------------------------------------------
     # queries
@@ -419,26 +421,20 @@ class UnionEngine(DynamicEngine):
 
         return merged(len(self._engines))
 
-    def enumerate_bound(self, binding) -> Iterator[Row]:
+    def _enumerate_bound_fallback(self, binding) -> Iterator[Row]:
         """Duplicate-free bound enumeration over the union.
 
-        ``binding`` uses the union's output names (the first disjunct's
-        free tuple); it is translated positionally onto each disjunct
-        and the Durand–Strozecki fold runs over the per-disjunct bound
+        The structural bound path behind the base class's
+        :meth:`~repro.interface.DynamicEngine.enumerate_bound` (names
+        validated and binding indexes consulted there).  ``binding``
+        uses the union's output names (the first disjunct's free
+        tuple); it is translated positionally onto each disjunct and
+        the Durand–Strozecki fold runs over the per-disjunct bound
         streams, deduplicating with full-tuple ``contains`` probes as
         in :meth:`enumerate`.
         """
-        binding = dict(binding)
-        if not binding:
-            return self.enumerate()
         names = self._query.free
         position = {v: i for i, v in enumerate(names)}
-        unknown = [v for v in binding if v not in position]
-        if unknown:
-            raise QueryStructureError(
-                f"cannot bind {sorted(unknown)}: not output variables of "
-                f"union {self._query.name!r} (free: {names})"
-            )
         translated = []
         for engine in self._engines:
             free = engine.query.free

@@ -263,14 +263,18 @@ class DeltaIVMEngine(DynamicEngine):
         key flips at most once).
         """
         self._capture = ([], [])
+        self._in_delta = True
         try:
             changed = self.apply(command)
         finally:
+            self._in_delta = False
             entered, left = self._capture
             self._capture = None
         if not changed:
             return (), ()
-        return tuple(entered), tuple(left)
+        added, removed = tuple(entered), tuple(left)
+        self._maintain_binding_indexes(added, removed)
+        return added, removed
 
     def _preload(self, database: "Database") -> None:
         """Preprocessing: bulk-mirror the rows, evaluate the view once.

@@ -88,6 +88,8 @@ class ViewProbe:
         "update_stride",
         "update_countdown",
         "_delay_by_size",
+        "_registry",
+        "_bound_hists",
     )
 
     def __init__(self, view: str, engine: str, registry: MetricsRegistry):
@@ -108,6 +110,11 @@ class ViewProbe:
         self.update_countdown = 0
         #: size bucket → [delay sum, tuple count, page samples]
         self._delay_by_size: Dict[int, List[float]] = {}
+        #: access-pattern key → per-tuple bound-delay histogram, created
+        #: lazily on the first bound page of that pattern (kept off the
+        #: unbound hot path entirely).
+        self._registry = registry
+        self._bound_hists: Dict[str, Histogram] = {}
 
     # -- recording (hot path: keep it to adds and one observe) ----------
 
@@ -135,6 +142,24 @@ class ViewProbe:
         bucket[1] += tuples
         bucket[2] += 1
 
+    def record_bound_page(
+        self, pattern: str, seconds: float, tuples: int
+    ) -> None:
+        """One page served under an access pattern: the per-tuple delay
+        lands in that pattern's own histogram
+        (``repro_view_bound_delay_seconds{view=..., pattern=...}``), so
+        ``explain()`` can print measured percentiles per pattern."""
+        if tuples <= 0:
+            return
+        hist = self._bound_hists.get(pattern)
+        if hist is None:
+            hist = self._bound_hists[pattern] = self._registry.histogram(
+                "repro_view_bound_delay_seconds",
+                view=self.view,
+                pattern=pattern,
+            )
+        hist.observe(seconds / tuples)
+
     # -- verdicts -------------------------------------------------------
 
     def observed(self) -> Dict[str, object]:
@@ -143,6 +168,12 @@ class ViewProbe:
             "update": _percentiles(self.update_hist),
             "delay": _percentiles(self.delay_hist),
         }
+        if self._bound_hists:
+            out["access_patterns"] = {
+                pattern: _percentiles(hist)
+                for pattern, hist in self._bound_hists.items()
+                if hist.count
+            }
         drift = self.drift()
         if drift is not None:
             out["drift"] = drift

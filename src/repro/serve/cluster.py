@@ -139,6 +139,7 @@ from repro.obs.tracing import (
     inject as inject_trace,
     new_trace_id,
 )
+from repro.api.access import normalize_binding
 from repro.serve.dispatch import DispatchPool
 from repro.serve.faults import FaultPlan
 from repro.serve.journal import CommandJournal
@@ -643,6 +644,7 @@ class _WorkerHost:
                     str(request["name"]),
                     request["query"],
                     engine=str(request.get("engine", "auto")),
+                    access=request.get("access"),
                 )
                 relations = sorted(view.query.relations)
                 return (
@@ -737,6 +739,8 @@ class _WorkerHost:
                 "added": delta.added,
                 "removed": delta.removed,
             }
+            if delta.binding:
+                payload["binding"] = delta.binding
             frames = getattr(self._push_buffer, "frames", None)
             if frames is not None:
                 # Inside a request handler: collect, flush-before-reply
@@ -767,9 +771,13 @@ class _WorkerHost:
         # already recorded (which would wedge the client's poll
         # barrier).  Server.subscribe's own shard lock is reentrant
         # under the hold.
+        binding = request.get("binding")
         with self.server.exclusive():
             handle = self.server.subscribe(
-                str(request["view"]), callback=push, max_pending=0
+                str(request["view"]),
+                callback=push,
+                max_pending=0,
+                binding=binding,  # type: ignore[arg-type]
             )
             box["handle"] = handle
         with self._state_lock:
@@ -1171,6 +1179,7 @@ class _SubEntry:
         "raw",
         "poll_lock",
         "inc",
+        "binding",
     )
 
     def __init__(
@@ -1181,12 +1190,16 @@ class _SubEntry:
         local: Subscription,
         lazy: bool,
         inc: int = 0,
+        binding: Optional[Dict[str, Constant]] = None,
     ):
         self.worker = worker
         self.remote = remote
         self.view = view
         self.local = local
         self.received = 0
+        #: the parameterized subscription's binding, resent verbatim
+        #: when migration re-homes this entry onto another worker.
+        self.binding = binding
         #: the worker incarnation this subscription was opened against;
         #: a mismatch after supervisor recovery → WorkerRecoveredError.
         self.inc = inc
@@ -1196,6 +1209,22 @@ class _SubEntry:
         self.lazy = lazy
         self.raw: List[Dict[str, object]] = []
         self.poll_lock = threading.Lock()
+
+
+def _access_wire(access: object) -> Optional[List[List[str]]]:
+    """An access declaration's wire form: a list of variable-name
+    lists.  Shape-dispatch mirrors
+    :func:`repro.api.access.normalize_access_declaration`; name
+    validation and canonical ordering happen on the owning worker,
+    which knows the view's output variables."""
+    if access is None:
+        return None
+    if isinstance(access, str):
+        return [[access]]
+    items = list(access)  # type: ignore[call-overload]
+    if items and all(not isinstance(item, str) for item in items):
+        return [list(item) for item in items]
+    return [[str(item) for item in items]]
 
 
 #: worker error name → local exception class (reconstructed client-side).
@@ -1303,6 +1332,10 @@ class ClusterClient:
         self._view_relations: Dict[str, Tuple[str, ...]] = {}
         #: view → wire-form query text (migration re-registers from it).
         self._view_text: Dict[str, str] = {}
+        #: view → declared access patterns (wire form: list of
+        #: variable-name lists) — recovery and migration re-register
+        #: with them so declared binding indexes survive a kill -9.
+        self._view_access: Dict[str, List[List[str]]] = {}
         self._routing: Dict[str, Tuple[int, ...]] = {}
         #: bumped on every routing flip (migration) so stream-level
         #: caches know to re-route.
@@ -1776,15 +1809,15 @@ class ClusterClient:
             if journal is not None:
                 relations: Set[str] = set()
                 for record in journal.views_on(index):
-                    self._raw_ok(
-                        conn,
-                        {
-                            "op": "register_view",
-                            "name": record.name,
-                            "query": record.text,
-                            "engine": record.engine,
-                        },
-                    )
+                    replay: Dict[str, object] = {
+                        "op": "register_view",
+                        "name": record.name,
+                        "query": record.text,
+                        "engine": record.engine,
+                    }
+                    if record.access is not None:
+                        replay["access"] = record.access
+                    self._raw_ok(conn, replay)
                     views.append(record.name)
                     with self._lock:
                         relations.update(
@@ -1947,12 +1980,14 @@ class ClusterClient:
     @staticmethod
     def _decode_delta(item: Dict[str, object]) -> Delta:
         op, relation, row = item["command"]  # type: ignore[misc]
+        binding = item.get("binding")
         return Delta(
             view=str(item["view"]),
             epoch=int(item["epoch"]),  # type: ignore[arg-type]
             command=UpdateCommand(str(op), str(relation), as_row(row)),
             added=as_rows(item["added"]),
             removed=as_rows(item["removed"]),
+            binding=dict(binding) if binding else None,  # type: ignore[arg-type]
         )
 
     def _deliver_push_locked(self, worker: int, item: Dict[str, object]) -> None:
@@ -1975,8 +2010,19 @@ class ClusterClient:
 
     # -- view registration -----------------------------------------------------
 
-    def view(self, name: str, query: object, engine: str = "auto") -> RemoteView:
+    def view(
+        self,
+        name: str,
+        query: object,
+        engine: str = "auto",
+        access: Optional[object] = None,
+    ) -> RemoteView:
         """Register a live view on the next worker (round-robin).
+
+        ``access`` declares access patterns up front, exactly like
+        :meth:`repro.api.session.Session.view` — the declaration rides
+        the registration op to the owning worker (and into the journal,
+        so recovery and migration rebuild the same binding indexes).
 
         The routing table is revalidated: if the view mentions a
         relation already served by another worker, the routing entry is
@@ -1998,9 +2044,18 @@ class ClusterClient:
                 raise EngineStateError(f"a view named {name!r} already exists")
             worker = self._next_alive_worker()
         text = query_to_text(query)
+        access_wire = _access_wire(access)
+        request: Dict[str, object] = {
+            "op": "register_view",
+            "name": name,
+            "query": text,
+            "engine": engine,
+        }
+        if access_wire is not None:
+            request["access"] = access_wire
         reply = self._request(
             worker,
-            {"op": "register_view", "name": name, "query": text, "engine": engine},
+            request,
             context=f"registering view {name!r}",
         )
         relations = [str(relation) for relation in reply["relations"]]  # type: ignore[union-attr]
@@ -2048,6 +2103,8 @@ class ClusterClient:
             self._view_engine[name] = str(reply["engine"])
             self._view_relations[name] = tuple(relations)
             self._view_text[name] = text
+            if access_wire is not None:
+                self._view_access[name] = access_wire
             self._relation_arity.update(arities)
             for relation in relations:
                 known = set(self._routing.get(relation, ()))
@@ -2055,9 +2112,10 @@ class ClusterClient:
                 self._routing[relation] = tuple(sorted(known))
         if self._journal is not None:
             # The *resolved* engine is journaled, so a recovery replay
-            # pins the engine the planner originally chose.
+            # pins the engine the planner originally chose (and the
+            # declared access patterns, so binding indexes rebuild).
             self._journal.record_view(
-                name, text, str(reply["engine"]), worker
+                name, text, str(reply["engine"]), worker, access=access_wire
             )
         for relation, source in backfills:
             rows = self._request(
@@ -2110,6 +2168,7 @@ class ClusterClient:
             self._view_engine.pop(name, None)
             self._view_relations.pop(name, None)
             self._view_text.pop(name, None)
+            self._view_access.pop(name, None)
             self._rebuild_routing_locked()
             for handle, (_w, _remote, view, _inc) in list(self._cursors.items()):
                 if view == name:
@@ -2176,6 +2235,7 @@ class ClusterClient:
             text = self._view_text.get(name)
             engine = self._view_engine.get(name, "auto")
             relations = self._view_relations.get(name, ())
+            access = self._view_access.get(name)
             # Stale-incarnation entries died with a previous worker
             # incarnation: there is nothing to drain or re-home on the
             # respawned process, and resurrecting them would hide the
@@ -2224,14 +2284,17 @@ class ClusterClient:
             #    migration away, a dropped view) still holds rows that
             #    were deleted elsewhere since, and the registration
             #    just computed the view over them.
+            register: Dict[str, object] = {
+                "op": "register_view",
+                "name": name,
+                "query": text,
+                "engine": engine,
+            }
+            if access is not None:
+                register["access"] = access
             self._request(
                 target,
-                {
-                    "op": "register_view",
-                    "name": name,
-                    "query": text,
-                    "engine": engine,
-                },
+                register,
                 context=f"migrating view {name!r} to worker {target}",
             )
             for relation in relations:
@@ -2268,9 +2331,16 @@ class ClusterClient:
             #    can interleave (the gate is held), so no delta is lost
             #    between the old subscription and the new one.
             for handle, entry in subs:
+                resubscribe: Dict[str, object] = {
+                    "op": "subscribe",
+                    "view": name,
+                    "client": self.client_id,
+                }
+                if entry.binding:
+                    resubscribe["binding"] = entry.binding
                 reply = self._request(
                     target,
-                    {"op": "subscribe", "view": name, "client": self.client_id},
+                    resubscribe,
                     context=f"migrating view {name!r}",
                 )
                 with self._cond:
@@ -2636,14 +2706,25 @@ class ClusterClient:
         view: str,
         binding: Optional[Dict[str, Constant]] = None,
         snapshot: bool = False,
+        **variables,
     ) -> int:
+        """Open a cursor on the view's worker.  Output variables bind
+        as keywords (``open_cursor("V", u=3)``) or via ``binding=`` —
+        the merged binding rides the op and is validated (with
+        did-you-mean errors) by the owning worker."""
         worker = self._worker_of_view(view)
+        merged = normalize_binding(
+            binding,
+            variables,
+            context=f"open_cursor() on view {view!r}",
+            parameters=("binding", "snapshot"),
+        )
         reply = self._request(
             worker,
             {
                 "op": "open_cursor",
                 "view": view,
-                "binding": binding,
+                "binding": merged,
                 "snapshot": bool(snapshot),
             },
         )
@@ -2707,17 +2788,34 @@ class ClusterClient:
         view: str,
         callback: Optional[Callable[[Delta], None]] = None,
         max_pending: Optional[int] = None,
+        binding: Optional[Dict[str, Constant]] = None,
+        **variables,
     ) -> int:
         """Subscribe to a view's deltas, streamed over the push channel.
 
         ``callback`` runs client-side — on the push reader thread, or
         on the client's dispatch pool when ``dispatch_workers`` > 0.
+        Binding output variables (``subscribe("V", u=3)`` or
+        ``binding=``) makes it a parameterized subscription: the owning
+        worker fans out only that binding's O(δ)-restricted deltas
+        (each carrying ``delta.binding``), and migration/recovery
+        re-subscribe with the same binding.
         """
         worker = self._worker_of_view(view)
-        reply = self._request(
-            worker,
-            {"op": "subscribe", "view": view, "client": self.client_id},
+        merged = normalize_binding(
+            binding,
+            variables,
+            context=f"subscribe() on view {view!r}",
+            parameters=("callback", "max_pending", "binding"),
         )
+        request: Dict[str, object] = {
+            "op": "subscribe",
+            "view": view,
+            "client": self.client_id,
+        }
+        if merged:
+            request["binding"] = merged
+        reply = self._request(worker, request)
         remote = int(reply["subscription"])  # type: ignore[arg-type]
         lazy = (
             callback is None and self._pool is None and max_pending is None
@@ -2727,12 +2825,14 @@ class ClusterClient:
             callback=callback,
             max_pending=max_pending,
             dispatcher=self._pool,
+            binding=merged,
         )
         with self._cond:
             handle = next(self._ids)
             entry = _SubEntry(
                 worker, remote, view, local, lazy,
                 inc=self._incarnation[worker],
+                binding=merged,
             )
             self._subs[handle] = entry
             self._by_remote[(worker, remote)] = handle
@@ -3249,8 +3349,15 @@ class ClusterClient:
         nowhere to put them.
         """
         for view in session.views:  # type: ignore[attr-defined]
+            patterns = [
+                list(pattern.variables)
+                for pattern in getattr(view, "access_patterns", ())
+            ]
             self.view(
-                view.name, query_to_text(view.query), engine=view.engine_name
+                view.name,
+                query_to_text(view.query),
+                engine=view.engine_name,
+                access=patterns or None,
             )
         commands: List[UpdateCommand] = []
         for relation in session.relations:  # type: ignore[attr-defined]

@@ -45,11 +45,11 @@ placed them before the frontier — the cursor linearises them after what
 its client has already consumed.
 
 Parameter binding (``view.cursor(X=c)``) restricts enumeration to the
-given output values.  Bindings forming a prefix of the q-tree order
-(ancestor-closed sets) are pinned with O(1) item probes by
-:meth:`QHierarchicalEngine.enumerate_bound`, keeping the delay
-constant; other engines — and non-prefix bindings — fall back to a
-filtered scan.
+given output values.  The bound set is classified as an access pattern
+(:mod:`repro.api.access`): ancestor-closed sets are pinned with O(1)
+item probes through the q-tree, other tractable patterns are served
+from a maintained binding index (O(1) hash probe, O(δ) upkeep per
+update), and only the recompute baseline falls back to a filtered scan.
 """
 
 from __future__ import annotations
@@ -137,9 +137,14 @@ class Cursor:
         view,
         binding: Optional[Dict[str, Constant]] = None,
         snapshot: bool = False,
+        pattern=None,
     ):
         self._view = view
         self.binding: Dict[str, Constant] = dict(binding or {})
+        #: the classified :class:`repro.api.access.AccessPattern` this
+        #: cursor's binding was served under (None when unbound) — its
+        #: key labels the per-pattern delay percentiles in explain().
+        self.pattern = pattern
         self.snapshot = snapshot
         self.opened_epoch: int = view.epoch
         # bound_stream (and every engine's enumerate_bound behind it)
@@ -264,6 +269,10 @@ class Cursor:
                 # pays a recompute-style full evaluation here.
                 size = self._view.count() if probe.constant_delay else 0
                 probe.record_page(elapsed, len(page), size)
+                if self.pattern is not None:
+                    probe.record_bound_page(
+                        self.pattern.key, elapsed, len(page)
+                    )
         return page
 
     def fetch_all(self) -> List[Row]:

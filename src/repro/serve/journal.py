@@ -46,9 +46,16 @@ __all__ = ["CommandJournal", "ViewRecord"]
 class ViewRecord:
     """One journaled view registration: enough to re-register it."""
 
-    __slots__ = ("name", "text", "engine", "worker")
+    __slots__ = ("name", "text", "engine", "worker", "access")
 
-    def __init__(self, name: str, text: str, engine: str, worker: int):
+    def __init__(
+        self,
+        name: str,
+        text: str,
+        engine: str,
+        worker: int,
+        access: Optional[List[List[str]]] = None,
+    ):
         self.name = name
         #: parseable rule text (see ``query_to_text``) — the wire form.
         self.text = text
@@ -58,6 +65,9 @@ class ViewRecord:
         self.engine = engine
         #: current placement (updated by migration / recovery).
         self.worker = worker
+        #: declared access patterns (wire form), so the replay rebuilds
+        #: the same binding indexes the registration declared.
+        self.access = access
 
     def __repr__(self) -> str:
         return (
@@ -89,10 +99,17 @@ class CommandJournal:
     # -- registrations ------------------------------------------------------
 
     def record_view(
-        self, name: str, text: str, engine: str, worker: int
+        self,
+        name: str,
+        text: str,
+        engine: str,
+        worker: int,
+        access: Optional[List[List[str]]] = None,
     ) -> None:
         with self._lock:
-            self._views[name] = ViewRecord(name, text, engine, worker)
+            self._views[name] = ViewRecord(
+                name, text, engine, worker, access=access
+            )
             # Relations become journal-tracked on first registration so
             # rows() is well-defined even before the first update.
             # (The caller tells us relation names via record/record_many;

@@ -338,9 +338,17 @@ class Server:
     # view registration (exclusive everywhere: changes the routing)
     # ------------------------------------------------------------------
 
-    def view(self, name: str, query: object, engine: str = "auto") -> View:
+    def view(
+        self,
+        name: str,
+        query: object,
+        engine: str = "auto",
+        access: Optional[object] = None,
+    ) -> View:
         with self._write_all():
-            registered = self._session.view(name, query, engine=engine)
+            registered = self._session.view(
+                name, query, engine=engine, access=access
+            )
             self._place_view(registered)
             return registered
 
@@ -367,15 +375,19 @@ class Server:
         view: str,
         binding: Optional[Dict[str, Constant]] = None,
         snapshot: bool = False,
+        **variables,
     ) -> int:
         """Open a cursor; returns its handle for :meth:`fetch`.
 
-        Takes the view's shard write lock: registering the cursor must
-        not race an in-flight update's cursor notifications.
+        Output variables bind as keywords (``open_cursor("V", u=3)``)
+        or through ``binding=``, exactly like
+        :meth:`repro.api.session.View.cursor`.  Takes the view's shard
+        write lock: registering the cursor must not race an in-flight
+        update's cursor notifications.
         """
         with self._view_locked(view, write=True):
             cursor = self._session[view].cursor(
-                binding=binding, snapshot=snapshot
+                binding=binding, snapshot=snapshot, **variables
             )
             handle = self._new_id()
             self._cursors[handle] = cursor
@@ -429,6 +441,8 @@ class Server:
         view: str,
         callback: Optional[Callable[[Delta], None]] = None,
         max_pending: Optional[int] = None,
+        binding: Optional[Dict[str, Constant]] = None,
+        **variables,
     ) -> int:
         """Register a delta subscriber; returns its handle for
         :meth:`poll`.
@@ -436,13 +450,17 @@ class Server:
         With ``dispatch_workers`` > 0 the subscription is wired to the
         server's pool: deliveries (outbox append + callback) run on
         workers in per-subscription FIFO order instead of in the
-        writer thread.
+        writer thread.  Binding output variables (``subscribe("V",
+        u=3)`` or ``binding=``) makes it a *parameterized* subscription
+        receiving only that binding's O(δ)-restricted deltas.
         """
         with self._view_locked(view, write=True):
             subscription = self._session[view].subscribe(
                 callback=callback,
                 max_pending=max_pending,
                 dispatcher=self._pool,
+                binding=binding,
+                **variables,
             )
             handle = self._new_id()
             self._subscriptions[handle] = subscription
@@ -822,6 +840,7 @@ class Server:
                 request["name"],
                 request["query"],
                 engine=request.get("engine", "auto"),
+                access=request.get("access"),
             )
             return {
                 "ok": True,
@@ -852,7 +871,9 @@ class Server:
             return {"ok": True}
         if op == "subscribe":
             handle = self.subscribe(
-                request["view"], max_pending=request.get("max_pending")
+                request["view"],
+                max_pending=request.get("max_pending"),
+                binding=request.get("binding"),
             )
             return {"ok": True, "subscription": handle}
         if op == "poll":
@@ -868,6 +889,7 @@ class Server:
                         "command": str(d.command),
                         "added": list(d.added),
                         "removed": list(d.removed),
+                        **({"binding": d.binding} if d.binding else {}),
                     }
                     for d in deltas
                 ],

@@ -48,6 +48,12 @@ class Delta:
     command moves the result monotonically).  ``epoch`` is the view's
     engine epoch *after* the update, so consecutive deltas of one view
     carry strictly increasing epochs.
+
+    ``binding`` is set on deltas delivered to *parameterized*
+    subscriptions (``view.subscribe(u=3)``): the bound variables and
+    values this delta was restricted to.  ``added``/``removed`` then
+    contain only the rows matching the binding — the O(δ) per-binding
+    slice of the update's full delta.  None on unbound subscriptions.
     """
 
     view: str
@@ -55,6 +61,7 @@ class Delta:
     command: UpdateCommand
     added: Tuple[Row, ...]
     removed: Tuple[Row, ...] = field(default=())
+    binding: Optional[dict] = field(default=None)
 
     @property
     def size(self) -> int:
@@ -62,8 +69,14 @@ class Delta:
         return len(self.added) + len(self.removed)
 
     def __str__(self) -> str:
+        bound = ""
+        if self.binding:
+            pairs = ", ".join(
+                f"{name}={value!r}" for name, value in self.binding.items()
+            )
+            bound = f" [{pairs}]"
         return (
-            f"Δ[{self.view}@{self.epoch}] {self.command}: "
+            f"Δ[{self.view}@{self.epoch}]{bound} {self.command}: "
             f"+{len(self.added)} -{len(self.removed)}"
         )
 
@@ -84,6 +97,11 @@ class Subscription:
     ``max_pending`` bounds the outbox: when full, the *oldest* deltas
     are dropped and :attr:`dropped` counts them, so a slow consumer
     can detect the gap and rematerialise instead of replaying.
+
+    ``binding`` makes the subscription *parameterized*: the view
+    routes it into its bound-subscriber index and delivers only the
+    per-binding restricted deltas (see
+    :meth:`repro.api.session.View._fan_out_bound`).
     """
 
     def __init__(
@@ -92,9 +110,13 @@ class Subscription:
         callback: Optional[Callable[[Delta], None]] = None,
         max_pending: Optional[int] = None,
         dispatcher: Optional[DispatchPool] = None,
+        binding: Optional[dict] = None,
     ):
         self._view = view
         self._callback = callback
+        #: the bound variables, or None — read by the view when routing
+        #: this subscription (must be set before registration below).
+        self.binding = dict(binding) if binding else None
         self._outbox: Deque[Delta] = deque(maxlen=max_pending)
         self._max_pending = max_pending
         self._dispatcher = dispatcher

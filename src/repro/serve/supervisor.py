@@ -361,10 +361,15 @@ class Supervisor:
             texts = dict(client._view_text)
             engines = dict(client._view_engine)
             placement = dict(client._view_worker)
+            access = dict(client._view_access)
         for name, worker in placement.items():
             if self.journal.view(name) is None and name in texts:
                 self.journal.record_view(
-                    name, texts[name], engines.get(name, "auto"), worker
+                    name,
+                    texts[name],
+                    engines.get(name, "auto"),
+                    worker,
+                    access=access.get(name),
                 )
 
     def __enter__(self) -> "Supervisor":

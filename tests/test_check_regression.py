@@ -31,6 +31,8 @@ def serving_blob(
     snapshot_overhead=1.1,
     snapshot_pins=2,
     obs_overhead=1.01,
+    param_memory=0.002,
+    param_fanout=1.3,
 ):
     return {
         "cursor_resume": {"cursor_last_over_first": flatness},
@@ -44,6 +46,10 @@ def serving_blob(
             "max_pin_attempts": snapshot_pins,
         },
         "observability_overhead": {"overhead_ratio": obs_overhead},
+        "parameterized_views": {
+            "memory_ratio": param_memory,
+            "fanout_flatness": param_fanout,
+        },
     }
 
 
