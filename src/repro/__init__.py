@@ -96,7 +96,7 @@ from repro.serve import (
     Subscription,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Atom",

@@ -35,18 +35,35 @@ the honest behaviour.
 
 from __future__ import annotations
 
+import warnings
 from itertools import chain
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.qtree import QTree, try_build_q_tree
 from repro.core.structure import ComponentStructure
+from repro.core.vectorized import (
+    VectorizedKernel,
+    numpy_or_none,
+    plans_qualify,
+    resolve_backend,
+)
 from repro.cq.analysis import find_violation
 from repro.cq.query import ConjunctiveQuery
 from repro.errors import NotQHierarchicalError
 from repro.interface import DynamicEngine, register_engine
+from repro.options import EngineOptions
 from repro.storage.database import Constant, Database, Row
+from repro.storage.updates import UpdateCommand
 
 __all__ = ["QHierarchicalEngine"]
+
+#: Batches below this size take the per-tuple runners: the numpy set-up
+#: cost (array building, interning) only amortises over enough rows.
+_MIN_VECTOR_BATCH = 64
+
+#: Effective commands per kernel invocation; bounds the working arrays
+#: while keeping grouping/interning amortisation high.
+_MAX_VECTOR_CHUNK = 65536
 
 
 @register_engine
@@ -64,8 +81,11 @@ class QHierarchicalEngine(DynamicEngine):
         query: ConjunctiveQuery,
         database: Optional[Database] = None,
         prefer: Sequence[str] = (),
-        compiled: bool = True,
-        merged_loaders: bool = True,
+        *legacy,
+        compiled: Optional[bool] = None,
+        merged_loaders: Optional[bool] = None,
+        backend: Optional[str] = None,
+        options: Optional[object] = None,
     ):
         violation = find_violation(query)
         if violation is not None:
@@ -74,10 +94,35 @@ class QHierarchicalEngine(DynamicEngine):
                 f"{violation.describe()}",
                 violation=violation,
             )
+        if legacy:
+            # Old positional spelling: (query, db, prefer, compiled,
+            # merged_loaders).  Kept working one deprecation cycle.
+            warnings.warn(
+                "positional compiled/merged_loaders are deprecated; pass "
+                "EngineOptions(...) via options= or keyword arguments",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(legacy) > 2:
+                raise TypeError(
+                    f"QHierarchicalEngine takes at most 5 positional "
+                    f"arguments ({5 + len(legacy) - 2} given)"
+                )
+            if compiled is None:
+                compiled = legacy[0]
+            if merged_loaders is None and len(legacy) > 1:
+                merged_loaders = legacy[1]
         self._prefer = tuple(prefer)
-        self._compiled = compiled
-        self._merged_loaders = merged_loaders
-        super().__init__(query, database)
+        resolved = EngineOptions.of(
+            options,
+            compiled=compiled,
+            merged_loaders=merged_loaders,
+            backend=backend,
+        )
+        self._compiled = resolved.compiled
+        self._merged_loaders = resolved.merged_loaders
+        self._backend, self._backend_reason = resolve_backend(resolved)
+        super().__init__(query, database, options=resolved)
 
     def _setup(self) -> None:
         components = self._query.connected_components()
@@ -127,6 +172,28 @@ class QHierarchicalEngine(DynamicEngine):
             for s in self._structures
         ]
 
+        # The vectorized backend: batched numpy kernels over the same
+        # item state (see repro.core.vectorized).  Built only when the
+        # backend resolution picked it, so python-backend engines pay
+        # nothing.  Under ``auto`` the plan shape gets a say: a query
+        # whose every plan is eq-filtered stays on the per-tuple
+        # runners (their O(1) early exit beats batch interning); an
+        # explicit backend="vectorized" request is still honoured.
+        self._vec: Optional[VectorizedKernel] = None
+        if self._backend == "vectorized":
+            if self._options.backend == "auto" and not plans_qualify(
+                self._structures
+            ):
+                self._backend = "python"
+                self._backend_reason = (
+                    "auto: every update plan is eq-filtered "
+                    "(repeated-variable checks) — per-tuple runners win"
+                )
+            else:
+                self._vec = VectorizedKernel(
+                    numpy_or_none(), self._structures
+                )
+
     def _preload(self, database: Database) -> None:
         """Preprocessing: bulk-load the initial database.
 
@@ -140,6 +207,9 @@ class QHierarchicalEngine(DynamicEngine):
             super()._preload(database)
             return
         rows_by_relation = self._db.mirror_from(database)
+        if self._vec is not None:
+            self._vec.bulk_load(rows_by_relation)
+            return
         for structure in self._structures:
             structure.bulk_load(rows_by_relation)
 
@@ -162,6 +232,45 @@ class QHierarchicalEngine(DynamicEngine):
         else:
             for structure in self._by_relation.get(relation, ()):
                 structure.apply(False, relation, row)
+
+    def apply_all(self, commands: Iterable[UpdateCommand]) -> int:
+        """Apply a command stream; batched through the vectorized
+        kernel when one is attached.
+
+        The batch path folds the stream into the database first (the
+        sequential set-semantics filter — effectiveness must be decided
+        in order; the per-relation grouping the kernel needs rides the
+        same pass), then the kernel does per-*distinct-prefix* counter
+        work instead of per-command runner calls.  Oversized batches
+        chunk to bound the working arrays — chunk boundaries are
+        harmless because the counter nets are commutative and
+        effectiveness was already decided.  Binding indexes need
+        per-command deltas, so their presence falls back to the
+        per-tuple path, as do small batches (the numpy set-up cost
+        would dominate).
+        """
+        if self._vec is None or self._binding_indexes:
+            return super().apply_all(commands)
+        commands = list(commands)
+        if len(commands) < _MIN_VECTOR_BATCH:
+            return super().apply_all(commands)
+        changed = 0
+        counters = self._obs_insert
+        for start in range(0, len(commands), _MAX_VECTOR_CHUNK):
+            effective, grouped, inserts, deletes = self._db.fold_stream(
+                commands[start : start + _MAX_VECTOR_CHUNK]
+            )
+            if not effective:
+                continue
+            changed += effective
+            self._epoch += effective
+            self._vec.apply_groups(grouped)
+            if counters is not None:
+                for relation, count in inserts.items():
+                    counters[relation].value += count
+                for relation, count in deletes.items():
+                    self._obs_delete[relation].value += count
+        return changed
 
     def apply_with_delta(self, command) -> Tuple[Tuple[Row, ...], Tuple[Row, ...]]:
         """Apply one command and derive the output-tuple delta in O(δ).
@@ -393,11 +502,21 @@ class QHierarchicalEngine(DynamicEngine):
         """Total items across components — linear in ``||D||`` (§6.2)."""
         return sum(structure.item_count() for structure in self._structures)
 
+    def backend_info(self) -> Dict[str, str]:
+        """The resolved update-plan backend and why it was picked."""
+        return {
+            "backend": self._backend,
+            "reason": self._backend_reason,
+            "requested": self._options.backend,
+        }
+
     def plan_stats(self) -> Dict[str, object]:
         """Compiled update-plan statistics (surfaced by ``explain()``)."""
         per_structure = [s.plan_stats() for s in self._structures]
         return {
             "compiled": self._compiled,
+            "backend": self._backend,
+            "backend_reason": self._backend_reason,
             "components": len(self._structures),
             "atom_plans": sum(s["atom_plans"] for s in per_structure),
             "max_path_depth": max(

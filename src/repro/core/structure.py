@@ -349,11 +349,19 @@ class ComponentStructure:
         # unrolled, fit-list appends inlined; see compile_finalizer).
         # Exclusive leaves were already finalised inside their loader
         # (loader_fuses_leaf) and are skipped.
-        fused_nodes = {
+        fused_nodes = frozenset(
             plan.levels[-1].node
             for plan in self.plans
             if loader_fuses_leaf(plan)
-        }
+        )
+        self._finalize_bulk(fused_nodes)
+        self.version += 1
+
+    def _finalize_bulk(self, fused_nodes: frozenset) -> None:
+        """The phase-2 finalizer sweep of :meth:`bulk_load`, shared with
+        the vectorized bulk path (which fuses no leaves and passes an
+        empty set).  Every item must carry its final ``C^i_ψ`` counters;
+        weights, fit lists and totals are computed here."""
         free = self.free
         root = self.qtree.root
         for node in reversed(self._doc_order):
@@ -371,7 +379,6 @@ class ComponentStructure:
             c_delta, t_delta = finalize(self._items[node].values())
             self.c_start += c_delta
             self.t_start += t_delta
-        self.version += 1
 
     # ------------------------------------------------------------------
     # reference update path (the seed's literal Section 6.4 rendering;

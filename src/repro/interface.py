@@ -40,6 +40,7 @@ from typing import (
 
 from repro.cq.query import ConjunctiveQuery
 from repro.errors import EngineStateError, QueryStructureError
+from repro.options import EngineOptions
 from repro.storage.database import Constant, Database, Row
 from repro.storage.updates import (
     UpdateCommand,
@@ -69,9 +70,18 @@ class DynamicEngine(ABC):
     #: only worth it when a subscriber needs the delta anyway.
     supports_cheap_delta: bool = False
 
-    def __init__(self, query: ConjunctiveQuery, database: Optional[Database] = None):
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        database: Optional[Database] = None,
+        options: Optional[object] = None,
+    ):
         self._query = query
         self._db = Database.empty_like(query)
+        #: Resolved construction options (every engine tolerates and
+        #: records them; only some — the q-hierarchical engine — act on
+        #: all fields).  ``backend_info()`` reads the request off this.
+        self._options = EngineOptions.of(options)
         self._epoch = 0
         # Observability (repro.obs): attached post-construction via
         # :meth:`instrument`; None keeps the update hot path at a
@@ -169,6 +179,15 @@ class DynamicEngine(ABC):
             publish_plan_gauges(
                 registry, stats, engine=self.name, **self._obs_labels
             )
+        # The selected update-plan backend, as an info-style gauge whose
+        # ``backend=`` label carries the value — scraping it across
+        # workers makes drift between "auto" decisions observable.
+        registry.gauge(
+            "repro_engine_backend_info",
+            engine=self.name,
+            backend=self.backend_info()["backend"],
+            **self._obs_labels,
+        ).set(1)
 
     def _count_update(self, relation: str, op: str) -> None:
         """Count one effective update on the attached registry.
@@ -500,6 +519,25 @@ class DynamicEngine(ABC):
         """
         return {}
 
+    def backend_info(self) -> Dict[str, str]:
+        """The engine's update-plan execution backend.
+
+        Only the q-hierarchical engine has a vectorized kernel; every
+        other engine reports the python backend with the reason, so
+        ``explain()`` and the metrics gauge are uniform across engines.
+        """
+        return {
+            "backend": "python",
+            "reason": "engine has no vectorized kernel",
+            "requested": self._options.backend,
+        }
+
+    @property
+    def options(self) -> EngineOptions:
+        """The resolved construction options (wire-stable; see
+        :class:`repro.options.EngineOptions`)."""
+        return self._options
+
     # -- shared accessors -------------------------------------------------
 
     @property
@@ -544,7 +582,11 @@ def register_engine(cls: Type[DynamicEngine]) -> Type[DynamicEngine]:
 
 
 def make_engine(
-    name: str, query, database: Optional[Database] = None
+    name: str,
+    query,
+    database: Optional[Database] = None,
+    options: Optional[object] = None,
+    **option_kwargs,
 ) -> DynamicEngine:
     """Instantiate a registered engine by name — or let the planner pick.
 
@@ -555,14 +597,20 @@ def make_engine(
     paper's dichotomy: q-hierarchical → ``"qhierarchical"``, a union of
     q-hierarchical disjuncts → ``"ucq_union"``, anything else → the
     delta-IVM baseline.
+
+    ``options`` (an :class:`~repro.options.EngineOptions` or a mapping)
+    plus per-field keyword sugar (``compiled=``, ``merged_loaders=``,
+    ``backend=``) tune the construction; unknown names raise with a
+    did-you-mean suggestion.
     """
     # Imported lazily: repro.api builds on this module.
     from repro.api.planner import Planner, parse_view
 
+    resolved = EngineOptions.of(options, **option_kwargs)
     if isinstance(query, str):
         query = parse_view(query)
     if name == "auto":
-        return Planner().plan(query).build(database)
+        return Planner().plan(query).build(database, options=resolved)
     try:
         cls = ENGINE_REGISTRY[name]
     except KeyError:
@@ -573,7 +621,7 @@ def make_engine(
             f"engine {name!r} maintains a single conjunctive query; "
             f"use 'ucq_union' or 'auto' for a union"
         )
-    return cls(query, database)
+    return cls(query, database, options=resolved)
 
 
 def _accepts_unions(cls: Type[DynamicEngine]) -> bool:

@@ -140,6 +140,7 @@ from repro.obs.tracing import (
     new_trace_id,
 )
 from repro.api.access import normalize_binding
+from repro.options import EngineOptions
 from repro.serve.dispatch import DispatchPool
 from repro.serve.faults import FaultPlan
 from repro.serve.journal import CommandJournal
@@ -645,6 +646,7 @@ class _WorkerHost:
                     request["query"],
                     engine=str(request.get("engine", "auto")),
                     access=request.get("access"),
+                    options=request.get("options"),
                 )
                 relations = sorted(view.query.relations)
                 return (
@@ -652,6 +654,7 @@ class _WorkerHost:
                         "ok": True,
                         "view": view.name,
                         "engine": view.engine_name,
+                        "backend": view.engine.backend_info()["backend"],
                         "relations": relations,
                         "arities": {
                             relation: view.query.arity_of(relation)
@@ -1336,6 +1339,12 @@ class ClusterClient:
         #: variable-name lists) — recovery and migration re-register
         #: with them so declared binding indexes survive a kill -9.
         self._view_access: Dict[str, List[List[str]]] = {}
+        #: view → engine options (wire form) — recovery and migration
+        #: re-register with them so a replayed view keeps its backend.
+        self._view_options: Dict[str, Dict[str, object]] = {}
+        #: default engine options (wire form) for views registered
+        #: through this client when the call passes none.
+        self._default_options: Optional[Dict[str, object]] = None
         self._routing: Dict[str, Tuple[int, ...]] = {}
         #: bumped on every routing flip (migration) so stream-level
         #: caches know to re-route.
@@ -1817,6 +1826,8 @@ class ClusterClient:
                     }
                     if record.access is not None:
                         replay["access"] = record.access
+                    if record.options is not None:
+                        replay["options"] = record.options
                     self._raw_ok(conn, replay)
                     views.append(record.name)
                     with self._lock:
@@ -2010,12 +2021,28 @@ class ClusterClient:
 
     # -- view registration -----------------------------------------------------
 
+    def _options_wire(
+        self, options: Optional[object]
+    ) -> Optional[Dict[str, object]]:
+        """Wire form of a view's engine options, or None when the
+        defaults apply (default options are omitted from requests and
+        journal records so the frames stay byte-compatible)."""
+        if options is None:
+            if self._default_options is not None:
+                return dict(self._default_options)
+            return None
+        resolved = EngineOptions.of(options)
+        if resolved.is_default:
+            return None
+        return resolved.to_wire()
+
     def view(
         self,
         name: str,
         query: object,
         engine: str = "auto",
         access: Optional[object] = None,
+        options: Optional[object] = None,
     ) -> RemoteView:
         """Register a live view on the next worker (round-robin).
 
@@ -2023,6 +2050,12 @@ class ClusterClient:
         :meth:`repro.api.session.Session.view` — the declaration rides
         the registration op to the owning worker (and into the journal,
         so recovery and migration rebuild the same binding indexes).
+
+        ``options`` (:class:`repro.options.EngineOptions` or a mapping)
+        controls the engine built on the worker — compilation, merged
+        loaders, the update backend.  It rides the registration op and
+        the journal the same way, so a kill -9 replay rebuilds the view
+        with the same backend.
 
         The routing table is revalidated: if the view mentions a
         relation already served by another worker, the routing entry is
@@ -2045,6 +2078,7 @@ class ClusterClient:
             worker = self._next_alive_worker()
         text = query_to_text(query)
         access_wire = _access_wire(access)
+        options_wire = self._options_wire(options)
         request: Dict[str, object] = {
             "op": "register_view",
             "name": name,
@@ -2053,6 +2087,8 @@ class ClusterClient:
         }
         if access_wire is not None:
             request["access"] = access_wire
+        if options_wire is not None:
+            request["options"] = options_wire
         reply = self._request(
             worker,
             request,
@@ -2105,6 +2141,8 @@ class ClusterClient:
             self._view_text[name] = text
             if access_wire is not None:
                 self._view_access[name] = access_wire
+            if options_wire is not None:
+                self._view_options[name] = options_wire
             self._relation_arity.update(arities)
             for relation in relations:
                 known = set(self._routing.get(relation, ()))
@@ -2115,7 +2153,12 @@ class ClusterClient:
             # pins the engine the planner originally chose (and the
             # declared access patterns, so binding indexes rebuild).
             self._journal.record_view(
-                name, text, str(reply["engine"]), worker, access=access_wire
+                name,
+                text,
+                str(reply["engine"]),
+                worker,
+                access=access_wire,
+                options=options_wire,
             )
         for relation, source in backfills:
             rows = self._request(
@@ -2169,6 +2212,7 @@ class ClusterClient:
             self._view_relations.pop(name, None)
             self._view_text.pop(name, None)
             self._view_access.pop(name, None)
+            self._view_options.pop(name, None)
             self._rebuild_routing_locked()
             for handle, (_w, _remote, view, _inc) in list(self._cursors.items()):
                 if view == name:
@@ -2236,6 +2280,7 @@ class ClusterClient:
             engine = self._view_engine.get(name, "auto")
             relations = self._view_relations.get(name, ())
             access = self._view_access.get(name)
+            view_options = self._view_options.get(name)
             # Stale-incarnation entries died with a previous worker
             # incarnation: there is nothing to drain or re-home on the
             # respawned process, and resurrecting them would hide the
@@ -2292,6 +2337,8 @@ class ClusterClient:
             }
             if access is not None:
                 register["access"] = access
+            if view_options is not None:
+                register["options"] = view_options
             self._request(
                 target,
                 register,
@@ -3353,11 +3400,13 @@ class ClusterClient:
                 list(pattern.variables)
                 for pattern in getattr(view, "access_patterns", ())
             ]
+            engine_options = getattr(view.engine, "options", None)
             self.view(
                 view.name,
                 query_to_text(view.query),
                 engine=view.engine_name,
                 access=patterns or None,
+                options=engine_options,
             )
         commands: List[UpdateCommand] = []
         for relation in session.relations:  # type: ignore[attr-defined]

@@ -46,7 +46,7 @@ __all__ = ["CommandJournal", "ViewRecord"]
 class ViewRecord:
     """One journaled view registration: enough to re-register it."""
 
-    __slots__ = ("name", "text", "engine", "worker", "access")
+    __slots__ = ("name", "text", "engine", "worker", "access", "options")
 
     def __init__(
         self,
@@ -55,6 +55,7 @@ class ViewRecord:
         engine: str,
         worker: int,
         access: Optional[List[List[str]]] = None,
+        options: Optional[Dict[str, object]] = None,
     ):
         self.name = name
         #: parseable rule text (see ``query_to_text``) — the wire form.
@@ -68,6 +69,9 @@ class ViewRecord:
         #: declared access patterns (wire form), so the replay rebuilds
         #: the same binding indexes the registration declared.
         self.access = access
+        #: engine options (wire form; None when defaults applied), so
+        #: the replay rebuilds the view with the same backend.
+        self.options = options
 
     def __repr__(self) -> str:
         return (
@@ -105,10 +109,11 @@ class CommandJournal:
         engine: str,
         worker: int,
         access: Optional[List[List[str]]] = None,
+        options: Optional[Dict[str, object]] = None,
     ) -> None:
         with self._lock:
             self._views[name] = ViewRecord(
-                name, text, engine, worker, access=access
+                name, text, engine, worker, access=access, options=options
             )
             # Relations become journal-tracked on first registration so
             # rows() is well-defined even before the first update.

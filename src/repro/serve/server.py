@@ -169,10 +169,14 @@ class Server:
         shards: int = 1,
         dispatch_workers: int = 0,
         dispatch_queue: int = 8192,
+        options: Optional[object] = None,
     ):
         if shards < 1:
             raise EngineStateError(f"need >= 1 shard, got {shards}")
         self._session = session or Session()
+        # Default EngineOptions for views registered through this front
+        # door; a per-call options= on view() still wins.
+        self._default_options = options
         self._shards: List[RWLock] = [RWLock() for _ in range(shards)]
         self._shard_of_view: Dict[str, int] = {}
         self._shard_of_cursor: Dict[int, int] = {}
@@ -344,10 +348,13 @@ class Server:
         query: object,
         engine: str = "auto",
         access: Optional[object] = None,
+        options: Optional[object] = None,
     ) -> View:
+        if options is None:
+            options = self._default_options
         with self._write_all():
             registered = self._session.view(
-                name, query, engine=engine, access=access
+                name, query, engine=engine, access=access, options=options
             )
             self._place_view(registered)
             return registered
@@ -737,6 +744,10 @@ class Server:
                 "pending": self._pool.pending if self._pool is not None else 0,
                 "reads": self.reads,
                 "writes": self.writes,
+                "backends": {
+                    view.name: view.engine.backend_info()["backend"]
+                    for view in self._session.views
+                },
             }
 
     def metrics(self) -> Dict[str, object]:
@@ -841,11 +852,13 @@ class Server:
                 request["query"],
                 engine=request.get("engine", "auto"),
                 access=request.get("access"),
+                options=request.get("options"),
             )
             return {
                 "ok": True,
                 "view": registered.name,
                 "engine": registered.engine_name,
+                "backend": registered.engine.backend_info()["backend"],
             }
         if op == "open_cursor":
             handle = self.open_cursor(

@@ -362,6 +362,7 @@ class Supervisor:
             engines = dict(client._view_engine)
             placement = dict(client._view_worker)
             access = dict(client._view_access)
+            view_options = dict(client._view_options)
         for name, worker in placement.items():
             if self.journal.view(name) is None and name in texts:
                 self.journal.record_view(
@@ -370,6 +371,7 @@ class Supervisor:
                     engines.get(name, "auto"),
                     worker,
                     access=access.get(name),
+                    options=view_options.get(name),
                 )
 
     def __enter__(self) -> "Supervisor":

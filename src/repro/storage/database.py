@@ -319,6 +319,83 @@ class Database:
                 loaded[name] = fresh
         return loaded
 
+    def fold_stream(
+        self, commands
+    ) -> Tuple[int, Dict[str, Tuple[list, list]], Dict[str, int], Dict[str, int]]:
+        """Apply a command stream with the sequential set-semantics
+        filter in one pass; returns
+        ``(effective_count, grouped, inserts, deletes)`` where
+        ``grouped`` maps each touched relation to its effective
+        ``(rows, signs)`` in stream order (sign +1 insert, -1 delete).
+
+        Equivalent to calling :meth:`insert`/:meth:`delete` per command
+        and keeping the ones that changed the database, but the
+        active-domain refcounts fold in per batch (one C-level
+        ``Counter`` pass per direction) instead of per row, and the
+        per-relation grouping the batched engines need anyway rides
+        the same loop — the vectorized backend's update fast path.
+        The two count dicts give per-relation effective insert/delete
+        totals for the observability counters.  On a mid-stream error
+        the commands already applied stay applied, refcounts folded in.
+        """
+        relations = self._relations
+        grouped: Dict[str, Tuple[list, list]] = {}
+        inserted_rows: list = []
+        deleted_rows: list = []
+        inserts: Dict[str, int] = {}
+        deletes: Dict[str, int] = {}
+        try:
+            for command in commands:
+                name = command.relation
+                relation = relations.get(name)
+                if relation is None:
+                    raise SchemaError(f"unknown relation {name!r}")
+                row = command.row
+                rows = relation._rows
+                if command.op == "insert":
+                    if row in rows:
+                        continue
+                    if len(row) != relation.arity:
+                        raise UpdateError(
+                            f"tuple {row!r} has arity {len(row)}, relation "
+                            f"{name!r} expects {relation.arity}"
+                        )
+                    rows.add(row)
+                    inserted_rows.append(row)
+                    inserts[name] = inserts.get(name, 0) + 1
+                    sign = 1
+                else:
+                    if row not in rows:
+                        if len(row) != relation.arity:
+                            relation._check(row)  # precise arity error
+                        continue
+                    rows.remove(row)
+                    deleted_rows.append(row)
+                    deletes[name] = deletes.get(name, 0) + 1
+                    sign = -1
+                group = grouped.get(name)
+                if group is None:
+                    group = ([], [])
+                    grouped[name] = group
+                group[0].append(row)
+                group[1].append(sign)
+        finally:
+            self._tuple_count += len(inserted_rows) - len(deleted_rows)
+            refcount = self._adom_refcount
+            if inserted_rows:
+                refcount.update(chain.from_iterable(inserted_rows))
+            if deleted_rows:
+                refcount.subtract(chain.from_iterable(deleted_rows))
+                for value in set(chain.from_iterable(deleted_rows)):
+                    if not refcount[value]:
+                        del refcount[value]
+        return (
+            len(inserted_rows) + len(deleted_rows),
+            grouped,
+            inserts,
+            deletes,
+        )
+
     def delete(self, name: str, row: Sequence[Constant]) -> bool:
         """``delete R(a1, ..., ar)``; True iff the database changed."""
         relation = self._relations.get(name)

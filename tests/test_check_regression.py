@@ -91,15 +91,30 @@ def test_lower_is_better_direction(tmp_path):
     assert any("cursor_last_over_first" in line for line in regressions)
 
 
-def test_relative_mode_uses_the_committed_baseline(tmp_path):
-    base_blob = {
+def update_blob(
+    engine=3.0,
+    procedure=3.0,
+    floor=300000.0,
+    preprocessing=4.0,
+    merged=1.1,
+    native=3.0,
+    numpy=True,
+):
+    return {
+        "meta": {"numpy": numpy},
         "aggregates": {
-            "update_engine_geomean": 3.0,
-            "update_procedure_geomean": 3.0,
-            "preprocessing_geomean": 4.0,
-            "merged_loader_geomean": 1.1,
-        }
+            "update_engine_geomean": engine,
+            "update_procedure_geomean": procedure,
+            "update_procedure_floor_ups": floor,
+            "preprocessing_geomean": preprocessing,
+            "merged_loader_geomean": merged,
+            "native_backend_geomean": native,
+        },
     }
+
+
+def test_relative_mode_uses_the_committed_baseline(tmp_path):
+    base_blob = update_blob()
     fresh_blob = json.loads(json.dumps(base_blob))
     fresh_blob["aggregates"]["update_engine_geomean"] = 1.9  # > 30% drop
     baseline = write(tmp_path / "base.json", base_blob)
@@ -129,25 +144,52 @@ def test_metric_missing_from_fresh_run_is_a_failure(tmp_path):
 
 def test_relative_metric_missing_from_baseline_is_skipped(tmp_path):
     baseline = write(tmp_path / "base.json", {"aggregates": {}})
+    fresh = write(tmp_path / "fresh.json", update_blob())
+    regressions, notes = check_regression.check_experiment(
+        "update_throughput", baseline, fresh, 0.30
+    )
+    # relative metrics skip with a note; the absolute guardrails
+    # (preprocessing, the procedure floor, the native geomean) still run
+    assert regressions == []
+    assert sum("skip" in line for line in notes) == 3
+    assert any("preprocessing_geomean" in line and "ok" in line for line in notes)
+    assert any(
+        "update_procedure_floor_ups" in line and "ok" in line for line in notes
+    )
+
+
+def test_procedure_floor_guardrail_turns_red(tmp_path):
+    baseline = write(tmp_path / "base.json", update_blob())
+    fresh = write(tmp_path / "fresh.json", update_blob(floor=9000.0))
+    regressions, _ = check_regression.check_experiment(
+        "update_throughput", baseline, fresh, 0.30
+    )
+    assert len(regressions) == 1
+    assert "update_procedure_floor_ups" in regressions[0]
+
+
+def test_native_gate_skips_when_fresh_run_had_no_numpy(tmp_path):
+    baseline = write(tmp_path / "base.json", update_blob())
+    # numpy absent on the runner: the native section never ran, its
+    # geomean is meaningless — the gate must skip it, not fail it.
     fresh = write(
-        tmp_path / "fresh.json",
-        {
-            "aggregates": {
-                "update_engine_geomean": 3.0,
-                "update_procedure_geomean": 3.0,
-                "preprocessing_geomean": 4.0,
-                "merged_loader_geomean": 1.1,
-            }
-        },
+        tmp_path / "fresh.json", update_blob(native=0.0, numpy=False)
     )
     regressions, notes = check_regression.check_experiment(
         "update_throughput", baseline, fresh, 0.30
     )
-    # relative metrics skip with a note; the absolute guardrail
-    # (preprocessing) still runs
     assert regressions == []
-    assert sum("skip" in line for line in notes) == 3
-    assert any("preprocessing_geomean" in line and "ok" in line for line in notes)
+    assert any(
+        "native_backend_geomean" in line and "falsy" in line for line in notes
+    )
+    # with numpy present, a collapse towards parity with the per-tuple
+    # runners breaks the absolute guardrail
+    bad = write(tmp_path / "bad.json", update_blob(native=0.9))
+    regressions, _ = check_regression.check_experiment(
+        "update_throughput", baseline, bad, 0.30
+    )
+    assert len(regressions) == 1
+    assert "native_backend_geomean" in regressions[0]
 
 
 def test_multiprocess_guardrail_turns_red(tmp_path):

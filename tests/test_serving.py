@@ -619,7 +619,10 @@ def test_server_request_loop_roundtrip():
             ]
         )
     )
-    assert replies[0] == {"ok": True, "view": "v", "engine": "qhierarchical"}
+    assert replies[0]["ok"] is True
+    assert replies[0]["view"] == "v"
+    assert replies[0]["engine"] == "qhierarchical"
+    assert replies[0]["backend"] in ("python", "vectorized")
     assert replies[3] == {"ok": True, "count": 1}
     cursor = replies[4]["cursor"]
     subscription = replies[5]["subscription"]
